@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Core Dialects Ir List Machine Op Printf String Transforms Workloads

@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: List Machine Printf Workloads

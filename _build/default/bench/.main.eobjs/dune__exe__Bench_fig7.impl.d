@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: List Machine Printf Workloads

@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Array Core Devito Driver Float Interp Ir List Machine Mpi_sim Op Option Printf Transforms Typesys Workloads

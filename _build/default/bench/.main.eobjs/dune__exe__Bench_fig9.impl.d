@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: List Machine Printf Workloads

@@ -1,0 +1,1 @@
+bench/bench_measured.ml: Analyze Bechamel Benchmark Core Driver Instance Interp Ir List Measure Mpi_sim Op Parser Printer Printf Staged Test Time Toolkit Typesys Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_fig10 Bench_fig11 Bench_fig7 Bench_fig8 Bench_fig9 Bench_measured Bench_tab1 List Printf Sys

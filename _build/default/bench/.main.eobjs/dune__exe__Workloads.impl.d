@@ -1,0 +1,1 @@
+bench/workloads.ml: Core Devito Driver Float Ir List Machine Op Psyclone Typesys

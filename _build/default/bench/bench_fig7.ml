@@ -1,0 +1,41 @@
+(* Figure 7: single-node CPU throughput of xDSL-Devito vs native Devito on
+   heat diffusion (a) and the acoustic wave equation (b), 2D and 3D, space
+   orders 2/4/8, on an ARCHER2 node (8 MPI ranks x 16 OpenMP threads = 128
+   cores).  Higher is better; the paper's shape: xDSL wins on the low
+   arithmetic-intensity kernels, native Devito's flop-reduction wins at
+   high AI. *)
+
+let row (w : Workloads.devito_workload) =
+  let points = Workloads.archer2_points w.Workloads.dims in
+  let xf = Workloads.xdsl_features w ~points in
+  let df = Workloads.devito_features w ~points in
+  let node = Machine.Cpu.archer2_node in
+  let xdsl =
+    Machine.Cpu.throughput node Machine.Cpu.xdsl_cpu_quality xf ~points
+      ~threads: 128
+  in
+  let devito =
+    Machine.Cpu.throughput node
+      (Machine.Cpu.devito_cpu_quality
+         ~flop_factor: (Workloads.devito_flop_factor w))
+      df ~points ~threads: 128
+  in
+  Printf.printf "  %-6s %dD so%-2d  %8.2f  %8.2f   %5.2fx  (flops/pt %.0f vs %.0f)\n"
+    w.Workloads.w_name w.Workloads.dims w.Workloads.so xdsl devito
+    (xdsl /. devito) xf.Machine.Features.flops_per_pt
+    df.Machine.Features.flops_per_pt
+
+let run () =
+  Printf.printf
+    "== Figure 7: single-node CPU, xDSL-Devito vs Devito (GPts/s) ==\n";
+  Printf.printf "  %-6s %s      %8s  %8s   %s\n" "kernel" "cfg" "xDSL"
+    "Devito" "ratio";
+  Printf.printf " (a) heat diffusion, 16384^2 / 1024^3:\n";
+  List.iter
+    (fun (dims, so) -> row (Workloads.heat ~dims ~so))
+    [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
+  Printf.printf " (b) acoustic wave, 16384^2 / 1024^3:\n";
+  List.iter
+    (fun (dims, so) -> row (Workloads.wave ~dims ~so))
+    [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
+  print_newline ()

@@ -1,0 +1,38 @@
+(* Figure 9: GPU throughput on an NVIDIA V100 (Cirrus), heat (a) and wave
+   (b), 2D 8192^2 and 3D 512^3, so 2/4/8.  xDSL lowers through the MLIR
+   CUDA path (explicit device memory, synchronous per-kernel launches);
+   Devito uses tiled OpenACC.  The paper's shape: roughly on par for the
+   small kernels, xDSL >= 1.5x ahead on the larger 3D wave kernels where
+   the launch/sync overhead is amortized by kernel runtime. *)
+
+let row (w : Workloads.devito_workload) =
+  let points = Workloads.cirrus_points w.Workloads.dims in
+  let xf = Workloads.xdsl_features w ~points in
+  let df = Workloads.devito_features w ~points in
+  let xdsl =
+    Machine.Gpu.throughput Machine.Gpu.v100 Machine.Gpu.xdsl_cuda_quality xf
+      ~points
+  in
+  let devito =
+    Machine.Gpu.throughput Machine.Gpu.v100
+      (Machine.Gpu.devito_openacc_quality ~dims: w.Workloads.dims)
+      df ~points
+  in
+  Printf.printf "  %-6s %dD so%-2d  %8.2f  %8.2f   %5.2fx\n"
+    w.Workloads.w_name w.Workloads.dims w.Workloads.so xdsl devito
+    (xdsl /. devito)
+
+let run () =
+  Printf.printf
+    "== Figure 9: V100 GPU, xDSL CUDA vs Devito OpenACC (GPts/s) ==\n";
+  Printf.printf "  %-6s %s      %8s  %8s   %s\n" "kernel" "cfg" "xDSL"
+    "OpenACC" "ratio";
+  Printf.printf " (a) heat diffusion, 8192^2 / 512^3:\n";
+  List.iter
+    (fun (dims, so) -> row (Workloads.heat ~dims ~so))
+    [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
+  Printf.printf " (b) acoustic wave, 8192^2 / 512^3:\n";
+  List.iter
+    (fun (dims, so) -> row (Workloads.wave ~dims ~so))
+    [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
+  print_newline ()

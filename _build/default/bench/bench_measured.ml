@@ -1,0 +1,138 @@
+(* Measured microbenchmarks (Bechamel): in addition to the analytic figure
+   reproductions, these time *real* executions of the stack on this
+   machine — compilation pipelines, interpreted kernel sweeps, simulated
+   MPI halo exchanges and textual round-trips — one Test.make per
+   table/figure family. *)
+
+open Bechamel
+open Toolkit
+open Ir
+
+(* fig. 7 family: compile + execute one heat2d step (xDSL pipeline). *)
+let test_heat_compile =
+  Test.make ~name: "fig7: compile heat2d (shared cpu pipeline)"
+    (Staged.stage (fun () ->
+         let w = Workloads.heat ~dims: 2 ~so: 2 in
+         ignore
+           (Core.Pipeline.compile ~verify: false
+              (Core.Pipeline.Cpu_openmp { tiles = [ 16; 16 ] })
+              w.Workloads.module_)))
+
+let heat_step_runner () =
+  let w = Workloads.heat ~dims: 2 ~so: 4 in
+  let lowered =
+    Core.Pipeline.compile ~verify: false Core.Pipeline.Cpu_sequential
+      w.Workloads.module_
+  in
+  let n = 16 in
+  let mk () = Interp.Rtval.alloc_buffer [ n + 4; n + 4 ] Typesys.f32 in
+  let a = mk () and b = mk () in
+  fun () ->
+    ignore
+      (Driver.Simulate.run_serial ~func: "heat" lowered
+         [ Interp.Rtval.Rbuf a; Interp.Rtval.Rbuf b ])
+
+let test_heat_exec =
+  Test.make ~name: "fig7: interpret heat2d 16^2 step (lowered IR)"
+    (Staged.stage (heat_step_runner ()))
+
+(* fig. 8 family: a full 4-rank distributed step on the simulated MPI. *)
+let distributed_runner () =
+  let w = Workloads.heat ~dims: 2 ~so: 2 in
+  let dm =
+    Core.Swap_elim.run
+      (Core.Distribute.run
+         (Core.Distribute.options ~ranks: 4 ~strategy: Core.Decomposition.Slice2d ())
+         w.Workloads.module_)
+  in
+  let lowered =
+    Core.Mpi_to_func.run
+      (Core.Dmp_to_mpi.run
+         (Core.Stencil_to_loops.run ~style: Core.Stencil_to_loops.Sequential dm))
+  in
+  let sfop =
+    List.find
+      (fun (op : Op.t) -> Op.attr op "dmp.topology" <> None)
+      (Op.module_ops dm)
+  in
+  let grid = Driver.Domain.topology_of sfop in
+  let local_bounds = List.hd (Driver.Domain.field_arg_bounds sfop) in
+  let global = Interp.Rtval.alloc_buffer ~lo: [ -1; -1 ] [ 18; 18 ] Typesys.f32 in
+  fun () ->
+    ignore
+      (Driver.Simulate.run_spmd ~ranks: 4 ~func: "heat"
+         ~make_args: (fun ctx ->
+           let rank = Mpi_sim.rank ctx in
+           List.init 2 (fun _ ->
+               let b =
+                 Driver.Domain.scatter_field ~global ~grid ~local_bounds
+                   ~rank
+               in
+               Interp.Rtval.Rbuf
+                 { b with Interp.Rtval.lo = [ 0; 0 ] }))
+         lowered)
+
+let test_distributed =
+  Test.make ~name: "fig8: 4-rank distributed heat step (simulated MPI)"
+    (Staged.stage (distributed_runner ()))
+
+(* fig. 10 / table 1 family: PSyclone frontend compilation. *)
+let test_traadv_frontend =
+  Test.make ~name: "fig10: PSyclone traadv -> stencil dialect"
+    (Staged.stage (fun () ->
+         ignore (Workloads.traadv ()).Workloads.p_module))
+
+let test_hls_lowering =
+  Test.make ~name: "tab1: pw -> hls optimized dataflow"
+    (Staged.stage
+       (let m = (Workloads.pw ()).Workloads.p_module in
+        fun () ->
+          ignore (Core.Stencil_to_hls.run ~mode: Core.Stencil_to_hls.Optimized m)))
+
+(* infrastructure: textual round-trip of a lowered module. *)
+let test_roundtrip =
+  Test.make ~name: "infra: print+parse lowered heat3d"
+    (Staged.stage
+       (let w = Workloads.heat ~dims: 3 ~so: 4 in
+        let lowered =
+          Core.Pipeline.compile ~verify: false Core.Pipeline.Cpu_sequential
+            w.Workloads.module_
+        in
+        fun () ->
+          ignore (Parser.parse_string (Printer.module_to_string lowered))))
+
+let all_tests =
+  [
+    test_heat_compile;
+    test_heat_exec;
+    test_distributed;
+    test_traadv_frontend;
+    test_hls_lowering;
+    test_roundtrip;
+  ]
+
+let run () =
+  Printf.printf "== Measured microbenchmarks (Bechamel, this machine) ==\n%!";
+  let ols =
+    Analyze.ols ~r_square: false ~bootstrap: 0
+      ~predictors: [| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit: 500 ~quota: (Time.second 0.5) ~kde: None ()
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | _ -> nan
+          in
+          Printf.printf "  %-50s %12.1f ns/run\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    all_tests;
+  print_newline ()

@@ -1,0 +1,49 @@
+(* Table 1: Alveo U280 FPGA throughput — the initial (unchanged Von Neumann
+   CPU design) vs the compiler-optimized (dataflow regions + 3D shift
+   buffer, II=1) form of both PSyclone benchmarks, at the paper's problem
+   sizes.  The shapes come from the actual hls-lowered modules. *)
+
+let rows =
+  [ ("pw-8m", `Pw, 8e6); ("pw-33m", `Pw, 33e6); ("pw-134m", `Pw, 134e6);
+    ("traadv-4m", `Traadv, 4e6); ("traadv-32m", `Traadv, 32e6) ]
+
+let run () =
+  Printf.printf
+    "== Table 1: Alveo U280 FPGA, initial vs optimized (GPts/s) ==\n";
+  Printf.printf "  %-11s  %12s  %12s  %12s\n" "benchmark" "initial"
+    "optimized" "improvement";
+  let pw = Workloads.pw () in
+  let traadv = Workloads.traadv () in
+  let shapes w =
+    let f = Workloads.psyclone_features w ~points: 1. in
+    (* DDR boundary of the fused dataflow: primary inputs + final output. *)
+    let external_streams =
+      List.length (Psyclone.Fortran.external_inputs w.Workloads.kernel) + 1
+    in
+    let initial =
+      Machine.Fpga.shape_of_module
+        (Core.Stencil_to_hls.run ~mode: Core.Stencil_to_hls.Initial
+           w.Workloads.p_module)
+        ~f ()
+    in
+    let optimized =
+      Machine.Fpga.shape_of_module
+        (Core.Stencil_to_hls.run ~mode: Core.Stencil_to_hls.Optimized
+           w.Workloads.p_module)
+        ~f ~external_streams ()
+    in
+    (initial, optimized)
+  in
+  let pw_shapes = shapes pw in
+  let traadv_shapes = shapes traadv in
+  List.iter
+    (fun (label, which, points) ->
+      let initial, optimized =
+        match which with `Pw -> pw_shapes | `Traadv -> traadv_shapes
+      in
+      let t_i = Machine.Fpga.throughput Machine.Fpga.u280 initial ~points in
+      let t_o = Machine.Fpga.throughput Machine.Fpga.u280 optimized ~points in
+      Printf.printf "  %-11s  %12.1e  %12.1e  %10.0fx\n" label t_i t_o
+        (t_o /. t_i))
+    rows;
+  print_newline ()

@@ -1,0 +1,37 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 6) from the compiled IR and the machine models, and
+   measures real executions of the stack with Bechamel.
+
+   Run with: dune exec bench/main.exe
+   (pass a section name — fig7 fig8 fig9 fig10 fig11 tab1 ablation
+   measured — to run just that section). *)
+
+let sections =
+  [
+    ("fig7", Bench_fig7.run);
+    ("fig8", Bench_fig8.run);
+    ("fig9", Bench_fig9.run);
+    ("fig10", Bench_fig10.run);
+    ("tab1", Bench_tab1.run);
+    ("fig11", Bench_fig11.run);
+    ("ablation", Bench_ablation.run);
+    ("measured", Bench_measured.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if args = [] then sections
+    else
+      List.filter (fun (name, _) -> List.mem name args) sections
+  in
+  if selected = [] then begin
+    prerr_endline "unknown section; available:";
+    List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) sections;
+    exit 1
+  end;
+  Printf.printf
+    "shared stencil compilation stack: evaluation reproduction\n\
+     (absolute numbers come from first-order machine models; the paper's\n\
+     claims are about shapes/ratios — see EXPERIMENTS.md)\n\n";
+  List.iter (fun (_, run) -> run ()) selected

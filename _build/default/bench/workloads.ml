@@ -1,0 +1,182 @@
+(* The evaluation workloads (paper §6) and the feature-extraction helpers
+   shared by all figure/table benches.
+
+   Functional compilation happens at small grids (features are per-point
+   and size-independent); the paper's problem sizes are applied via
+   [Machine.Features.with_points]. *)
+
+open Ir
+
+(* --- Devito workloads (fig. 7/8/9) --- *)
+
+type devito_workload = {
+  w_name : string;
+  dims : int;  (* 2 or 3 *)
+  so : int;  (* space discretization order *)
+  module_ : Op.t;  (* stencil-dialect module (small functional grid) *)
+  spec : Devito.Operator.t;
+}
+
+let small_grid dims = if dims = 2 then [ 16; 16 ] else [ 8; 8; 8 ]
+
+let heat ~dims ~so : devito_workload =
+  let g = Devito.Symbolic.grid ~dt: 0.1 (small_grid dims) in
+  let u = Devito.Symbolic.function_ ~space_order: so "u" g in
+  let eqn =
+    Devito.Symbolic.eq (Devito.Symbolic.Dt u)
+      Devito.Symbolic.(f 0.5 *: laplace u)
+  in
+  let spec, m =
+    Devito.Operator.operator ~name: "heat" ~timesteps: 1 eqn
+  in
+  { w_name = "heat"; dims; so; module_ = m; spec }
+
+let wave ~dims ~so : devito_workload =
+  let g = Devito.Symbolic.grid ~dt: 0.02 (small_grid dims) in
+  let u =
+    Devito.Symbolic.function_ ~space_order: so ~time_order: 2 "u" g
+  in
+  let eqn =
+    Devito.Symbolic.eq (Devito.Symbolic.Dt2 u)
+      Devito.Symbolic.(f 2.25 *: laplace u)
+  in
+  let spec, m =
+    Devito.Operator.operator ~name: "wave" ~timesteps: 1 eqn
+  in
+  { w_name = "wave"; dims; so; module_ = m; spec }
+
+(* The paper's problem sizes: 16384^2 / 1024^3 on ARCHER2, 8192^2 / 512^3 on
+   Cirrus. *)
+let archer2_points dims = if dims = 2 then 16384. ** 2. else 1024. ** 3.
+let cirrus_points dims = if dims = 2 then 8192. ** 2. else 512. ** 3.
+
+(* Kernel features of the shared-stack pipeline, measured from the compiled
+   stencil module. *)
+let xdsl_features (w : devito_workload) ~points : Machine.Features.t =
+  Machine.Features.with_points
+    (Machine.Features.of_stencil_module ~elt_bytes: 4 w.module_)
+    points
+
+(* Kernel features of native Devito, from the symbolically optimized
+   expression. *)
+let devito_features (w : devito_workload) ~points : Machine.Features.t =
+  let f = Devito.Baseline.features w.spec ~elt_bytes: 4 in
+  (* Apply the same dimensional traffic amplification used for the IR-based
+     measurement so both pipelines share the memory model. *)
+  let f =
+    {
+      f with
+      Machine.Features.unique_bytes_per_pt =
+        f.Machine.Features.unique_bytes_per_pt
+        +. (float_of_int ((w.dims - 1) * 4)
+           *. float_of_int
+                (List.length (Devito.Symbolic.distinct_reads w.spec.Devito.Operator.update)));
+    }
+  in
+  Machine.Features.with_points f points
+
+let devito_flop_factor (w : devito_workload) =
+  let e = w.spec.Devito.Operator.update in
+  let naive = float_of_int (Devito.Symbolic.flops e) in
+  if naive = 0. then 1.
+  else Float.min 1. (float_of_int (Devito.Baseline.factorized_flops e) /. naive)
+
+(* --- PSyclone workloads (fig. 10/11, table 1) --- *)
+
+type psyclone_workload = {
+  p_name : string;
+  kernel : Psyclone.Fortran.kernel;
+  p_module : Op.t;
+  regions : int;
+}
+
+let pw ?(shape = [ 16; 16; 8 ]) () : psyclone_workload =
+  let kernel = Psyclone.Benchkernels.pw_advection ~shape in
+  let p_module = Psyclone.Codegen.compile kernel in
+  {
+    p_name = "pw";
+    kernel;
+    p_module;
+    regions = Psyclone.Psy_ir.count_regions (Psyclone.Psy_ir.of_kernel kernel);
+  }
+
+let traadv ?(shape = [ 8; 8; 8 ]) () : psyclone_workload =
+  let kernel =
+    Psyclone.Benchkernels.tracer_advection ~iterations: 1 ~shape ()
+  in
+  let p_module = Psyclone.Codegen.compile kernel in
+  {
+    p_name = "traadv";
+    kernel;
+    p_module;
+    regions = Psyclone.Psy_ir.count_regions (Psyclone.Psy_ir.of_kernel kernel);
+  }
+
+let psyclone_features (w : psyclone_workload) ~points : Machine.Features.t =
+  Machine.Features.with_points
+    (Machine.Features.of_stencil_module ~elt_bytes: 4 w.p_module)
+    points
+
+(* --- communication schedules measured from the compiled IR --- *)
+
+(* Per-rank, per-step message count and byte volume: read directly off the
+   dmp.swap declarations of the distributed module (after redundant-swap
+   elimination), exactly what the generated code would send. *)
+let comm_per_step_of_module (dm : Op.t) ~elt_bytes : int * float =
+  let messages = ref 0 and bytes = ref 0. in
+  Op.walk
+    (fun op ->
+      if op.Op.name = "dmp.swap" then begin
+        let exs = Core.Dmp.exchanges_of op in
+        messages := !messages + List.length exs;
+        bytes :=
+          !bytes
+          +. float_of_int
+               (Core.Decomposition.exchange_volume exs * elt_bytes)
+      end)
+    dm;
+  (!messages, !bytes)
+
+(* Distribute a stencil module and return the per-step xDSL communication
+   schedule scaled to the paper's local domain size. *)
+let xdsl_schedule (m : Op.t) ~ranks ~strategy ~(global : float list)
+    ~elt_bytes : Machine.Net.schedule =
+  let dm = Core.Swap_elim.run (Core.Distribute.run (Core.Distribute.options ~ranks ~strategy ()) m) in
+  let msgs, small_bytes = comm_per_step_of_module dm ~elt_bytes in
+  (* Scale the measured (small-grid) volume to the target local domain:
+     halo faces scale with the local surface. *)
+  let fop =
+    List.find
+      (fun (op : Op.t) -> Op.attr op "dmp.topology" <> None)
+      (Op.module_ops dm)
+  in
+  let grid = Driver.Domain.topology_of fop in
+  let small_local =
+    List.map2
+      (fun (b : Typesys.bound) g ->
+        ignore g;
+        float_of_int (b.Typesys.hi + b.Typesys.lo))
+      (List.hd (Driver.Domain.field_arg_bounds fop))
+      grid
+  in
+  let target_local =
+    List.map2 (fun n g -> n /. float_of_int g) global grid
+  in
+  (* Surface ratio per dimension pair: scale each face by the product of
+     the other dimensions' ratios; a single aggregate ratio using the
+     geometric structure is adequate at first order. *)
+  let ratio =
+    let prod l = List.fold_left ( *. ) 1. l in
+    let full_ratio = prod target_local /. prod small_local in
+    let lin_ratio =
+      (prod target_local /. prod small_local)
+      ** (1. /. float_of_int (List.length global))
+    in
+    full_ratio /. lin_ratio
+  in
+  {
+    Machine.Net.messages = msgs;
+    bytes = small_bytes *. ratio;
+    overlap = false;
+    host_us_per_msg = Machine.Net.xdsl_host_us_per_msg;
+  }

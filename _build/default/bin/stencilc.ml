@@ -1,0 +1,175 @@
+(* stencilc: an mlir-opt-style driver for the shared stack.
+
+   Reads a module in the generic textual format (or builds one of the
+   built-in demo programs), runs a named pass pipeline or an explicit list
+   of passes, and prints the result.  This is the "Open Earth Compiler"
+   style entry point: stencil programs written directly at the stencil
+   dialect level share the whole backend with the Devito and PSyclone
+   frontends. *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let demo_module name =
+  match name with
+  | "heat2d" ->
+      let g = Devito.Symbolic.grid ~dt: 0.1 [ 64; 64 ] in
+      let u = Devito.Symbolic.function_ ~space_order: 2 "u" g in
+      let eqn =
+        Devito.Symbolic.eq (Devito.Symbolic.Dt u)
+          Devito.Symbolic.(f 0.5 *: laplace u)
+      in
+      Some (snd (Devito.Operator.operator ~name: "heat2d" ~timesteps: 8 eqn))
+  | "pw" ->
+      Some
+        (Psyclone.Codegen.compile
+           (Psyclone.Benchkernels.pw_advection ~shape: [ 32; 32; 32 ]))
+  | "traadv" ->
+      Some
+        (Psyclone.Codegen.compile
+           (Psyclone.Benchkernels.tracer_advection ~iterations: 2
+              ~shape: [ 16; 16; 16 ] ()))
+  | _ -> None
+
+let all_passes : (string * Ir.Pass.t) list =
+  [
+    ("canonicalize", Transforms.Canonicalize.pass);
+    ("stencil-shape-inference", Core.Shape_inference.pass);
+    ("cse", Transforms.Cse.pass);
+    ("dce", Transforms.Dce.pass);
+    ("loop-invariant-code-motion", Transforms.Licm.pass);
+    ( "convert-stencil-to-loops",
+      Core.Stencil_to_loops.pass ~style: Core.Stencil_to_loops.Sequential () );
+    ( "convert-stencil-to-parallel-loops",
+      Core.Stencil_to_loops.pass ~style: Core.Stencil_to_loops.Parallel_flat () );
+    ( "convert-stencil-to-tiled-omp",
+      Core.Stencil_to_loops.pass
+        ~style: (Core.Stencil_to_loops.Tiled_omp [ 32; 32; 32 ]) () );
+    ( "convert-stencil-to-gpu",
+      Core.Stencil_to_loops.pass
+        ~style:
+          (Core.Stencil_to_loops.Gpu_launch
+             { synchronous = true; managed = false })
+        () );
+    ("eliminate-redundant-swaps", Core.Swap_elim.pass);
+    ("overlap-communication", Core.Overlap.pass);
+    ("convert-dmp-to-mpi", Core.Dmp_to_mpi.pass);
+    ("convert-mpi-to-func", Core.Mpi_to_func.pass);
+    ( "convert-stencil-to-hls-initial",
+      Core.Stencil_to_hls.pass ~mode: Core.Stencil_to_hls.Initial () );
+    ( "convert-stencil-to-hls-optimized",
+      Core.Stencil_to_hls.pass ~mode: Core.Stencil_to_hls.Optimized () );
+  ]
+
+let distribute_pass ~ranks ~strategy =
+  let strategy =
+    match strategy with
+    | "1d" -> Core.Decomposition.Slice1d
+    | "2d" -> Core.Decomposition.Slice2d
+    | "3d" -> Core.Decomposition.Slice3d
+    | s -> failwith ("unknown decomposition strategy: " ^ s)
+  in
+  Core.Distribute.pass (Core.Distribute.options ~ranks ~strategy ())
+
+let run_cmd input demo pipeline passes ranks strategy print_after verify
+    stats =
+  try
+    let m =
+      match demo with
+      | Some name -> (
+          match demo_module name with
+          | Some m -> m
+          | None -> failwith ("unknown demo: " ^ name))
+      | None -> Ir.Parser.parse_string (read_input input)
+    in
+    let selected =
+      match (pipeline, passes) with
+      | Some p, _ -> (
+          match List.assoc_opt p Core.Pipeline.named_pipelines with
+          | Some pl -> pl
+          | None -> failwith ("unknown pipeline: " ^ p))
+      | None, ps ->
+          Ir.Pass.pipeline "cli"
+            (List.map
+               (fun name ->
+                 if name = "distribute-stencil" then
+                   distribute_pass ~ranks ~strategy
+                 else
+                   match List.assoc_opt name all_passes with
+                   | Some p -> p
+                   | None -> failwith ("unknown pass: " ^ name))
+               ps)
+    in
+    let result =
+      Ir.Pass.run_pipeline ~verify ~checks: Core.Registry.checks ~print_after
+        selected m
+    in
+    if stats then
+      Format.printf "// op histogram:@.%a" Transforms.Statistics.pp_histogram
+        result
+    else Format.printf "%a" Ir.Printer.print_module result;
+    0
+  with
+  | Failure msg | Ir.Op.Ill_formed msg ->
+      Format.eprintf "stencilc: %s@." msg;
+      1
+  | Ir.Parser.Parse_error msg ->
+      Format.eprintf "stencilc: parse error: %s@." msg;
+      1
+  | Ir.Verifier.Verification_error msg ->
+      Format.eprintf "stencilc: verification failed: %s@." msg;
+      1
+
+let input_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv: "FILE" ~doc: "Input IR file (- for stdin).")
+
+let demo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "demo" ] ~docv: "NAME"
+        ~doc: "Use a built-in demo program instead of reading input: heat2d, pw, traadv.")
+
+let pipeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "pipeline" ] ~docv: "NAME"
+        ~doc:
+          "Named pipeline: cpu-sequential, cpu-openmp, distributed-cpu-4, \
+           gpu, fpga-initial, fpga-optimized, canonicalize.")
+
+let passes_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "pass" ] ~docv: "PASS" ~doc: "Run an individual pass (repeatable).")
+
+let ranks_arg =
+  Arg.(value & opt int 4 & info [ "ranks" ] ~doc: "Ranks for distribute-stencil.")
+
+let strategy_arg =
+  Arg.(
+    value & opt string "2d"
+    & info [ "strategy" ] ~doc: "Decomposition strategy: 1d, 2d, 3d.")
+
+let print_after_arg =
+  Arg.(value & flag & info [ "print-after-all" ] ~doc: "Dump IR after each pass.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc: "Verify after each pass.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc: "Print an op histogram instead of IR.")
+
+let cmd =
+  let doc = "shared stencil compilation stack driver" in
+  Cmd.v
+    (Cmd.info "stencilc" ~doc)
+    Term.(
+      const run_cmd $ input_arg $ demo_arg $ pipeline_arg $ passes_arg
+      $ ranks_arg $ strategy_arg $ print_after_arg $ verify_arg $ stats_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/acoustic_wave.ml: Array Core Devito Driver Float Format Interp Ir List Mpi_sim Op Option Typesys

@@ -1,0 +1,1 @@
+examples/acoustic_wave.mli:

@@ -1,0 +1,1 @@
+examples/fpga_offload.ml: Core Driver Float Format Hashtbl Interp Ir List Machine Psyclone String Typesys Verifier

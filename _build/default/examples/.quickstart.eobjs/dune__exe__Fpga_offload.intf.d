@@ -1,0 +1,1 @@
+examples/fpga_offload.mli:

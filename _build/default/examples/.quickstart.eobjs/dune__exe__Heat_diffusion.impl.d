@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Core Devito Driver Float Format Interp Ir List Machine Mpi_sim Op Option Printf String Transforms Typesys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arith Core Dialects Driver Float Format Func Interp Ir List Op Pipeline Printer Registry Scf Stencil Typesys Verifier

@@ -1,0 +1,1 @@
+examples/tracer_advection.ml: Array Core Dialects Driver Float Format Hashtbl Interp Ir List Machine Op Psyclone String Typesys Verifier

@@ -1,0 +1,1 @@
+examples/tracer_advection.mli:

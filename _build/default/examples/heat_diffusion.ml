@@ -1,0 +1,132 @@
+(* Heat diffusion through the Devito frontend (the paper's listing 5),
+   compiled once through the shared stack for serial CPU and once for
+   distributed-memory CPU, executed on a simulated 4-rank MPI job, and
+   checked for bitwise agreement with the serial run.
+
+   Run with: dune exec examples/heat_diffusion.exe *)
+
+open Ir
+
+let nx = 32
+let ny = 32
+let steps = 20
+let ranks = 4
+
+let () =
+  (* Model the problem, as in the Devito DSL. *)
+  let g = Devito.Symbolic.grid ~dt: 0.1 [ nx; ny ] in
+  let u = Devito.Symbolic.function_ ~space_order: 2 "u" g in
+  let eqn =
+    Devito.Symbolic.eq (Devito.Symbolic.Dt u)
+      Devito.Symbolic.(f 0.5 *: laplace u)
+  in
+  let _spec, m =
+    Devito.Operator.operator ~name: "heat" ~timesteps: steps
+      ~elt: Typesys.f64 eqn
+  in
+  Format.printf "Devito 2D heat: %dx%d grid, %d steps, so=2@." nx ny steps;
+
+  (* Initial condition: a hot square in the middle. *)
+  let init i j = if abs (i - 16) < 5 && abs (j - 16) < 5 then 100. else 0. in
+  let global_field () =
+    let b =
+      Interp.Rtval.alloc_buffer ~lo: [ -1; -1 ] [ nx + 2; ny + 2 ] Typesys.f64
+    in
+    for i = -1 to nx do
+      for j = -1 to ny do
+        Interp.Rtval.set b [ i; j ] (Interp.Rtval.Rf (init i j))
+      done
+    done;
+    b
+  in
+
+  (* Serial execution of the stencil-level module. *)
+  let serial =
+    match
+      Driver.Simulate.run_serial ~func: "heat" m
+        [ Interp.Rtval.Rbuf (global_field ()); Interp.Rtval.Rbuf (global_field ()) ]
+    with
+    | Interp.Rtval.Rbuf _ :: Interp.Rtval.Rbuf latest :: _ -> latest
+    | _ -> failwith "unexpected results"
+  in
+
+  (* Distribute over 4 ranks (2x2) and fully lower to MPI_* calls. *)
+  let dm =
+    Core.Distribute.run
+      (Core.Distribute.options ~ranks ~strategy: Core.Decomposition.Slice2d ())
+      m
+  in
+  let fop = Option.get (Op.lookup_symbol dm "heat") in
+  let grid = Driver.Domain.topology_of fop in
+  let local_bounds = List.hd (Driver.Domain.field_arg_bounds fop) in
+  let lowered =
+    Core.Mpi_to_func.run
+      (Core.Dmp_to_mpi.run
+         (Core.Stencil_to_loops.run ~style: Core.Stencil_to_loops.Sequential
+            (Core.Swap_elim.run dm)))
+  in
+  let lowered = Transforms.Licm.run lowered in
+  Format.printf "rank topology: %s; local field bounds: %s@."
+    (String.concat "x" (List.map string_of_int grid))
+    (String.concat " "
+       (List.map
+          (fun (b : Typesys.bound) ->
+            Printf.sprintf "[%d,%d)" b.Typesys.lo b.Typesys.hi)
+          local_bounds));
+
+  let interior = List.map2 (fun n p -> n / p) [ nx; ny ] grid in
+  let origin =
+    List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) local_bounds
+  in
+  let global = global_field () in
+  let gathered = global_field () in
+  let rebase buf =
+    { buf with Interp.Rtval.lo = List.map (fun _ -> 0) buf.Interp.Rtval.lo }
+  in
+  let comm =
+    Driver.Simulate.run_spmd ~ranks ~func: "heat"
+      ~make_args: (fun ctx ->
+        let rank = Mpi_sim.rank ctx in
+        let mk () =
+          rebase
+            (Driver.Domain.scatter_field ~global ~grid ~local_bounds ~rank)
+        in
+        [ Interp.Rtval.Rbuf (mk ()); Interp.Rtval.Rbuf (mk ()) ])
+      ~collect: (fun ctx _ results ->
+        match results with
+        | Interp.Rtval.Rbuf _ :: Interp.Rtval.Rbuf latest :: _ ->
+            Driver.Domain.gather_interior ~origin ~global: gathered
+              ~local: latest ~grid ~interior ~rank: (Mpi_sim.rank ctx) ()
+        | _ -> failwith "unexpected results")
+      lowered
+  in
+
+  (* Compare interiors. *)
+  let worst = ref 0. in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      let s = Interp.Rtval.as_float (Interp.Rtval.get serial [ i; j ]) in
+      let d = Interp.Rtval.as_float (Interp.Rtval.get gathered [ i; j ]) in
+      worst := Float.max !worst (Float.abs (s -. d))
+    done
+  done;
+  Format.printf
+    "distributed (%d ranks) vs serial: max abs diff = %g@." ranks !worst;
+  Format.printf "simulated MPI traffic: %d messages, %d bytes@."
+    (Mpi_sim.total_messages comm) (Mpi_sim.total_bytes comm);
+  assert (!worst = 0.);
+
+  (* Modeled single-node throughput of the same kernel at paper scale. *)
+  let features =
+    Machine.Features.of_stencil_module ~elt_bytes: 4 m
+    |> fun f -> Machine.Features.with_points f (16384. *. 16384.)
+  in
+  let gpts =
+    Machine.Cpu.throughput Machine.Cpu.archer2_node
+      Machine.Cpu.xdsl_cpu_quality features
+      ~points: (16384. *. 16384.) ~threads: 128
+  in
+  Format.printf
+    "modeled ARCHER2-node throughput at 16384^2 (xDSL pipeline): %.2f GPts/s@."
+    gpts;
+  Format.printf "heat_diffusion: OK@."

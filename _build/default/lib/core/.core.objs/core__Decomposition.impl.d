@@ -1,0 +1,1 @@
+lib/core/decomposition.ml: Array Float Ir List Op Option Typesys

@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Array Builder Decomposition Dialects Dmp Func Hashtbl Ir List Op Pass Stencil Typesys Value

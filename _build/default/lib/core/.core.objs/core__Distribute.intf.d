@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Decomposition Ir Op Pass Typesys

@@ -1,0 +1,1 @@
+lib/core/dmp.ml: Builder Ir List Op Typesys Value Verifier

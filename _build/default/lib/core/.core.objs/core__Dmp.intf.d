@@ -1,0 +1,1 @@
+lib/core/dmp.mli: Builder Ir Op Typesys Value Verifier

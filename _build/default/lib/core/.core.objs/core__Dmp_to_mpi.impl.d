@@ -1,0 +1,1 @@
+lib/core/dmp_to_mpi.ml: Arith Builder Dialects Dmp Hashtbl Ir List Memref Mpi Op Pass Scf Typesys Value

@@ -1,0 +1,1 @@
+lib/core/dmp_to_mpi.mli: Builder Ir Op Pass Typesys Value

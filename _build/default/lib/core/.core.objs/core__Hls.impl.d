@@ -1,0 +1,1 @@
+lib/core/hls.ml: Builder Ir List Op Typesys Value Verifier

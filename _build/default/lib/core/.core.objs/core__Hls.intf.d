@@ -1,0 +1,1 @@
+lib/core/hls.mli: Builder Ir Op Typesys Value Verifier

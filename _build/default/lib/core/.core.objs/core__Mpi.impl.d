@@ -1,0 +1,1 @@
+lib/core/mpi.ml: Builder Ir List Op String Typesys Value Verifier

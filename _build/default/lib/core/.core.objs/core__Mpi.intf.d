@@ -1,0 +1,1 @@
+lib/core/mpi.mli: Builder Ir Op Typesys Value Verifier

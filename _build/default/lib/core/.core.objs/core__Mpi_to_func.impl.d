@@ -1,0 +1,1 @@
+lib/core/mpi_to_func.ml: Arith Dialects Func Ir List Memref Mpi Op Pass Set String Transforms Typesys Value

@@ -1,0 +1,1 @@
+lib/core/mpi_to_func.mli: Ir Op Pass Typesys

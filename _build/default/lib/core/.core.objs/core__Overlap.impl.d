@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Array Builder Dialects Dmp Hashtbl Ir List Op Pass Stencil Stencil_to_loops Typesys Value

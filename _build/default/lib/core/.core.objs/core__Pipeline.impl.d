@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Decomposition Distribute Dmp_to_mpi Ir Mpi_to_func Op Overlap Pass Registry Shape_inference Stencil_to_hls Stencil_to_loops Swap_elim Transforms Verifier

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Decomposition Ir Op Pass

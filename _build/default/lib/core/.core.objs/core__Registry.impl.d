@@ -1,0 +1,1 @@
+lib/core/registry.ml: Dialects Dmp Hls Ir Mpi Stencil

@@ -1,0 +1,1 @@
+lib/core/shape_inference.ml: Array Format Ir List Op Pass Printf Stencil String Typesys Value

@@ -1,0 +1,1 @@
+lib/core/shape_inference.mli: Ir Op Pass Typesys

@@ -1,0 +1,1 @@
+lib/core/stencil.ml: Array Builder Ir List Op Typesys Value Verifier

@@ -1,0 +1,1 @@
+lib/core/stencil.mli: Builder Ir Op Typesys Value Verifier

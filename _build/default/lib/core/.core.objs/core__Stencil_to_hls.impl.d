@@ -1,0 +1,1 @@
+lib/core/stencil_to_hls.ml: Builder Dialects Func Hashtbl Hls Ir List Memref Op Pass Printf Stencil Stencil_to_loops Typesys Value

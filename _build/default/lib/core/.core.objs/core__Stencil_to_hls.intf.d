@@ -1,0 +1,1 @@
+lib/core/stencil_to_hls.mli: Ir Op Pass

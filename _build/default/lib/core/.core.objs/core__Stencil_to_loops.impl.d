@@ -1,0 +1,1 @@
+lib/core/stencil_to_loops.ml: Arith Builder Dialects Func Gpu Hashtbl Ir List Memref Omp Op Pass Scf Stencil Typesys Value

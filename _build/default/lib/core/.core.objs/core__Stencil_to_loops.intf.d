@@ -1,0 +1,1 @@
+lib/core/stencil_to_loops.mli: Builder Hashtbl Ir Op Pass Typesys Value

@@ -1,0 +1,1 @@
+lib/core/swap_elim.ml: Dmp Int Ir List Op Pass Set Transforms Value

@@ -1,0 +1,1 @@
+lib/core/swap_elim.mli: Ir Op Pass

@@ -1,0 +1,215 @@
+(* Automatic domain decomposition (paper §4.2): convert a stencil program on
+   the global domain into a rank-local stencil program with dmp.swap halo
+   exchanges.
+
+   The pass is parameterized by the rank topology and a decomposition
+   strategy.  It equally decomposes the domain onto the available ranks by
+   rewriting every stencil-typed value to its rank-local bounds (the halo
+   needed by the stencil access patterns doubles as the ghost margin already
+   carried by the field types), and inserts a dmp.swap before each
+   stencil.load so neighboring ranks hold updated data before each stencil
+   computation.  Redundant exchanges this generates are removed by the
+   subsequent Swap_elim pass analyzing the SSA data flow. *)
+
+open Ir
+open Dialects
+
+type options = {
+  ranks : int;
+  strategy : Decomposition.strategy;
+  mode : Decomposition.exchange_mode;
+}
+
+(* Convenience constructor defaulting to the paper's face-only prototype. *)
+let options ?(mode = Decomposition.Faces) ~ranks ~strategy () =
+  { ranks; strategy; mode }
+
+(* The global interior domain: the output bounds of the first stencil.apply
+   (all applies of a program share the logical domain, fields differ only by
+   their ghost margins).  Domains must start at 0. *)
+let find_domain (fop : Op.t) : int list =
+  let domain = ref None in
+  Op.walk
+    (fun op ->
+      if op.Op.name = Stencil.apply && !domain = None then
+        match op.Op.results with
+        | r :: _ -> (
+            match Typesys.bounds_of (Value.ty r) with
+            | Some bs ->
+                List.iter
+                  (fun (b : Typesys.bound) ->
+                    if b.Typesys.lo <> 0 then
+                      Op.ill_formed
+                        "distribute: apply domains must start at 0")
+                  bs;
+                domain := Some (List.map Typesys.bound_size bs)
+            | None -> ())
+        | [] -> ())
+    fop;
+  match !domain with
+  | Some d -> d
+  | None -> Op.ill_formed "distribute: no stencil.apply found"
+
+(* The combined stencil radius over every apply in the function: per
+   dimension the (neg, pos) halo extents. *)
+let function_halo (fop : Op.t) ~rank =
+  let halo = Array.make rank (0, 0) in
+  Op.walk
+    (fun op ->
+      if op.Op.name = Stencil.apply then begin
+        let h = Stencil.combined_halo op ~rank in
+        Array.iteri
+          (fun d (n, p) ->
+            let cn, cp = halo.(d) in
+            halo.(d) <- (min cn n, max cp p))
+          h
+      end)
+    fop;
+  halo
+
+(* Localize a global stencil type: keep the ghost margins, shrink the
+   interior from N to N/P per dimension. *)
+let localize_bounds ~domain ~grid (bs : Typesys.bound list) :
+    Typesys.bound list =
+  List.mapi
+    (fun d (b : Typesys.bound) ->
+      let n = List.nth domain d in
+      let parts = List.nth grid d in
+      let margin_hi = b.Typesys.hi - n in
+      let n_loc = Decomposition.split_extent ~global: n ~parts in
+      Typesys.{ lo = b.lo; hi = n_loc + margin_hi })
+    bs
+
+let localize_ty ~domain ~grid (t : Typesys.ty) : Typesys.ty =
+  match t with
+  | Typesys.Field (bs, elt) ->
+      Typesys.Field (localize_bounds ~domain ~grid bs, elt)
+  | Typesys.Temp (bs, elt) ->
+      Typesys.Temp (localize_bounds ~domain ~grid bs, elt)
+  | t -> t
+
+(* The exchanges for a field: the function-wide halo clamped to the field's
+   own ghost margins (a field without margins never participates in
+   exchanges along that dimension). *)
+let field_exchanges ~mode ~domain ~grid ~halo (bs : Typesys.bound list) =
+  let n = List.length bs in
+  let clamped =
+    Array.init n (fun d ->
+        let neg, pos = if d < Array.length halo then halo.(d) else (0, 0) in
+        let b = List.nth bs d in
+        let margin_lo = b.Typesys.lo in
+        let margin_hi =
+          b.Typesys.hi - List.nth domain d
+        in
+        (max neg margin_lo, min pos margin_hi))
+  in
+  let interior = Decomposition.local_interior ~interior: domain ~grid in
+  Decomposition.exchanges ~mode ~interior ~halo: clamped ~grid ()
+
+let run (opts : options) (m : Op.t) : Op.t =
+  let lower_func (fop : Op.t) : Op.t =
+    if Func.is_declaration fop then fop
+    else if not (Op.exists (fun o -> o.Op.name = Stencil.apply) fop) then fop
+    else begin
+      let domain = find_domain fop in
+      let rank = List.length domain in
+      let grid = Decomposition.grid_of opts.strategy ~ranks: opts.ranks ~rank in
+      let halo = function_halo fop ~rank in
+      let localize = localize_ty ~domain ~grid in
+      let vmap : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+      let rename v =
+        let v' = Value.fresh (localize (Value.ty v)) in
+        Hashtbl.replace vmap (Value.id v) v';
+        v'
+      in
+      let lookup v =
+        match Hashtbl.find_opt vmap (Value.id v) with
+        | Some v' -> v'
+        | None -> v
+      in
+      let rec rewrite_ops bld ops =
+        List.iter
+          (fun (op : Op.t) ->
+            (* Insert a swap before each load (paper §4.2). *)
+            if op.Op.name = Stencil.load then begin
+              let field = lookup (Op.operand_exn op 0) in
+              let bs =
+                match Typesys.bounds_of (Value.ty (Op.operand_exn op 0)) with
+                | Some bs -> bs
+                | None -> assert false
+              in
+              let exchanges =
+                field_exchanges ~mode: opts.mode ~domain ~grid ~halo bs
+              in
+              Dmp.swap_op bld field ~grid ~exchanges
+            end;
+            (* Localize the store range. *)
+            let op =
+              if op.Op.name = Stencil.store then begin
+                let _lb, ub = Stencil.store_range op in
+                let ub' =
+                  List.mapi
+                    (fun d u ->
+                      let n = List.nth domain d in
+                      let parts = List.nth grid d in
+                      let n_loc =
+                        Decomposition.split_extent ~global: n ~parts
+                      in
+                      u - n + n_loc)
+                    ub
+                in
+                Op.set_attr op "ub" (Typesys.Dense_attr ub')
+              end
+              else op
+            in
+            let operands = List.map lookup op.Op.operands in
+            let results = List.map rename op.Op.results in
+            let regions =
+              List.map
+                (fun (r : Op.region) ->
+                  { Op.blocks =
+                      List.map
+                        (fun (blk : Op.block) ->
+                          let args = List.map rename blk.Op.args in
+                          let b' = Builder.create () in
+                          rewrite_ops b' blk.Op.ops;
+                          { Op.args; ops = Builder.ops b' })
+                        r.Op.blocks;
+                  })
+                op.Op.regions
+            in
+            Builder.add bld { op with Op.operands; results; regions })
+          ops
+      in
+      let body = Op.single_block (Func.body_exn fop) in
+      let args = List.map rename body.Op.args in
+      let bld = Builder.create () in
+      rewrite_ops bld body.Op.ops;
+      let arg_tys, res_tys = Func.signature_of fop in
+      {
+        fop with
+        Op.attrs =
+          [
+            ("sym_name", Typesys.String_attr (Func.name_of fop));
+            ( "function_type",
+              Typesys.Type_attr
+                ( Typesys.Fn
+                    (List.map localize arg_tys, List.map localize res_tys) )
+            );
+            ("dmp.ranks", Typesys.Int_attr (opts.ranks, Typesys.i64));
+            ("dmp.topology", Typesys.Grid_attr grid);
+            ( "dmp.strategy",
+              Typesys.String_attr (Decomposition.strategy_name opts.strategy)
+            );
+          ];
+        Op.regions = [ Op.region ~args (Builder.ops bld) ];
+      }
+    end
+  in
+  Op.with_module_ops m
+    (List.map
+       (fun top ->
+         if top.Op.name = Func.func then lower_func top else top)
+       (Op.module_ops m))
+
+let pass opts = Pass.make "distribute-stencil" (run opts)

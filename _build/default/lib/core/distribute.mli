@@ -1,0 +1,50 @@
+(** Automatic domain decomposition (paper §4.2): convert a stencil program
+    on the global domain into a rank-local stencil program with dmp.swap
+    halo exchanges.
+
+    Every stencil-typed value is rewritten to its rank-local bounds (the
+    ghost margins carried by the types double as exchange halos), and a
+    [dmp.swap] is inserted before each [stencil.load]; redundant swaps are
+    removed afterwards by {!Swap_elim}. *)
+
+open Ir
+
+type options = {
+  ranks : int;
+  strategy : Decomposition.strategy;
+  mode : Decomposition.exchange_mode;
+}
+
+val options :
+  ?mode:Decomposition.exchange_mode ->
+  ranks:int ->
+  strategy:Decomposition.strategy ->
+  unit ->
+  options
+(** Defaults to the paper's face-only exchange prototype. *)
+
+val find_domain : Op.t -> int list
+(** The global interior domain of a function (from its first apply's output
+    bounds, which must start at 0). *)
+
+val function_halo : Op.t -> rank:int -> (int * int) array
+(** The combined stencil radius over every apply in the function. *)
+
+val localize_bounds :
+  domain:int list -> grid:int list -> Typesys.bound list -> Typesys.bound list
+(** Shrink global bounds to one rank's share, keeping ghost margins. *)
+
+val localize_ty : domain:int list -> grid:int list -> Typesys.ty -> Typesys.ty
+
+val field_exchanges :
+  mode:Decomposition.exchange_mode ->
+  domain:int list ->
+  grid:int list ->
+  halo:(int * int) array ->
+  Typesys.bound list ->
+  Typesys.exchange list
+(** The exchanges for one field: the function-wide halo clamped to the
+    field's own ghost margins. *)
+
+val run : options -> Op.t -> Op.t
+val pass : options -> Pass.t

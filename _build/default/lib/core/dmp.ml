@@ -1,0 +1,124 @@
+(* The dmp dialect (paper §4.2): an IR for distributed-memory parallelism.
+
+   The single computational op is [dmp.swap], a high-level declarative
+   expression of a halo exchange: it takes the buffer being exchanged and
+   carries the cartesian rank topology ([#dmp.grid]) plus the list of
+   rectangular region exchanges ([#dmp.exchange]) as attributes.  Nothing in
+   the dialect is MPI-specific; the provided lowering targets the mpi
+   dialect but other communication libraries could be targeted instead. *)
+
+open Ir
+
+let swap = "dmp.swap"
+let swap_begin = "dmp.swap_begin"
+let swap_wait = "dmp.swap_wait"
+
+let swap_op b buffer ~(grid : int list) ~(exchanges : Typesys.exchange list)
+    =
+  Builder.emit0 b swap ~operands: [ buffer ]
+    ~attrs:
+      [
+        ("topo", Typesys.Grid_attr grid);
+        ( "exchanges",
+          Typesys.Array_attr
+            (List.map (fun e -> Typesys.Exchange_attr e) exchanges) );
+      ]
+
+let swap_attrs ~(grid : int list) ~(exchanges : Typesys.exchange list) =
+  [
+    ("topo", Typesys.Grid_attr grid);
+    ( "exchanges",
+      Typesys.Array_attr
+        (List.map (fun e -> Typesys.Exchange_attr e) exchanges) );
+  ]
+
+(* Split-phase exchange (communication/computation overlap, the future-work
+   extension of §4.2/§8): [swap_begin] posts the sends and receives and
+   returns one request pair per exchange; [swap_wait] completes them and
+   unpacks the halos.  Interior computation can run between the two. *)
+let swap_begin_op b buffer ~(grid : int list)
+    ~(exchanges : Typesys.exchange list) : Value.t list =
+  let results =
+    List.concat_map
+      (fun _ -> [ Value.fresh Typesys.Request; Value.fresh Typesys.Request ])
+      exchanges
+  in
+  Builder.add b
+    (Op.make swap_begin ~operands: [ buffer ] ~results
+       ~attrs: (swap_attrs ~grid ~exchanges));
+  results
+
+let swap_wait_op b buffer (requests : Value.t list) ~(grid : int list)
+    ~(exchanges : Typesys.exchange list) : unit =
+  Builder.emit0 b swap_wait
+    ~operands: (buffer :: requests)
+    ~attrs: (swap_attrs ~grid ~exchanges)
+
+let grid_of (op : Op.t) =
+  match Op.attr_exn op "topo" with
+  | Typesys.Grid_attr g -> g
+  | _ -> Op.ill_formed "dmp.swap: topo must be a #dmp.grid attribute"
+
+let exchanges_of (op : Op.t) =
+  match Op.attr_exn op "exchanges" with
+  | Typesys.Array_attr xs ->
+      List.map
+        (function
+          | Typesys.Exchange_attr e -> e
+          | _ -> Op.ill_formed "dmp.swap: exchanges must be #dmp.exchange")
+        xs
+  | _ -> Op.ill_formed "dmp.swap: exchanges must be an array attribute"
+
+let buffer_of (op : Op.t) = Op.operand_exn op 0
+
+let swap_like_check name : Verifier.check =
+  Verifier.for_op name (fun op ->
+      match op.Op.operands with
+      | buf :: reqs ->
+          let rank =
+            match Value.ty buf with
+            | Typesys.Field (bs, _) | Typesys.Temp (bs, _) ->
+                Some (List.length bs)
+            | Typesys.Memref (shape, _) -> Some (List.length shape)
+            | _ -> None
+          in
+          if rank = None then Error "first operand must be a buffer"
+          else if
+            List.for_all (fun r -> Value.ty r = Typesys.Request) reqs
+          then Ok ()
+          else Error "trailing operands must be requests"
+      | [] -> Error "missing buffer operand")
+
+let checks : Verifier.check list =
+  [
+    swap_like_check swap_begin;
+    swap_like_check swap_wait;
+    Verifier.for_op swap (fun op ->
+        match op.Op.operands with
+        | [ buf ] -> (
+            let rank =
+              match Value.ty buf with
+              | Typesys.Field (bs, _) | Typesys.Temp (bs, _) ->
+                  Some (List.length bs)
+              | Typesys.Memref (shape, _) -> Some (List.length shape)
+              | _ -> None
+            in
+            match rank with
+            | None -> Error "swap operand must be a field, temp or memref"
+            | Some rank ->
+                let grid = grid_of op in
+                let exs = exchanges_of op in
+                if List.length grid <> rank then
+                  Error "grid rank must match buffer rank"
+                else if
+                  List.for_all
+                    (fun (e : Typesys.exchange) ->
+                      List.length e.ex_offset = rank
+                      && List.length e.ex_size = rank
+                      && List.length e.ex_source_offset = rank
+                      && List.length e.ex_neighbor = rank)
+                    exs
+                then Ok ()
+                else Error "exchange vectors must match buffer rank")
+        | _ -> Error "swap takes exactly one operand");
+  ]

@@ -1,0 +1,53 @@
+(** The dmp dialect (paper §4.2): an IR for distributed-memory parallelism.
+
+    [dmp.swap] is a high-level declarative expression of a halo exchange:
+    it takes the buffer being exchanged and carries the cartesian rank
+    topology ([#dmp.grid]) plus the rectangular region exchanges
+    ([#dmp.exchange]) as attributes (fig. 3).  Nothing in the dialect is
+    MPI-specific; {!Dmp_to_mpi} is one possible lowering. *)
+
+open Ir
+
+val swap : string
+(** The op name, ["dmp.swap"]. *)
+
+val swap_begin : string
+val swap_wait : string
+
+val swap_op :
+  Builder.t ->
+  Value.t ->
+  grid:int list ->
+  exchanges:Typesys.exchange list ->
+  unit
+(** Declare a halo exchange of [buffer] over the given topology. *)
+
+val swap_begin_op :
+  Builder.t ->
+  Value.t ->
+  grid:int list ->
+  exchanges:Typesys.exchange list ->
+  Value.t list
+(** Split-phase exchange (the paper's communication/computation-overlap
+    future work): post the sends/receives and return one (send, receive)
+    request pair per exchange. *)
+
+val swap_wait_op :
+  Builder.t ->
+  Value.t ->
+  Value.t list ->
+  grid:int list ->
+  exchanges:Typesys.exchange list ->
+  unit
+(** Complete a split-phase exchange and unpack the halos. *)
+
+val grid_of : Op.t -> int list
+(** The cartesian rank topology of a swap. *)
+
+val exchanges_of : Op.t -> Typesys.exchange list
+(** The exchange declarations of a swap. *)
+
+val buffer_of : Op.t -> Value.t
+(** The exchanged buffer (a field before loop lowering, a memref after). *)
+
+val checks : Verifier.check list

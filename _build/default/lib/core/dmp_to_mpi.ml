@@ -1,0 +1,288 @@
+(* Lowering dmp.swap to the mpi dialect (paper §4.2/§4.3, fig. 4).
+
+   Each swap becomes, per exchange declaration:
+   - temporary contiguous send/receive buffers (allocations are hoisted out
+     of time loops by the shared LICM pass, mirroring the paper's hoisting
+     of loop-invariant calls);
+   - the neighbor-rank computation from the cartesian topology, with an
+     existence check for ranks on the domain boundary;
+   - packing of the send subregion into the send buffer, then non-blocking
+     mpi.isend / mpi.irecv under an scf.if (skipped exchanges yield null
+     requests, as the paper notes);
+   - one mpi.waitall over all requests of the swap;
+   - unpacking of each received buffer into its halo subregion.
+
+   Tags encode the direction of travel of the message so that matching
+   sends and receives pair up: a message traveling toward +d uses tag 2d+1,
+   toward -d tag 2d. *)
+
+open Ir
+open Dialects
+
+let product = List.fold_left ( * ) 1
+
+(* Row-major strides of the cartesian rank grid. *)
+let grid_strides grid =
+  let n = List.length grid in
+  List.init n (fun d ->
+      product (List.filteri (fun i _ -> i > d) grid))
+
+let direction_of (e : Typesys.exchange) =
+  let rec find d = function
+    | [] -> Op.ill_formed "dmp.exchange: neighbor direction is zero"
+    | 0 :: rest -> find (d + 1) rest
+    | s :: _ -> (d, s)
+  in
+  find 0 e.ex_neighbor
+
+let send_tag e =
+  let d, s = direction_of e in
+  (2 * d) + if s > 0 then 1 else 0
+
+let recv_tag e =
+  let d, s = direction_of e in
+  (2 * d) + if s > 0 then 0 else 1
+
+(* Emit a loop nest over the box [sizes], with [body] receiving the local
+   (zero-based) coordinates plus the row-major linear index. *)
+let emit_box_loops b sizes body =
+  let n = List.length sizes in
+  let rec nest b d coords =
+    if d = n then begin
+      (* linear = ((c0 * s1 + c1) * s2 + c2) ... with si = sizes.(i). *)
+      let coords = List.rev coords in
+      let rec lin acc i =
+        if i = n then acc
+        else begin
+          let c = List.nth coords i in
+          let acc =
+            match acc with
+            | None -> Some c
+            | Some acc ->
+                let s = Arith.const_index b (List.nth sizes i) in
+                let scaled = Arith.mul_i b acc s in
+                Some (Arith.add_i b scaled c)
+          in
+          lin acc (i + 1)
+        end
+      in
+      let linear =
+        match lin None 0 with Some l -> l | None -> Arith.const_index b 0
+      in
+      body b coords linear
+    end
+    else begin
+      let lo = Arith.const_index b 0 in
+      let hi = Arith.const_index b (List.nth sizes d) in
+      let step = Arith.const_index b 1 in
+      ignore
+        (Scf.for_op b ~lo ~hi ~step (fun b' iv _ ->
+             nest b' (d + 1) (iv :: coords);
+             Scf.yield_op b' []))
+    end
+  in
+  nest b 0 []
+
+(* Shared prologue: my rank and cartesian coordinates. *)
+let emit_rank_coords bld grid strides =
+  let rank32 = Mpi.comm_rank_op bld in
+  let rank = Arith.index_cast_op bld rank32 Typesys.Index in
+  List.map2
+    (fun g s ->
+      let sv = Arith.const_index bld s in
+      let gv = Arith.const_index bld g in
+      let q = Arith.div_i bld rank sv in
+      Arith.rem_i bld q gv)
+    grid strides
+
+(* What one posted exchange leaves behind for its completion phase. *)
+type posted = {
+  p_exchange : Typesys.exchange;
+  p_rbuf : Value.t;
+  p_exists : Value.t;
+  p_reqs : Value.t list;
+}
+
+(* Post the sends/receives of one swap (the begin phase): allocate buffers,
+   compute neighbor existence, pack and issue isend/irecv under scf.if with
+   null requests on skipped exchanges. *)
+let emit_swap_begin bld (op : Op.t) : posted list =
+  let buf = Dmp.buffer_of op in
+  let grid = Dmp.grid_of op in
+  let exchanges = Dmp.exchanges_of op in
+  let origin = Op.dense_attr_exn op "origin" in
+  let elt =
+    match Value.ty buf with
+    | Typesys.Memref (_, t) -> t
+    | t -> Op.ill_formed "dmp swap on %s" (Typesys.ty_to_string t)
+  in
+  let strides = grid_strides grid in
+  let coords = emit_rank_coords bld grid strides in
+  List.map
+    (fun (e : Typesys.exchange) ->
+      let n_elems = product e.Typesys.ex_size in
+      let sbuf = Memref.alloc_op bld [ n_elems ] elt in
+      let rbuf = Memref.alloc_op bld [ n_elems ] elt in
+      let ncoords =
+        List.map2
+          (fun c d ->
+            if d = 0 then c
+            else begin
+              let dv = Arith.const_index bld d in
+              Arith.add_i bld c dv
+            end)
+          coords e.Typesys.ex_neighbor
+      in
+      let exists =
+        List.fold_left2
+          (fun acc nc g ->
+            let zero = Arith.const_index bld 0 in
+            let gv = Arith.const_index bld g in
+            let ge = Arith.cmp_i bld Arith.Ge nc zero in
+            let lt = Arith.cmp_i bld Arith.Lt nc gv in
+            let ok = Arith.binop bld Arith.andi ge lt in
+            match acc with
+            | None -> Some ok
+            | Some acc -> Some (Arith.binop bld Arith.andi acc ok))
+          None ncoords grid
+      in
+      let exists =
+        match exists with
+        | Some e -> e
+        | None -> Op.ill_formed "dmp swap: zero-dimensional grid"
+      in
+      let neighbor_rank =
+        List.fold_left2
+          (fun acc nc st ->
+            let sv = Arith.const_index bld st in
+            let scaled = Arith.mul_i bld nc sv in
+            match acc with
+            | None -> Some scaled
+            | Some acc -> Some (Arith.add_i bld acc scaled))
+          None ncoords strides
+      in
+      let neighbor_rank =
+        match neighbor_rank with Some r -> r | None -> assert false
+      in
+      let reqs =
+        Scf.if_op bld exists
+          ~res_tys: [ Typesys.Request; Typesys.Request ]
+          ~then_: (fun b ->
+            emit_box_loops b e.Typesys.ex_size (fun b coords linear ->
+                let indices =
+                  List.mapi
+                    (fun d c ->
+                      let base =
+                        List.nth origin d
+                        + List.nth e.Typesys.ex_offset d
+                        + List.nth e.Typesys.ex_source_offset d
+                      in
+                      let bv = Arith.const_index b base in
+                      Arith.add_i b c bv)
+                    coords
+                in
+                let v = Memref.load_op b buf indices in
+                Memref.store_op b v sbuf [ linear ]);
+            let nr32 = Arith.index_cast_op b neighbor_rank Typesys.i32 in
+            let stag = Arith.const_int b ~ty: Typesys.i32 (send_tag e) in
+            let rtag = Arith.const_int b ~ty: Typesys.i32 (recv_tag e) in
+            let r_send = Mpi.isend_op b sbuf ~dest: nr32 ~tag: stag in
+            let r_recv = Mpi.irecv_op b rbuf ~source: nr32 ~tag: rtag in
+            Scf.yield_op b [ r_send; r_recv ])
+          ~else_: (fun b ->
+            let n1 = Mpi.null_request_op b in
+            let n2 = Mpi.null_request_op b in
+            Scf.yield_op b [ n1; n2 ])
+      in
+      { p_exchange = e; p_rbuf = rbuf; p_exists = exists; p_reqs = reqs })
+    exchanges
+
+(* Complete posted exchanges: waitall, then unpack each received halo. *)
+let emit_swap_complete bld (op : Op.t) (posted : posted list) : unit =
+  let buf = Dmp.buffer_of op in
+  let origin = Op.dense_attr_exn op "origin" in
+  let all_reqs = List.concat_map (fun p -> p.p_reqs) posted in
+  if all_reqs <> [] then Mpi.waitall_op bld all_reqs;
+  List.iter
+    (fun p ->
+      let e = p.p_exchange in
+      ignore
+        (Scf.if_op bld p.p_exists ~res_tys: []
+           ~then_: (fun b ->
+             emit_box_loops b e.Typesys.ex_size (fun b coords linear ->
+                 let v = Memref.load_op b p.p_rbuf [ linear ] in
+                 let indices =
+                   List.mapi
+                     (fun d c ->
+                       let base =
+                         List.nth origin d + List.nth e.Typesys.ex_offset d
+                       in
+                       let bv = Arith.const_index b base in
+                       Arith.add_i b c bv)
+                     coords
+                 in
+                 Memref.store_op b v buf indices);
+             Scf.yield_op b [])
+           ~else_: (fun b -> Scf.yield_op b [])))
+    posted
+
+(* A fused swap is begin followed immediately by completion. *)
+let lower_swap bld (op : Op.t) =
+  emit_swap_complete bld op (emit_swap_begin bld op)
+
+let rec lower_block (b : Op.block) : Op.block =
+  let bld = Builder.create () in
+  (* Split-phase swaps: requests posted at swap_begin are completed at the
+     matching swap_wait; the posted state is keyed by the begin's first
+    request result. *)
+  let pending : (int, posted list) Hashtbl.t = Hashtbl.create 4 in
+  let subst = ref Value.Map.empty in
+  List.iter
+    (fun (op : Op.t) ->
+      let op = Op.substitute !subst op in
+      if op.Op.name = Dmp.swap then lower_swap bld op
+      else if op.Op.name = Dmp.swap_begin then begin
+        let posted = emit_swap_begin bld op in
+        let new_reqs = List.concat_map (fun p -> p.p_reqs) posted in
+        List.iter2
+          (fun old_r new_r -> subst := Value.Map.add old_r new_r !subst)
+          op.Op.results new_reqs;
+        match new_reqs with
+        | first :: _ -> Hashtbl.replace pending (Value.id first) posted
+        | [] -> ()
+      end
+      else if op.Op.name = Dmp.swap_wait then begin
+        match op.Op.operands with
+        | _ :: first_req :: _ -> (
+            match Hashtbl.find_opt pending (Value.id first_req) with
+            | Some posted -> emit_swap_complete bld op posted
+            | None ->
+                Op.ill_formed
+                  "dmp.swap_wait: no matching swap_begin in this block")
+        | _ -> Op.ill_formed "dmp.swap_wait: missing request operands"
+      end
+      else if op.Op.regions = [] then Builder.add bld op
+      else
+        Builder.add bld
+          {
+            op with
+            Op.regions =
+              List.map
+                (fun (r : Op.region) ->
+                  { Op.blocks = List.map lower_block r.Op.blocks })
+                op.Op.regions;
+          })
+    b.Op.ops;
+  { b with Op.ops = Builder.ops bld }
+
+let run (m : Op.t) : Op.t =
+  {
+    m with
+    Op.regions =
+      List.map
+        (fun (r : Op.region) ->
+          { Op.blocks = List.map lower_block r.Op.blocks })
+        m.Op.regions;
+  }
+
+let pass = Pass.make "convert-dmp-to-mpi" run

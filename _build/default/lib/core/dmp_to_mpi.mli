@@ -1,0 +1,36 @@
+(** Lowering dmp.swap to the mpi dialect (paper §4.2/§4.3, fig. 4): per
+    exchange, temporary contiguous buffers, the neighbor-rank computation
+    with boundary existence checks, packing, non-blocking isend/irecv under
+    scf.if (skipped exchanges yield null requests), one waitall per swap,
+    and unpacking.  Buffer allocations and rank queries are left for the
+    shared LICM pass to hoist out of time loops. *)
+
+open Ir
+
+val product : int list -> int
+
+val grid_strides : int list -> int list
+(** Row-major strides of a cartesian rank grid. *)
+
+val direction_of : Ir.Typesys.exchange -> int * int
+(** First decomposed dimension and sign of an exchange's neighbor vector. *)
+
+val send_tag : Typesys.exchange -> int
+(** Message tags encode the direction of travel (toward +d: 2d+1, toward
+    -d: 2d) so matching sends and receives pair up. *)
+
+val recv_tag : Typesys.exchange -> int
+
+val emit_box_loops :
+  Builder.t ->
+  int list ->
+  (Builder.t -> Value.t list -> Value.t -> unit) ->
+  unit
+(** Loop nest over a box; the body receives zero-based coordinates and the
+    row-major linear index (used for pack/unpack). *)
+
+val lower_swap : Builder.t -> Op.t -> unit
+(** Lower one dmp.swap into the builder. *)
+
+val run : Op.t -> Op.t
+val pass : Pass.t

@@ -1,0 +1,89 @@
+(* The hls dialect: FPGA high-level-synthesis constructs used by the
+   stencil-to-FPGA flow (paper §6.2, Table 1; Stencil-HMLS).
+
+   The dialect models the two shapes the paper compares:
+   - the *initial* version: the Von-Neumann-style loop nest reading external
+     DDR memory directly for every stencil access;
+   - the *optimized* version: separate dataflow regions connected by streams,
+     a shift buffer that caches the stencil window so one external read per
+     cycle suffices, and pipelined compute loops with initiation interval 1.
+
+   The interpreter executes both functionally (streams are FIFOs, stages run
+   in dependency order); the FPGA machine model reads the structure
+   (dataflow? shift buffer? pipeline II?) to estimate cycles. *)
+
+open Ir
+
+let dataflow = "hls.dataflow"
+let stage = "hls.stage"
+let stream_create = "hls.stream_create"
+let stream_read = "hls.stream_read"
+let stream_write = "hls.stream_write"
+let shift_buffer = "hls.shift_buffer"
+let pipeline_attr = "pipeline_ii"
+
+let stream_create_op b elt =
+  Builder.emit1 b stream_create (Typesys.Stream elt)
+
+let stream_read_op b s =
+  let elt =
+    match Value.ty s with
+    | Typesys.Stream t -> t
+    | t -> Op.ill_formed "stream_read on %s" (Typesys.ty_to_string t)
+  in
+  Builder.emit1 b stream_read elt ~operands: [ s ]
+
+let stream_write_op b s v = Builder.emit0 b stream_write ~operands: [ s; v ]
+
+(* A dataflow region: its nested hls.stage regions conceptually run as
+   concurrent processes connected by streams. *)
+let dataflow_op b stages =
+  let region = Builder.region_of stages in
+  Builder.emit0 b dataflow ~regions: [ region ]
+
+let stage_op b ?(name = "") body =
+  let region = Builder.region_of body in
+  let attrs =
+    if name = "" then [] else [ ("stage_name", Typesys.String_attr name) ]
+  in
+  Builder.emit0 b stage ~attrs ~regions: [ region ]
+
+(* A shift buffer caching [window] points of the input stream: filled once,
+   it provides every stencil operand per cycle while a single new value is
+   read from the stream (paper: the 3D shift buffer of Brown [2021]). *)
+let shift_buffer_op b ~input ~window ~elt =
+  Builder.emit1 b shift_buffer (Typesys.Memref ([ window ], elt))
+    ~operands: [ input ]
+    ~attrs: [ ("window", Typesys.Int_attr (window, Typesys.i64)) ]
+
+let set_pipeline_ii op ii =
+  Op.set_attr op pipeline_attr (Typesys.Int_attr (ii, Typesys.i64))
+
+let pipeline_ii (op : Op.t) =
+  match Op.attr op pipeline_attr with
+  | Some (Typesys.Int_attr (ii, _)) -> Some ii
+  | _ -> None
+
+let count_stages m =
+  Op.fold (fun n op -> if op.Op.name = stage then n + 1 else n) 0 m
+
+let has_shift_buffer m =
+  Op.exists (fun op -> op.Op.name = shift_buffer) m
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op stream_write (fun op ->
+        match op.Op.operands with
+        | [ s; v ] -> (
+            match Value.ty s with
+            | Typesys.Stream t when Typesys.equal_ty t (Value.ty v) -> Ok ()
+            | Typesys.Stream _ -> Error "written value must match stream type"
+            | _ -> Error "first operand must be a stream")
+        | _ -> Error "stream_write takes stream and value");
+    Verifier.for_op dataflow (fun op ->
+        if List.length op.Op.regions = 1 then Ok ()
+        else Error "dataflow needs one region");
+    Verifier.for_op stage (fun op ->
+        if List.length op.Op.regions = 1 then Ok ()
+        else Error "stage needs one region");
+  ]

@@ -1,0 +1,38 @@
+(** The hls dialect: FPGA high-level-synthesis constructs used by the
+    stencil-to-FPGA flow (paper §6.2, Table 1) — dataflow regions and
+    stages, streams, shift buffers and pipeline metadata. *)
+
+open Ir
+
+val dataflow : string
+val stage : string
+val stream_create : string
+val stream_read : string
+val stream_write : string
+val shift_buffer : string
+
+val pipeline_attr : string
+(** Attribute key carrying a loop/stage initiation interval. *)
+
+val stream_create_op : Builder.t -> Typesys.ty -> Value.t
+val stream_read_op : Builder.t -> Value.t -> Value.t
+val stream_write_op : Builder.t -> Value.t -> Value.t -> unit
+
+val dataflow_op : Builder.t -> (Builder.t -> unit) -> unit
+(** A dataflow region whose nested stages conceptually run as concurrent
+    processes connected by streams. *)
+
+val stage_op : Builder.t -> ?name:string -> (Builder.t -> unit) -> unit
+
+val shift_buffer_op :
+  Builder.t -> input:Value.t -> window:int -> elt:Typesys.ty -> Value.t
+(** A shift buffer caching [window] elements of the input stream so every
+    stencil operand is available per cycle while one new value streams in
+    (the 3D shift buffer of Brown [2021]). *)
+
+val set_pipeline_ii : Op.t -> int -> Op.t
+val pipeline_ii : Op.t -> int option
+
+val count_stages : Op.t -> int
+val has_shift_buffer : Op.t -> bool
+val checks : Verifier.check list

@@ -1,0 +1,166 @@
+(* The mpi dialect (paper §4.3): message passing as a set of modular
+   operations in a standardized SSA-based IR.
+
+   Operations mirror MPI's point-to-point and collective calls; types
+   represent request handles, communicators, statuses and datatypes.  The
+   high-level ops work directly on memrefs ("reducing the friction between
+   the MPI and the MLIR ecosystems"); [mpi.unwrap_memref] exposes the raw
+   pointer/count/datatype triple used at the function-call level.
+
+   Supported subset of MPI 1.0, as in the paper:
+   - blocking and non-blocking point-to-point: send, recv, isend, irecv;
+   - request operations: test, wait, waitall;
+   - blocking reductions: reduce, allreduce;
+   - broadcast and gather collectives;
+   - process management: init, finalize, comm_rank, comm_size. *)
+
+open Ir
+
+let init = "mpi.init"
+let finalize = "mpi.finalize"
+let comm_rank = "mpi.comm_rank"
+let comm_size = "mpi.comm_size"
+let send = "mpi.send"
+let recv = "mpi.recv"
+let isend = "mpi.isend"
+let irecv = "mpi.irecv"
+let test = "mpi.test"
+let wait = "mpi.wait"
+let waitall = "mpi.waitall"
+let reduce = "mpi.reduce"
+let allreduce = "mpi.allreduce"
+let bcast = "mpi.bcast"
+let gather = "mpi.gather"
+let barrier = "mpi.barrier"
+let null_request = "mpi.null_request"
+let unwrap_memref = "mpi.unwrap_memref"
+
+(* Reduction kinds carried as a string attribute. *)
+type reduce_op = Sum | Max | Min
+
+let reduce_op_to_string = function Sum -> "sum" | Max -> "max" | Min -> "min"
+
+let reduce_op_of_string = function
+  | "sum" -> Sum
+  | "max" -> Max
+  | "min" -> Min
+  | s -> Op.ill_formed "unknown mpi reduction %S" s
+
+(* Constructors *)
+
+let init_op b = Builder.emit0 b init
+let finalize_op b = Builder.emit0 b finalize
+let comm_rank_op b = Builder.emit1 b comm_rank Typesys.i32
+let comm_size_op b = Builder.emit1 b comm_size Typesys.i32
+
+let send_op b buf ~dest ~tag =
+  Builder.emit0 b send ~operands: [ buf; dest; tag ]
+
+let recv_op b buf ~source ~tag =
+  Builder.emit0 b recv ~operands: [ buf; source; tag ]
+
+let isend_op b buf ~dest ~tag =
+  Builder.emit1 b isend Typesys.Request ~operands: [ buf; dest; tag ]
+
+let irecv_op b buf ~source ~tag =
+  Builder.emit1 b irecv Typesys.Request ~operands: [ buf; source; tag ]
+
+let test_op b req = Builder.emit1 b test Typesys.i1 ~operands: [ req ]
+let wait_op b req = Builder.emit0 b wait ~operands: [ req ]
+let waitall_op b reqs = Builder.emit0 b waitall ~operands: reqs
+let barrier_op b = Builder.emit0 b barrier
+let null_request_op b = Builder.emit1 b null_request Typesys.Request
+
+let reduce_op_ b ~sendbuf ~recvbuf ~root op =
+  Builder.emit0 b reduce ~operands: [ sendbuf; recvbuf; root ]
+    ~attrs: [ ("op", Typesys.String_attr (reduce_op_to_string op)) ]
+
+let allreduce_op b ~sendbuf ~recvbuf op =
+  Builder.emit0 b allreduce ~operands: [ sendbuf; recvbuf ]
+    ~attrs: [ ("op", Typesys.String_attr (reduce_op_to_string op)) ]
+
+let bcast_op b buf ~root = Builder.emit0 b bcast ~operands: [ buf; root ]
+
+let gather_op b ~sendbuf ~recvbuf ~root =
+  Builder.emit0 b gather ~operands: [ sendbuf; recvbuf; root ]
+
+(* Unwrap a memref into (pointer, element count, datatype). *)
+let unwrap_memref_op b m =
+  let results =
+    [
+      Value.fresh Typesys.Ptr;
+      Value.fresh Typesys.i32;
+      Value.fresh Typesys.Datatype;
+    ]
+  in
+  Builder.add b (Op.make unwrap_memref ~operands: [ m ] ~results);
+  results
+
+(* Magic values of the mpich implementation (paper §4.3: the lowering
+   extracts implementation constants from the library's header file; other
+   MPI libraries would substitute their own values here). *)
+module Mpich = struct
+  let comm_world = 0x44000000
+  let float = 0x4c00040a
+  let double = 0x4c00080b
+  let int = 0x4c000405
+  let sum = 0x58000003
+  let max = 0x58000001
+  let min = 0x58000002
+  let request_null = 0x2c000000
+  let any_source = -2
+
+  let datatype_for (ty : Typesys.ty) =
+    match ty with
+    | Typesys.Float F32 -> float
+    | Typesys.Float F64 -> double
+    | Typesys.Int W32 -> int
+    | t ->
+        Op.ill_formed "mpi: no mpich datatype for %s"
+          (Typesys.ty_to_string t)
+
+  let reduction_for = function Sum -> sum | Max -> max | Min -> min
+end
+
+let is_mpi_op (op : Op.t) =
+  String.length op.Op.name > 4 && String.sub op.Op.name 0 4 = "mpi."
+
+let memref_check name n_extra : Verifier.check =
+  Verifier.for_op name (fun op ->
+      match op.Op.operands with
+      | buf :: rest -> (
+          match Value.ty buf with
+          | Typesys.Memref _ ->
+              if List.length rest = n_extra then Ok ()
+              else Error "wrong number of scalar operands"
+          | _ -> Error "first operand must be a memref")
+      | [] -> Error "missing memref operand")
+
+let checks : Verifier.check list =
+  [
+    memref_check send 2;
+    memref_check recv 2;
+    memref_check isend 2;
+    memref_check irecv 2;
+    memref_check bcast 1;
+    Verifier.for_op waitall (fun op ->
+        if
+          List.for_all
+            (fun v -> Value.ty v = Typesys.Request)
+            op.Op.operands
+        then Ok ()
+        else Error "waitall operands must be requests");
+    Verifier.expect_operands wait 1;
+    Verifier.expect_operands test 1;
+    Verifier.expect_results comm_rank 1;
+    Verifier.expect_results comm_size 1;
+    Verifier.for_op unwrap_memref (fun op ->
+        match (op.Op.operands, op.Op.results) with
+        | [ m ], [ p; c; d ]
+          when (match Value.ty m with Typesys.Memref _ -> true | _ -> false)
+               && Value.ty p = Typesys.Ptr
+               && Value.ty c = Typesys.i32
+               && Value.ty d = Typesys.Datatype ->
+            Ok ()
+        | _ -> Error "unwrap_memref: (memref) -> (ptr, i32, datatype)");
+  ]

@@ -1,0 +1,103 @@
+(** The mpi dialect (paper §4.3): message passing as modular operations in
+    a standardized SSA-based IR.
+
+    Operations mirror MPI's point-to-point and collective calls; types
+    represent requests, communicators, statuses and datatypes.  The
+    high-level ops work directly on memrefs; {!unwrap_memref} exposes the
+    raw (pointer, count, datatype) triple of listing 3.  Supported subset
+    of MPI 1.0, as in the paper: blocking and non-blocking point-to-point,
+    request operations, blocking reductions, broadcast/gather, and process
+    management. *)
+
+open Ir
+
+(** {1 Operation names} *)
+
+val init : string
+val finalize : string
+val comm_rank : string
+val comm_size : string
+val send : string
+val recv : string
+val isend : string
+val irecv : string
+val test : string
+val wait : string
+val waitall : string
+val reduce : string
+val allreduce : string
+val bcast : string
+val gather : string
+val barrier : string
+val null_request : string
+val unwrap_memref : string
+
+(** {1 Reductions} *)
+
+type reduce_op = Sum | Max | Min
+
+val reduce_op_to_string : reduce_op -> string
+val reduce_op_of_string : string -> reduce_op
+
+(** {1 Constructors} *)
+
+val init_op : Builder.t -> unit
+val finalize_op : Builder.t -> unit
+val comm_rank_op : Builder.t -> Value.t
+val comm_size_op : Builder.t -> Value.t
+val send_op : Builder.t -> Value.t -> dest:Value.t -> tag:Value.t -> unit
+val recv_op : Builder.t -> Value.t -> source:Value.t -> tag:Value.t -> unit
+
+val isend_op : Builder.t -> Value.t -> dest:Value.t -> tag:Value.t -> Value.t
+(** Non-blocking send of a memref; returns the [!mpi.request]. *)
+
+val irecv_op :
+  Builder.t -> Value.t -> source:Value.t -> tag:Value.t -> Value.t
+
+val test_op : Builder.t -> Value.t -> Value.t
+val wait_op : Builder.t -> Value.t -> unit
+
+val waitall_op : Builder.t -> Value.t list -> unit
+(** Wait on a request list at once (the paper's request-list friction
+    reducer). *)
+
+val barrier_op : Builder.t -> unit
+
+val null_request_op : Builder.t -> Value.t
+(** The null request used for skipped exchanges (paper §4.3). *)
+
+val reduce_op_ :
+  Builder.t -> sendbuf:Value.t -> recvbuf:Value.t -> root:Value.t ->
+  reduce_op -> unit
+
+val allreduce_op :
+  Builder.t -> sendbuf:Value.t -> recvbuf:Value.t -> reduce_op -> unit
+
+val bcast_op : Builder.t -> Value.t -> root:Value.t -> unit
+
+val gather_op :
+  Builder.t -> sendbuf:Value.t -> recvbuf:Value.t -> root:Value.t -> unit
+
+val unwrap_memref_op : Builder.t -> Value.t -> Value.t list
+(** [(memref) -> (!llvm.ptr, i32 count, !mpi.datatype)], listing 3. *)
+
+(** Magic values of the mpich implementation (paper §4.3): the func-level
+    lowering substitutes these for datatype/communicator/op handles.
+    Targeting another MPI library means swapping this table. *)
+module Mpich : sig
+  val comm_world : int
+  val float : int
+  val double : int
+  val int : int
+  val sum : int
+  val max : int
+  val min : int
+  val request_null : int
+  val any_source : int
+
+  val datatype_for : Typesys.ty -> int
+  val reduction_for : reduce_op -> int
+end
+
+val is_mpi_op : Op.t -> bool
+val checks : Verifier.check list

@@ -1,0 +1,227 @@
+(* Lowering the mpi dialect to plain function calls (paper §4.3, listing 4).
+
+   LLVM has no concept of MPI, so mpi ops become func.call ops on external
+   MPI_* functions, with implementation-specific magic constants substituted
+   for datatype/communicator/op handles.  As in the paper, the constants are
+   mpich's (extracted from its header); swapping the [Mpi.Mpich] table makes
+   the lowering target another library.  External declarations are appended
+   to the end of the module.
+
+   ABI note: where the C API returns values through pointer out-parameters
+   (ranks, requests), our declared externals return them directly — the
+   simulated MPI runtime implements the same ABI, and the call structure,
+   constants and data movement match the real lowering. *)
+
+open Ir
+open Dialects
+
+module String_set = Set.Make (String)
+
+let convert_ty (t : Typesys.ty) : Typesys.ty =
+  match t with
+  | Typesys.Request | Typesys.Status | Typesys.Datatype | Typesys.Comm ->
+      Typesys.i32
+  | Typesys.Request_array n -> Typesys.Memref ([ n ], Typesys.i32)
+  | t -> t
+
+(* The external signatures we may declare. *)
+let externals =
+  [
+    ("MPI_Init", ([], [ Typesys.i32 ]));
+    ("MPI_Finalize", ([], [ Typesys.i32 ]));
+    ("MPI_Comm_rank", ([ Typesys.i32 ], [ Typesys.i32 ]));
+    ("MPI_Comm_size", ([ Typesys.i32 ], [ Typesys.i32 ]));
+    ( "MPI_Send",
+      ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32; Typesys.i32;
+          Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ( "MPI_Recv",
+      ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32; Typesys.i32;
+          Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ( "MPI_Isend",
+      ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32; Typesys.i32;
+          Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ( "MPI_Irecv",
+      ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32; Typesys.i32;
+          Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ("MPI_Wait", ([ Typesys.i32 ], [ Typesys.i32 ]));
+    ("MPI_Test", ([ Typesys.i32 ], [ Typesys.i32 ]));
+    ("MPI_Waitall", ([ Typesys.i32; Typesys.Ptr ], [ Typesys.i32 ]));
+    ("MPI_Barrier", ([ Typesys.i32 ], [ Typesys.i32 ]));
+    ( "MPI_Reduce",
+      ( [ Typesys.Ptr; Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32;
+          Typesys.i32; Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ( "MPI_Allreduce",
+      ( [ Typesys.Ptr; Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32;
+          Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ( "MPI_Bcast",
+      ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32; Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+    ( "MPI_Gather",
+      ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.Ptr; Typesys.i32;
+          Typesys.i32; Typesys.i32; Typesys.i32 ],
+        [ Typesys.i32 ] ) );
+  ]
+
+let run (m : Op.t) : Op.t =
+  let used = ref String_set.empty in
+  let call bld name args res_tys =
+    used := String_set.add name !used;
+    Func.call_op bld name args res_tys
+  in
+  let call1 bld name args =
+    match call bld name args [ Typesys.i32 ] with
+    | [ r ] -> r
+    | _ -> assert false
+  in
+  let comm bld = Arith.const_int bld ~ty: Typesys.i32 Mpi.Mpich.comm_world in
+  (* Unwrap a (converted) memref operand into pointer/count/datatype. *)
+  let unwrap ctx bld mem_old =
+    let mem = ctx.Transforms.Conversion.lookup mem_old in
+    match Value.ty mem with
+    | Typesys.Memref (shape, elt) ->
+        let ptr = Memref.extract_ptr_op bld mem in
+        let count =
+          Arith.const_int bld ~ty: Typesys.i32 (List.fold_left ( * ) 1 shape)
+        in
+        let dtype =
+          Arith.const_int bld ~ty: Typesys.i32 (Mpi.Mpich.datatype_for elt)
+        in
+        (ptr, count, dtype)
+    | t ->
+        Op.ill_formed "mpi-to-func: expected memref, got %s"
+          (Typesys.ty_to_string t)
+  in
+  let handler (ctx : Transforms.Conversion.ctx) bld (op : Op.t) =
+    let lk = ctx.Transforms.Conversion.lookup in
+    let bind1 r =
+      match op.Op.results with
+      | [ old_r ] -> ctx.Transforms.Conversion.bind old_r r
+      | _ -> Op.ill_formed "%s: expected one result" op.Op.name
+    in
+    match op.Op.name with
+    | "mpi.init" ->
+        ignore (call1 bld "MPI_Init" []);
+        true
+    | "mpi.finalize" ->
+        ignore (call1 bld "MPI_Finalize" []);
+        true
+    | "mpi.comm_rank" ->
+        bind1 (call1 bld "MPI_Comm_rank" [ comm bld ]);
+        true
+    | "mpi.comm_size" ->
+        bind1 (call1 bld "MPI_Comm_size" [ comm bld ]);
+        true
+    | "mpi.send" | "mpi.recv" | "mpi.isend" | "mpi.irecv" ->
+        let mem = Op.operand_exn op 0 in
+        let peer = lk (Op.operand_exn op 1) in
+        let tag = lk (Op.operand_exn op 2) in
+        let ptr, count, dtype = unwrap ctx bld mem in
+        let callee =
+          match op.Op.name with
+          | "mpi.send" -> "MPI_Send"
+          | "mpi.recv" -> "MPI_Recv"
+          | "mpi.isend" -> "MPI_Isend"
+          | _ -> "MPI_Irecv"
+        in
+        let r =
+          call1 bld callee [ ptr; count; dtype; peer; tag; comm bld ]
+        in
+        if op.Op.results <> [] then bind1 r;
+        true
+    | "mpi.null_request" ->
+        bind1 (Arith.const_int bld ~ty: Typesys.i32 Mpi.Mpich.request_null);
+        true
+    | "mpi.wait" ->
+        ignore (call1 bld "MPI_Wait" [ lk (Op.operand_exn op 0) ]);
+        true
+    | "mpi.test" ->
+        let flag = call1 bld "MPI_Test" [ lk (Op.operand_exn op 0) ] in
+        let zero = Arith.const_int bld ~ty: Typesys.i32 0 in
+        bind1 (Arith.cmp_i bld Arith.Ne flag zero);
+        true
+    | "mpi.waitall" ->
+        (* Materialize the request array, as C's MPI_Waitall expects. *)
+        let reqs = List.map lk op.Op.operands in
+        let n = List.length reqs in
+        let arr = Memref.alloc_op bld [ n ] Typesys.i32 in
+        List.iteri
+          (fun i r ->
+            let idx = Arith.const_index bld i in
+            Memref.store_op bld r arr [ idx ])
+          reqs;
+        let ptr = Memref.extract_ptr_op bld arr in
+        let count = Arith.const_int bld ~ty: Typesys.i32 n in
+        ignore (call1 bld "MPI_Waitall" [ count; ptr ]);
+        Memref.dealloc_op bld arr;
+        true
+    | "mpi.barrier" ->
+        ignore (call1 bld "MPI_Barrier" [ comm bld ]);
+        true
+    | "mpi.reduce" | "mpi.allreduce" ->
+        let sptr, count, dtype = unwrap ctx bld (Op.operand_exn op 0) in
+        let rptr, _, _ = unwrap ctx bld (Op.operand_exn op 1) in
+        let red =
+          Mpi.Mpich.reduction_for
+            (Mpi.reduce_op_of_string (Op.string_attr_exn op "op"))
+        in
+        let redv = Arith.const_int bld ~ty: Typesys.i32 red in
+        if op.Op.name = "mpi.reduce" then begin
+          let root = lk (Op.operand_exn op 2) in
+          ignore
+            (call1 bld "MPI_Reduce"
+               [ sptr; rptr; count; dtype; redv; root; comm bld ])
+        end
+        else
+          ignore
+            (call1 bld "MPI_Allreduce"
+               [ sptr; rptr; count; dtype; redv; comm bld ]);
+        true
+    | "mpi.bcast" ->
+        let ptr, count, dtype = unwrap ctx bld (Op.operand_exn op 0) in
+        let root = lk (Op.operand_exn op 1) in
+        ignore (call1 bld "MPI_Bcast" [ ptr; count; dtype; root; comm bld ]);
+        true
+    | "mpi.gather" ->
+        let sptr, scount, dtype = unwrap ctx bld (Op.operand_exn op 0) in
+        let rptr, rcount, rdtype = unwrap ctx bld (Op.operand_exn op 1) in
+        let root = lk (Op.operand_exn op 2) in
+        ignore
+          (call1 bld "MPI_Gather"
+             [ sptr; scount; dtype; rptr; rcount; rdtype; root; comm bld ]);
+        true
+    | "mpi.unwrap_memref" ->
+        let ptr, count, dtype = unwrap ctx bld (Op.operand_exn op 0) in
+        (match op.Op.results with
+        | [ p; c; d ] ->
+            ctx.Transforms.Conversion.bind p ptr;
+            ctx.Transforms.Conversion.bind c count;
+            ctx.Transforms.Conversion.bind d dtype
+        | _ -> Op.ill_formed "mpi.unwrap_memref: expected three results");
+        true
+    | _ -> false
+  in
+  let m' = Transforms.Conversion.convert ~convert_ty ~handler m in
+  (* Append external declarations for every MPI function we called. *)
+  let existing =
+    List.filter_map
+      (fun (op : Op.t) ->
+        if op.Op.name = Func.func then Some (Func.name_of op) else None)
+      (Op.module_ops m')
+  in
+  let decls =
+    List.filter_map
+      (fun (name, (arg_tys, res_tys)) ->
+        if String_set.mem name !used && not (List.mem name existing) then
+          Some (Func.declare name ~arg_tys ~res_tys)
+        else None)
+      externals
+  in
+  Op.with_module_ops m' (Op.module_ops m' @ decls)
+
+let pass = Pass.make "convert-mpi-to-func" run

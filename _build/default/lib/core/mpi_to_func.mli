@@ -1,0 +1,19 @@
+(** Lowering the mpi dialect to plain function calls (paper §4.3,
+    listing 4): mpi ops become func.call ops on external MPI_* functions
+    with mpich magic constants substituted for datatype/communicator/op
+    handles; external declarations are appended to the end of the module.
+
+    ABI note: where the C API returns values through pointer out-parameters
+    (ranks, requests), the declared externals return them directly — the
+    simulated MPI runtime implements the same ABI. *)
+
+open Ir
+
+val convert_ty : Typesys.ty -> Typesys.ty
+(** Requests/statuses/datatypes/communicators become i32 handles. *)
+
+val externals : (string * (Typesys.ty list * Typesys.ty list)) list
+(** The external signatures the lowering may declare. *)
+
+val run : Op.t -> Op.t
+val pass : Pass.t

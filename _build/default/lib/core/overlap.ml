@@ -1,0 +1,264 @@
+(* Communication/computation overlap (paper §8, future work — implemented
+   here as an extension).
+
+   Operating after distribution at the stencil+dmp level, the pass splits
+   each halo exchange into a dmp.swap_begin / dmp.swap_wait pair and splits
+   the dependent stencil.apply into an *interior* computation (which needs
+   no halo data and runs while messages are in flight) and *boundary slab*
+   computations executed after the wait:
+
+     dmp.swap %f                       %rs = dmp.swap_begin %f
+     %t = stencil.load %f              %t  = stencil.load %f
+     %r = stencil.apply(%t)     ==>    interior apply + store
+     stencil.store %r ...              dmp.swap_wait %f, %rs
+                                       reload + boundary applies + stores
+
+   The transformation is conservative: a swap/load/apply/store segment is
+   rewritten only when it matches exactly (one apply whose results feed
+   only the segment's stores and whose store ranges equal its output
+   bounds); anything else is left untouched. *)
+
+open Ir
+
+type box = int list * int list
+
+let box_empty (lb, ub) = List.exists2 (fun l u -> l >= u) lb ub
+
+let set_nth xs i v = List.mapi (fun j x -> if j = i then v else x) xs
+
+(* The output subregion computable without halo data: shrink each side by
+   the corresponding access extent. *)
+let interior_box ~(halo : (int * int) array) ((lb, ub) : box) : box =
+  ( List.mapi (fun d l -> l - fst halo.(d)) lb,
+    List.mapi (fun d u -> u - snd halo.(d)) ub )
+
+(* Disjoint slabs covering box minus interior: for each dimension, a low
+   and a high slab over the current (progressively clamped) box. *)
+let boundary_fragments ~(outer : box) ~(inner : box) : box list =
+  let rank = List.length (fst outer) in
+  let ilb, iub = inner in
+  let rec go d (clb, cub) acc =
+    if d = rank then acc
+    else begin
+      let l = List.nth clb d and u = List.nth cub d in
+      (* Clamp the interior bounds so the low and high slabs stay disjoint
+         even when the interior collapses along this dimension. *)
+      let il = min (max (List.nth ilb d) l) u in
+      let iu = max (min (List.nth iub d) u) il in
+      let acc = if il > l then (clb, set_nth cub d il) :: acc else acc in
+      let acc = if iu < u then (set_nth clb d iu, cub) :: acc else acc in
+      go (d + 1) (set_nth clb d il, set_nth cub d iu) acc
+    end
+  in
+  List.filter (fun b -> not (box_empty b)) (go 0 outer [])
+
+(* One recognized segment. *)
+type segment = {
+  swaps : Op.t list;
+  loads : Op.t list;
+  apply : Op.t;
+  stores : Op.t list;
+}
+
+(* Clone an apply over a sub-box, with fresh inputs. *)
+let clone_apply bld (apply : Op.t) ~(inputs : Value.t list) ((lb, ub) : box)
+    : Value.t list =
+  let bounds = List.map2 Typesys.bound lb ub in
+  let cloned = Op.clone apply in
+  let results =
+    List.map
+      (fun r ->
+        match Value.ty r with
+        | Typesys.Temp (_, elt) -> Value.fresh (Typesys.Temp (bounds, elt))
+        | t -> Op.ill_formed "overlap: apply result %s" (Typesys.ty_to_string t))
+      cloned.Op.results
+  in
+  Builder.add bld { cloned with Op.operands = inputs; results };
+  results
+
+(* Rewrite one segment into the split-phase form. *)
+let emit_overlapped bld (seg : segment) ~(halo : (int * int) array) : unit =
+  (* Map original temp value id -> its source field + load op. *)
+  let load_of_temp = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Op.t) ->
+      Hashtbl.replace load_of_temp (Value.id (Op.result_exn l)) l)
+    seg.loads;
+  let reload () =
+    (* Fresh loads of every apply input, in operand order. *)
+    List.map
+      (fun operand ->
+        match Hashtbl.find_opt load_of_temp (Value.id operand) with
+        | Some (l : Op.t) ->
+            Stencil.load_op bld (Op.operand_exn l 0)
+        | None -> operand (* scalar parameter *))
+      seg.apply.Op.operands
+  in
+  (* Post all exchanges. *)
+  let pending =
+    List.map
+      (fun (sw : Op.t) ->
+        let field = Dmp.buffer_of sw in
+        let grid = Dmp.grid_of sw in
+        let exchanges = Dmp.exchanges_of sw in
+        let reqs = Dmp.swap_begin_op bld field ~grid ~exchanges in
+        (field, grid, exchanges, reqs))
+      seg.swaps
+  in
+  (* Interior compute while messages fly. *)
+  let lb, ub = Stencil.store_range (List.hd seg.stores) in
+  let inner = interior_box ~halo (lb, ub) in
+  let emit_box box =
+    let inputs = reload () in
+    let results = clone_apply bld seg.apply ~inputs box in
+    List.iter2
+      (fun (store : Op.t) res ->
+        let field = Op.operand_exn store 1 in
+        Stencil.store_op bld res field ~lb: (fst box) ~ub: (snd box))
+      seg.stores results
+  in
+  if not (box_empty inner) then emit_box inner;
+  (* Complete the exchanges. *)
+  List.iter
+    (fun (field, grid, exchanges, reqs) ->
+      Dmp.swap_wait_op bld field reqs ~grid ~exchanges)
+    pending;
+  (* Boundary slabs. *)
+  List.iter emit_box (boundary_fragments ~outer: (lb, ub) ~inner)
+
+(* Recognize a segment starting at op index [i] (a dmp.swap). *)
+let recognize (uses : (int, Op.t list) Hashtbl.t) (ops : Op.t array) (i : int)
+    : (segment * int) option =
+  let n = Array.length ops in
+  let swaps = ref [] and loads = ref [] and stores = ref [] in
+  let apply = ref None in
+  let j = ref i in
+  (try
+     while !j < n do
+       let op = ops.(!j) in
+       (match op.Op.name with
+       | "dmp.swap" when !apply = None && !loads = [] ->
+           swaps := op :: !swaps
+       | "stencil.load" when !apply = None -> loads := op :: !loads
+       | "stencil.apply" when !apply = None -> apply := Some op
+       | "stencil.store" when !apply <> None -> stores := op :: !stores
+       | _ -> raise Exit);
+       incr j
+     done
+   with Exit -> ());
+  match !apply with
+  | None -> None
+  | Some apply ->
+      let swaps = List.rev !swaps
+      and loads = List.rev !loads
+      and stores = List.rev !stores in
+      if swaps = [] || stores = [] then None
+      else begin
+        let loaded_fields =
+          List.map (fun (l : Op.t) -> Value.id (Op.operand_exn l 0)) loads
+        in
+        let swapped_fields =
+          List.map (fun (s : Op.t) -> Value.id (Dmp.buffer_of s)) swaps
+        in
+        let temps = List.map (fun (l : Op.t) -> Op.result_exn l) loads in
+        let store_ranges_ok =
+          match Typesys.bounds_of (Value.ty (List.hd apply.Op.results)) with
+          | Some bs ->
+              List.for_all
+                (fun (st : Op.t) ->
+                  let lb, ub = Stencil.store_range st in
+                  List.for_all2
+                    (fun (b : Typesys.bound) (l, u) ->
+                      b.Typesys.lo = l && b.Typesys.hi = u)
+                    bs
+                    (List.combine lb ub))
+                stores
+          | None -> false
+        in
+        let results_only_stored =
+          List.for_all
+            (fun r ->
+              match Hashtbl.find_opt uses (Value.id r) with
+              | Some us ->
+                  List.for_all (fun (u : Op.t) -> List.memq u stores) us
+              | None -> false)
+            apply.Op.results
+        in
+        let temps_only_applied =
+          List.for_all
+            (fun t ->
+              match Hashtbl.find_opt uses (Value.id t) with
+              | Some [ u ] -> u == apply
+              | _ -> false)
+            temps
+        in
+        let all_swapped_loaded =
+          List.for_all (fun f -> List.mem f loaded_fields) swapped_fields
+        in
+        if
+          store_ranges_ok && results_only_stored && temps_only_applied
+          && all_swapped_loaded
+          && List.length stores = List.length apply.Op.results
+        then Some ({ swaps; loads; apply; stores }, !j)
+        else None
+      end
+
+let rec rewrite_block uses (b : Op.block) : Op.block =
+  let ops = Array.of_list b.Op.ops in
+  let bld = Builder.create () in
+  let i = ref 0 in
+  while !i < Array.length ops do
+    let op = ops.(!i) in
+    if op.Op.name = Dmp.swap then begin
+      match recognize uses ops !i with
+      | Some (seg, next) ->
+          let rank =
+            match Typesys.rank_of (Value.ty (List.hd seg.apply.Op.results)) with
+            | Some r -> r
+            | None -> 0
+          in
+          let halo = Stencil.combined_halo seg.apply ~rank in
+          emit_overlapped bld seg ~halo;
+          i := next
+      | None ->
+          Builder.add bld op;
+          incr i
+    end
+    else begin
+      let op =
+        if op.Op.regions = [] then op
+        else
+          {
+            op with
+            Op.regions =
+              List.map
+                (fun (r : Op.region) ->
+                  { Op.blocks = List.map (rewrite_block uses) r.Op.blocks })
+                op.Op.regions;
+          }
+      in
+      Builder.add bld op;
+      incr i
+    end
+  done;
+  { b with Op.ops = Builder.ops bld }
+
+let run (m : Op.t) : Op.t =
+  Op.with_module_ops m
+    (List.map
+       (fun (top : Op.t) ->
+         if top.Op.name = Dialects.Func.func && top.Op.regions <> [] then begin
+           let uses = Stencil_to_loops.collect_uses top in
+           {
+             top with
+             Op.regions =
+               List.map
+                 (fun (r : Op.region) ->
+                   { Op.blocks = List.map (rewrite_block uses) r.Op.blocks })
+                 top.Op.regions;
+           }
+         end
+         else top)
+       (Op.module_ops m))
+
+let pass = Pass.make "overlap-communication" run

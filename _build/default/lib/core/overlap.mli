@@ -1,0 +1,24 @@
+(** Communication/computation overlap (paper §8 future work, implemented
+    here as an extension): split each halo exchange into
+    dmp.swap_begin / dmp.swap_wait and split the dependent stencil.apply
+    into an interior computation (running while messages are in flight)
+    and boundary slab computations executed after the wait.
+
+    The rewrite is conservative: a swap/load/apply/store segment is only
+    transformed when it matches exactly; everything else is untouched. *)
+
+open Ir
+
+type box = int list * int list
+(** A half-open box (lower bounds, upper bounds). *)
+
+val box_empty : box -> bool
+
+val interior_box : halo:(int * int) array -> box -> box
+(** The output subregion computable without halo data. *)
+
+val boundary_fragments : outer:box -> inner:box -> box list
+(** Disjoint slabs covering [outer] minus [inner]. *)
+
+val run : Op.t -> Op.t
+val pass : Pass.t

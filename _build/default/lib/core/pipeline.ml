@@ -1,0 +1,101 @@
+(* Named pass pipelines: the shared compilation flows of fig. 1b / fig. 6.
+   Every frontend (Devito, PSyclone, textual stencil IR) lowers into the
+   stencil dialect and then takes one of these, sharing all passes below
+   the stencil level. *)
+
+open Ir
+
+type target =
+  | Cpu_sequential
+  | Cpu_openmp of { tiles : int list }
+  | Distributed_cpu of {
+      ranks : int;
+      strategy : Decomposition.strategy;
+      tiles : int list;
+      overlap : bool;
+    }
+  | Gpu of { managed : bool }
+  | Fpga of { optimized : bool }
+
+let target_name = function
+  | Cpu_sequential -> "cpu-sequential"
+  | Cpu_openmp _ -> "cpu-openmp"
+  | Distributed_cpu _ -> "distributed-cpu"
+  | Gpu _ -> "gpu"
+  | Fpga { optimized } -> if optimized then "fpga-optimized" else "fpga-initial"
+
+let cleanup_passes =
+  [ Transforms.Canonicalize.pass; Transforms.Cse.pass; Transforms.Licm.pass;
+    Transforms.Dce.pass ]
+
+let pipeline_for (t : target) : Pass.pipeline =
+  match t with
+  | Cpu_sequential ->
+      Pass.pipeline "cpu-sequential"
+        (Shape_inference.pass
+         :: Stencil_to_loops.pass ~style: Stencil_to_loops.Sequential ()
+         :: cleanup_passes)
+  | Cpu_openmp { tiles } ->
+      Pass.pipeline "cpu-openmp"
+        (Shape_inference.pass
+         :: Stencil_to_loops.pass ~style: (Stencil_to_loops.Tiled_omp tiles) ()
+         :: cleanup_passes)
+  | Distributed_cpu { ranks; strategy; tiles; overlap } ->
+      Pass.pipeline "distributed-cpu"
+        ([ Shape_inference.pass;
+           Distribute.pass (Distribute.options ~ranks ~strategy ());
+           Swap_elim.pass ]
+        @ (if overlap then [ Overlap.pass ] else [])
+        @ [
+            Stencil_to_loops.pass ~style: (Stencil_to_loops.Tiled_omp tiles) ();
+            Dmp_to_mpi.pass;
+            Mpi_to_func.pass;
+          ]
+        @ cleanup_passes)
+  | Gpu { managed } ->
+      Pass.pipeline "gpu"
+        (Stencil_to_loops.pass
+           ~style: (Stencil_to_loops.Gpu_launch { synchronous = true; managed })
+           ()
+         :: cleanup_passes)
+  | Fpga { optimized } ->
+      Pass.pipeline (target_name t)
+        (Stencil_to_hls.pass
+           ~mode: (if optimized then Stencil_to_hls.Optimized else Stencil_to_hls.Initial)
+           ()
+         :: cleanup_passes)
+
+(* Compile a stencil-dialect module for a target. *)
+let compile ?(verify = true) (t : target) (m : Op.t) : Op.t =
+  let out = Pass.run_pipeline (pipeline_for t) m in
+  if verify then Verifier.verify ~checks: Registry.checks out;
+  out
+
+(* All named pipelines, for the stencilc CLI. *)
+let named_pipelines : (string * Pass.pipeline) list =
+  [
+    ("cpu-sequential", pipeline_for Cpu_sequential);
+    ("cpu-openmp", pipeline_for (Cpu_openmp { tiles = [ 32; 32; 32 ] }));
+    ( "distributed-cpu-4",
+      pipeline_for
+        (Distributed_cpu
+           {
+             ranks = 4;
+             strategy = Decomposition.Slice2d;
+             tiles = [ 32; 32 ];
+             overlap = false;
+           }) );
+    ( "distributed-cpu-4-overlap",
+      pipeline_for
+        (Distributed_cpu
+           {
+             ranks = 4;
+             strategy = Decomposition.Slice2d;
+             tiles = [ 32; 32 ];
+             overlap = true;
+           }) );
+    ("gpu", pipeline_for (Gpu { managed = false }));
+    ("fpga-initial", pipeline_for (Fpga { optimized = false }));
+    ("fpga-optimized", pipeline_for (Fpga { optimized = true }));
+    ("canonicalize", Pass.pipeline "canonicalize" cleanup_passes);
+  ]

@@ -1,0 +1,31 @@
+(** Named pass pipelines: the shared compilation flows of fig. 1b / fig. 6.
+    Every frontend lowers into the stencil dialect and then takes one of
+    these, sharing all passes below the stencil level. *)
+
+open Ir
+
+type target =
+  | Cpu_sequential
+  | Cpu_openmp of { tiles : int list }
+  | Distributed_cpu of {
+      ranks : int;
+      strategy : Decomposition.strategy;
+      tiles : int list;
+      overlap : bool;  (** use the split-phase swap_begin/swap_wait flow *)
+    }
+  | Gpu of { managed : bool }
+  | Fpga of { optimized : bool }
+
+val target_name : target -> string
+
+val cleanup_passes : Pass.t list
+(** canonicalize, cse, licm, dce — the shared MLIR-community-style passes
+    run after every lowering. *)
+
+val pipeline_for : target -> Pass.pipeline
+
+val compile : ?verify:bool -> target -> Op.t -> Op.t
+(** Run the target's pipeline; verifies the result by default. *)
+
+val named_pipelines : (string * Pass.pipeline) list
+(** Pipelines exposed by the stencilc CLI. *)

@@ -1,0 +1,6 @@
+(* All verifier checks of the full stack: the generic dialects plus the
+   stencil / dmp / mpi / hls dialects contributed by this work. *)
+
+let checks : Ir.Verifier.check list =
+  Dialects.Registry.checks @ Stencil.checks @ Dmp.checks @ Mpi.checks
+  @ Hls.checks

@@ -1,0 +1,4 @@
+(** All verifier checks of the full stack: the generic dialects plus the
+    stencil / dmp / mpi / hls dialects contributed by this work. *)
+
+val checks : Ir.Verifier.check list

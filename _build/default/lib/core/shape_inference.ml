@@ -1,0 +1,91 @@
+(* Stencil shape inference.
+
+   The Open Earth Compiler infers the value ranges stencil temps must
+   cover from the access patterns consuming them; with the paper's
+   bounds-in-types design the same information lives in the types, so this
+   pass both *checks* that every access stays within its operand's bounds
+   and *computes* the minimal required input bounds per apply (used by
+   diagnostics and by the distribution pass's halo reasoning). *)
+
+open Ir
+
+exception Shape_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+
+(* The minimal bounds each input of [apply] must provide: the output
+   bounds extended by that input's access extents. *)
+let required_input_bounds (apply : Op.t) : Typesys.bound list array =
+  let out_bounds =
+    match Typesys.bounds_of (Value.ty (List.hd apply.Op.results)) with
+    | Some bs -> bs
+    | None -> error "apply results must be stencil temps"
+  in
+  let rank = List.length out_bounds in
+  let extents = Stencil.halo_extents apply ~rank in
+  Array.map
+    (fun per_dim ->
+      List.mapi
+        (fun d (b : Typesys.bound) ->
+          let neg, pos = per_dim.(d) in
+          Typesys.bound (b.Typesys.lo + neg) (b.Typesys.hi + pos))
+        out_bounds)
+    extents
+
+let covers (have : Typesys.bound list) (need : Typesys.bound list) =
+  List.for_all2
+    (fun (h : Typesys.bound) (n : Typesys.bound) ->
+      h.Typesys.lo <= n.Typesys.lo && h.Typesys.hi >= n.Typesys.hi)
+    have need
+
+(* Check one apply: every stencil-typed operand must cover the bounds its
+   accesses require. *)
+let check_apply (apply : Op.t) : unit =
+  let required = required_input_bounds apply in
+  List.iteri
+    (fun i operand ->
+      match Typesys.bounds_of (Value.ty operand) with
+      | None -> () (* scalar parameter *)
+      | Some have ->
+          let need = required.(i) in
+          if not (covers have need) then
+            error
+              "stencil.apply input %d provides %s but accesses require %s" i
+              (String.concat " x "
+                 (List.map
+                    (fun (b : Typesys.bound) ->
+                      Printf.sprintf "[%d,%d)" b.Typesys.lo b.Typesys.hi)
+                    have))
+              (String.concat " x "
+                 (List.map
+                    (fun (b : Typesys.bound) ->
+                      Printf.sprintf "[%d,%d)" b.Typesys.lo b.Typesys.hi)
+                    need)))
+    apply.Op.operands
+
+(* Check stores: the written range must lie inside the destination field
+   and inside the stored temp. *)
+let check_store (store : Op.t) : unit =
+  let lb, ub = Stencil.store_range store in
+  let range = List.map2 Typesys.bound lb ub in
+  let temp = Op.operand_exn store 0 in
+  let field = Op.operand_exn store 1 in
+  List.iter
+    (fun v ->
+      match Typesys.bounds_of (Value.ty v) with
+      | Some have ->
+          if not (covers have range) then
+            error "stencil.store range exceeds %s bounds"
+              (Typesys.ty_to_string (Value.ty v))
+      | None -> error "stencil.store operands must be stencil-typed")
+    [ temp; field ]
+
+let run (m : Op.t) : Op.t =
+  Op.walk
+    (fun op ->
+      if op.Op.name = Stencil.apply then check_apply op
+      else if op.Op.name = Stencil.store then check_store op)
+    m;
+  m
+
+let pass = Pass.make "stencil-shape-inference" run

@@ -1,0 +1,22 @@
+(** Stencil shape inference: checks that every stencil access stays within
+    its operand's bounds (the bounds-in-types analogue of the Open Earth
+    Compiler's shape inference) and computes the minimal input bounds an
+    apply requires. *)
+
+open Ir
+
+exception Shape_error of string
+
+val required_input_bounds : Op.t -> Typesys.bound list array
+(** Per input of an apply, the output bounds extended by that input's
+    access extents. *)
+
+val covers : Typesys.bound list -> Typesys.bound list -> bool
+
+val check_apply : Op.t -> unit
+val check_store : Op.t -> unit
+
+val run : Op.t -> Op.t
+(** Raises {!Shape_error} on the first violation; the IR is unchanged. *)
+
+val pass : Pass.t

@@ -1,0 +1,201 @@
+(* The stencil dialect (paper §4.1).
+
+   Extended from the Open Earth Compiler's dialect as described in the paper:
+   - domain bounds live in the types ([!stencil.field]/[!stencil.temp] carry
+     per-dimension static [lo,hi) bounds), so any op using stencil values can
+     read bounds directly off its operands;
+   - stencils of any rank are supported (not only 3D);
+   - value semantics: [stencil.load] turns a field into a temp,
+     [stencil.apply] maps a point function over temps, [stencil.store]
+     writes a temp back to a field over a range. *)
+
+open Ir
+
+let load = "stencil.load"
+let store = "stencil.store"
+let apply = "stencil.apply"
+let access = "stencil.access"
+let index = "stencil.index"
+let return_ = "stencil.return"
+let cast = "stencil.cast"
+
+(* Types *)
+
+let field_ty bounds elt = Typesys.Field (bounds, elt)
+let temp_ty bounds elt = Typesys.Temp (bounds, elt)
+
+let bounds_exn v =
+  match Typesys.bounds_of (Value.ty v) with
+  | Some bs -> bs
+  | None ->
+      Op.ill_formed "expected a stencil field/temp, got %s"
+        (Typesys.ty_to_string (Value.ty v))
+
+let element_exn v =
+  match Typesys.element_of (Value.ty v) with
+  | Some t -> t
+  | None ->
+      Op.ill_formed "expected a stencil field/temp, got %s"
+        (Typesys.ty_to_string (Value.ty v))
+
+(* Constructors *)
+
+(* Load the whole field into a temp covering the same bounds. *)
+let load_op b field =
+  let bs = bounds_exn field in
+  let elt = element_exn field in
+  Builder.emit1 b load (temp_ty bs elt) ~operands: [ field ]
+
+(* Store a temp to a field over the user-defined [lb, ub) range. *)
+let store_op b temp field ~lb ~ub =
+  Builder.emit0 b store ~operands: [ temp; field ]
+    ~attrs:
+      [ ("lb", Typesys.Dense_attr lb); ("ub", Typesys.Dense_attr ub) ]
+
+(* Access an operand temp at a relative offset from the current position.
+   Inside an apply body the block argument stands for the temp operand. *)
+let access_op b temp offsets =
+  let elt = element_exn temp in
+  Builder.emit1 b access elt ~operands: [ temp ]
+    ~attrs: [ ("offset", Typesys.Dense_attr offsets) ]
+
+(* Current position along [dim], as an index value. *)
+let index_op b ~dim =
+  Builder.emit1 b index Typesys.Index
+    ~attrs: [ ("dim", Typesys.Int_attr (dim, Typesys.i64)) ]
+
+let return_vals b vs = Builder.emit0 b return_ ~operands: vs
+
+(* Apply a stencil function over [out_bounds].  [f] receives the body builder
+   and the block arguments standing for [inputs]; it must end the body with
+   [return_vals] of [n_results] scalars of [elt] type. *)
+let apply_op b ~inputs ~out_bounds ~elt ~n_results f =
+  let region =
+    Builder.region_with_args (List.map Value.ty inputs) f
+  in
+  let results =
+    List.init n_results (fun _ -> Value.fresh (temp_ty out_bounds elt))
+  in
+  Builder.add b
+    (Op.make apply ~operands: inputs ~results ~regions: [ region ]);
+  results
+
+(* Reinterpret a field's bounds (used when localizing a decomposed domain). *)
+let cast_op b field bounds =
+  let elt = element_exn field in
+  Builder.emit1 b cast (field_ty bounds elt) ~operands: [ field ]
+
+(* Accessors *)
+
+let access_offset (op : Op.t) = Op.dense_attr_exn op "offset"
+let store_range (op : Op.t) =
+  (Op.dense_attr_exn op "lb", Op.dense_attr_exn op "ub")
+
+let apply_body (op : Op.t) =
+  match op.Op.regions with
+  | [ r ] -> Op.single_block r
+  | _ -> Op.ill_formed "stencil.apply: expected one region"
+
+(* All accesses in an apply body, as (input position, offsets). *)
+let apply_accesses (op : Op.t) =
+  let body = apply_body op in
+  let arg_index v =
+    let rec find i = function
+      | [] -> None
+      | a :: rest -> if Value.equal a v then Some i else find (i + 1) rest
+    in
+    find 0 body.Op.args
+  in
+  let acc = ref [] in
+  List.iter
+    (Op.walk (fun o ->
+         if o.Op.name = access then
+           match o.Op.operands with
+           | [ t ] -> (
+               match arg_index t with
+               | Some i -> acc := (i, access_offset o) :: !acc
+               | None -> ())
+           | _ -> ()))
+    body.Op.ops;
+  List.rev !acc
+
+(* The radius of the stencil: per input and per dimension, the (negative,
+   positive) extents of all accesses.  This is the information the paper uses
+   to derive minimal halo shapes for distributed memory (§4.1). *)
+let halo_extents (op : Op.t) ~rank =
+  let n_inputs = List.length op.Op.operands in
+  let ext = Array.init n_inputs (fun _ -> Array.make rank (0, 0)) in
+  List.iter
+    (fun (input, offsets) ->
+      List.iteri
+        (fun d o ->
+          if d < rank then begin
+            let neg, pos = ext.(input).(d) in
+            ext.(input).(d) <- (min neg o, max pos o)
+          end)
+        offsets)
+    (apply_accesses op);
+  ext
+
+(* Combined halo over all inputs: per dimension (neg, pos). *)
+let combined_halo (op : Op.t) ~rank =
+  let ext = halo_extents op ~rank in
+  let combined = Array.make rank (0, 0) in
+  Array.iter
+    (fun per_input ->
+      Array.iteri
+        (fun d (neg, pos) ->
+          let cn, cp = combined.(d) in
+          combined.(d) <- (min cn neg, max cp pos))
+        per_input)
+    ext;
+  combined
+
+(* Verifier checks *)
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op load (fun op ->
+        match (op.Op.operands, op.Op.results) with
+        | [ f ], [ r ] -> (
+            match (Value.ty f, Value.ty r) with
+            | Typesys.Field (bs, t), Typesys.Temp (bs', t')
+              when bs = bs' && t = t' ->
+                Ok ()
+            | _ -> Error "load must take a field to a temp of equal bounds")
+        | _ -> Error "load takes one field and returns one temp");
+    Verifier.for_op store (fun op ->
+        match op.Op.operands with
+        | [ t; f ] -> (
+            match (Value.ty t, Value.ty f) with
+            | Typesys.Temp _, Typesys.Field _ -> Ok ()
+            | _ -> Error "store takes a temp and a field")
+        | _ -> Error "store takes exactly two operands");
+    Verifier.for_op access (fun op ->
+        match op.Op.operands with
+        | [ t ] -> (
+            match Value.ty t with
+            | Typesys.Temp (bs, _) ->
+                let offsets = access_offset op in
+                if List.length offsets = List.length bs then Ok ()
+                else Error "access offset rank must match temp rank"
+            | _ -> Error "access operand must be a temp")
+        | _ -> Error "access takes exactly one operand");
+    Verifier.for_op apply (fun op ->
+        match op.Op.regions with
+        | [ r ] ->
+            let body = Op.single_block r in
+            if List.length body.Op.args <> List.length op.Op.operands then
+              Error "apply body must have one argument per operand"
+            else if
+              List.for_all2
+                (fun a o -> Typesys.equal_ty (Value.ty a) (Value.ty o))
+                body.Op.args op.Op.operands
+            then Ok ()
+            else Error "apply body argument types must match operands"
+        | _ -> Error "apply has exactly one region");
+    Verifier.for_op index (fun op ->
+        match Op.attr op "dim" with
+        | Some (Typesys.Int_attr _) -> Ok ()
+        | _ -> Error "index needs a dim attribute");
+  ]

@@ -1,0 +1,95 @@
+(** The stencil dialect (paper §4.1).
+
+    Extended from the Open Earth Compiler's dialect as described in the
+    paper: domain bounds live in the types ([!stencil.field] and
+    [!stencil.temp] carry static per-dimension bounds, so any op using
+    stencil values reads bounds directly off its operands); stencils of any
+    rank are supported; and value semantics separate buffers (fields) from
+    values (temps). *)
+
+open Ir
+
+(** {1 Operation names} *)
+
+val load : string
+val store : string
+val apply : string
+val access : string
+val index : string
+val return_ : string
+val cast : string
+
+(** {1 Types} *)
+
+val field_ty : Typesys.bound list -> Typesys.ty -> Typesys.ty
+(** [!stencil.field]: the buffer stencil values are loaded from / stored
+    to. *)
+
+val temp_ty : Typesys.bound list -> Typesys.ty -> Typesys.ty
+(** [!stencil.temp]: value-semantics stencil values. *)
+
+val bounds_exn : Value.t -> Typesys.bound list
+(** Bounds of a stencil-typed value; raises {!Ir.Op.Ill_formed} otherwise. *)
+
+val element_exn : Value.t -> Typesys.ty
+(** Element type of a stencil-typed value. *)
+
+(** {1 Constructors} *)
+
+val load_op : Builder.t -> Value.t -> Value.t
+(** [stencil.load]: take a field's values into a temp of equal bounds. *)
+
+val store_op :
+  Builder.t -> Value.t -> Value.t -> lb:int list -> ub:int list -> unit
+(** [stencil.store temp field ~lb ~ub]: write the temp to the field over the
+    user-defined range [\[lb, ub)]. *)
+
+val access_op : Builder.t -> Value.t -> int list -> Value.t
+(** [stencil.access temp offsets]: read the temp at an offset relative to
+    the current position (only valid inside an apply body, where the temp
+    is a block argument). *)
+
+val index_op : Builder.t -> dim:int -> Value.t
+(** [stencil.index]: the current position along [dim] (used to encode
+    boundary conditions as conditionals, per the paper's §4.1 limitation
+    discussion). *)
+
+val return_vals : Builder.t -> Value.t list -> unit
+(** [stencil.return]: terminate an apply body with the per-point results. *)
+
+val apply_op :
+  Builder.t ->
+  inputs:Value.t list ->
+  out_bounds:Typesys.bound list ->
+  elt:Typesys.ty ->
+  n_results:int ->
+  (Builder.t -> Value.t list -> unit) ->
+  Value.t list
+(** [stencil.apply]: apply a stencil function over [out_bounds].  The body
+    callback receives a builder and block arguments standing for [inputs];
+    it must end with {!return_vals} of [n_results] scalars of type [elt].
+    Returns the result temps. *)
+
+val cast_op : Builder.t -> Value.t -> Typesys.bound list -> Value.t
+(** [stencil.cast]: reinterpret a field's bounds. *)
+
+(** {1 Accessors and analyses} *)
+
+val access_offset : Op.t -> int list
+val store_range : Op.t -> int list * int list
+
+val apply_body : Op.t -> Op.block
+(** The single body block of an apply op. *)
+
+val apply_accesses : Op.t -> (int * int list) list
+(** Every access in an apply body as (input position, offsets). *)
+
+val halo_extents : Op.t -> rank:int -> (int * int) array array
+(** Per input and per dimension, the (negative, positive) access extents. *)
+
+val combined_halo : Op.t -> rank:int -> (int * int) array
+(** The halo over all inputs: the minimal exchange shape for distributed
+    memory, derived by scanning access offsets (paper §4.1). *)
+
+val checks : Verifier.check list
+(** Dialect verifier checks. *)

@@ -1,0 +1,352 @@
+(* Lowering stencils to the hls dialect for FPGA execution (paper §6.2,
+   Table 1; the Stencil-HMLS flow of Rodriguez-Canal et al.).
+
+   Two modes reproduce the paper's comparison:
+
+   - [Initial]: the algorithm unchanged from its Von-Neumann CPU design —
+     plain sequential loops reading external DDR memory for every stencil
+     access.  Functionally identical to the Sequential CPU lowering; kernels
+     are marked so the FPGA machine model charges one external-memory access
+     per operand read and no pipelining.
+
+   - [Optimized]: the compiler restructures each stencil program into
+     separate dataflow regions connected by streams: a reader stage streams
+     the input once in linear order, a compute stage caches the stencil
+     window in a shift buffer so every grid cell's operands are available
+     each cycle while only one value is read from the stream, and a writer
+     stage drains results.  Compute stages are pipelined with initiation
+     interval 1.  Chained stencils (e.g. the three PW-advection kernels)
+     become chained dataflow stages communicating through streams without
+     round-tripping to DDR. *)
+
+open Ir
+open Dialects
+
+type mode = Initial | Optimized
+
+let kernel_attr = "hls.kernel"
+
+(* Row-major linear span of the access offsets: the number of elements the
+   shift buffer must hold so all stencil operands are on-chip. *)
+let window_span ~shape ~offsets =
+  let strides =
+    let n = List.length shape in
+    List.init n (fun d ->
+        List.fold_left ( * ) 1 (List.filteri (fun i s -> ignore s; i > d) shape))
+  in
+  let linear off = List.fold_left2 (fun acc o s -> acc + (o * s)) 0 off strides in
+  match offsets with
+  | [] -> 1
+  | o :: rest ->
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) off ->
+            let l = linear off in
+            (min lo l, max hi l))
+          (linear o, linear o)
+          rest
+      in
+      hi - lo + 1
+
+(* --- Optimized mode --- *)
+
+(* Each stencil-typed SSA value maps to a queue of streams (one per
+   consumer) plus its logical bounds. *)
+type stream_binding = {
+  mutable streams : Value.t list;
+  s_bounds : Typesys.bound list;
+}
+
+let run_optimized (m : Op.t) : Op.t =
+  let lower_func (fop : Op.t) : Op.t =
+    if
+      Func.is_declaration fop
+      || not (Op.exists (fun o -> o.Op.name = Stencil.apply) fop)
+    then fop
+    else begin
+      let uses = Stencil_to_loops.collect_uses fop in
+      let use_count v =
+        match Hashtbl.find_opt uses (Value.id v) with
+        | Some l -> List.length l
+        | None -> 0
+      in
+      let env = { Stencil_to_loops.map = Hashtbl.create 32; vmap = Hashtbl.create 32 } in
+      let stream_env : (int, stream_binding) Hashtbl.t = Hashtbl.create 16 in
+      let pop_stream v =
+        match Hashtbl.find_opt stream_env (Value.id v) with
+        | Some ({ streams = s :: rest; _ } as b) ->
+            b.streams <- rest;
+            (s, b.s_bounds)
+        | _ ->
+            Op.ill_formed "hls: temp %%%d has no remaining stream"
+              (Value.id v)
+      in
+      let elt_of v =
+        match Typesys.element_of (Value.ty v) with
+        | Some t -> t
+        | None -> Op.ill_formed "hls: expected stencil-typed value"
+      in
+      (* Emit a loop nest over logical bounds running [body] in order. *)
+      let box_loop bld (bounds : Typesys.bound list) body =
+        let lbs = List.map (fun (b : Typesys.bound) -> b.Typesys.lo) bounds in
+        let ubs = List.map (fun (b : Typesys.bound) -> b.Typesys.hi) bounds in
+        Stencil_to_loops.emit_loop_nest bld Stencil_to_loops.Sequential ~lbs
+          ~ubs body
+      in
+      let rec lower_block (blk : Op.block) : Op.block =
+        let bld = Builder.create () in
+        let stages = ref [] in
+        let add_stage ?(attrs = []) name body =
+          let region = Builder.region_of body in
+          stages :=
+            Op.make Hls.stage
+              ~attrs: (("stage_name", Typesys.String_attr name) :: attrs)
+              ~regions: [ region ]
+            :: !stages
+        in
+        let terminator = ref None in
+        List.iter
+          (fun (op : Op.t) ->
+            match op.Op.name with
+            | "stencil.load" ->
+                let field = Op.operand_exn op 0 in
+                let l = Stencil_to_loops.lookup_lowered env field in
+                let res = Op.result_exn op in
+                let n_consumers = max 1 (use_count res) in
+                let elt = elt_of res in
+                let streams =
+                  List.init n_consumers (fun _ ->
+                      Hls.stream_create_op bld elt)
+                in
+                let bounds =
+                  match Typesys.bounds_of (Value.ty res) with
+                  | Some bs -> bs
+                  | None -> assert false
+                in
+                Hashtbl.replace stream_env (Value.id res)
+                  { streams; s_bounds = bounds };
+                add_stage
+                  (Printf.sprintf "read_%d" (Value.id res))
+                  (fun b ->
+                    box_loop b bounds (fun b coords ->
+                        let indices =
+                          List.mapi
+                            (fun d coord ->
+                              Stencil_to_loops.buffer_index b ~coord
+                                ~bounds: l.Stencil_to_loops.bounds ~d)
+                            coords
+                        in
+                        let v =
+                          Memref.load_op b l.Stencil_to_loops.buffer indices
+                        in
+                        List.iter
+                          (fun s -> Hls.stream_write_op b s v)
+                          streams))
+            | "stencil.apply" ->
+                (* Pop one stream per input; shift-buffer it; compute
+                   pipelined; write each result to fresh streams. *)
+                let inputs_info =
+                  List.map
+                    (fun operand ->
+                      match Value.ty operand with
+                      | Typesys.Field _ | Typesys.Temp _ ->
+                          `Stream (pop_stream operand)
+                      | _ ->
+                          `Scalar
+                            (Stencil_to_loops.lookup_value env operand))
+                    op.Op.operands
+                in
+                let out_bounds =
+                  match Typesys.bounds_of (Value.ty (List.hd op.Op.results)) with
+                  | Some bs -> bs
+                  | None -> assert false
+                in
+                let result_streams =
+                  List.map
+                    (fun res ->
+                      let n = max 1 (use_count res) in
+                      let elt = elt_of res in
+                      let streams =
+                        List.init n (fun _ -> Hls.stream_create_op bld elt)
+                      in
+                      Hashtbl.replace stream_env (Value.id res)
+                        { streams; s_bounds = out_bounds };
+                      streams)
+                    op.Op.results
+                in
+                let offsets =
+                  List.map snd (Stencil.apply_accesses op)
+                in
+                add_stage
+                  ~attrs: [ (Hls.pipeline_attr, Typesys.Int_attr (1, Typesys.i64)) ]
+                  (Printf.sprintf "compute_%d"
+                     (Value.id (List.hd op.Op.results)))
+                  (fun b ->
+                    (* Shift buffers: drain each input stream into an
+                       on-chip window buffer. *)
+                    let inputs =
+                      List.map
+                        (function
+                          | `Stream (s, bounds) ->
+                              let shape =
+                                List.map Typesys.bound_size bounds
+                              in
+                              let elt =
+                                match Value.ty s with
+                                | Typesys.Stream t -> t
+                                | _ -> assert false
+                              in
+                              let window =
+                                window_span ~shape ~offsets
+                              in
+                              let buf = Value.fresh (Typesys.Memref (shape, elt)) in
+                              Builder.add b
+                                (Op.make Hls.shift_buffer
+                                   ~operands: [ s ] ~results: [ buf ]
+                                   ~attrs:
+                                     [ ("window",
+                                        Typesys.Int_attr (window, Typesys.i64));
+                                     ]);
+                              { Stencil_to_loops.buffer = buf; bounds }
+                          | `Scalar v ->
+                              { Stencil_to_loops.buffer = v; bounds = [] })
+                        inputs_info
+                    in
+                    box_loop b out_bounds (fun b coords ->
+                        Stencil_to_loops.lower_apply_body b op ~coords
+                          ~inputs ~emit_result: (fun b i v ->
+                            List.iter
+                              (fun s -> Hls.stream_write_op b s v)
+                              (List.nth result_streams i))))
+            | "stencil.store" ->
+                let temp = Op.operand_exn op 0 in
+                let field = Op.operand_exn op 1 in
+                let l = Stencil_to_loops.lookup_lowered env field in
+                let s, s_bounds = pop_stream temp in
+                add_stage
+                  (Printf.sprintf "write_%d" (Value.id temp))
+                  (fun b ->
+                    box_loop b s_bounds (fun b coords ->
+                        let v = Hls.stream_read_op b s in
+                        let indices =
+                          List.mapi
+                            (fun d coord ->
+                              Stencil_to_loops.buffer_index b ~coord
+                                ~bounds: l.Stencil_to_loops.bounds ~d)
+                            coords
+                        in
+                        Memref.store_op b v l.Stencil_to_loops.buffer indices))
+            | "func.return" | "scf.yield" ->
+                terminator :=
+                  Some
+                    {
+                      op with
+                      Op.operands =
+                        List.map (Stencil_to_loops.lookup_value env)
+                          op.Op.operands;
+                    }
+            | _ ->
+                (* Generic ops: rebuild with converted types, recursing. *)
+                let operands =
+                  List.map (Stencil_to_loops.lookup_value env) op.Op.operands
+                in
+                let results =
+                  List.map
+                    (fun r ->
+                      let r' =
+                        Value.fresh (Stencil_to_loops.convert_ty (Value.ty r))
+                      in
+                      Stencil_to_loops.bind_value env r r';
+                      r')
+                    op.Op.results
+                in
+                let regions =
+                  List.map
+                    (fun (r : Op.region) ->
+                      { Op.blocks =
+                          List.map
+                            (fun (nested : Op.block) ->
+                              let args =
+                                List.map
+                                  (fun a ->
+                                    let a' =
+                                      Value.fresh
+                                        (Stencil_to_loops.convert_ty
+                                           (Value.ty a))
+                                    in
+                                    Stencil_to_loops.bind_value env a a';
+                                    a')
+                                  nested.Op.args
+                              in
+                              let inner = lower_block { nested with Op.args } in
+                              { inner with Op.args })
+                            r.Op.blocks;
+                      })
+                    op.Op.regions
+                in
+                Builder.add bld { op with Op.operands; results; regions })
+          blk.Op.ops;
+        let stage_ops = List.rev !stages in
+        if stage_ops <> [] then
+          Builder.add bld
+            (Op.make Hls.dataflow ~regions: [ Op.region stage_ops ]);
+        (match !terminator with Some t -> Builder.add bld t | None -> ());
+        { blk with Op.ops = Builder.ops bld }
+      in
+      let body = Op.single_block (Func.body_exn fop) in
+      let args =
+        List.map
+          (fun a ->
+            let a' = Value.fresh (Stencil_to_loops.convert_ty (Value.ty a)) in
+            Stencil_to_loops.bind_value env a a';
+            a')
+          body.Op.args
+      in
+      let new_body = lower_block { body with Op.args } in
+      let arg_tys, res_tys = Func.signature_of fop in
+      let conv = Stencil_to_loops.convert_ty in
+      {
+        fop with
+        Op.attrs =
+          (kernel_attr, Typesys.String_attr "optimized")
+          :: [
+               ("sym_name", Typesys.String_attr (Func.name_of fop));
+               ( "function_type",
+                 Typesys.Type_attr
+                   (Typesys.Fn (List.map conv arg_tys, List.map conv res_tys))
+               );
+             ]
+          @ List.filter
+              (fun (k, _) -> k <> "sym_name" && k <> "function_type")
+              fop.Op.attrs;
+        Op.regions = [ { Op.blocks = [ { new_body with Op.args } ] } ];
+      }
+    end
+  in
+  Op.with_module_ops m
+    (List.map
+       (fun top ->
+         if top.Op.name = Func.func then lower_func top else top)
+       (Op.module_ops m))
+
+let run ~mode (m : Op.t) : Op.t =
+  match mode with
+  | Initial ->
+      let lowered =
+        Stencil_to_loops.run ~style: Stencil_to_loops.Sequential m
+      in
+      Op.with_module_ops lowered
+        (List.map
+           (fun (top : Op.t) ->
+             if top.Op.name = Func.func && not (Func.is_declaration top) then
+               Op.set_attr top kernel_attr (Typesys.String_attr "initial")
+             else top)
+           (Op.module_ops lowered))
+  | Optimized -> run_optimized m
+
+let pass ~mode () =
+  Pass.make
+    (match mode with
+    | Initial -> "convert-stencil-to-hls-initial"
+    | Optimized -> "convert-stencil-to-hls-optimized")
+    (run ~mode)

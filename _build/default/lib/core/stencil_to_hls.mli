@@ -1,0 +1,23 @@
+(** Lowering stencils to the hls dialect for FPGA execution (paper §6.2,
+    Table 1; the Stencil-HMLS flow).
+
+    [Initial] keeps the Von-Neumann loop structure (every operand read hits
+    external memory, no pipelining); [Optimized] restructures each stencil
+    program into dataflow stages connected by streams, with a shift buffer
+    caching the stencil window and compute loops pipelined at initiation
+    interval 1.  Chained stencils stream between compute stages without
+    round-tripping to DDR. *)
+
+open Ir
+
+type mode = Initial | Optimized
+
+val kernel_attr : string
+(** Function attribute recording the kernel form ("initial"/"optimized"). *)
+
+val window_span : shape:int list -> offsets:int list list -> int
+(** Row-major linear span of the access offsets: the number of elements the
+    shift buffer must hold. *)
+
+val run : mode:mode -> Op.t -> Op.t
+val pass : mode:mode -> unit -> Pass.t

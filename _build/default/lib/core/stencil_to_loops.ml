@@ -1,0 +1,524 @@
+(* Lowering from the stencil dialect to memref + scf loops (paper §4.1).
+
+   Fields and temps become statically sized memrefs; logical coordinates map
+   to zero-based memref indices by subtracting the per-dimension lower bound
+   carried in the stencil types (the paper's "bounds in types" enhancement
+   makes this lowering purely local).  Three loop styles are provided:
+
+   - [Sequential]: plain scf.for nests;
+   - [Parallel_flat]: one scf.parallel per apply (the shape the MLIR
+     scf-to-openmp / scf-to-gpu conversions consume — and the source of the
+     one-parallel-region-per-stencil behaviour discussed in the paper);
+   - [Tiled_omp tiles]: the additional CPU pipeline contributed by the
+     paper: each apply becomes an omp.parallel region with a tiled
+     scf.parallel over tile origins and bounded inner scf.for loops,
+     improving data locality. *)
+
+open Ir
+open Dialects
+
+type style =
+  | Sequential
+  | Parallel_flat
+  | Tiled_omp of int list
+  | Gpu_launch of { synchronous : bool; managed : bool }
+      (* [synchronous] mirrors the MLIR scf-to-gpu limitation of a blocking
+         host sync per kernel; [managed] models unified-memory allocation
+         (no explicit device buffers), the default of OpenACC-based flows. *)
+
+(* What a stencil-typed SSA value lowers to: the backing memref plus the
+   logical bounds needed to translate coordinates to buffer indices. *)
+type lowered = { buffer : Value.t; bounds : Typesys.bound list }
+
+type env = {
+  map : (int, lowered) Hashtbl.t;  (* stencil value id -> lowered *)
+  vmap : (int, Value.t) Hashtbl.t;  (* any old value id -> new value *)
+}
+
+let convert_ty (t : Typesys.ty) : Typesys.ty =
+  match t with
+  | Typesys.Field (bs, elt) | Typesys.Temp (bs, elt) ->
+      Typesys.Memref (List.map Typesys.bound_size bs, elt)
+  | t -> t
+
+let lookup_value env v =
+  match Hashtbl.find_opt env.vmap (Value.id v) with
+  | Some v' -> v'
+  | None -> v
+
+let lookup_lowered env v =
+  match Hashtbl.find_opt env.map (Value.id v) with
+  | Some l -> l
+  | None ->
+      Op.ill_formed "stencil-to-loops: value %%%d has no lowered buffer"
+        (Value.id v)
+
+let bind_value env old_v new_v =
+  Hashtbl.replace env.vmap (Value.id old_v) new_v;
+  match Typesys.bounds_of (Value.ty old_v) with
+  | Some bounds ->
+      Hashtbl.replace env.map (Value.id old_v) { buffer = new_v; bounds }
+  | None -> ()
+
+(* Translate a logical coordinate value to a buffer index for dimension
+   [d] of a buffer with bounds [bounds]: idx = coord - lo. *)
+let buffer_index b ~coord ~(bounds : Typesys.bound list) ~d =
+  let lo = (List.nth bounds d).Typesys.lo in
+  if lo = 0 then coord
+  else begin
+    let shift = Arith.const_index b (-lo) in
+    Arith.add_i b coord shift
+  end
+
+(* Emit a loop nest over the logical box [lbs, ubs) in the requested style;
+   [body] receives the builder and the logical coordinate values. *)
+let emit_loop_nest bld style ~lbs ~ubs body =
+  let n = List.length lbs in
+  let consts b xs = List.map (Arith.const_index b) xs in
+  match style with
+  | Sequential ->
+      let rec nest b d coords =
+        if d = n then body b (List.rev coords)
+        else begin
+          let lo = Arith.const_index b (List.nth lbs d) in
+          let hi = Arith.const_index b (List.nth ubs d) in
+          let step = Arith.const_index b 1 in
+          ignore
+            (Scf.for_op b ~lo ~hi ~step (fun b' iv _ ->
+                 nest b' (d + 1) (iv :: coords);
+                 Scf.yield_op b' []))
+        end
+      in
+      nest bld 0 []
+  | Parallel_flat ->
+      let lbs_v = consts bld lbs in
+      let ubs_v = consts bld ubs in
+      let steps_v = consts bld (List.init n (fun _ -> 1)) in
+      Scf.parallel_op bld ~lbs: lbs_v ~ubs: ubs_v ~steps: steps_v
+        (fun b ivs -> body b ivs)
+  | Gpu_launch { synchronous; _ } ->
+      (* gpu.launch over the zero-based extent; logical coordinates are
+         recovered by adding the lower bound inside the kernel. *)
+      let ubs_v =
+        List.map2 (fun l u -> Arith.const_index bld (u - l)) lbs ubs
+      in
+      Gpu.launch_op bld ~synchronous ~ubs: ubs_v (fun b ivs ->
+          let coords =
+            List.map2
+              (fun iv l ->
+                if l = 0 then iv
+                else begin
+                  let lv = Arith.const_index b l in
+                  Arith.add_i b iv lv
+                end)
+              ivs lbs
+          in
+          body b coords)
+  | Tiled_omp tiles ->
+      let tile d =
+        match List.nth_opt tiles d with
+        | Some t when t > 0 -> t
+        | _ -> max 1 (List.nth ubs d - List.nth lbs d)
+      in
+      Omp.parallel_op bld (fun b ->
+          let lbs_v = consts b lbs in
+          let ubs_v = consts b ubs in
+          let steps_v = consts b (List.init n tile) in
+          Scf.parallel_op b ~lbs: lbs_v ~ubs: ubs_v ~steps: steps_v
+            (fun b origins ->
+              (* Inner loops: for each dim, from origin to
+                 min(origin + tile, ub). *)
+              let rec nest b d coords =
+                if d = n then body b (List.rev coords)
+                else begin
+                  let origin = List.nth origins d in
+                  let t = Arith.const_index b (tile d) in
+                  let tile_end = Arith.add_i b origin t in
+                  let hi = Arith.const_index b (List.nth ubs d) in
+                  let le = Arith.cmp_i b Arith.Le tile_end hi in
+                  let bounded = Arith.select_op b le tile_end hi in
+                  let step = Arith.const_index b 1 in
+                  ignore
+                    (Scf.for_op b ~lo: origin ~hi: bounded ~step
+                       (fun b' iv _ ->
+                         nest b' (d + 1) (iv :: coords);
+                         Scf.yield_op b' []))
+                end
+              in
+              nest b 0 []))
+
+(* Lower the body of a stencil.apply at one grid point.  [coords] are the
+   logical coordinates; [inputs] the lowered operand buffers (by position);
+   [emit_result i v] consumes the i-th returned scalar. *)
+let lower_apply_body bld (apply_op : Op.t) ~coords ~inputs ~emit_result =
+  let body = Stencil.apply_body apply_op in
+  let env = Hashtbl.create 16 in
+  List.iteri
+    (fun i arg -> Hashtbl.replace env (Value.id arg) (`Buffer (List.nth inputs i)))
+    body.Op.args;
+  let value_of v =
+    match Hashtbl.find_opt env (Value.id v) with
+    | Some (`Value v') -> v'
+    | Some (`Buffer _) ->
+        Op.ill_formed "stencil.apply: temp used outside stencil.access"
+    | None -> v (* captured from enclosing scope; already lowered there *)
+  in
+  let buffer_of v =
+    match Hashtbl.find_opt env (Value.id v) with
+    | Some (`Buffer l) -> l
+    | _ -> Op.ill_formed "stencil.access: operand is not an apply argument"
+  in
+  let rec lower_ops b ops =
+    List.iter
+      (fun (op : Op.t) ->
+        match op.Op.name with
+        | "stencil.access" ->
+            let l = buffer_of (Op.operand_exn op 0) in
+            let offsets = Stencil.access_offset op in
+            let indices =
+              List.mapi
+                (fun d off ->
+                  let coord = List.nth coords d in
+                  let coord =
+                    if off = 0 then coord
+                    else begin
+                      let o = Arith.const_index b off in
+                      Arith.add_i b coord o
+                    end
+                  in
+                  buffer_index b ~coord ~bounds: l.bounds ~d)
+                offsets
+            in
+            let loaded = Memref.load_op b l.buffer indices in
+            Hashtbl.replace env (Value.id (Op.result_exn op))
+              (`Value loaded)
+        | "stencil.index" ->
+            let d = Op.int_attr_exn op "dim" in
+            Hashtbl.replace env
+              (Value.id (Op.result_exn op))
+              (`Value (List.nth coords d))
+        | "stencil.return" ->
+            List.iteri
+              (fun i v -> emit_result b i (value_of v))
+              op.Op.operands
+        | "scf.if" ->
+            (* Conditionals over accesses (manually encoded boundary
+               conditions) are rebuilt with lowered operands and bodies. *)
+            let operands = List.map value_of op.Op.operands in
+            let results =
+              List.map (fun r -> Value.fresh (Value.ty r)) op.Op.results
+            in
+            let regions =
+              List.map
+                (fun (r : Op.region) ->
+                  let blk = Op.single_block r in
+                  let b' = Builder.create () in
+                  lower_ops b' blk.Op.ops;
+                  Op.region (Builder.ops b'))
+                op.Op.regions
+            in
+            Builder.add b (Op.make "scf.if" ~operands ~results ~regions);
+            List.iter2
+              (fun old_r new_r ->
+                Hashtbl.replace env (Value.id old_r) (`Value new_r))
+              op.Op.results results
+        | _ ->
+            (* Plain computation (arith etc.): clone with substitution. *)
+            let operands = List.map value_of op.Op.operands in
+            let results =
+              List.map (fun r -> Value.fresh (Value.ty r)) op.Op.results
+            in
+            Builder.add b { op with Op.operands; results };
+            List.iter2
+              (fun old_r new_r ->
+                Hashtbl.replace env (Value.id old_r) (`Value new_r))
+              op.Op.results results)
+      ops
+  in
+  lower_ops bld body.Op.ops
+
+(* Use counts of every value over a whole function, for store fusion. *)
+let collect_uses (fop : Op.t) : (int, Op.t list) Hashtbl.t =
+  let uses = Hashtbl.create 64 in
+  Op.walk
+    (fun o ->
+      List.iter
+        (fun v ->
+          let prev =
+            match Hashtbl.find_opt uses (Value.id v) with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace uses (Value.id v) (o :: prev))
+        o.Op.operands)
+    fop;
+  uses
+
+(* The store that solely consumes [v], if any: enables writing apply results
+   directly into their destination field instead of a temporary buffer. *)
+let sole_store uses v =
+  match Hashtbl.find_opt uses (Value.id v) with
+  | Some [ op ] when op.Op.name = Stencil.store -> Some op
+  | _ -> None
+
+let lower_apply env bld style uses (op : Op.t) ~skipped_stores =
+  let inputs =
+    List.map
+      (fun operand ->
+        match Value.ty operand with
+        | Typesys.Field _ | Typesys.Temp _ -> lookup_lowered env operand
+        | _ ->
+            (* Scalar parameters are passed through. *)
+            { buffer = lookup_value env operand; bounds = [] })
+      op.Op.operands
+  in
+  (* Decide, per result, where it is written. *)
+  let targets =
+    List.map
+      (fun res ->
+        match
+          if List.length op.Op.results = 1 then sole_store uses res else None
+        with
+        | Some store_op ->
+            let field = Op.operand_exn store_op 1 in
+            let l = lookup_lowered env field in
+            let lb, ub = Stencil.store_range store_op in
+            skipped_stores := store_op :: !skipped_stores;
+            (res, l, Some (lb, ub))
+        | None ->
+            let bounds =
+              match Typesys.bounds_of (Value.ty res) with
+              | Some bs -> bs
+              | None -> Op.ill_formed "apply result must be a temp"
+            in
+            let elt =
+              match Typesys.element_of (Value.ty res) with
+              | Some t -> t
+              | None -> assert false
+            in
+            let sizes = List.map Typesys.bound_size bounds in
+            let buffer = Memref.alloc_op bld sizes elt in
+            let l = { buffer; bounds } in
+            bind_value env res buffer;
+            Hashtbl.replace env.map (Value.id res) l;
+            (res, l, None))
+      op.Op.results
+  in
+  (* Loop bounds: the fused store range if any, else the result bounds. *)
+  let out_bounds =
+    match targets with
+    | (res, _, Some (lb, ub)) :: _ ->
+        ignore res;
+        List.map2 (fun l u -> Typesys.bound l u) lb ub
+    | (res, _, None) :: _ -> (
+        match Typesys.bounds_of (Value.ty res) with
+        | Some bs -> bs
+        | None -> assert false)
+    | [] -> Op.ill_formed "stencil.apply with no results"
+  in
+  let lbs = List.map (fun (b : Typesys.bound) -> b.Typesys.lo) out_bounds in
+  let ubs = List.map (fun (b : Typesys.bound) -> b.Typesys.hi) out_bounds in
+  emit_loop_nest bld style ~lbs ~ubs (fun b coords ->
+      lower_apply_body b op ~coords ~inputs ~emit_result: (fun b i v ->
+          let _, l, _ = List.nth targets i in
+          let indices =
+            List.mapi
+              (fun d coord -> buffer_index b ~coord ~bounds: l.bounds ~d)
+              coords
+          in
+          Memref.store_op b v l.buffer indices))
+
+let lower_store env bld (op : Op.t) =
+  let temp = Op.operand_exn op 0 in
+  let field = Op.operand_exn op 1 in
+  let src = lookup_lowered env temp in
+  let dst = lookup_lowered env field in
+  let lb, ub = Stencil.store_range op in
+  emit_loop_nest bld Sequential ~lbs: lb ~ubs: ub (fun b coords ->
+      let src_idx =
+        List.mapi
+          (fun d coord -> buffer_index b ~coord ~bounds: src.bounds ~d)
+          coords
+      in
+      let v = Memref.load_op b src.buffer src_idx in
+      let dst_idx =
+        List.mapi
+          (fun d coord -> buffer_index b ~coord ~bounds: dst.bounds ~d)
+          coords
+      in
+      Memref.store_op b v dst.buffer dst_idx)
+
+(* Rebuild a dmp swap/swap_begin/swap_wait on the lowered buffer, recording
+   the buffer origin (the negated lower bound) so the mpi lowering can
+   translate logical exchange offsets into zero-based buffer indices.
+   Request operands/results pass through unchanged. *)
+let lower_swap env bld (op : Op.t) =
+  let field = Op.operand_exn op 0 in
+  let l = lookup_lowered env field in
+  let origin = List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) l.bounds in
+  let operands =
+    l.buffer :: List.map (lookup_value env) (List.tl op.Op.operands)
+  in
+  let results =
+    List.map
+      (fun r ->
+        let r' = Value.fresh (Value.ty r) in
+        bind_value env r r';
+        r')
+      op.Op.results
+  in
+  Builder.add bld
+    {
+      op with
+      Op.operands = operands;
+      results;
+      Op.attrs = ("origin", Typesys.Dense_attr origin) :: op.Op.attrs;
+    }
+
+let rec lower_ops ?(on_return = fun _ -> ()) env style uses skipped_stores
+    bld ops =
+  List.iter
+    (fun (op : Op.t) ->
+      match op.Op.name with
+      | "func.return" ->
+          on_return bld;
+          Builder.add bld
+            { op with Op.operands = List.map (lookup_value env) op.Op.operands }
+      | "stencil.load" ->
+          let l = lookup_lowered env (Op.operand_exn op 0) in
+          let res = Op.result_exn op in
+          Hashtbl.replace env.vmap (Value.id res) l.buffer;
+          Hashtbl.replace env.map (Value.id res)
+            { l with bounds =
+                (match Typesys.bounds_of (Value.ty res) with
+                | Some bs -> bs
+                | None -> l.bounds);
+            }
+      | "stencil.cast" ->
+          let l = lookup_lowered env (Op.operand_exn op 0) in
+          let res = Op.result_exn op in
+          Hashtbl.replace env.vmap (Value.id res) l.buffer;
+          Hashtbl.replace env.map (Value.id res)
+            { l with bounds =
+                (match Typesys.bounds_of (Value.ty res) with
+                | Some bs -> bs
+                | None -> l.bounds);
+            }
+      | "stencil.apply" -> lower_apply env bld style uses op ~skipped_stores
+      | "stencil.store" ->
+          if not (List.memq op !skipped_stores) then lower_store env bld op
+      | "dmp.swap" | "dmp.swap_begin" | "dmp.swap_wait" ->
+          lower_swap env bld op
+      | _ ->
+          (* Generic op: map operands, convert result/block-arg types,
+             recurse into regions. *)
+          let operands = List.map (lookup_value env) op.Op.operands in
+          let results =
+            List.map
+              (fun r ->
+                let r' = Value.fresh (convert_ty (Value.ty r)) in
+                bind_value env r r';
+                r')
+              op.Op.results
+          in
+          let regions =
+            List.map
+              (fun (r : Op.region) ->
+                { Op.blocks =
+                    List.map
+                      (fun (blk : Op.block) ->
+                        let args =
+                          List.map
+                            (fun a ->
+                              let a' =
+                                Value.fresh (convert_ty (Value.ty a))
+                              in
+                              bind_value env a a';
+                              a')
+                            blk.Op.args
+                        in
+                        let b' = Builder.create () in
+                        lower_ops ~on_return env style uses skipped_stores
+                          b' blk.Op.ops;
+                        { Op.args; ops = Builder.ops b' })
+                      r.Op.blocks;
+                })
+              op.Op.regions
+          in
+          Builder.add bld { op with Op.operands; results; regions })
+    ops
+
+let lower_func style (fop : Op.t) : Op.t =
+  if Func.is_declaration fop then fop
+  else begin
+    let uses = collect_uses fop in
+    let env = { map = Hashtbl.create 64; vmap = Hashtbl.create 64 } in
+    let arg_tys, res_tys = Func.signature_of fop in
+    let body = Op.single_block (Func.body_exn fop) in
+    let args =
+      List.map
+        (fun a ->
+          let a' = Value.fresh (convert_ty (Value.ty a)) in
+          bind_value env a a';
+          a')
+        body.Op.args
+    in
+    let bld = Builder.create () in
+    (* GPU path with explicit device memory: allocate device twins of the
+       buffer arguments, copy in, compute on the twins, copy back before
+       returning (data stays resident across the time loop). *)
+    let device_pairs =
+      match style with
+      | Gpu_launch { managed = false; _ } ->
+          List.map2
+            (fun old_a host ->
+              match Value.ty host with
+              | Typesys.Memref (shape, elt) ->
+                  let dev = Gpu.alloc_op bld shape elt in
+                  Gpu.memcpy_op bld ~src: host ~dst: dev;
+                  (* Stencil values now live on the device. *)
+                  bind_value env old_a dev;
+                  Some (host, dev)
+              | _ -> None)
+            body.Op.args args
+      | _ -> []
+    in
+    let copy_back b =
+      List.iter
+        (function
+          | Some (host, dev) -> Gpu.memcpy_op b ~src: dev ~dst: host
+          | None -> ())
+        device_pairs
+    in
+    let skipped_stores = ref [] in
+    (* Fused stores can appear after their apply; lower_apply records the
+       skip before the store is visited (applies dominate their uses), so a
+       single forward pass is correct. *)
+    lower_ops ~on_return: copy_back env style uses skipped_stores bld
+      body.Op.ops;
+    let new_arg_tys = List.map convert_ty arg_tys in
+    let new_res_tys = List.map convert_ty res_tys in
+    {
+      fop with
+      Op.attrs =
+        [
+          ("sym_name", Typesys.String_attr (Func.name_of fop));
+          ( "function_type",
+            Typesys.Type_attr (Typesys.Fn (new_arg_tys, new_res_tys)) );
+        ]
+        @ List.filter
+            (fun (k, _) -> k <> "sym_name" && k <> "function_type")
+            fop.Op.attrs;
+      Op.regions = [ Op.region ~args (Builder.ops bld) ];
+    }
+  end
+
+let run ?(style = Sequential) (m : Op.t) : Op.t =
+  Op.with_module_ops m
+    (List.map
+       (fun top ->
+         if top.Op.name = Func.func then lower_func style top else top)
+       (Op.module_ops m))
+
+let pass ?(style = Sequential) () =
+  Pass.make "convert-stencil-to-loops" (run ~style)

@@ -1,0 +1,74 @@
+(** Lowering from the stencil dialect to memref + scf loops (paper §4.1).
+
+    Fields and temps become statically sized memrefs; logical coordinates
+    translate to zero-based indices by subtracting the per-dimension lower
+    bound carried in the stencil types.  Single-consumer applies write
+    directly into their destination field (store fusion).
+
+    Several helpers are exposed for the sibling lowerings
+    ({!Stencil_to_hls} reuses the apply-body generator and the
+    value-tracking environment). *)
+
+open Ir
+
+(** Loop-generation styles. *)
+type style =
+  | Sequential  (** plain scf.for nests *)
+  | Parallel_flat
+      (** one scf.parallel per apply — the shape the MLIR scf-to-openmp /
+          scf-to-gpu conversions consume, and the source of the
+          one-parallel-region-per-stencil behaviour in fig. 10 *)
+  | Tiled_omp of int list
+      (** the CPU pipeline contributed by the paper: omp.parallel per
+          apply with a tiled scf.parallel over tile origins and bounded
+          inner loops *)
+  | Gpu_launch of { synchronous : bool; managed : bool }
+      (** gpu.launch kernels; [synchronous] mirrors the MLIR per-kernel
+          host sync, [managed] models unified memory (no explicit device
+          buffers) *)
+
+(** A stencil value's lowering: backing buffer plus logical bounds. *)
+type lowered = { buffer : Value.t; bounds : Typesys.bound list }
+
+type env = {
+  map : (int, lowered) Hashtbl.t;
+  vmap : (int, Value.t) Hashtbl.t;
+}
+
+val convert_ty : Typesys.ty -> Typesys.ty
+(** Fields/temps become memrefs of their bound sizes. *)
+
+val lookup_value : env -> Value.t -> Value.t
+val lookup_lowered : env -> Value.t -> lowered
+val bind_value : env -> Value.t -> Value.t -> unit
+
+val buffer_index :
+  Builder.t -> coord:Value.t -> bounds:Typesys.bound list -> d:int -> Value.t
+(** Translate a logical coordinate into a buffer index (idx = coord - lo). *)
+
+val emit_loop_nest :
+  Builder.t ->
+  style ->
+  lbs:int list ->
+  ubs:int list ->
+  (Builder.t -> Value.t list -> unit) ->
+  unit
+(** Emit a loop nest over a logical box in the requested style; the body
+    receives the logical coordinates. *)
+
+val lower_apply_body :
+  Builder.t ->
+  Op.t ->
+  coords:Value.t list ->
+  inputs:lowered list ->
+  emit_result:(Builder.t -> int -> Value.t -> unit) ->
+  unit
+(** Generate one grid point of an apply body: accesses become loads,
+    stencil.index becomes the coordinate, scf.if conditionals are rebuilt,
+    and each returned scalar is passed to [emit_result]. *)
+
+val collect_uses : Op.t -> (int, Op.t list) Hashtbl.t
+(** Use lists of every value in a function (store-fusion analysis). *)
+
+val run : ?style:style -> Op.t -> Op.t
+val pass : ?style:style -> unit -> Pass.t

@@ -1,0 +1,81 @@
+(* Redundant halo-exchange elimination (paper §4.2).
+
+   The distribution pass inserts a dmp.swap before *every* stencil.load,
+   which may generate redundant data exchanges.  This pass analyzes the SSA
+   data flow and removes a swap when the swapped buffer is already clean:
+   no store has written to it since its previous swap in the same block.
+
+   Block arguments (e.g. time-loop iteration buffers) start dirty, so
+   exchanges inside time loops are conservatively kept — which is exactly
+   the behaviour needed for buffer-swapping time iterations. *)
+
+open Ir
+
+module Int_set = Set.Make (Int)
+
+let rec elim_block (b : Op.block) : Op.block =
+  let clean = ref Int_set.empty in
+  let kept =
+    List.fold_left
+      (fun acc (op : Op.t) ->
+        match op.Op.name with
+        | "dmp.swap" ->
+            let buf = Value.id (Dmp.buffer_of op) in
+            if Int_set.mem buf !clean then acc
+            else begin
+              clean := Int_set.add buf !clean;
+              op :: acc
+            end
+        | "stencil.store" ->
+            let field = Value.id (Op.operand_exn op 1) in
+            clean := Int_set.remove field !clean;
+            op :: acc
+        | "memref.store" | "memref.copy" ->
+            (* After lowering, conservatively dirty the written memref. *)
+            (match op.Op.name with
+            | "memref.store" ->
+                clean := Int_set.remove (Value.id (Op.operand_exn op 1)) !clean
+            | _ ->
+                clean :=
+                  Int_set.remove (Value.id (Op.operand_exn op 1)) !clean);
+            op :: acc
+        | "stencil.apply" ->
+            (* Value semantics: an apply reads temps and yields new temps;
+               it can never write a field, so swap state survives it. *)
+            op :: acc
+        | _ ->
+            (* Other ops with regions may store into captured or aliased
+               buffers (e.g. time loops whose iteration arguments alias the
+               operands), so clear the state conservatively and recurse. *)
+            let op =
+              if op.Op.regions = [] then op
+              else begin
+                clean := Int_set.empty;
+                {
+                  op with
+                  Op.regions =
+                    List.map
+                      (fun (r : Op.region) ->
+                        { Op.blocks = List.map elim_block r.Op.blocks })
+                      op.Op.regions;
+                }
+              end
+            in
+            op :: acc)
+      [] b.Op.ops
+  in
+  { b with Op.ops = List.rev kept }
+
+let run (m : Op.t) : Op.t =
+  {
+    m with
+    Op.regions =
+      List.map
+        (fun (r : Op.region) ->
+          { Op.blocks = List.map elim_block r.Op.blocks })
+        m.Op.regions;
+  }
+
+let count_swaps m = Transforms.Statistics.count m Dmp.swap
+
+let pass = Pass.make "eliminate-redundant-swaps" run

@@ -1,0 +1,16 @@
+(** Redundant halo-exchange elimination (paper §4.2).
+
+    The distribution pass inserts a dmp.swap before every stencil.load; this
+    pass analyzes the SSA data flow and removes a swap whose buffer is
+    already clean (no store since its previous swap in the same block).
+    Buffers entering loop bodies as block arguments start dirty, so
+    exchanges inside time loops are kept. *)
+
+open Ir
+
+val run : Op.t -> Op.t
+
+val count_swaps : Op.t -> int
+(** Number of dmp.swap ops in a module (ablation metric). *)
+
+val pass : Pass.t

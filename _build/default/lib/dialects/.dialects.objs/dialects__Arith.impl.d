@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Builder Ir List Op Typesys Value Verifier

@@ -1,0 +1,1 @@
+lib/dialects/func.ml: Builder Ir List Op Typesys Value Verifier

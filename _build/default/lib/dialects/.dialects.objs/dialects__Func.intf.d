@@ -1,0 +1,1 @@
+lib/dialects/func.mli: Builder Ir Op Typesys Value Verifier

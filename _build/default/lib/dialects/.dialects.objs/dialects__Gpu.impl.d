@@ -1,0 +1,1 @@
+lib/dialects/gpu.ml: Builder Ir List Op Typesys Value Verifier

@@ -1,0 +1,1 @@
+lib/dialects/gpu.mli: Builder Ir Op Typesys Value Verifier

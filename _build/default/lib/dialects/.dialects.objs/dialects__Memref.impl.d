@@ -1,0 +1,1 @@
+lib/dialects/memref.ml: Builder Ir List Op Typesys Value Verifier

@@ -1,0 +1,1 @@
+lib/dialects/omp.ml: Builder Ir List Op Typesys Verifier

@@ -1,0 +1,1 @@
+lib/dialects/registry.ml: Arith Func Gpu Ir Memref Omp Scf

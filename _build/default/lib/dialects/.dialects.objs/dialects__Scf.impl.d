@@ -1,0 +1,1 @@
+lib/dialects/scf.ml: Builder Ir List Op Typesys Value Verifier

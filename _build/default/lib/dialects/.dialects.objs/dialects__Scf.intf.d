@@ -1,0 +1,1 @@
+lib/dialects/scf.mli: Builder Ir Op Typesys Value Verifier

@@ -1,0 +1,148 @@
+(* The arith dialect: SSA arithmetic on signless integers, floats and index
+   values.  Mirrors the MLIR dialect subset used by the stencil lowering. *)
+
+open Ir
+
+let constant = "arith.constant"
+
+(* Binary op names, grouped for the interpreter and the folder. *)
+let addi = "arith.addi"
+let subi = "arith.subi"
+let muli = "arith.muli"
+let divsi = "arith.divsi"
+let remsi = "arith.remsi"
+let andi = "arith.andi"
+let ori = "arith.ori"
+let xori = "arith.xori"
+let addf = "arith.addf"
+let subf = "arith.subf"
+let mulf = "arith.mulf"
+let divf = "arith.divf"
+let maximumf = "arith.maximumf"
+let minimumf = "arith.minimumf"
+let negf = "arith.negf"
+let cmpi = "arith.cmpi"
+let cmpf = "arith.cmpf"
+let select = "arith.select"
+let index_cast = "arith.index_cast"
+let sitofp = "arith.sitofp"
+let fptosi = "arith.fptosi"
+let extf = "arith.extf"
+let truncf = "arith.truncf"
+
+let int_binops = [ addi; subi; muli; divsi; remsi; andi; ori; xori ]
+let float_binops = [ addf; subf; mulf; divf; maximumf; minimumf ]
+
+(* Comparison predicates (carried as a string attribute). *)
+type predicate = Eq | Ne | Lt | Le | Gt | Ge
+
+let predicate_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let predicate_of_string = function
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | s -> Op.ill_formed "unknown comparison predicate %S" s
+
+(* Constructors *)
+
+let const_int b ?(ty = Typesys.i64) v =
+  Builder.emit1 b constant ty ~attrs: [ ("value", Typesys.Int_attr (v, ty)) ]
+
+let const_index b v = const_int b ~ty: Typesys.Index v
+
+let const_float b ?(ty = Typesys.f64) v =
+  Builder.emit1 b constant ty
+    ~attrs: [ ("value", Typesys.Float_attr (v, ty)) ]
+
+let binop b name x y =
+  Builder.emit1 b name (Value.ty x) ~operands: [ x; y ]
+
+let add_i b x y = binop b addi x y
+let sub_i b x y = binop b subi x y
+let mul_i b x y = binop b muli x y
+let div_i b x y = binop b divsi x y
+let rem_i b x y = binop b remsi x y
+let add_f b x y = binop b addf x y
+let sub_f b x y = binop b subf x y
+let mul_f b x y = binop b mulf x y
+let div_f b x y = binop b divf x y
+let max_f b x y = binop b maximumf x y
+let min_f b x y = binop b minimumf x y
+
+let neg_f b x = Builder.emit1 b negf (Value.ty x) ~operands: [ x ]
+
+let cmp_i b pred x y =
+  Builder.emit1 b cmpi Typesys.i1 ~operands: [ x; y ]
+    ~attrs: [ ("predicate", Typesys.String_attr (predicate_to_string pred)) ]
+
+let cmp_f b pred x y =
+  Builder.emit1 b cmpf Typesys.i1 ~operands: [ x; y ]
+    ~attrs: [ ("predicate", Typesys.String_attr (predicate_to_string pred)) ]
+
+let select_op b cond if_true if_false =
+  Builder.emit1 b select (Value.ty if_true)
+    ~operands: [ cond; if_true; if_false ]
+
+let index_cast_op b v ty = Builder.emit1 b index_cast ty ~operands: [ v ]
+let si_to_fp b v ty = Builder.emit1 b sitofp ty ~operands: [ v ]
+
+(* Matchers *)
+
+let const_int_value (op : Op.t) =
+  if op.name = constant then
+    match Op.attr op "value" with
+    | Some (Typesys.Int_attr (v, _)) -> Some v
+    | _ -> None
+  else None
+
+let const_float_value (op : Op.t) =
+  if op.name = constant then
+    match Op.attr op "value" with
+    | Some (Typesys.Float_attr (v, _)) -> Some v
+    | _ -> None
+  else None
+
+let is_int_binop name = List.mem name int_binops
+let is_float_binop name = List.mem name float_binops
+
+let is_commutative name =
+  List.mem name [ addi; muli; andi; ori; xori; addf; mulf; maximumf; minimumf ]
+
+(* Dialect verifier checks. *)
+let checks : Verifier.check list =
+  let binop_check name : Verifier.check =
+    Verifier.for_op name (fun op ->
+        match (op.Op.operands, op.Op.results) with
+        | [ a; b ], [ r ]
+          when Typesys.equal_ty (Value.ty a) (Value.ty b)
+               && Typesys.equal_ty (Value.ty a) (Value.ty r) ->
+            Ok ()
+        | _ -> Error "binary op operands/result types must all match")
+  in
+  List.map binop_check (int_binops @ float_binops)
+  @ [
+      Verifier.for_op constant (fun op ->
+          match (Op.attr op "value", op.Op.results) with
+          | Some (Typesys.Int_attr (_, t)), [ r ]
+            when Typesys.equal_ty t (Value.ty r) ->
+              Ok ()
+          | Some (Typesys.Float_attr (_, t)), [ r ]
+            when Typesys.equal_ty t (Value.ty r) ->
+              Ok ()
+          | Some _, _ -> Error "constant value type must match result type"
+          | None, _ -> Error "constant needs a value attribute");
+      Verifier.expect_operands cmpi 2;
+      Verifier.expect_operands cmpf 2;
+      Verifier.expect_operands select 3;
+      Verifier.expect_operands negf 1;
+    ]

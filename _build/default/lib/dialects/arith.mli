@@ -1,0 +1,79 @@
+(** The arith dialect: SSA arithmetic on signless integers, floats and
+    index values (the MLIR subset used by the stencil lowerings). *)
+
+open Ir
+
+(** {1 Operation names} *)
+
+val constant : string
+val addi : string
+val subi : string
+val muli : string
+val divsi : string
+val remsi : string
+val andi : string
+val ori : string
+val xori : string
+val addf : string
+val subf : string
+val mulf : string
+val divf : string
+val maximumf : string
+val minimumf : string
+val negf : string
+val cmpi : string
+val cmpf : string
+val select : string
+val index_cast : string
+val sitofp : string
+val fptosi : string
+val extf : string
+val truncf : string
+
+val int_binops : string list
+val float_binops : string list
+
+(** {1 Comparison predicates} *)
+
+type predicate = Eq | Ne | Lt | Le | Gt | Ge
+
+val predicate_to_string : predicate -> string
+val predicate_of_string : string -> predicate
+
+(** {1 Constructors} *)
+
+val const_int : Builder.t -> ?ty:Typesys.ty -> int -> Value.t
+val const_index : Builder.t -> int -> Value.t
+val const_float : Builder.t -> ?ty:Typesys.ty -> float -> Value.t
+
+val binop : Builder.t -> string -> Value.t -> Value.t -> Value.t
+(** Generic same-typed binary op by name. *)
+
+val add_i : Builder.t -> Value.t -> Value.t -> Value.t
+val sub_i : Builder.t -> Value.t -> Value.t -> Value.t
+val mul_i : Builder.t -> Value.t -> Value.t -> Value.t
+val div_i : Builder.t -> Value.t -> Value.t -> Value.t
+val rem_i : Builder.t -> Value.t -> Value.t -> Value.t
+val add_f : Builder.t -> Value.t -> Value.t -> Value.t
+val sub_f : Builder.t -> Value.t -> Value.t -> Value.t
+val mul_f : Builder.t -> Value.t -> Value.t -> Value.t
+val div_f : Builder.t -> Value.t -> Value.t -> Value.t
+val max_f : Builder.t -> Value.t -> Value.t -> Value.t
+val min_f : Builder.t -> Value.t -> Value.t -> Value.t
+val neg_f : Builder.t -> Value.t -> Value.t
+
+val cmp_i : Builder.t -> predicate -> Value.t -> Value.t -> Value.t
+val cmp_f : Builder.t -> predicate -> Value.t -> Value.t -> Value.t
+val select_op : Builder.t -> Value.t -> Value.t -> Value.t -> Value.t
+val index_cast_op : Builder.t -> Value.t -> Typesys.ty -> Value.t
+val si_to_fp : Builder.t -> Value.t -> Typesys.ty -> Value.t
+
+(** {1 Matchers} *)
+
+val const_int_value : Op.t -> int option
+val const_float_value : Op.t -> float option
+val is_int_binop : string -> bool
+val is_float_binop : string -> bool
+val is_commutative : string -> bool
+
+val checks : Verifier.check list

@@ -1,0 +1,74 @@
+(* The func dialect: functions, calls and returns.  External declarations
+   (e.g. MPI_Send after the mpi-to-func lowering) are funcs without a body. *)
+
+open Ir
+
+let func = "func.func"
+let return = "func.return"
+let call = "func.call"
+
+(* Define a function with a body built by [f], which receives a builder and
+   the entry block arguments. *)
+let define name ~arg_tys ~res_tys f =
+  let body = Builder.region_with_args arg_tys f in
+  Op.make func
+    ~attrs:
+      [
+        ("sym_name", Typesys.String_attr name);
+        ("function_type", Typesys.Type_attr (Typesys.Fn (arg_tys, res_tys)));
+      ]
+    ~regions: [ body ]
+
+(* Declaration of an external function (no body). *)
+let declare name ~arg_tys ~res_tys =
+  Op.make func
+    ~attrs:
+      [
+        ("sym_name", Typesys.String_attr name);
+        ("function_type", Typesys.Type_attr (Typesys.Fn (arg_tys, res_tys)));
+        ("sym_visibility", Typesys.String_attr "private");
+      ]
+
+let return_op b vs = Builder.emit0 b return ~operands: vs
+
+let call_op b callee args res_tys =
+  let results = List.map Value.fresh res_tys in
+  Builder.add b
+    (Op.make call ~operands: args ~results
+       ~attrs: [ ("callee", Typesys.Symbol_attr callee) ]);
+  results
+
+let call1 b callee args res_ty =
+  match call_op b callee args [ res_ty ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let name_of (op : Op.t) = Op.string_attr_exn op "sym_name"
+
+let signature_of (op : Op.t) =
+  match Op.attr_exn op "function_type" with
+  | Typesys.Type_attr (Typesys.Fn (args, res)) -> (args, res)
+  | _ -> Op.ill_formed "func.func: bad function_type attribute"
+
+let is_declaration (op : Op.t) = op.Op.regions = []
+
+let body_exn (op : Op.t) =
+  match op.Op.regions with
+  | [ r ] -> r
+  | _ -> Op.ill_formed "%s: expected a single body region" (name_of op)
+
+let callee_of (op : Op.t) = Op.symbol_attr_exn op "callee"
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op func (fun op ->
+        match (Op.attr op "sym_name", Op.attr op "function_type") with
+        | Some (Typesys.String_attr _), Some (Typesys.Type_attr (Typesys.Fn _))
+          ->
+            Ok ()
+        | _ -> Error "func.func needs sym_name and function_type");
+    Verifier.for_op call (fun op ->
+        match Op.attr op "callee" with
+        | Some (Typesys.Symbol_attr _) -> Ok ()
+        | _ -> Error "func.call needs a callee symbol");
+  ]

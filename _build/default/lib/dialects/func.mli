@@ -1,0 +1,38 @@
+(** The func dialect: functions, calls and returns.  External declarations
+    (e.g. MPI_Send after the mpi-to-func lowering) are funcs without a
+    body. *)
+
+open Ir
+
+val func : string
+val return : string
+val call : string
+
+val define :
+  string ->
+  arg_tys:Typesys.ty list ->
+  res_tys:Typesys.ty list ->
+  (Builder.t -> Value.t list -> unit) ->
+  Op.t
+(** Define a function whose body is built by the callback (receiving the
+    entry block arguments). *)
+
+val declare :
+  string -> arg_tys:Typesys.ty list -> res_tys:Typesys.ty list -> Op.t
+(** Declaration of an external function (no body). *)
+
+val return_op : Builder.t -> Value.t list -> unit
+
+val call_op :
+  Builder.t -> string -> Value.t list -> Typesys.ty list -> Value.t list
+
+val call1 : Builder.t -> string -> Value.t list -> Typesys.ty -> Value.t
+(** Call with exactly one result. *)
+
+val name_of : Op.t -> string
+val signature_of : Op.t -> Typesys.ty list * Typesys.ty list
+val is_declaration : Op.t -> bool
+val body_exn : Op.t -> Op.region
+val callee_of : Op.t -> string
+
+val checks : Verifier.check list

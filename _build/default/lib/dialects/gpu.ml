@@ -1,0 +1,47 @@
+(* A miniature gpu dialect: device allocation, host/device transfer and
+   kernel launches over an index space.  Functionally the interpreter executes
+   launches like parallel loops; the machine model distinguishes explicit
+   device buffers from managed memory and charges per-launch synchronization
+   (the behaviour behind the paper's Fig. 9/10b analysis). *)
+
+open Ir
+
+let alloc = "gpu.alloc"
+let dealloc = "gpu.dealloc"
+let memcpy = "gpu.memcpy"
+let launch = "gpu.launch"
+let device_attr = "on_device"
+
+let alloc_op b shape elt =
+  Builder.emit1 b alloc (Typesys.Memref (shape, elt))
+
+let dealloc_op b m = Builder.emit0 b dealloc ~operands: [ m ]
+
+(* Copy between host and device buffers (direction implied by operands). *)
+let memcpy_op b ~src ~dst = Builder.emit0 b memcpy ~operands: [ src; dst ]
+
+(* Launch a kernel body over an n-dimensional index space given by upper
+   bounds.  [synchronous] mirrors the MLIR scf-to-gpu limitation: the host
+   blocks at the end of every kernel. *)
+let launch_op b ?(synchronous = true) ~ubs body =
+  let n = List.length ubs in
+  let region =
+    Builder.region_with_args (List.init n (fun _ -> Typesys.Index)) body
+  in
+  Builder.emit0 b launch ~operands: ubs
+    ~attrs: [ ("synchronous", Typesys.Bool_attr synchronous) ]
+    ~regions: [ region ]
+
+let count_launches m =
+  Op.fold (fun n op -> if op.Op.name = launch then n + 1 else n) 0 m
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op launch (fun op ->
+        if List.length op.Op.regions = 1 then Ok ()
+        else Error "gpu.launch needs exactly one region");
+    Verifier.for_op memcpy (fun op ->
+        match op.Op.operands with
+        | [ a; b ] when Typesys.equal_ty (Value.ty a) (Value.ty b) -> Ok ()
+        | _ -> Error "gpu.memcpy operands must be same-typed memrefs");
+  ]

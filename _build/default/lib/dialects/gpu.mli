@@ -1,0 +1,28 @@
+(** A miniature gpu dialect: device allocation, host/device transfer and
+    kernel launches over an index space.  The machine model distinguishes
+    explicit device buffers from managed memory and charges per-launch
+    synchronization (paper fig. 9/10b). *)
+
+open Ir
+
+val alloc : string
+val dealloc : string
+val memcpy : string
+val launch : string
+val device_attr : string
+
+val alloc_op : Builder.t -> int list -> Typesys.ty -> Value.t
+val dealloc_op : Builder.t -> Value.t -> unit
+val memcpy_op : Builder.t -> src:Value.t -> dst:Value.t -> unit
+
+val launch_op :
+  Builder.t ->
+  ?synchronous:bool ->
+  ubs:Value.t list ->
+  (Builder.t -> Value.t list -> unit) ->
+  unit
+(** Launch a kernel body over an n-D index space; [synchronous] mirrors
+    the MLIR scf-to-gpu limitation of a blocking host sync per kernel. *)
+
+val count_launches : Op.t -> int
+val checks : Verifier.check list

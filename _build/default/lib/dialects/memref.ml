@@ -1,0 +1,84 @@
+(* The memref dialect: statically shaped memory buffers with load/store. *)
+
+open Ir
+
+let alloc = "memref.alloc"
+let dealloc = "memref.dealloc"
+let load = "memref.load"
+let store = "memref.store"
+let copy = "memref.copy"
+let extract_ptr = "memref.extract_ptr"
+
+let alloc_op b shape elt =
+  Builder.emit1 b alloc (Typesys.Memref (shape, elt))
+
+let dealloc_op b m = Builder.emit0 b dealloc ~operands: [ m ]
+
+let load_op b m indices =
+  let elt =
+    match Value.ty m with
+    | Typesys.Memref (_, t) -> t
+    | t ->
+        Op.ill_formed "memref.load on non-memref type %s"
+          (Typesys.ty_to_string t)
+  in
+  Builder.emit1 b load elt ~operands: (m :: indices)
+
+let store_op b value m indices =
+  Builder.emit0 b store ~operands: ((value :: m :: indices))
+
+let copy_op b ~src ~dst = Builder.emit0 b copy ~operands: [ src; dst ]
+
+(* Extract an opaque pointer to the buffer, used by the mpi-to-func lowering
+   (the analogue of unwrapping a memref into an !llvm.ptr). *)
+let extract_ptr_op b m = Builder.emit1 b extract_ptr Typesys.Ptr ~operands: [ m ]
+
+let shape_of v =
+  match Value.ty v with
+  | Typesys.Memref (shape, _) -> shape
+  | t ->
+      Op.ill_formed "expected memref, got %s" (Typesys.ty_to_string t)
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op load (fun op ->
+        match op.Op.operands with
+        | m :: indices -> (
+            match Value.ty m with
+            | Typesys.Memref (shape, elt) ->
+                if List.length indices <> List.length shape then
+                  Error "load index count must match memref rank"
+                else if
+                  not
+                    (List.for_all
+                       (fun i -> Value.ty i = Typesys.Index)
+                       indices)
+                then Error "load indices must be index-typed"
+                else if
+                  match op.Op.results with
+                  | [ r ] -> Typesys.equal_ty (Value.ty r) elt
+                  | _ -> false
+                then Ok ()
+                else Error "load result must be the memref element type"
+            | _ -> Error "load base must be a memref")
+        | [] -> Error "load needs a memref operand");
+    Verifier.for_op store (fun op ->
+        match op.Op.operands with
+        | v :: m :: indices -> (
+            match Value.ty m with
+            | Typesys.Memref (shape, elt) ->
+                if List.length indices <> List.length shape then
+                  Error "store index count must match memref rank"
+                else if not (Typesys.equal_ty (Value.ty v) elt) then
+                  Error "stored value must be the memref element type"
+                else Ok ()
+            | _ -> Error "store base must be a memref")
+        | _ -> Error "store needs value and memref operands");
+    Verifier.for_op alloc (fun op ->
+        match op.Op.results with
+        | [ r ] -> (
+            match Value.ty r with
+            | Typesys.Memref _ -> Ok ()
+            | _ -> Error "alloc result must be a memref")
+        | _ -> Error "alloc has exactly one result");
+  ]

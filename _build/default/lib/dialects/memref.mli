@@ -1,0 +1,24 @@
+(** The memref dialect: statically shaped memory buffers. *)
+
+open Ir
+
+val alloc : string
+val dealloc : string
+val load : string
+val store : string
+val copy : string
+val extract_ptr : string
+
+val alloc_op : Builder.t -> int list -> Typesys.ty -> Value.t
+val dealloc_op : Builder.t -> Value.t -> unit
+val load_op : Builder.t -> Value.t -> Value.t list -> Value.t
+val store_op : Builder.t -> Value.t -> Value.t -> Value.t list -> unit
+val copy_op : Builder.t -> src:Value.t -> dst:Value.t -> unit
+
+val extract_ptr_op : Builder.t -> Value.t -> Value.t
+(** Extract an opaque pointer to the buffer (the memref unwrapping of the
+    mpi-to-func lowering). *)
+
+val shape_of : Value.t -> int list
+
+val checks : Verifier.check list

@@ -1,0 +1,29 @@
+(* A miniature omp dialect: a parallel region wrapping a loop nest.  The
+   interpreter runs the body sequentially; the machine model charges a
+   fork/join barrier per region — the effect behind the paper's tracer
+   advection findings (one omp.parallel per scf.parallel after conversion). *)
+
+open Ir
+
+let parallel = "omp.parallel"
+
+let parallel_op b ?(num_threads = 0) body =
+  let region = Builder.region_of body in
+  let attrs =
+    if num_threads > 0 then
+      [ ("num_threads", Typesys.Int_attr (num_threads, Typesys.i64)) ]
+    else []
+  in
+  Builder.emit0 b parallel ~attrs ~regions: [ region ]
+
+(* Count omp.parallel regions in a module: the machine model's input for
+   fork/join overhead. *)
+let count_regions m =
+  Op.fold (fun n op -> if op.Op.name = parallel then n + 1 else n) 0 m
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op parallel (fun op ->
+        if List.length op.Op.regions = 1 then Ok ()
+        else Error "omp.parallel needs exactly one region");
+  ]

@@ -1,0 +1,13 @@
+(** A miniature omp dialect: a parallel region wrapping a loop nest.  The
+    machine model charges a fork/join barrier per region — the effect
+    behind the paper's tracer-advection findings. *)
+
+open Ir
+
+val parallel : string
+val parallel_op : Builder.t -> ?num_threads:int -> (Builder.t -> unit) -> unit
+
+val count_regions : Op.t -> int
+(** omp.parallel regions in a module: the fork/join overhead input. *)
+
+val checks : Verifier.check list

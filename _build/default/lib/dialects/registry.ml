@@ -1,0 +1,6 @@
+(* All verifier checks of the generic dialects, to be combined with the
+   stencil/dmp/mpi/hls checks from the core library. *)
+
+let checks : Ir.Verifier.check list =
+  Arith.checks @ Func.checks @ Scf.checks @ Memref.checks @ Omp.checks
+  @ Gpu.checks

@@ -1,0 +1,3 @@
+(** Verifier checks of all generic dialects. *)
+
+val checks : Ir.Verifier.check list

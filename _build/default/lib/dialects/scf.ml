@@ -1,0 +1,101 @@
+(* The scf dialect: structured control flow — for loops (with loop-carried
+   values), conditionals, and parallel loop nests. *)
+
+open Ir
+
+let for_ = "scf.for"
+let if_ = "scf.if"
+let parallel = "scf.parallel"
+let yield = "scf.yield"
+
+(* scf.for %i = %lo to %hi step %st iter_args(...) { body }.
+   [f] receives the builder, the induction variable and the iteration
+   arguments and must end the region with an scf.yield of the next iteration
+   values. *)
+let for_op b ~lo ~hi ~step ?(init = []) f =
+  let iter_tys = List.map Value.ty init in
+  let region =
+    Builder.region_with_args (Typesys.Index :: iter_tys) (fun body args ->
+        match args with
+        | iv :: iter_args -> f body iv iter_args
+        | [] -> assert false)
+  in
+  let results = List.map Value.fresh iter_tys in
+  Builder.add b
+    (Op.make for_
+       ~operands: ((lo :: hi :: step :: init))
+       ~results ~regions: [ region ]);
+  results
+
+let yield_op b vs = Builder.emit0 b yield ~operands: vs
+
+(* scf.if %cond -> (tys) { then } { else }. *)
+let if_op b cond ~res_tys ~then_ ~else_ =
+  let then_region = Builder.region_of then_ in
+  let else_region = Builder.region_of else_ in
+  let results = List.map Value.fresh res_tys in
+  Builder.add b
+    (Op.make if_ ~operands: [ cond ] ~results
+       ~regions: [ then_region; else_region ]);
+  results
+
+(* scf.parallel (%i, %j, ...) = (lbs) to (ubs) step (steps) { body }.
+   The operand list is lbs @ ubs @ steps; the loop count is recorded in the
+   num_loops attribute so the three groups can be recovered. *)
+let parallel_op b ~lbs ~ubs ~steps f =
+  let n = List.length lbs in
+  if List.length ubs <> n || List.length steps <> n then
+    invalid_arg "Scf.parallel_op: rank mismatch";
+  let region =
+    Builder.region_with_args
+      (List.init n (fun _ -> Typesys.Index))
+      (fun body ivs ->
+        f body ivs;
+        yield_op body [])
+  in
+  Builder.add b
+    (Op.make parallel
+       ~operands: (lbs @ ubs @ steps)
+       ~attrs: [ ("num_loops", Typesys.Int_attr (n, Typesys.i64)) ]
+       ~regions: [ region ])
+
+(* Accessors for scf.parallel operand groups. *)
+let parallel_bounds (op : Op.t) =
+  let n = Op.int_attr_exn op "num_loops" in
+  let rec split k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | x :: rest ->
+          let a, b = split (k - 1) rest in
+          (x :: a, b)
+      | [] -> Op.ill_formed "scf.parallel: not enough operands"
+  in
+  let lbs, rest = split n op.Op.operands in
+  let ubs, steps = split n rest in
+  (lbs, ubs, steps)
+
+let for_bounds (op : Op.t) =
+  match op.Op.operands with
+  | lo :: hi :: step :: init -> (lo, hi, step, init)
+  | _ -> Op.ill_formed "scf.for: expected at least 3 operands"
+
+let checks : Verifier.check list =
+  [
+    Verifier.for_op for_ (fun op ->
+        if List.length op.Op.operands >= 3 && List.length op.Op.regions = 1
+        then Ok ()
+        else Error "scf.for needs lo/hi/step and one region");
+    Verifier.for_op if_ (fun op ->
+        match (op.Op.operands, op.Op.regions) with
+        | [ c ], [ _; _ ] when Value.ty c = Typesys.i1 -> Ok ()
+        | _ -> Error "scf.if needs an i1 condition and two regions");
+    Verifier.for_op parallel (fun op ->
+        let n =
+          match Op.attr op "num_loops" with
+          | Some (Typesys.Int_attr (n, _)) -> n
+          | _ -> -1
+        in
+        if n > 0 && List.length op.Op.operands = 3 * n then Ok ()
+        else Error "scf.parallel needs num_loops and 3*n operands");
+  ]

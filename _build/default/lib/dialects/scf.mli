@@ -1,0 +1,46 @@
+(** The scf dialect: structured control flow — for loops with loop-carried
+    values, conditionals, and parallel loop nests. *)
+
+open Ir
+
+val for_ : string
+val if_ : string
+val parallel : string
+val yield : string
+
+val for_op :
+  Builder.t ->
+  lo:Value.t ->
+  hi:Value.t ->
+  step:Value.t ->
+  ?init:Value.t list ->
+  (Builder.t -> Value.t -> Value.t list -> unit) ->
+  Value.t list
+(** [scf.for]: the body callback receives the induction variable and the
+    iteration arguments and must end with an scf.yield of the next
+    iteration values; returns the final values. *)
+
+val yield_op : Builder.t -> Value.t list -> unit
+
+val if_op :
+  Builder.t ->
+  Value.t ->
+  res_tys:Typesys.ty list ->
+  then_:(Builder.t -> unit) ->
+  else_:(Builder.t -> unit) ->
+  Value.t list
+
+val parallel_op :
+  Builder.t ->
+  lbs:Value.t list ->
+  ubs:Value.t list ->
+  steps:Value.t list ->
+  (Builder.t -> Value.t list -> unit) ->
+  unit
+(** [scf.parallel]: the operand list is lbs @ ubs @ steps with the loop
+    count in the num_loops attribute. *)
+
+val parallel_bounds : Op.t -> Value.t list * Value.t list * Value.t list
+val for_bounds : Op.t -> Value.t * Value.t * Value.t * Value.t list
+
+val checks : Verifier.check list

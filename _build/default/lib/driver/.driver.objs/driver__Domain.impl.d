@@ -1,0 +1,1 @@
+lib/driver/domain.ml: Core Dialects Interp Ir List Op Typesys

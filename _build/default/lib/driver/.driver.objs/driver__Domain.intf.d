@@ -1,0 +1,1 @@
+lib/driver/domain.mli: Interp Ir Op Typesys

@@ -1,0 +1,1 @@
+lib/driver/runtime_link.ml: Array Core Hashtbl Interp Ir List Mpi_sim Op String Typesys

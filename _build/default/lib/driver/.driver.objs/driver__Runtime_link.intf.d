@@ -1,0 +1,1 @@
+lib/driver/runtime_link.mli: Interp Mpi_sim

@@ -1,0 +1,1 @@
+lib/driver/simulate.ml: Array Float Interp Ir Mpi_sim Op Runtime_link

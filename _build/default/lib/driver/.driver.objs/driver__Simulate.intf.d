@@ -1,0 +1,1 @@
+lib/driver/simulate.mli: Interp Ir Mpi_sim Op

@@ -1,0 +1,91 @@
+(* Host-side domain decomposition helpers: scatter a global field into
+   rank-local buffers (halos included) and gather rank interiors back.  Used
+   by examples, tests and benchmarks to set up and check distributed runs. *)
+
+open Ir
+
+let rank_coords ~grid rank =
+  let strides = Core.Dmp_to_mpi.grid_strides grid in
+  List.map2 (fun g s -> rank / s mod g) grid strides
+
+(* Iterate over all logical coordinates of a buffer. *)
+let iter_coords (b : Interp.Rtval.buffer) f =
+  let rec nest shape lo coords =
+    match (shape, lo) with
+    | [], [] -> f (List.rev coords)
+    | s :: shape', l :: lo' ->
+        for i = l to l + s - 1 do
+          nest shape' lo' (i :: coords)
+        done
+    | _ -> invalid_arg "iter_coords"
+  in
+  nest b.Interp.Rtval.shape b.Interp.Rtval.lo []
+
+(* Allocate the local buffer for [rank] of a field with [local_bounds],
+   filling every point (interior and halo) from the global buffer where the
+   corresponding global coordinate exists, and 0 elsewhere. *)
+let scatter_field ~(global : Interp.Rtval.buffer) ~grid
+    ~(local_bounds : Typesys.bound list) ~rank : Interp.Rtval.buffer =
+  let coords = rank_coords ~grid rank in
+  (* Ghost margins are symmetric ([lo, hi) = [-m, n_loc + m)), so the local
+     interior extent per dimension is hi + lo. *)
+  let interior =
+    List.map
+      (fun (b : Typesys.bound) -> b.Typesys.hi + b.Typesys.lo)
+      local_bounds
+  in
+  let shape = List.map Typesys.bound_size local_bounds in
+  let lo = List.map (fun (b : Typesys.bound) -> b.Typesys.lo) local_bounds in
+  let local =
+    Interp.Rtval.alloc_buffer ~lo shape global.Interp.Rtval.elt
+  in
+  let offset = List.map2 (fun c n -> c * n) coords interior in
+  iter_coords local (fun local_coords ->
+      let global_coords = List.map2 ( + ) local_coords offset in
+      let in_bounds =
+        List.for_all2
+          (fun gc (s, l) -> gc >= l && gc < l + s)
+          global_coords
+          (List.combine global.Interp.Rtval.shape global.Interp.Rtval.lo)
+      in
+      if in_bounds then
+        Interp.Rtval.set local local_coords
+          (Interp.Rtval.get global global_coords));
+  local
+
+(* Copy the interior [0, interior) of [local] into the global buffer at this
+   rank's offset.  [origin] shifts local coordinates for buffers whose
+   logical origin was rebased to zero after lowering (pass the halo width
+   per dimension). *)
+let gather_interior ?origin ~(global : Interp.Rtval.buffer)
+    ~(local : Interp.Rtval.buffer) ~grid ~(interior : int list) ~rank () :
+    unit =
+  let coords = rank_coords ~grid rank in
+  let offset = List.map2 (fun c n -> c * n) coords interior in
+  let origin =
+    match origin with Some o -> o | None -> List.map (fun _ -> 0) interior
+  in
+  let rec nest dims coords =
+    match dims with
+    | [] ->
+        let local_coords = List.rev coords in
+        let global_coords = List.map2 ( + ) local_coords offset in
+        Interp.Rtval.set global global_coords
+          (Interp.Rtval.get local (List.map2 ( + ) local_coords origin))
+    | n :: rest ->
+        for i = 0 to n - 1 do
+          nest rest (i :: coords)
+        done
+  in
+  nest interior []
+
+(* Local bounds of a distributed function's field arguments, read straight
+   off the (already localized) types. *)
+let field_arg_bounds (fop : Op.t) : Typesys.bound list list =
+  let arg_tys, _ = Dialects.Func.signature_of fop in
+  List.filter_map Typesys.bounds_of arg_tys
+
+let topology_of (fop : Op.t) : int list =
+  match Op.attr fop "dmp.topology" with
+  | Some (Typesys.Grid_attr g) -> g
+  | _ -> Op.ill_formed "function has no dmp.topology attribute"

@@ -1,0 +1,38 @@
+(** Host-side domain decomposition helpers: scatter a global field into
+    rank-local buffers (halos included) and gather rank interiors back. *)
+
+open Ir
+
+val rank_coords : grid:int list -> int -> int list
+(** Cartesian coordinates of a rank in a row-major grid. *)
+
+val iter_coords : Interp.Rtval.buffer -> (int list -> unit) -> unit
+
+val scatter_field :
+  global:Interp.Rtval.buffer ->
+  grid:int list ->
+  local_bounds:Typesys.bound list ->
+  rank:int ->
+  Interp.Rtval.buffer
+(** The local buffer for [rank]: every point (interior and halo) filled
+    from the global buffer where the global coordinate exists, 0
+    elsewhere.  Assumes symmetric ghost margins. *)
+
+val gather_interior :
+  ?origin:int list ->
+  global:Interp.Rtval.buffer ->
+  local:Interp.Rtval.buffer ->
+  grid:int list ->
+  interior:int list ->
+  rank:int ->
+  unit ->
+  unit
+(** Copy the local interior into the global buffer at the rank's offset;
+    [origin] shifts local coordinates for buffers rebased to zero after
+    lowering. *)
+
+val field_arg_bounds : Op.t -> Typesys.bound list list
+(** Bounds of a function's stencil-typed arguments. *)
+
+val topology_of : Op.t -> int list
+(** The dmp.topology attribute left by the distribution pass. *)

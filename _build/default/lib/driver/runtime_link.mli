@@ -1,0 +1,13 @@
+(** Binding between interpreted IR and the simulated MPI runtime: an
+    {!Interp.Engine.externs} handler for one rank that implements the fully
+    lowered MPI_* ABI (with mpich magic constants), the mpi dialect ops,
+    and the dmp dialect's declarative swaps — so distributed programs can
+    be executed and validated at every lowering stage. *)
+
+type state
+(** Per-rank handler state (request-handle table). *)
+
+val create : Mpi_sim.rank_ctx -> state
+
+val externs_for : state -> Interp.Engine.externs
+(** The combined handler for one rank. *)

@@ -1,0 +1,44 @@
+(* SPMD execution of a compiled module on the simulated MPI runtime: every
+   rank interprets the same module with its own external-call state, exactly
+   as the generated executable would run under mpirun. *)
+
+open Ir
+
+(* Run [func] on [ranks] simulated ranks.  [make_args] builds each rank's
+   argument list (typically scattered local fields); [collect] receives the
+   rank context, its argument list and the function results once the rank
+   finishes.  Returns the communicator for traffic inspection. *)
+let run_spmd ~(ranks : int) ~(func : string)
+    ~(make_args : Mpi_sim.rank_ctx -> Interp.Rtval.t list)
+    ?(collect :
+        (Mpi_sim.rank_ctx -> Interp.Rtval.t list -> Interp.Rtval.t list -> unit)
+        option) (m : Op.t) : Mpi_sim.comm =
+  Mpi_sim.run ~ranks (fun ctx ->
+      let st = Runtime_link.create ctx in
+      let eng = Interp.Engine.create ~externs: (Runtime_link.externs_for st) m in
+      let args = make_args ctx in
+      let results = Interp.Engine.run eng func args in
+      match collect with
+      | Some f -> f ctx args results
+      | None -> ())
+
+(* Serial execution (no MPI): interpret [func] with the given arguments. *)
+let run_serial ~(func : string) (m : Op.t) (args : Interp.Rtval.t list) :
+    Interp.Rtval.t list =
+  let eng = Interp.Engine.create m in
+  Interp.Engine.run eng func args
+
+(* Maximum absolute difference between two float buffers, used by
+   equivalence checks throughout tests and examples. *)
+let max_abs_diff (a : Interp.Rtval.buffer) (b : Interp.Rtval.buffer) : float
+    =
+  let fa = Interp.Rtval.float_contents a in
+  let fb = Interp.Rtval.float_contents b in
+  if Array.length fa <> Array.length fb then infinity
+  else begin
+    let worst = ref 0. in
+    Array.iteri
+      (fun i v -> worst := Float.max !worst (Float.abs (v -. fb.(i))))
+      fa;
+    !worst
+  end

@@ -1,0 +1,24 @@
+(** SPMD execution of compiled modules on the simulated MPI runtime: every
+    rank interprets the same module with its own external-call state,
+    exactly as the generated executable would run under mpirun. *)
+
+open Ir
+
+val run_spmd :
+  ranks:int ->
+  func:string ->
+  make_args:(Mpi_sim.rank_ctx -> Interp.Rtval.t list) ->
+  ?collect:
+    (Mpi_sim.rank_ctx -> Interp.Rtval.t list -> Interp.Rtval.t list -> unit) ->
+  Op.t ->
+  Mpi_sim.comm
+(** Run [func] on [ranks] simulated ranks; [make_args] builds each rank's
+    arguments (typically scattered local fields), [collect] receives the
+    context, arguments and results when a rank finishes.  Returns the
+    communicator for traffic inspection. *)
+
+val run_serial : func:string -> Op.t -> Interp.Rtval.t list -> Interp.Rtval.t list
+
+val max_abs_diff : Interp.Rtval.buffer -> Interp.Rtval.buffer -> float
+(** Equivalence metric used throughout tests and examples (infinite when
+    shapes differ). *)

@@ -1,0 +1,1 @@
+lib/exec/interp/engine.ml: Core Dialects Float Hashtbl Ir List Op Queue Rtval Typesys Value

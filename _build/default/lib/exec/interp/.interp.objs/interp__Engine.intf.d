@@ -1,0 +1,1 @@
+lib/exec/interp/engine.mli: Hashtbl Ir Op Rtval

@@ -1,0 +1,1 @@
+lib/exec/interp/rtval.ml: Array Format Ir List Queue

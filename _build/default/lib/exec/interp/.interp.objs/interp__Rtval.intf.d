@@ -1,0 +1,1 @@
+lib/exec/interp/rtval.mli: Format Ir Queue

@@ -1,0 +1,369 @@
+(* The IR interpreter: a reference executor for every dialect in the stack.
+
+   It runs programs at any lowering stage — high-level stencil programs,
+   scf/memref loop nests, and fully lowered modules whose MPI_* calls are
+   bound to external handlers — so each lowering can be validated by
+   comparing executions before and after. *)
+
+open Ir
+
+type externs = Op.t -> Rtval.t list -> Rtval.t list option
+
+type t = {
+  funcs : (string, Op.t) Hashtbl.t;
+  externs : externs;
+  mutable ops_executed : int;
+}
+
+let create ?(externs = fun _ _ -> None) (m : Op.t) : t =
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Op.t) ->
+      if op.Op.name = "func.func" then
+        match Op.attr op "sym_name" with
+        | Some (Typesys.String_attr name) -> Hashtbl.replace funcs name op
+        | _ -> ())
+    (Op.module_ops m);
+  { funcs; externs; ops_executed = 0 }
+
+type frame = {
+  eng : t;
+  env : (int, Rtval.t) Hashtbl.t;
+  mutable point : int list;  (* current stencil.apply grid point *)
+}
+
+let lookup fr v =
+  match Hashtbl.find_opt fr.env (Value.id v) with
+  | Some rv -> rv
+  | None -> Rtval.error "interpreter: value %%%d is unbound" (Value.id v)
+
+let bind fr v rv = Hashtbl.replace fr.env (Value.id v) rv
+
+let bind_results fr (op : Op.t) rvs =
+  try List.iter2 (bind fr) op.Op.results rvs
+  with Invalid_argument _ ->
+    Rtval.error "%s: produced %d values for %d results" op.Op.name
+      (List.length rvs) (List.length op.Op.results)
+
+(* Integer/float helpers *)
+
+let int_binop name a b =
+  match name with
+  | "arith.addi" -> a + b
+  | "arith.subi" -> a - b
+  | "arith.muli" -> a * b
+  | "arith.divsi" ->
+      if b = 0 then Rtval.error "division by zero" else a / b
+  | "arith.remsi" ->
+      if b = 0 then Rtval.error "remainder by zero" else a mod b
+  | "arith.andi" -> a land b
+  | "arith.ori" -> a lor b
+  | "arith.xori" -> a lxor b
+  | _ -> Rtval.error "unknown integer binop %s" name
+
+let float_binop name a b =
+  match name with
+  | "arith.addf" -> a +. b
+  | "arith.subf" -> a -. b
+  | "arith.mulf" -> a *. b
+  | "arith.divf" -> a /. b
+  | "arith.maximumf" -> Float.max a b
+  | "arith.minimumf" -> Float.min a b
+  | _ -> Rtval.error "unknown float binop %s" name
+
+let compare_pred pred c =
+  match pred with
+  | "eq" -> c = 0
+  | "ne" -> c <> 0
+  | "lt" -> c < 0
+  | "le" -> c <= 0
+  | "gt" -> c > 0
+  | "ge" -> c >= 0
+  | p -> Rtval.error "unknown predicate %s" p
+
+(* Execute the ops of a block; returns the operands of the terminator
+   (scf.yield / func.return / stencil.return) or []. *)
+let rec exec_ops fr (ops : Op.t list) : Rtval.t list =
+  match ops with
+  | [] -> []
+  | [ last ] -> (
+      match last.Op.name with
+      | "scf.yield" | "func.return" | "stencil.return" ->
+          List.map (lookup fr) last.Op.operands
+      | _ ->
+          exec_op fr last;
+          [])
+  | op :: rest ->
+      exec_op fr op;
+      exec_ops fr rest
+
+and exec_region_block fr (r : Op.region) (args : Rtval.t list) : Rtval.t list
+    =
+  let blk = Op.single_block r in
+  List.iter2 (bind fr) blk.Op.args args;
+  exec_ops fr blk.Op.ops
+
+and exec_op fr (op : Op.t) : unit =
+  fr.eng.ops_executed <- fr.eng.ops_executed + 1;
+  let name = op.Op.name in
+  let operand i = lookup fr (Op.operand_exn op i) in
+  match name with
+  | "arith.constant" -> (
+      match Op.attr_exn op "value" with
+      | Typesys.Int_attr (v, _) -> bind_results fr op [ Rtval.Ri v ]
+      | Typesys.Float_attr (v, _) -> bind_results fr op [ Rtval.Rf v ]
+      | _ -> Rtval.error "arith.constant: bad value attribute")
+  | _ when Dialects.Arith.is_int_binop name ->
+      let a = Rtval.as_int (operand 0) and b = Rtval.as_int (operand 1) in
+      bind_results fr op [ Rtval.Ri (int_binop name a b) ]
+  | _ when Dialects.Arith.is_float_binop name ->
+      let a = Rtval.as_float (operand 0) and b = Rtval.as_float (operand 1) in
+      bind_results fr op [ Rtval.Rf (float_binop name a b) ]
+  | "arith.negf" ->
+      bind_results fr op [ Rtval.Rf (-.Rtval.as_float (operand 0)) ]
+  | "arith.cmpi" ->
+      let a = Rtval.as_int (operand 0) and b = Rtval.as_int (operand 1) in
+      let pred = Op.string_attr_exn op "predicate" in
+      bind_results fr op
+        [ Rtval.Ri (if compare_pred pred (compare a b) then 1 else 0) ]
+  | "arith.cmpf" ->
+      let a = Rtval.as_float (operand 0) and b = Rtval.as_float (operand 1) in
+      let pred = Op.string_attr_exn op "predicate" in
+      bind_results fr op
+        [ Rtval.Ri (if compare_pred pred (compare a b) then 1 else 0) ]
+  | "arith.select" ->
+      let c = Rtval.as_int (operand 0) in
+      bind_results fr op [ (if c <> 0 then operand 1 else operand 2) ]
+  | "arith.index_cast" -> bind_results fr op [ operand 0 ]
+  | "arith.sitofp" ->
+      bind_results fr op [ Rtval.Rf (float_of_int (Rtval.as_int (operand 0))) ]
+  | "arith.fptosi" ->
+      bind_results fr op
+        [ Rtval.Ri (int_of_float (Rtval.as_float (operand 0))) ]
+  | "arith.extf" | "arith.truncf" -> bind_results fr op [ operand 0 ]
+  | "memref.alloc" | "gpu.alloc" ->
+      let shape, elt =
+        match Value.ty (Op.result_exn op) with
+        | Typesys.Memref (s, e) -> (s, e)
+        | _ -> Rtval.error "alloc result must be a memref"
+      in
+      bind_results fr op [ Rtval.Rbuf (Rtval.alloc_buffer shape elt) ]
+  | "memref.dealloc" | "gpu.dealloc" -> ()
+  | "memref.load" ->
+      let b = Rtval.as_buffer (operand 0) in
+      let coords =
+        List.map (fun v -> Rtval.as_int (lookup fr v)) (List.tl op.Op.operands)
+      in
+      bind_results fr op [ Rtval.get b coords ]
+  | "memref.store" ->
+      let v = operand 0 in
+      let b = Rtval.as_buffer (operand 1) in
+      let coords =
+        List.map
+          (fun u -> Rtval.as_int (lookup fr u))
+          (List.tl (List.tl op.Op.operands))
+      in
+      Rtval.set b coords v
+  | "memref.copy" | "gpu.memcpy" ->
+      let src = Rtval.as_buffer (operand 0) in
+      let dst = Rtval.as_buffer (operand 1) in
+      Rtval.blit ~src ~dst
+  | "memref.extract_ptr" ->
+      (* A pointer is an alias of the underlying buffer. *)
+      bind_results fr op [ operand 0 ]
+  | "scf.for" ->
+      let lo = Rtval.as_int (operand 0) in
+      let hi = Rtval.as_int (operand 1) in
+      let step = Rtval.as_int (operand 2) in
+      if step <= 0 then Rtval.error "scf.for: step must be positive";
+      let init =
+        List.map (lookup fr)
+          (match op.Op.operands with
+          | _ :: _ :: _ :: rest -> rest
+          | _ -> [])
+      in
+      let region = List.hd op.Op.regions in
+      let rec iterate i carried =
+        if i >= hi then carried
+        else
+          let outs =
+            exec_region_block fr region (Rtval.Ri i :: carried)
+          in
+          iterate (i + step) outs
+      in
+      bind_results fr op (iterate lo init)
+  | "scf.if" ->
+      let c = Rtval.as_int (operand 0) in
+      let region =
+        match op.Op.regions with
+        | [ t; e ] -> if c <> 0 then t else e
+        | _ -> Rtval.error "scf.if needs two regions"
+      in
+      bind_results fr op (exec_region_block fr region [])
+  | "scf.parallel" ->
+      let lbs, ubs, steps = Dialects.Scf.parallel_bounds op in
+      let geti v = Rtval.as_int (lookup fr v) in
+      let lbs = List.map geti lbs
+      and ubs = List.map geti ubs
+      and steps = List.map geti steps in
+      let region = List.hd op.Op.regions in
+      let rec nest dims coords =
+        match dims with
+        | [] ->
+            ignore
+              (exec_region_block fr region
+                 (List.rev_map (fun i -> Rtval.Ri i) coords |> List.rev))
+        | (lo, hi, step) :: rest ->
+            if step <= 0 then Rtval.error "scf.parallel: bad step";
+            let i = ref lo in
+            while !i < hi do
+              nest rest (coords @ [ !i ]);
+              i := !i + step
+            done
+      in
+      nest
+        (List.map2 (fun (l, u) s -> (l, u, s))
+           (List.map2 (fun l u -> (l, u)) lbs ubs)
+           steps)
+        []
+  | "omp.parallel" | "hls.dataflow" | "hls.stage" ->
+      ignore (exec_region_block fr (List.hd op.Op.regions) [])
+  | "gpu.launch" ->
+      let ubs = List.map (fun v -> Rtval.as_int (lookup fr v)) op.Op.operands in
+      let region = List.hd op.Op.regions in
+      let rec nest dims coords =
+        match dims with
+        | [] ->
+            ignore
+              (exec_region_block fr region
+                 (List.map (fun i -> Rtval.Ri i) (List.rev coords)))
+        | n :: rest ->
+            for i = 0 to n - 1 do
+              nest rest (i :: coords)
+            done
+      in
+      nest ubs []
+  | "func.call" ->
+      let callee = Op.symbol_attr_exn op "callee" in
+      let args = List.map (lookup fr) op.Op.operands in
+      bind_results fr op (call_function fr.eng callee args)
+  | "hls.stream_create" ->
+      bind_results fr op [ Rtval.Rstream (Queue.create ()) ]
+  | "hls.stream_read" ->
+      let q = Rtval.as_stream (operand 0) in
+      if Queue.is_empty q then Rtval.error "hls.stream_read: empty stream";
+      bind_results fr op [ Queue.pop q ]
+  | "hls.stream_write" ->
+      let q = Rtval.as_stream (operand 0) in
+      Queue.push (operand 1) q
+  | "hls.shift_buffer" ->
+      (* Functionally: drain the window's worth of elements from the input
+         stream into a fresh buffer (the dataflow cache). *)
+      let q = Rtval.as_stream (operand 0) in
+      let shape, elt =
+        match Value.ty (Op.result_exn op) with
+        | Typesys.Memref (s, e) -> (s, e)
+        | _ -> Rtval.error "hls.shift_buffer result must be a memref"
+      in
+      let buf = Rtval.alloc_buffer shape elt in
+      let n = List.fold_left ( * ) 1 shape in
+      for i = 0 to n - 1 do
+        if Queue.is_empty q then
+          Rtval.error "hls.shift_buffer: stream underflow";
+        Rtval.set_linear buf i (Queue.pop q)
+      done;
+      bind_results fr op [ Rtval.Rbuf buf ]
+  | "stencil.load" | "stencil.cast" ->
+      (* Value semantics at buffer granularity: alias with the bounds of
+         the result type. *)
+      let b = Rtval.as_buffer (operand 0) in
+      let bounds =
+        match Typesys.bounds_of (Value.ty (Op.result_exn op)) with
+        | Some bs -> bs
+        | None -> Rtval.error "%s: result must be a stencil type" name
+      in
+      let lo = List.map (fun (bd : Typesys.bound) -> bd.Typesys.lo) bounds in
+      bind_results fr op [ Rtval.Rbuf { b with Rtval.lo } ]
+  | "stencil.store" ->
+      let src = Rtval.as_buffer (operand 0) in
+      let dst = Rtval.as_buffer (operand 1) in
+      let lb, ub = Core.Stencil.store_range op in
+      iter_box lb ub (fun coords ->
+          Rtval.set dst coords (Rtval.get src coords))
+  | "stencil.apply" -> exec_apply fr op
+  | "stencil.index" ->
+      let d = Op.int_attr_exn op "dim" in
+      bind_results fr op [ Rtval.Ri (List.nth fr.point d) ]
+  | "stencil.access" ->
+      let b = Rtval.as_buffer (operand 0) in
+      let offsets = Core.Stencil.access_offset op in
+      let coords = List.map2 ( + ) fr.point offsets in
+      bind_results fr op [ Rtval.get b coords ]
+  | "func.return" | "scf.yield" | "stencil.return" ->
+      Rtval.error "%s: terminator in non-terminating position" name
+  | _ -> (
+      (* Unknown ops (mpi / dmp dialects) go to the external handler. *)
+      let args = List.map (lookup fr) op.Op.operands in
+      match fr.eng.externs op args with
+      | Some results -> bind_results fr op results
+      | None -> Rtval.error "interpreter: unhandled op %s" name)
+
+and iter_box lb ub f =
+  let rec nest lb ub coords =
+    match (lb, ub) with
+    | [], [] -> f (List.rev coords)
+    | l :: lb', u :: ub' ->
+        for i = l to u - 1 do
+          nest lb' ub' (i :: coords)
+        done
+    | _ -> Rtval.error "box bounds rank mismatch"
+  in
+  nest lb ub []
+
+and exec_apply fr (op : Op.t) : unit =
+  let inputs = List.map (lookup fr) op.Op.operands in
+  let out_bounds =
+    match Typesys.bounds_of (Value.ty (List.hd op.Op.results)) with
+    | Some bs -> bs
+    | None -> Rtval.error "stencil.apply: results must be temps"
+  in
+  let results =
+    List.map
+      (fun r ->
+        match Value.ty r with
+        | Typesys.Temp (bs, elt) ->
+            let shape = List.map Typesys.bound_size bs in
+            let lo = List.map (fun (b : Typesys.bound) -> b.Typesys.lo) bs in
+            Rtval.alloc_buffer ~lo shape elt
+        | _ -> Rtval.error "stencil.apply: results must be temps")
+      op.Op.results
+  in
+  let body = Core.Stencil.apply_body op in
+  let lb = List.map (fun (b : Typesys.bound) -> b.Typesys.lo) out_bounds in
+  let ub = List.map (fun (b : Typesys.bound) -> b.Typesys.hi) out_bounds in
+  let saved_point = fr.point in
+  iter_box lb ub (fun coords ->
+      fr.point <- coords;
+      List.iter2 (bind fr) body.Op.args inputs;
+      let returned = exec_ops fr body.Op.ops in
+      List.iter2 (fun buf v -> Rtval.set buf coords v) results returned);
+  fr.point <- saved_point;
+  bind_results fr op (List.map (fun b -> Rtval.Rbuf b) results)
+
+and call_function (eng : t) (callee : string) (args : Rtval.t list) :
+    Rtval.t list =
+  match Hashtbl.find_opt eng.funcs callee with
+  | Some fop when fop.Op.regions <> [] ->
+      let fr = { eng; env = Hashtbl.create 64; point = [] } in
+      exec_region_block fr (List.hd fop.Op.regions) args
+  | _ -> (
+      (* External function: synthesize a call op for the handler. *)
+      let stub = Op.make "func.call"
+          ~attrs: [ ("callee", Typesys.Symbol_attr callee) ]
+      in
+      match eng.externs stub args with
+      | Some results -> results
+      | None -> Rtval.error "call to undefined function %s" callee)
+
+let run (eng : t) (callee : string) (args : Rtval.t list) : Rtval.t list =
+  call_function eng callee args

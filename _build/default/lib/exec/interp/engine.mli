@@ -1,0 +1,24 @@
+(** The IR interpreter: a reference executor for every dialect in the
+    stack.  It runs programs at any lowering stage — high-level stencil
+    programs, scf/memref loop nests, and fully lowered modules whose MPI_*
+    calls are bound to external handlers — so each lowering is validated by
+    comparing executions before and after. *)
+
+open Ir
+
+type externs = Op.t -> Rtval.t list -> Rtval.t list option
+(** Handler for ops the interpreter does not know (mpi/dmp dialects,
+    external function calls).  For external calls the handler receives a
+    stub func.call op carrying the callee symbol. *)
+
+type t = {
+  funcs : (string, Op.t) Hashtbl.t;
+  externs : externs;
+  mutable ops_executed : int;  (** total ops evaluated, a cost proxy *)
+}
+
+val create : ?externs:externs -> Op.t -> t
+(** Index the functions of a module. *)
+
+val run : t -> string -> Rtval.t list -> Rtval.t list
+(** Call a function by symbol name with the given arguments. *)

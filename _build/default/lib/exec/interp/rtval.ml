@@ -1,0 +1,118 @@
+(* Runtime values of the IR interpreter.  Buffers carry their logical lower
+   bounds so stencil fields and memrefs share one representation (memrefs
+   simply have zero origins).  A buffer value is an alias: copies of the
+   runtime value share the underlying array, which is exactly the semantics
+   of memref and of pointers extracted from memrefs. *)
+
+type data = F of float array | I of int array
+
+type buffer = {
+  shape : int list;
+  lo : int list;  (* logical lower bound per dimension *)
+  data : data;
+  elt : Ir.Typesys.ty;
+}
+
+type t =
+  | Ri of int
+  | Rf of float
+  | Rbuf of buffer
+  | Rstream of t Queue.t
+  | Runit
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let as_int = function
+  | Ri i -> i
+  | v -> error "expected integer value, got %s"
+      (match v with
+      | Rf _ -> "float"
+      | Rbuf _ -> "buffer"
+      | Rstream _ -> "stream"
+      | Runit -> "unit"
+      | Ri _ -> assert false)
+
+let as_float = function
+  | Rf f -> f
+  | Ri i -> float_of_int i
+  | _ -> error "expected float value"
+
+let as_buffer = function Rbuf b -> b | _ -> error "expected buffer value"
+let as_stream = function Rstream q -> q | _ -> error "expected stream value"
+
+let num_elements b = List.fold_left ( * ) 1 b.shape
+
+let alloc_buffer ?(lo = []) shape (elt : Ir.Typesys.ty) =
+  let n = List.fold_left ( * ) 1 shape in
+  let lo = if lo = [] then List.map (fun _ -> 0) shape else lo in
+  let data =
+    match elt with
+    | Ir.Typesys.Float _ -> F (Array.make n 0.)
+    | Ir.Typesys.Int _ | Ir.Typesys.Index -> I (Array.make n 0)
+    | t ->
+        error "cannot allocate buffer of element type %s"
+          (Ir.Typesys.ty_to_string t)
+  in
+  { shape; lo; data; elt }
+
+(* Row-major linear index of logical coordinates [coords]. *)
+let linear_index b coords =
+  let rec go acc shape lo coords =
+    match (shape, lo, coords) with
+    | [], [], [] -> acc
+    | s :: shape, l :: lo, c :: coords ->
+        let i = c - l in
+        if i < 0 || i >= s then
+          error "index %d out of bounds [%d, %d) (logical coordinate %d)" i l
+            (l + s) c
+        else go ((acc * s) + i) shape lo coords
+    | _ -> error "rank mismatch in buffer access"
+  in
+  go 0 b.shape b.lo coords
+
+let get b coords =
+  let i = linear_index b coords in
+  match b.data with F a -> Rf a.(i) | I a -> Ri a.(i)
+
+let set b coords v =
+  let i = linear_index b coords in
+  match (b.data, v) with
+  | F a, Rf f -> a.(i) <- f
+  | F a, Ri n -> a.(i) <- float_of_int n
+  | I a, Ri n -> a.(i) <- n
+  | I a, Rf f -> a.(i) <- int_of_float f
+  | _ -> error "cannot store non-scalar into buffer"
+
+let get_linear b i =
+  match b.data with F a -> Rf a.(i) | I a -> Ri a.(i)
+
+let set_linear b i v =
+  match (b.data, v) with
+  | F a, Rf f -> a.(i) <- f
+  | F a, Ri n -> a.(i) <- float_of_int n
+  | I a, Ri n -> a.(i) <- n
+  | _ -> error "cannot store non-scalar into buffer"
+
+let fill b f =
+  match b.data with
+  | F a -> Array.iteri (fun i _ -> a.(i) <- f i) a
+  | I a -> Array.iteri (fun i _ -> a.(i) <- int_of_float (f i)) a
+
+let float_contents b =
+  match b.data with
+  | F a -> Array.copy a
+  | I a -> Array.map float_of_int a
+
+let blit ~src ~dst =
+  match (src.data, dst.data) with
+  | F a, F b' -> Array.blit a 0 b' 0 (min (Array.length a) (Array.length b'))
+  | I a, I b' -> Array.blit a 0 b' 0 (min (Array.length a) (Array.length b'))
+  | _ -> error "memref.copy between different element kinds"
+
+let default_of (ty : Ir.Typesys.ty) : t =
+  match ty with
+  | Ir.Typesys.Float _ -> Rf 0.
+  | Ir.Typesys.Int _ | Ir.Typesys.Index -> Ri 0
+  | _ -> Runit

@@ -1,0 +1,53 @@
+(** Runtime values of the IR interpreter.  Buffers carry their logical
+    lower bounds so stencil fields and memrefs share one representation;
+    a buffer value is an alias (copies share the underlying array), which
+    is the semantics of memref and of pointers extracted from memrefs. *)
+
+type data = F of float array | I of int array
+
+type buffer = {
+  shape : int list;
+  lo : int list;  (** logical lower bound per dimension *)
+  data : data;
+  elt : Ir.Typesys.ty;
+}
+
+type t =
+  | Ri of int
+  | Rf of float
+  | Rbuf of buffer
+  | Rstream of t Queue.t
+  | Runit
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val as_int : t -> int
+val as_float : t -> float
+val as_buffer : t -> buffer
+val as_stream : t -> t Queue.t
+
+val num_elements : buffer -> int
+
+val alloc_buffer : ?lo:int list -> int list -> Ir.Typesys.ty -> buffer
+(** Zero-initialized buffer of the given shape, element type and optional
+    logical origin. *)
+
+val linear_index : buffer -> int list -> int
+(** Row-major index of logical coordinates; raises on out-of-bounds. *)
+
+val get : buffer -> int list -> t
+val set : buffer -> int list -> t -> unit
+val get_linear : buffer -> int -> t
+val set_linear : buffer -> int -> t -> unit
+
+val fill : buffer -> (int -> float) -> unit
+(** Initialize every element from its linear index. *)
+
+val float_contents : buffer -> float array
+(** A copy of the contents as floats. *)
+
+val blit : src:buffer -> dst:buffer -> unit
+
+val default_of : Ir.Typesys.ty -> t

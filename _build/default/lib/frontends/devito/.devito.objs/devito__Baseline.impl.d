@@ -1,0 +1,1 @@
+lib/frontends/devito/baseline.ml: Array Hashtbl List Machine Operator Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/frontends/devito/baseline.mli: Machine Operator Symbolic

@@ -1,0 +1,1 @@
+lib/frontends/devito/fornberg.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/frontends/devito/operator.ml: Arith Array Core Dialects Func Ir List Op Scf Stencil Symbolic Typesys Value

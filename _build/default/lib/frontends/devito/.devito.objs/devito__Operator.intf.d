@@ -1,0 +1,1 @@
+lib/frontends/devito/operator.mli: Ir Op Symbolic Typesys

@@ -1,0 +1,1 @@
+lib/frontends/devito/symbolic.ml: Array Fornberg List Option

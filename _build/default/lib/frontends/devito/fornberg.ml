@@ -1,0 +1,63 @@
+(* Finite-difference weights on uniform grids via Fornberg's algorithm
+   (Fornberg 1988, "Generation of finite difference formulas on arbitrarily
+   spaced grids").  Devito derives its stencil coefficients symbolically
+   through SymPy; we compute the same central-difference weights directly. *)
+
+(* Weights for the [m]-th derivative at x = 0 given sample locations
+   [points] (grid offsets).  Returns one weight per point. *)
+let weights ~m ~(points : float array) : float array =
+  let n = Array.length points in
+  if m >= n then invalid_arg "Fornberg.weights: need more points than m";
+  (* c.(j).(k): weight of point j for the k-th derivative. *)
+  let c = Array.make_matrix n (m + 1) 0. in
+  let x0 = 0. in
+  c.(0).(0) <- 1.;
+  let c1 = ref 1. in
+  for i = 1 to n - 1 do
+    let c2 = ref 1. in
+    let mn = min i m in
+    for j = 0 to i - 1 do
+      let c3 = points.(i) -. points.(j) in
+      c2 := !c2 *. c3;
+      for k = mn downto 0 do
+        let prev_k1 = if k > 0 then c.(i - 1).(k - 1) else 0. in
+        if j = i - 1 then
+          c.(i).(k) <-
+            !c1
+            *. ((float_of_int k *. prev_k1)
+               -. ((points.(i - 1) -. x0) *. c.(i - 1).(k)))
+            /. !c2
+        else ();
+        let prev_jk1 = if k > 0 then c.(j).(k - 1) else 0. in
+        c.(j).(k) <-
+          (((points.(i) -. x0) *. c.(j).(k)) -. (float_of_int k *. prev_jk1))
+          /. c3
+      done
+    done;
+    c1 := !c2
+  done;
+  Array.init n (fun j -> c.(j).(m))
+
+(* Central-difference weights for the [deriv]-th derivative with
+   space-discretization order [order] (radius = order / 2 for second
+   derivatives, following Devito's convention): returns (offset, weight)
+   pairs scaled by 1 / h^deriv. *)
+let central ~deriv ~order ~h : (int * float) list =
+  if order mod 2 <> 0 then invalid_arg "Fornberg.central: order must be even";
+  let radius = order / 2 in
+  let offsets = Array.init ((2 * radius) + 1) (fun i -> i - radius) in
+  let points = Array.map float_of_int offsets in
+  let w = weights ~m: deriv ~points in
+  let scale = 1. /. Float.pow h (float_of_int deriv) in
+  Array.to_list
+    (Array.mapi (fun i off -> (off, w.(i) *. scale)) offsets)
+  |> List.filter (fun (_, w) -> Float.abs w > 1e-12)
+
+(* First-order forward/backward differences in time, as used by u.dt and
+   u.dt2 with Devito's default 1st/2nd-order time discretizations. *)
+let forward_dt ~dt : (int * float) list =
+  [ (1, 1. /. dt); (0, -1. /. dt) ]
+
+let central_dt2 ~dt : (int * float) list =
+  let d2 = dt *. dt in
+  [ (1, 1. /. d2); (0, -2. /. d2); (-1, 1. /. d2) ]

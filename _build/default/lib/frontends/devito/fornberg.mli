@@ -1,0 +1,18 @@
+(** Finite-difference weights on uniform grids via Fornberg's algorithm
+    (Fornberg 1988).  Devito derives its stencil coefficients symbolically
+    through SymPy; this computes the same central-difference weights
+    directly. *)
+
+val weights : m:int -> points:float array -> float array
+(** Weights of the [m]-th derivative at x = 0 for the given sample
+    locations. *)
+
+val central : deriv:int -> order:int -> h:float -> (int * float) list
+(** Central-difference (offset, weight) pairs for the [deriv]-th derivative
+    at accuracy [order] on spacing [h]; zero weights are dropped. *)
+
+val forward_dt : dt:float -> (int * float) list
+(** First-order forward difference in time (u.dt). *)
+
+val central_dt2 : dt:float -> (int * float) list
+(** Second-order central difference in time (u.dt2). *)

@@ -1,0 +1,182 @@
+(* The Devito Operator: compile a solved update equation into a stencil
+   dialect module with a time loop and circular buffer rotation (paper §5.1,
+   fig. 5/6).  The integration happens at the highest level of Devito's IR:
+   the symbolic expression is parsed for read/write accesses and translated
+   into stencil.apply / stencil.load / stencil.store plus scf/arith ops. *)
+
+open Ir
+open Dialects
+open Core
+
+type t = {
+  op_name : string;
+  target : Symbolic.field;  (* the time function being updated *)
+  update : Symbolic.expr;  (* rhs of u[t+1] = ... *)
+  coefficients : Symbolic.field list;  (* read-only fields in the rhs *)
+  time_depth : int;  (* number of rotating buffers for the target *)
+  halo : (int * int) array;
+  timesteps : int;
+}
+
+(* Symmetric ghost margin per dimension: the stencil radius. *)
+let margin spec =
+  Array.to_list (Array.map (fun (n, p) -> max (-n) p) spec.halo)
+
+let field_bounds spec (fl : Symbolic.field) =
+  let m = margin spec in
+  List.map2
+    (fun n r -> Typesys.bound (-r) (n + r))
+    fl.Symbolic.fgrid.shape m
+
+let create ~name ?(timesteps = 1) ((u, rhs) : Symbolic.field * Symbolic.expr)
+    : t =
+  let rank = Symbolic.rank u in
+  let reads = Symbolic.distinct_reads rhs in
+  let coefficients =
+    List.filter_map
+      (fun ((fl : Symbolic.field), _) ->
+        if fl.Symbolic.name = u.Symbolic.name then None else Some fl)
+      reads
+    |> List.sort_uniq (fun a b ->
+           compare a.Symbolic.name b.Symbolic.name)
+  in
+  let max_back =
+    List.fold_left
+      (fun acc ((fl : Symbolic.field), t) ->
+        if fl.Symbolic.name = u.Symbolic.name then min acc t else acc)
+      0 reads
+  in
+  {
+    op_name = name;
+    target = u;
+    update = rhs;
+    coefficients;
+    time_depth = 2 - max_back;
+    halo = Symbolic.halo_of_expr ~rank rhs;
+    timesteps;
+  }
+
+(* Generate the arith ops for the rhs at one grid point.  [access] resolves
+   a (field, time shift, offsets) triple to a scalar value. *)
+let rec gen_expr bld ~elt ~access (e : Symbolic.expr) : Value.t =
+  match e with
+  | Symbolic.Const c -> Arith.const_float bld ~ty: elt c
+  | Symbolic.Access (fl, t, offs) -> access fl t offs
+  | Symbolic.Add (a, b) ->
+      Arith.add_f bld (gen_expr bld ~elt ~access a) (gen_expr bld ~elt ~access b)
+  | Symbolic.Sub (a, b) ->
+      Arith.sub_f bld (gen_expr bld ~elt ~access a) (gen_expr bld ~elt ~access b)
+  | Symbolic.Mul (a, b) ->
+      Arith.mul_f bld (gen_expr bld ~elt ~access a) (gen_expr bld ~elt ~access b)
+  | Symbolic.Div (a, b) ->
+      Arith.div_f bld (gen_expr bld ~elt ~access a) (gen_expr bld ~elt ~access b)
+  | Symbolic.Neg a -> Arith.neg_f bld (gen_expr bld ~elt ~access a)
+
+(* Build the stencil-dialect module.
+
+   Function signature: one field argument per time level of the target
+   (oldest first), then one per coefficient field.  The body is
+   scf.for t: load the levels read by the rhs, apply, store into the
+   scratch (oldest) buffer, rotate. *)
+let build ?(elt = Typesys.f32) (spec : t) : Op.t =
+  let u = spec.target in
+  let n = u.Symbolic.fgrid.shape in
+  let u_bounds = field_bounds spec u in
+  let u_ty = Stencil.field_ty u_bounds elt in
+  let coeff_tys =
+    List.map
+      (fun fl -> Stencil.field_ty (field_bounds spec fl) elt)
+      spec.coefficients
+  in
+  let arg_tys = List.init spec.time_depth (fun _ -> u_ty) @ coeff_tys in
+  let out_bounds = List.map (fun d -> Typesys.bound 0 d) n in
+  let fdef =
+    Func.define spec.op_name ~arg_tys ~res_tys: arg_tys (fun bld args ->
+        let time_bufs, coeff_bufs =
+          let rec split k xs =
+            if k = 0 then ([], xs)
+            else
+              match xs with
+              | x :: rest ->
+                  let a, b = split (k - 1) rest in
+                  (x :: a, b)
+              | [] -> assert false
+          in
+          split spec.time_depth args
+        in
+        let lo = Arith.const_index bld 0 in
+        let hi = Arith.const_index bld spec.timesteps in
+        let step = Arith.const_index bld 1 in
+        let outs =
+          Scf.for_op bld ~lo ~hi ~step ~init: (time_bufs @ coeff_bufs)
+            (fun body _iv iters ->
+              let rec split k xs =
+                if k = 0 then ([], xs)
+                else
+                  match xs with
+                  | x :: rest ->
+                      let a, b = split (k - 1) rest in
+                      (x :: a, b)
+                  | [] -> assert false
+              in
+              let levels, coeffs = split spec.time_depth iters in
+              (* levels = [oldest; ...; current]; write into oldest. *)
+              let current = List.nth levels (spec.time_depth - 1) in
+              let scratch = List.hd levels in
+              (* Load each (field, tshift) actually read. *)
+              let reads = Symbolic.distinct_reads spec.update in
+              let load_of ((fl : Symbolic.field), t) =
+                if fl.Symbolic.name = u.Symbolic.name then
+                  (* t = 0 -> current; t = -1 -> previous = levels[depth-2]. *)
+                  let idx = spec.time_depth - 1 + t in
+                  Stencil.load_op body (List.nth levels idx)
+                else begin
+                  let rec find i = function
+                    | [] -> Op.ill_formed "unknown coefficient field"
+                    | (c : Symbolic.field) :: rest ->
+                        if c.Symbolic.name = fl.Symbolic.name then
+                          List.nth coeffs i
+                        else find (i + 1) rest
+                  in
+                  Stencil.load_op body (find 0 spec.coefficients)
+                end
+              in
+              let temps = List.map (fun r -> (r, load_of r)) reads in
+              let inputs = List.map snd temps in
+              let results =
+                Stencil.apply_op body ~inputs ~out_bounds ~elt ~n_results: 1
+                  (fun ab bargs ->
+                    let temp_args = List.combine (List.map fst temps) bargs in
+                    let access fl t offs =
+                      let rec find = function
+                        | [] ->
+                            Op.ill_formed "access to unloaded field %s"
+                              fl.Symbolic.name
+                        | (((fl' : Symbolic.field), t'), arg) :: rest ->
+                            if fl'.Symbolic.name = fl.Symbolic.name && t' = t
+                            then arg
+                            else find rest
+                      in
+                      Stencil.access_op ab (find temp_args) offs
+                    in
+                    let v = gen_expr ab ~elt ~access spec.update in
+                    Stencil.return_vals ab [ v ])
+              in
+              Stencil.store_op body (List.hd results) scratch
+                ~lb: (List.map (fun _ -> 0) n)
+                ~ub: n;
+              (* Rotate: drop the oldest (now newest) to the back. *)
+              let rotated = List.tl levels @ [ scratch ] in
+              ignore current;
+              Scf.yield_op body (rotated @ coeffs))
+        in
+        Func.return_op bld outs)
+  in
+  Op.module_op [ fdef ]
+
+(* Convenience: model, solve, build in one go, as in Devito's
+   `op = Operator(Eq(u.forward, solve(eqn, u.forward)))`. *)
+let operator ~name ?timesteps ?elt eqn =
+  let solved = Symbolic.solve eqn in
+  let spec = create ~name ?timesteps solved in
+  (spec, build ?elt spec)

@@ -1,0 +1,38 @@
+(** The Devito Operator (paper §5.1, figs. 5–6): compile a solved update
+    equation into a stencil-dialect module with a time loop and circular
+    buffer rotation.  Integration happens at the highest level of Devito's
+    IR: the symbolic expression is parsed for read/write accesses and
+    translated into stencil/scf/arith ops. *)
+
+open Ir
+
+type t = {
+  op_name : string;
+  target : Symbolic.field;
+  update : Symbolic.expr;
+  coefficients : Symbolic.field list;  (** read-only rhs fields *)
+  time_depth : int;  (** rotating buffers (2 for heat, 3 for wave) *)
+  halo : (int * int) array;
+  timesteps : int;
+}
+
+val margin : t -> int list
+(** Symmetric ghost margin per dimension (the stencil radius). *)
+
+val field_bounds : t -> Symbolic.field -> Typesys.bound list
+
+val create : name:string -> ?timesteps:int -> Symbolic.field * Symbolic.expr -> t
+
+val build : ?elt:Typesys.ty -> t -> Op.t
+(** The stencil-dialect module: one field argument per time level plus the
+    coefficient fields; scf.for time loop with load/apply/store and buffer
+    rotation. *)
+
+val operator :
+  name:string ->
+  ?timesteps:int ->
+  ?elt:Typesys.ty ->
+  Symbolic.equation ->
+  t * Op.t
+(** Model, solve and build in one go, as in
+    [Operator(Eq(u.forward, solve(eqn, u.forward)))]. *)

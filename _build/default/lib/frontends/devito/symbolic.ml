@@ -1,0 +1,173 @@
+(* The Devito-style symbolic layer: grids, (time-)functions, symbolic
+   expressions with finite-difference derivative operators, equations and
+   [solve] (paper §5.1, listing 5).
+
+   Users model PDEs as textbook maths; derivative operators expand to
+   weighted sums of shifted accesses using Fornberg weights, and [solve]
+   inverts the time discretization to produce the forward-update
+   expression. *)
+
+type grid = {
+  shape : int list;  (** interior points per dimension *)
+  spacing : float list;  (** grid spacing h per dimension *)
+  dt : float;  (** timestep *)
+}
+
+let grid ?(spacing = []) ?(dt = 0.1) shape =
+  let spacing =
+    if spacing = [] then List.map (fun _ -> 1.) shape else spacing
+  in
+  { shape; spacing; dt }
+
+(* A discretized field on a grid.  [time_order] > 0 makes it a
+   TimeFunction with that many levels of history. *)
+type field = {
+  name : string;
+  fgrid : grid;
+  space_order : int;
+  time_order : int;
+}
+
+let function_ ?(time_order = 1) ?(space_order = 2) name fgrid =
+  { name; fgrid; space_order; time_order }
+
+(* Symbolic expressions.  An access names a field at a relative time shift
+   (0 = current step, +1 = forward, -1 = backward) and relative space
+   offsets. *)
+type expr =
+  | Const of float
+  | Access of field * int * int list
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+
+let ( +: ) a b = Add (a, b)
+let ( -: ) a b = Sub (a, b)
+let ( *: ) a b = Mul (a, b)
+let ( /: ) a b = Div (a, b)
+let f c = Const c
+
+(* u at the current timestep, centered. *)
+let at ?(t = 0) field offsets = Access (field, t, offsets)
+
+let here field = at field (List.map (fun _ -> 0) field.fgrid.shape)
+
+let forward field = at ~t: 1 field (List.map (fun _ -> 0) field.fgrid.shape)
+let backward field = at ~t: (-1) field (List.map (fun _ -> 0) field.fgrid.shape)
+
+let rank field = List.length field.fgrid.shape
+
+let shift_offsets base d off =
+  List.mapi (fun i o -> if i = d then o + off else o) base
+
+(* Weighted sum of spatially shifted accesses. *)
+let weighted_sum field t weights_per_dim =
+  List.fold_left
+    (fun acc (d, terms) ->
+      List.fold_left
+        (fun acc (off, w) ->
+          let zero = List.map (fun _ -> 0) field.fgrid.shape in
+          let a = Access (field, t, shift_offsets zero d off) in
+          let term = Mul (Const w, a) in
+          match acc with None -> Some term | Some e -> Some (Add (e, term)))
+        acc terms)
+    None weights_per_dim
+  |> Option.get
+
+(* Second space derivative along dimension [d]. *)
+let d2 field d =
+  let h = List.nth field.fgrid.spacing d in
+  let terms = Fornberg.central ~deriv: 2 ~order: field.space_order ~h in
+  weighted_sum field 0 [ (d, terms) ]
+
+(* First space derivative along [d] (central). *)
+let d1 field d =
+  let h = List.nth field.fgrid.spacing d in
+  let terms = Fornberg.central ~deriv: 1 ~order: field.space_order ~h in
+  weighted_sum field 0 [ (d, terms) ]
+
+(* The Laplacian: sum of second derivatives over all dimensions. *)
+let laplace field =
+  let n = rank field in
+  let rec go d = if d = n - 1 then d2 field d else Add (d2 field d, go (d + 1))
+  in
+  go 0
+
+(* Time derivatives (symbolic markers resolved by [solve]). *)
+type time_derivative = Dt of field | Dt2 of field
+
+type equation = Eq of time_derivative * expr
+
+let eq lhs rhs = Eq (lhs, rhs)
+
+(* Devito's [solve(eqn, u.forward)]: invert the time discretization.
+
+   - u.dt  = rhs  with forward difference:
+       (u[t+1] - u[t]) / dt = rhs      =>  u[t+1] = u[t] + dt * rhs
+   - u.dt2 = rhs  with central difference:
+       (u[t+1] - 2u[t] + u[t-1]) / dt² = rhs
+                                        =>  u[t+1] = 2u[t] - u[t-1] + dt²rhs *)
+let solve (Eq (lhs, rhs)) : field * expr =
+  match lhs with
+  | Dt u ->
+      let dt = u.fgrid.dt in
+      (u, here u +: (f dt *: rhs))
+  | Dt2 u ->
+      let dt = u.fgrid.dt in
+      ( u,
+        (f 2. *: here u) -: backward u +: (f (dt *. dt) *: rhs) )
+
+(* --- expression analysis shared by codegen and the baseline optimizer --- *)
+
+(* All (field, time shift) pairs read by an expression. *)
+let rec reads (e : expr) : (field * int) list =
+  match e with
+  | Const _ -> []
+  | Access (fl, t, _) -> [ (fl, t) ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> reads a @ reads b
+  | Neg a -> reads a
+
+let distinct_reads e =
+  List.sort_uniq
+    (fun (f1, t1) (f2, t2) ->
+      compare (f1.name, t1) (f2.name, t2))
+    (reads e)
+
+(* Spatial halo (neg, pos) per dimension required by [e]. *)
+let halo_of_expr ~rank e =
+  let halo = Array.make rank (0, 0) in
+  let rec go = function
+    | Const _ -> ()
+    | Access (_, _, offs) ->
+        List.iteri
+          (fun d o ->
+            if d < rank then begin
+              let n, p = halo.(d) in
+              halo.(d) <- (min n o, max p o)
+            end)
+          offs
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        go a;
+        go b
+    | Neg a -> go a
+  in
+  go e;
+  halo
+
+(* Raw flop count of an expression tree. *)
+let rec flops = function
+  | Const _ | Access _ -> 0
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> 1 + flops a + flops b
+  | Neg a -> 1 + flops a
+
+(* Number of distinct access terms (memory operands). *)
+let access_count e = List.length (distinct_reads e)
+
+let rec count_accesses = function
+  | Const _ -> 0
+  | Access _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      count_accesses a + count_accesses b
+  | Neg a -> count_accesses a

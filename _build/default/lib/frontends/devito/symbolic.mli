@@ -1,0 +1,81 @@
+(** The Devito-style symbolic layer (paper §5.1, listing 5): grids,
+    (time-)functions, symbolic expressions with finite-difference
+    derivative operators, equations and [solve].  Users model PDEs as
+    textbook maths; derivative operators expand to weighted sums of shifted
+    accesses (Fornberg weights) and [solve] inverts the time
+    discretization into the forward-update expression. *)
+
+type grid = {
+  shape : int list;  (** interior points per dimension *)
+  spacing : float list;
+  dt : float;
+}
+
+val grid : ?spacing:float list -> ?dt:float -> int list -> grid
+
+type field = {
+  name : string;
+  fgrid : grid;
+  space_order : int;
+  time_order : int;
+}
+
+val function_ : ?time_order:int -> ?space_order:int -> string -> grid -> field
+(** A discretized (time-)function on a grid, as in
+    [TimeFunction(name='u', grid=grid, space_order=2)]. *)
+
+(** Symbolic expressions: an access names a field at a relative time shift
+    and relative space offsets. *)
+type expr =
+  | Const of float
+  | Access of field * int * int list
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+
+val f : float -> expr
+(** A floating-point literal. *)
+
+val at : ?t:int -> field -> int list -> expr
+val here : field -> expr
+val forward : field -> expr
+val backward : field -> expr
+val rank : field -> int
+val shift_offsets : int list -> int -> int -> int list
+
+val d1 : field -> int -> expr
+(** First central space derivative along a dimension. *)
+
+val d2 : field -> int -> expr
+(** Second central space derivative along a dimension. *)
+
+val laplace : field -> expr
+(** Sum of second derivatives over all dimensions. *)
+
+(** Time-derivative markers resolved by {!solve}. *)
+type time_derivative = Dt of field | Dt2 of field
+
+type equation = Eq of time_derivative * expr
+
+val eq : time_derivative -> expr -> equation
+
+val solve : equation -> field * expr
+(** Devito's [solve(eqn, u.forward)]: invert the time discretization.
+    [u.dt = rhs] yields [u + dt*rhs]; [u.dt2 = rhs] yields
+    [2u - u.backward + dt²·rhs]. *)
+
+(** {1 Expression analyses} *)
+
+val reads : expr -> (field * int) list
+val distinct_reads : expr -> (field * int) list
+val halo_of_expr : rank:int -> expr -> (int * int) array
+val flops : expr -> int
+val access_count : expr -> int
+val count_accesses : expr -> int

@@ -1,0 +1,1 @@
+lib/frontends/psyclone/benchkernels.ml: Fortran List

@@ -1,0 +1,1 @@
+lib/frontends/psyclone/codegen.ml: Arith Core Dialects Fortran Func Hashtbl Ir List Op Printf Psy_ir Scf Stencil Typesys Value

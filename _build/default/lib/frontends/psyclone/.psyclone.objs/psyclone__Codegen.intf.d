@@ -1,0 +1,1 @@
+lib/frontends/psyclone/codegen.mli: Fortran Ir Op Typesys

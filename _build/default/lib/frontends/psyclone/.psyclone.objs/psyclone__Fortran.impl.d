@@ -1,0 +1,1 @@
+lib/frontends/psyclone/fortran.ml: List

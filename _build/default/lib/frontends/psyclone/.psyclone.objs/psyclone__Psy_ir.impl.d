@@ -1,0 +1,1 @@
+lib/frontends/psyclone/psy_ir.ml: Fortran List Printf

@@ -1,0 +1,1 @@
+lib/frontends/psyclone/psy_ir.mli: Fortran

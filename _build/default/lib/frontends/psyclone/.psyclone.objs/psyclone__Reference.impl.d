@@ -1,0 +1,1 @@
+lib/frontends/psyclone/reference.ml: Array Fortran Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/frontends/psyclone/reference.mli: Fortran

@@ -1,0 +1,217 @@
+(* The two PSyclone evaluation workloads of the paper (§6.2), written as
+   Fortran-like kernels for the NEMO-API flow:
+
+   - [pw_advection]: the Piacsek and Williams advection scheme used by the
+     MONC atmospheric model — three momentum-source stencil computations
+     over the three wind fields, all in one loop nest (so the whole scheme
+     fuses into a single stencil region);
+
+   - [tracer_advection]: the NEMO tracer-advection benchmark from
+     PSycloneBench — a chain of 18 loop nests computing 24 stencil updates
+     across the tracer/velocity fields with intermediate arrays, wrapped in
+     an outer iteration loop (100 in the paper). *)
+
+open Fortran
+
+(* 3D array declared with a one-cell ghost margin around [shape]. *)
+let d3 name shape =
+  { array_name = name; decl_bounds = List.map (fun n -> (-1, n)) shape }
+
+let i3 ?(di = 0) ?(dj = 0) ?(dk = 0) () =
+  [ ix ~shift: di "i"; ix ~shift: dj "j"; ix ~shift: dk "k" ]
+
+let r name ?(di = 0) ?(dj = 0) ?(dk = 0) () = Ref (name, i3 ~di ~dj ~dk ())
+
+(* --- PW advection --- *)
+
+(* One directional flux term of the PW scheme:
+   c * (f(x-1)*(g(x) + g(x-1)) - f(x+1)*(g(x) + g(x+1))) along dim. *)
+let pw_term c fname gname dim =
+  let shift v =
+    match dim with
+    | `I -> r fname ~di: v ()
+    | `J -> r fname ~dj: v ()
+    | `K -> r fname ~dk: v ()
+  in
+  let gshift v =
+    match dim with
+    | `I -> r gname ~di: v ()
+    | `J -> r gname ~dj: v ()
+    | `K -> r gname ~dk: v ()
+  in
+  Scalar c
+  *| ((shift (-1) *| (gshift 0 +| gshift (-1)))
+     -| (shift 1 *| (gshift 0 +| gshift 1)))
+
+let pw_advection ~shape : kernel =
+  let arrays =
+    [
+      d3 "u" shape; d3 "v" shape; d3 "w" shape;
+      d3 "su" shape; d3 "sv" shape; d3 "sw" shape;
+    ]
+  in
+  (* The three momentum sources advect u, v, w; each mixes all three wind
+     components, as in the MONC implementation. *)
+  let source target advected =
+    {
+      lhs = (target, i3 ());
+      rhs =
+        pw_term "tcx" "u" advected `I
+        +| pw_term "tcy" "v" advected `J
+        +| pw_term "tcz" "w" advected `K;
+    }
+  in
+  let su = source "su" "u" in
+  let sv = source "sv" "v" in
+  let sw = source "sw" "w" in
+  kernel ~name: "pw_advection" ~arrays
+    ~scalars: [ ("tcx", 0.25); ("tcy", 0.25); ("tcz", 0.25) ]
+    [
+      {
+        loop_vars = [ "i"; "j"; "k" ];
+        ranges = List.map (fun n -> (0, n - 1)) shape;
+        assigns = [ su; sv; sw ];
+      };
+    ]
+
+(* --- NEMO tracer advection --- *)
+
+(* The benchmark chains slope/flux computations: each nest derives a new
+   intermediate from earlier arrays with a small directional stencil.  Six
+   nests carry two updates (x and y directions share a nest), giving the
+   paper's 18 stencil regions and 24 computations. *)
+let tracer_advection ?(iterations = 100) ~shape () : kernel =
+  let names =
+    [
+      "mydomain"; "tsn"; "un"; "vn"; "wn"; "rnfmsk";
+      "zind"; "ztu"; "ztv"; "ztw"; "zslpx"; "zslpy"; "zslpz";
+      "zwx"; "zwy"; "zwz"; "zkx"; "zky"; "zkz"; "ztra";
+    ]
+  in
+  let arrays = List.map (fun nm -> d3 nm shape) names in
+  let full = List.map (fun n -> (0, n - 1)) shape in
+  let nest assigns = { loop_vars = [ "i"; "j"; "k" ]; ranges = full; assigns } in
+  let a target rhs = { lhs = (target, i3 ()); rhs } in
+  let nests =
+    [
+      (* 1: upstream indicator from the runoff mask and tracer. *)
+      nest
+        [
+          a "zind"
+            ((Scalar "half" *| r "rnfmsk" ())
+            +| (Scalar "quarter" *| r "tsn" ()));
+        ];
+      (* 2: x/y tracer gradients (2 computations, 1 region). *)
+      nest
+        [
+          a "ztu" (r "un" () *| (r "tsn" ~di: 1 () -| r "tsn" ()));
+          a "ztv" (r "vn" () *| (r "tsn" ~dj: 1 () -| r "tsn" ()));
+        ];
+      (* 3: vertical gradient. *)
+      nest [ a "ztw" (r "wn" () *| (r "tsn" ~dk: 1 () -| r "tsn" ())) ];
+      (* 4: x/y slopes (2 computations). *)
+      nest
+        [
+          a "zslpx" (Scalar "half" *| (r "ztu" () +| r "ztu" ~di: (-1) ()));
+          a "zslpy" (Scalar "half" *| (r "ztv" () +| r "ztv" ~dj: (-1) ()));
+        ];
+      (* 5: vertical slope. *)
+      nest [ a "zslpz" (Scalar "half" *| (r "ztw" () +| r "ztw" ~dk: (-1) ())) ];
+      (* 6: slope limiting in x/y (2 computations). *)
+      nest
+        [
+          a "zwx"
+            (r "zslpx" ()
+            *| (Num 1. -| (Scalar "quarter" *| r "zind" ())));
+          a "zwy"
+            (r "zslpy" ()
+            *| (Num 1. -| (Scalar "quarter" *| r "zind" ())));
+        ];
+      (* 7: slope limiting in z. *)
+      nest
+        [
+          a "zwz"
+            (r "zslpz" ()
+            *| (Num 1. -| (Scalar "quarter" *| r "zind" ~dk: (-1) ())));
+        ];
+      (* 8: x/y upstream fluxes (2 computations). *)
+      nest
+        [
+          a "zkx"
+            (Scalar "half"
+            *| (r "un" ()
+               *| (r "tsn" () +| r "tsn" ~di: 1 ())
+               -| (r "zwx" () *| (r "tsn" ~di: 1 () -| r "tsn" ()))));
+          a "zky"
+            (Scalar "half"
+            *| (r "vn" ()
+               *| (r "tsn" () +| r "tsn" ~dj: 1 ())
+               -| (r "zwy" () *| (r "tsn" ~dj: 1 () -| r "tsn" ()))));
+        ];
+      (* 9: vertical flux. *)
+      nest
+        [
+          a "zkz"
+            (Scalar "half"
+            *| (r "wn" ()
+               *| (r "tsn" () +| r "tsn" ~dk: 1 ())
+               -| (r "zwz" () *| (r "tsn" ~dk: 1 () -| r "tsn" ()))));
+        ];
+      (* 10: flux divergence x/y (2 computations). *)
+      nest
+        [
+          a "ztu" (r "zkx" () -| r "zkx" ~di: (-1) ());
+          a "ztv" (r "zky" () -| r "zky" ~dj: (-1) ());
+        ];
+      (* 11: flux divergence z. *)
+      nest [ a "ztw" (r "zkz" () -| r "zkz" ~dk: (-1) ()) ];
+      (* 12: tendency. *)
+      nest
+        [
+          a "ztra"
+            (Neg (r "ztu" () +| r "ztv" () +| r "ztw" ()));
+        ];
+      (* 13: second-pass horizontal slope for the corrector. *)
+      nest
+        [
+          a "zslpx"
+            (Scalar "half"
+            *| ((r "ztra" ~di: 1 () -| r "ztra" ~di: (-1) ())
+               +| (Scalar "quarter" *| r "ztra" ())));
+        ];
+      (* 14: corrector z slope. *)
+      nest
+        [
+          a "zslpz"
+            (Scalar "half" *| (r "ztra" ~dk: 1 () -| r "ztra" ~dk: (-1) ()));
+        ];
+      (* 15: corrected fluxes x. *)
+      nest
+        [
+          a "zwx" (r "zkx" () +| (Scalar "quarter" *| r "zslpx" ()));
+        ];
+      (* 16: corrected fluxes y/z (2 computations). *)
+      nest
+        [
+          a "zwy" (r "zky" () +| (Scalar "quarter" *| r "zslpy" ()));
+          a "zwz" (r "zkz" () +| (Scalar "quarter" *| r "zslpz" ()));
+        ];
+      (* 17: corrected divergence. *)
+      nest
+        [
+          a "ztra"
+            (Neg
+               ((r "zwx" () -| r "zwx" ~di: (-1) ())
+               +| (r "zwy" () -| r "zwy" ~dj: (-1) ())
+               +| (r "zwz" () -| r "zwz" ~dk: (-1) ())));
+        ];
+      (* 18: update the tracer domain. *)
+      nest
+        [
+          a "mydomain" (r "mydomain" () +| (Scalar "rdt" *| r "ztra" ()));
+        ];
+    ]
+  in
+  kernel ~iterations ~name: "tracer_advection" ~arrays
+    ~scalars: [ ("half", 0.5); ("quarter", 0.25); ("rdt", 0.01) ]
+    nests

@@ -1,0 +1,13 @@
+(** The paper's two PSyclone evaluation workloads (§6.2), as Fortran-like
+    kernels for the NEMO-API flow. *)
+
+val pw_advection : shape:int list -> Fortran.kernel
+(** The Piacsek–Williams advection scheme (MONC): three momentum-source
+    computations in one loop nest, so the whole scheme fuses into a single
+    stencil region. *)
+
+val tracer_advection :
+  ?iterations:int -> shape:int list -> unit -> Fortran.kernel
+(** The NEMO tracer-advection benchmark (PSycloneBench): 18 loop nests with
+    24 stencil updates, wrapped in an outer iteration loop (100 in the
+    paper). *)

@@ -1,0 +1,152 @@
+(* Lowering PSy-IR to the shared stencil dialect (paper §5.2.1): recognized
+   stencil regions become stencil.load / stencil.apply / stencil.store; a
+   region with several computations becomes one fused apply with multiple
+   results (this is why PW advection lowers to a single parallel region
+   while tracer advection keeps its 18, fig. 10). *)
+
+open Ir
+open Dialects
+open Core
+
+exception Unsupported of string
+
+let bounds_of_decl (d : Fortran.array_decl) : Typesys.bound list =
+  List.map (fun (lo, hi) -> Typesys.bound lo (hi + 1)) d.Fortran.decl_bounds
+
+(* Generate one region's computations inside an apply body. *)
+let gen_region_body bld ~elt ~scalars ~(inputs : (string * Value.t) list)
+    (computations : Psy_ir.computation list) : unit =
+  (* Values produced so far at the current point, by target array. *)
+  let produced : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let rec gen (e : Fortran.expr) : Value.t =
+    match e with
+    | Fortran.Num c -> Arith.const_float bld ~ty: elt c
+    | Fortran.Scalar s -> (
+        match List.assoc_opt s scalars with
+        | Some v -> Arith.const_float bld ~ty: elt v
+        | None -> raise (Unsupported (Printf.sprintf "unknown scalar %s" s)))
+    | Fortran.Ref (arr, idx) -> (
+        match Hashtbl.find_opt produced arr with
+        | Some v -> v (* forwarded through SSA inside the fused region *)
+        | None -> (
+            match List.assoc_opt arr inputs with
+            | Some temp_arg ->
+                Stencil.access_op bld temp_arg
+                  (List.map (fun (i : Fortran.index) -> i.Fortran.shift) idx)
+            | None ->
+                raise
+                  (Unsupported (Printf.sprintf "array %s is not an input" arr))))
+    | Fortran.Bin (op, a, b) -> (
+        let va = gen a in
+        let vb = gen b in
+        match op with
+        | Fortran.Fadd -> Arith.add_f bld va vb
+        | Fortran.Fsub -> Arith.sub_f bld va vb
+        | Fortran.Fmul -> Arith.mul_f bld va vb
+        | Fortran.Fdiv -> Arith.div_f bld va vb)
+    | Fortran.Neg a -> Arith.neg_f bld (gen a)
+  in
+  let results =
+    List.map
+      (fun (c : Psy_ir.computation) ->
+        let v = gen c.Psy_ir.rhs in
+        Hashtbl.replace produced c.Psy_ir.target v;
+        v)
+      computations
+  in
+  Stencil.return_vals bld results
+
+let rec gen_node bld ~elt ~scalars ~(field_of : string -> Value.t)
+    ~(bounds_of : string -> Typesys.bound list) (node : Psy_ir.node) : unit =
+  match node with
+  | Psy_ir.Schedule ns ->
+      List.iter (gen_node bld ~elt ~scalars ~field_of ~bounds_of) ns
+  | Psy_ir.Outer_loop { count; body } ->
+      let lo = Arith.const_index bld 0 in
+      let hi = Arith.const_index bld count in
+      let step = Arith.const_index bld 1 in
+      ignore
+        (Scf.for_op bld ~lo ~hi ~step (fun b _iv _ ->
+             List.iter (gen_node b ~elt ~scalars ~field_of ~bounds_of) body;
+             Scf.yield_op b []))
+  | Psy_ir.Unrecognized reason ->
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "kernel contains Fortran the stencil recognizer rejected: %s"
+              reason))
+  | Psy_ir.Stencil_region { computations; ranges; _ } ->
+      (* External inputs: arrays read before (or never) being written in
+         this region. *)
+      let written = ref [] in
+      let external_reads = ref [] in
+      List.iter
+        (fun (c : Psy_ir.computation) ->
+          List.iter
+            (fun (r : Psy_ir.access) ->
+              if
+                (not (List.mem r.Psy_ir.array !written))
+                && not (List.mem r.Psy_ir.array !external_reads)
+              then external_reads := r.Psy_ir.array :: !external_reads)
+            c.Psy_ir.reads;
+          written := c.Psy_ir.target :: !written)
+        computations;
+      let input_arrays = List.rev !external_reads in
+      let temps =
+        List.map
+          (fun arr -> (arr, Stencil.load_op bld (field_of arr)))
+          input_arrays
+      in
+      let out_bounds =
+        List.map (fun (lo, hi) -> Typesys.bound lo (hi + 1)) ranges
+      in
+      let results =
+        Stencil.apply_op bld
+          ~inputs: (List.map snd temps)
+          ~out_bounds ~elt
+          ~n_results: (List.length computations)
+          (fun body args ->
+            let inputs = List.combine input_arrays args in
+            gen_region_body body ~elt ~scalars ~inputs computations)
+      in
+      List.iter2
+        (fun (c : Psy_ir.computation) res ->
+          ignore (bounds_of c.Psy_ir.target);
+          Stencil.store_op bld res (field_of c.Psy_ir.target)
+            ~lb: (List.map fst ranges)
+            ~ub: (List.map (fun (_, hi) -> hi + 1) ranges))
+        computations results
+
+(* Compile a Fortran kernel to a stencil-dialect module.  The function takes
+   one field argument per declared array, in declaration order. *)
+let compile ?(elt = Typesys.f32) (k : Fortran.kernel) : Op.t =
+  let psy = Psy_ir.of_kernel k in
+  let arg_tys =
+    List.map
+      (fun d -> Stencil.field_ty (bounds_of_decl d) elt)
+      k.Fortran.arrays
+  in
+  let fdef =
+    Func.define k.Fortran.kernel_name ~arg_tys ~res_tys: [] (fun bld args ->
+        let table = List.combine k.Fortran.arrays args in
+        let field_of name =
+          let rec find = function
+            | [] -> raise (Unsupported (Printf.sprintf "undeclared array %s" name))
+            | ((d : Fortran.array_decl), v) :: rest ->
+                if d.Fortran.array_name = name then v else find rest
+          in
+          find table
+        in
+        let bounds_of name =
+          let rec find = function
+            | [] -> raise (Unsupported name)
+            | (d : Fortran.array_decl) :: rest ->
+                if d.Fortran.array_name = name then bounds_of_decl d
+                else find rest
+          in
+          find k.Fortran.arrays
+        in
+        gen_node bld ~elt ~scalars: k.Fortran.scalars ~field_of ~bounds_of psy;
+        Func.return_op bld [])
+  in
+  Op.module_op [ fdef ]

@@ -1,0 +1,16 @@
+(** Lowering PSy-IR to the shared stencil dialect (paper §5.2.1):
+    recognized stencil regions become stencil.load/apply/store; a region
+    with several computations becomes one fused apply with multiple results
+    (why PW advection lowers to a single parallel region while tracer
+    advection keeps 18). *)
+
+open Ir
+
+exception Unsupported of string
+(** Raised on kernels containing Fortran the recognizer rejected. *)
+
+val bounds_of_decl : Fortran.array_decl -> Typesys.bound list
+(** Inclusive Fortran declaration bounds to half-open stencil bounds. *)
+
+val compile : ?elt:Typesys.ty -> Fortran.kernel -> Op.t
+(** One field argument per declared array, in declaration order. *)

@@ -1,0 +1,88 @@
+(* A Fortran-like kernel AST: what PSyclone's fparser front door produces
+   for the NEMO-API codes we target (paper §5.2).  Scientists write plain
+   Fortran loop nests over arrays; the PSyclone layer recognizes stencils in
+   them and hands everything else to the Fortran pipeline. *)
+
+type index = { var : string; shift : int }  (* e.g. i+1, k-2 *)
+
+let ix ?(shift = 0) var = { var; shift }
+
+type binop = Fadd | Fsub | Fmul | Fdiv
+
+type expr =
+  | Num of float
+  | Scalar of string  (* named scalar constant (e.g. tcx) *)
+  | Ref of string * index list  (* array reference a(i, j+1, k) *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+
+let ( +| ) a b = Bin (Fadd, a, b)
+let ( -| ) a b = Bin (Fsub, a, b)
+let ( *| ) a b = Bin (Fmul, a, b)
+let ( /| ) a b = Bin (Fdiv, a, b)
+
+type assign = { lhs : string * index list; rhs : expr }
+
+(* A perfect loop nest: outermost first; [ranges] are inclusive Fortran
+   bounds (lo, hi) per loop variable. *)
+type nest = { loop_vars : string list; ranges : (int * int) list;
+              assigns : assign list }
+
+(* An array declaration with inclusive Fortran bounds per dimension, e.g.
+   real u(0:nx+1, 0:ny+1). *)
+type array_decl = { array_name : string; decl_bounds : (int * int) list }
+
+type kernel = {
+  kernel_name : string;
+  arrays : array_decl list;
+  scalars : (string * float) list;
+  nests : nest list;
+  iterations : int;  (* outer repetitions of the whole kernel body *)
+}
+
+let kernel ?(iterations = 1) ~name ~arrays ~scalars nests =
+  { kernel_name = name; arrays; scalars; nests; iterations }
+
+(* --- analysis helpers --- *)
+
+let rec expr_reads (e : expr) : (string * index list) list =
+  match e with
+  | Num _ | Scalar _ -> []
+  | Ref (a, idx) -> [ (a, idx) ]
+  | Bin (_, a, b) -> expr_reads a @ expr_reads b
+  | Neg a -> expr_reads a
+
+let rec expr_flops = function
+  | Num _ | Scalar _ | Ref _ -> 0
+  | Bin (_, a, b) -> 1 + expr_flops a + expr_flops b
+  | Neg a -> 1 + expr_flops a
+
+let arrays_written (n : nest) =
+  List.map (fun a -> fst a.lhs) n.assigns
+
+let arrays_read (n : nest) =
+  List.concat_map (fun a -> List.map fst (expr_reads a.rhs)) n.assigns
+  |> List.sort_uniq compare
+
+(* The kernel's dataflow boundary: arrays read before ever being written
+   (primary inputs).  Together with the final output this is what must
+   stream from/to external memory in a fused FPGA dataflow; everything
+   else can live in on-chip streams. *)
+let external_inputs (k : kernel) : string list =
+  let written = ref [] in
+  let inputs = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (a : assign) ->
+          List.iter
+            (fun (arr, _) ->
+              if
+                (not (List.mem arr !written))
+                && not (List.mem arr !inputs)
+              then inputs := arr :: !inputs)
+            (expr_reads a.rhs);
+          written := fst a.lhs :: !written)
+        n.assigns)
+    k.nests;
+  List.rev !inputs

@@ -1,0 +1,59 @@
+(** A Fortran-like kernel AST: what PSyclone's parser front door produces
+    for the NEMO-API codes (paper §5.2) — loop nests over arrays with
+    scalar constants. *)
+
+type index = { var : string; shift : int }
+
+val ix : ?shift:int -> string -> index
+
+type binop = Fadd | Fsub | Fmul | Fdiv
+
+type expr =
+  | Num of float
+  | Scalar of string
+  | Ref of string * index list
+  | Bin of binop * expr * expr
+  | Neg of expr
+
+val ( +| ) : expr -> expr -> expr
+val ( -| ) : expr -> expr -> expr
+val ( *| ) : expr -> expr -> expr
+val ( /| ) : expr -> expr -> expr
+
+type assign = { lhs : string * index list; rhs : expr }
+
+(** A perfect loop nest, outermost variable first; [ranges] are inclusive
+    Fortran bounds. *)
+type nest = {
+  loop_vars : string list;
+  ranges : (int * int) list;
+  assigns : assign list;
+}
+
+type array_decl = { array_name : string; decl_bounds : (int * int) list }
+
+type kernel = {
+  kernel_name : string;
+  arrays : array_decl list;
+  scalars : (string * float) list;
+  nests : nest list;
+  iterations : int;
+}
+
+val kernel :
+  ?iterations:int ->
+  name:string ->
+  arrays:array_decl list ->
+  scalars:(string * float) list ->
+  nest list ->
+  kernel
+
+val expr_reads : expr -> (string * index list) list
+val expr_flops : expr -> int
+val arrays_written : nest -> string list
+val arrays_read : nest -> string list
+
+val external_inputs : kernel -> string list
+(** Arrays read before ever being written: the kernel's primary inputs —
+    together with the final output, the DDR boundary of a fused FPGA
+    dataflow. *)

@@ -1,0 +1,136 @@
+(* The xDSL-side PSy-IR (paper §5.2.1): a DAG-shaped schedule that closely
+   resembles PSyclone's own IR — loops, assignments and array accesses with
+   explicit structure that transformations exploit, before lowering to SSA
+   form.  The stencil recognizer turns eligible loop nests into
+   [Stencil_region] nodes; everything else stays as schedule nodes (the
+   "escape hatch" retains the surrounding Fortran semantics — here it is
+   preserved structurally and rejected at codegen if it cannot be expressed
+   with the dialects we lower to). *)
+
+type access = {
+  array : string;
+  offsets : int list;  (* constant offsets per loop dimension *)
+}
+
+(* One point update: write [target] at the loop point using [reads]. *)
+type computation = {
+  target : string;
+  rhs : Fortran.expr;
+  reads : access list;
+}
+
+type node =
+  | Schedule of node list
+  | Outer_loop of { count : int; body : node list }
+      (* the non-spatial repetition loop of e.g. tracer advection *)
+  | Stencil_region of {
+      region_name : string;
+      dims : string list;  (* loop variables, outermost first *)
+      ranges : (int * int) list;  (* inclusive bounds per dim *)
+      computations : computation list;
+    }
+  | Unrecognized of string
+      (* anything the stencil recognizer could not classify *)
+
+(* Map a Fortran index list to constant offsets given the loop variables
+   (positional).  None if the reference does not follow the loop order. *)
+let offsets_of ~(loop_vars : string list) (idx : Fortran.index list) :
+    int list option =
+  if List.length idx <> List.length loop_vars then None
+  else begin
+    let ok =
+      List.for_all2
+        (fun (i : Fortran.index) v -> i.Fortran.var = v)
+        idx loop_vars
+    in
+    if ok then Some (List.map (fun (i : Fortran.index) -> i.Fortran.shift) idx)
+    else None
+  end
+
+exception Not_a_stencil of string
+
+(* Recognize one loop nest as a stencil region: every assignment writes the
+   current point (offset zero in loop order), every read is at constant
+   offsets.  Reads of arrays written earlier in the same nest must be at
+   offset zero (they forward through SSA inside the fused region); any
+   other shape raises. *)
+let recognize_nest index (n : Fortran.nest) : node =
+  let computations =
+    List.map
+      (fun (a : Fortran.assign) ->
+        let target, lhs_idx = a.Fortran.lhs in
+        (match offsets_of ~loop_vars: n.Fortran.loop_vars lhs_idx with
+        | Some offs when List.for_all (( = ) 0) offs -> ()
+        | _ ->
+            raise
+              (Not_a_stencil
+                 (Printf.sprintf "%s is not written at the loop point" target)));
+        let reads =
+          List.map
+            (fun (arr, idx) ->
+              match offsets_of ~loop_vars: n.Fortran.loop_vars idx with
+              | Some offsets -> { array = arr; offsets }
+              | None ->
+                  raise
+                    (Not_a_stencil
+                       (Printf.sprintf "access to %s is not affine-constant"
+                          arr)))
+            (Fortran.expr_reads a.Fortran.rhs)
+        in
+        { target; rhs = a.Fortran.rhs; reads })
+      n.Fortran.assigns
+  in
+  (* Enforce the intra-region forwarding rule.  A computation's own target
+     counts as written, so loop-carried accesses like a(i,j) = a(i-1,j)
+     (whose sequential-Fortran semantics a parallel stencil would not
+     preserve) are rejected too. *)
+  let written = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun r ->
+          if
+            (List.mem r.array !written || r.array = c.target)
+            && not (List.for_all (( = ) 0) r.offsets)
+          then
+            raise
+              (Not_a_stencil
+                 (Printf.sprintf
+                    "%s read at non-zero offset after being written in the \
+                     same nest" r.array)))
+        c.reads;
+      written := c.target :: !written)
+    computations;
+  Stencil_region
+    {
+      region_name = Printf.sprintf "region%d" index;
+      dims = n.Fortran.loop_vars;
+      ranges = n.Fortran.ranges;
+      computations;
+    }
+
+(* Translate a whole kernel into PSy-IR, recognizing stencils nest by
+   nest. *)
+let of_kernel (k : Fortran.kernel) : node =
+  let regions =
+    List.mapi
+      (fun i n ->
+        try recognize_nest i n
+        with Not_a_stencil reason -> Unrecognized reason)
+      k.Fortran.nests
+  in
+  if k.Fortran.iterations > 1 then
+    Schedule [ Outer_loop { count = k.Fortran.iterations; body = regions } ]
+  else Schedule regions
+
+let rec count_regions = function
+  | Schedule ns | Outer_loop { body = ns; _ } ->
+      List.fold_left (fun acc n -> acc + count_regions n) 0 ns
+  | Stencil_region _ -> 1
+  | Unrecognized _ -> 0
+
+let rec count_computations = function
+  | Schedule ns | Outer_loop { body = ns; _ } ->
+      List.fold_left (fun acc n -> acc + count_computations n) 0 ns
+  | Stencil_region { computations; _ } -> List.length computations
+  | Unrecognized _ -> 0

@@ -1,0 +1,42 @@
+(** The xDSL-side PSy-IR (paper §5.2.1): a schedule that closely resembles
+    PSyclone's own IR, on which the stencil recognizer turns eligible
+    Fortran loop nests into stencil regions.  Everything the recognizer
+    rejects is preserved as [Unrecognized] (the "escape hatch"). *)
+
+type access = { array : string; offsets : int list }
+
+(** One point update of a region. *)
+type computation = {
+  target : string;
+  rhs : Fortran.expr;
+  reads : access list;
+}
+
+type node =
+  | Schedule of node list
+  | Outer_loop of { count : int; body : node list }
+  | Stencil_region of {
+      region_name : string;
+      dims : string list;
+      ranges : (int * int) list;  (** inclusive Fortran bounds *)
+      computations : computation list;
+    }
+  | Unrecognized of string
+
+val offsets_of : loop_vars:string list -> Fortran.index list -> int list option
+(** Constant offsets of an index list relative to the loop variables, if it
+    follows the loop order. *)
+
+exception Not_a_stencil of string
+
+val recognize_nest : int -> Fortran.nest -> node
+(** Recognize one loop nest: every assignment writes the loop point, every
+    read sits at constant offsets; reads of arrays written earlier in the
+    same nest must be at offset zero (forwarded through SSA inside the
+    fused region).  Raises {!Not_a_stencil} otherwise. *)
+
+val of_kernel : Fortran.kernel -> node
+(** Translate a kernel, recognizing stencils nest by nest. *)
+
+val count_regions : node -> int
+val count_computations : node -> int

@@ -1,0 +1,100 @@
+(* A direct interpreter for the Fortran kernel AST: executes the loop nests
+   naively over plain arrays.  This is an *independent oracle* — it never
+   touches the compiler stack — used by tests to check that the recognized
+   and compiled stencil program computes exactly what the Fortran source
+   says. *)
+
+type ndarray = {
+  dims : (int * int) list;  (* inclusive bounds per dimension *)
+  data : float array;
+}
+
+let make_array (decl : Fortran.array_decl) : ndarray =
+  let n =
+    List.fold_left (fun acc (lo, hi) -> acc * (hi - lo + 1)) 1
+      decl.Fortran.decl_bounds
+  in
+  { dims = decl.Fortran.decl_bounds; data = Array.make n 0. }
+
+let linear (a : ndarray) (coords : int list) =
+  List.fold_left2
+    (fun acc (lo, hi) c ->
+      if c < lo || c > hi then
+        invalid_arg
+          (Printf.sprintf "fortran reference: index %d out of (%d:%d)" c lo hi)
+      else (acc * (hi - lo + 1)) + (c - lo))
+    0 a.dims coords
+
+let get a coords = a.data.(linear a coords)
+let set a coords v = a.data.(linear a coords) <- v
+
+type env = {
+  arrays : (string, ndarray) Hashtbl.t;
+  scalars : (string * float) list;
+}
+
+let env_of_kernel (k : Fortran.kernel) : env =
+  let arrays = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Hashtbl.replace arrays d.Fortran.array_name (make_array d))
+    k.Fortran.arrays;
+  { arrays; scalars = k.Fortran.scalars }
+
+let array env name =
+  match Hashtbl.find_opt env.arrays name with
+  | Some a -> a
+  | None -> invalid_arg ("fortran reference: unknown array " ^ name)
+
+let rec eval env (point : (string * int) list) (e : Fortran.expr) : float =
+  match e with
+  | Fortran.Num c -> c
+  | Fortran.Scalar s -> (
+      match List.assoc_opt s env.scalars with
+      | Some v -> v
+      | None -> invalid_arg ("fortran reference: unknown scalar " ^ s))
+  | Fortran.Ref (name, idx) ->
+      let coords =
+        List.map
+          (fun (i : Fortran.index) ->
+            match List.assoc_opt i.Fortran.var point with
+            | Some v -> v + i.Fortran.shift
+            | None -> invalid_arg ("unbound loop variable " ^ i.Fortran.var))
+          idx
+      in
+      get (array env name) coords
+  | Fortran.Bin (op, a, b) -> (
+      let va = eval env point a and vb = eval env point b in
+      match op with
+      | Fortran.Fadd -> va +. vb
+      | Fortran.Fsub -> va -. vb
+      | Fortran.Fmul -> va *. vb
+      | Fortran.Fdiv -> va /. vb)
+  | Fortran.Neg a -> -.eval env point a
+
+let run_nest env (n : Fortran.nest) : unit =
+  let rec loops vars ranges point =
+    match (vars, ranges) with
+    | [], [] ->
+        List.iter
+          (fun (a : Fortran.assign) ->
+            let name, idx = a.Fortran.lhs in
+            let coords =
+              List.map
+                (fun (i : Fortran.index) ->
+                  List.assoc i.Fortran.var point + i.Fortran.shift)
+                idx
+            in
+            set (array env name) coords (eval env point a.Fortran.rhs))
+          n.Fortran.assigns
+    | v :: vars', (lo, hi) :: ranges' ->
+        for i = lo to hi do
+          loops vars' ranges' (point @ [ (v, i) ])
+        done
+    | _ -> invalid_arg "fortran reference: loop rank mismatch"
+  in
+  loops n.Fortran.loop_vars n.Fortran.ranges []
+
+let run (k : Fortran.kernel) (env : env) : unit =
+  for _ = 1 to k.Fortran.iterations do
+    List.iter (run_nest env) k.Fortran.nests
+  done

@@ -1,0 +1,19 @@
+(** A direct interpreter for the Fortran kernel AST: executes the loop
+    nests naively over plain arrays.  An *independent oracle* — it never
+    touches the compiler stack — used to check that the compiled stencil
+    program computes exactly what the Fortran source says. *)
+
+type ndarray = { dims : (int * int) list; data : float array }
+
+val make_array : Fortran.array_decl -> ndarray
+val linear : ndarray -> int list -> int
+val get : ndarray -> int list -> float
+val set : ndarray -> int list -> float -> unit
+
+type env
+
+val env_of_kernel : Fortran.kernel -> env
+val array : env -> string -> ndarray
+val eval : env -> (string * int) list -> Fortran.expr -> float
+val run_nest : env -> Fortran.nest -> unit
+val run : Fortran.kernel -> env -> unit

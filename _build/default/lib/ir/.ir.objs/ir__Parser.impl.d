@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Format Hashtbl Lexer List Op Typesys Value

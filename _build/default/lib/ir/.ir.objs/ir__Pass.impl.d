@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Format List Logs Op Pattern Printer Verifier

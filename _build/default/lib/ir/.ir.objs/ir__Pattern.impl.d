@@ -1,0 +1,1 @@
+lib/ir/pattern.ml: List Op Value

@@ -1,0 +1,1 @@
+lib/ir/pattern.mli: Op Value

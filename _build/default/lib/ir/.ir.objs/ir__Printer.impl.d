@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Format List Op String Typesys Value

@@ -1,0 +1,1 @@
+lib/ir/typesys.ml: Float Format List Printf String

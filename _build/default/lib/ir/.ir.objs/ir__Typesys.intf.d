@@ -1,0 +1,1 @@
+lib/ir/typesys.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Format Int Map Set Typesys

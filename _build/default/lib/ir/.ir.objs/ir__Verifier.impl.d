@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Format Hashtbl List Op Printf Value

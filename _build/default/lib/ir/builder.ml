@@ -1,0 +1,33 @@
+(* Block builder: dialect constructors append ops to a builder and return the
+   result values, so straight-line IR reads like the computation it builds. *)
+
+type t = { mutable rev_ops : Op.t list }
+
+let create () = { rev_ops = [] }
+
+let add b op = b.rev_ops <- op :: b.rev_ops
+
+let ops b = List.rev b.rev_ops
+
+(* Emit an op with a single fresh result of type [ty]. *)
+let emit1 b ?operands ?attrs ?regions name ty =
+  let v = Value.fresh ty in
+  add b (Op.make name ?operands ~results: [ v ] ?attrs ?regions);
+  v
+
+(* Emit an op with no results. *)
+let emit0 b ?operands ?attrs ?regions name =
+  add b (Op.make name ?operands ?attrs ?regions)
+
+(* Build a single-block region by running [f] on a nested builder; [f]
+   receives the builder and the freshly created block arguments. *)
+let region_with_args arg_tys f =
+  let args = List.map Value.fresh arg_tys in
+  let b = create () in
+  f b args;
+  Op.region ~args (ops b)
+
+let region_of f =
+  let b = create () in
+  f b;
+  Op.region (ops b)

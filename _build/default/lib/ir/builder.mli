@@ -1,0 +1,37 @@
+(** Block builder used by dialect constructors: ops are appended in order and
+    the constructor returns the new op's result values. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Op.t -> unit
+
+val ops : t -> Op.t list
+(** Ops added so far, in program order. *)
+
+val emit1 :
+  t ->
+  ?operands:Value.t list ->
+  ?attrs:(string * Typesys.attr) list ->
+  ?regions:Op.region list ->
+  string ->
+  Typesys.ty ->
+  Value.t
+(** Append an op with one fresh result of the given type; return it. *)
+
+val emit0 :
+  t ->
+  ?operands:Value.t list ->
+  ?attrs:(string * Typesys.attr) list ->
+  ?regions:Op.region list ->
+  string ->
+  unit
+(** Append an op with no results. *)
+
+val region_with_args :
+  Typesys.ty list -> (t -> Value.t list -> unit) -> Op.region
+(** Build a single-block region with fresh block arguments of the given
+    types; [f] populates the body. *)
+
+val region_of : (t -> unit) -> Op.region
+(** Build an argument-less single-block region. *)

@@ -1,0 +1,218 @@
+(* Hand-written lexer for the generic textual IR format. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | DIM of int (* an integer immediately followed by 'x', as in memref<4x5x..> *)
+  | STRING of string
+  | PERCENT of int
+  | AT of string
+  | BANG of string
+  | HASH of string
+  | CARET
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LT
+  | GT
+  | COMMA
+  | COLON
+  | EQUAL
+  | ARROW
+  | EOF
+
+exception Lex_error of string * int
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "ident %S" s
+  | INT i -> Printf.sprintf "int %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | DIM i -> Printf.sprintf "dim %dx" i
+  | STRING s -> Printf.sprintf "string %S" s
+  | PERCENT i -> Printf.sprintf "%%%d" i
+  | AT s -> Printf.sprintf "@%s" s
+  | BANG s -> Printf.sprintf "!%s" s
+  | HASH s -> Printf.sprintf "#%s" s
+  | CARET -> "^"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | LT -> "<"
+  | GT -> ">"
+  | COMMA -> ","
+  | COLON -> ":"
+  | EQUAL -> "="
+  | ARROW -> "->"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '.'
+
+(* Tokenize the whole input eagerly; IR files are small. *)
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let error msg = raise (Lex_error (msg, !pos)) in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && is_ident_char src.[!pos] do incr pos done;
+    String.sub src start (!pos - start)
+  in
+  let lex_digits () =
+    let start = !pos in
+    while !pos < n && is_digit src.[!pos] do incr pos done;
+    String.sub src start (!pos - start)
+  in
+  (* digits [. digits] [e [+|-] digits]; an integer directly followed by 'x'
+     becomes a DIM token (MLIR-style shape syntax). *)
+  let lex_number ~neg =
+    let intpart = lex_digits () in
+    let is_float = ref false in
+    let buf = Buffer.create 16 in
+    if neg then Buffer.add_char buf '-';
+    Buffer.add_string buf intpart;
+    (match peek 0 with
+    | Some '.' when (match peek 1 with Some c -> is_digit c | None -> false)
+      ->
+        is_float := true;
+        Buffer.add_char buf '.';
+        incr pos;
+        Buffer.add_string buf (lex_digits ())
+    | _ -> ());
+    (match peek 0 with
+    | Some ('e' | 'E')
+      when (match peek 1 with
+           | Some c -> is_digit c || c = '+' || c = '-'
+           | None -> false) ->
+        is_float := true;
+        Buffer.add_char buf 'e';
+        incr pos;
+        (match peek 0 with
+        | Some (('+' | '-') as c) ->
+            Buffer.add_char buf c;
+            incr pos
+        | _ -> ());
+        Buffer.add_string buf (lex_digits ())
+    | _ -> ());
+    if !is_float then push (FLOAT (float_of_string (Buffer.contents buf)))
+    else
+      match peek 0 with
+      | Some 'x' ->
+          incr pos;
+          push (DIM (int_of_string (Buffer.contents buf)))
+      | _ -> push (INT (int_of_string (Buffer.contents buf)))
+  in
+  let lex_string () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (match peek 0 with
+            | Some 'n' -> Buffer.add_char buf '\n'
+            | Some 't' -> Buffer.add_char buf '\t'
+            | Some '\\' -> Buffer.add_char buf '\\'
+            | Some '"' -> Buffer.add_char buf '"'
+            | _ -> error "bad escape");
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    push (STRING (Buffer.contents buf))
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if is_digit c then lex_number ~neg: false
+    else if c = '-' then begin
+      match peek 1 with
+      | Some '>' ->
+          pos := !pos + 2;
+          push ARROW
+      | Some d when is_digit d ->
+          incr pos;
+          lex_number ~neg: true
+      | _ -> error "unexpected '-'"
+    end
+    else if is_ident_start c then push (IDENT (lex_ident ()))
+    else
+      match c with
+      | '"' -> lex_string ()
+      | '%' ->
+          incr pos;
+          let digits = lex_digits () in
+          if digits = "" then error "expected digits after %%"
+          else push (PERCENT (int_of_string digits))
+      | '@' ->
+          incr pos;
+          push (AT (lex_ident ()))
+      | '!' ->
+          incr pos;
+          push (BANG (lex_ident ()))
+      | '#' ->
+          incr pos;
+          push (HASH (lex_ident ()))
+      | '^' ->
+          incr pos;
+          push CARET
+      | '(' ->
+          incr pos;
+          push LPAREN
+      | ')' ->
+          incr pos;
+          push RPAREN
+      | '{' ->
+          incr pos;
+          push LBRACE
+      | '}' ->
+          incr pos;
+          push RBRACE
+      | '[' ->
+          incr pos;
+          push LBRACK
+      | ']' ->
+          incr pos;
+          push RBRACK
+      | '<' ->
+          incr pos;
+          push LT
+      | '>' ->
+          incr pos;
+          push GT
+      | ',' ->
+          incr pos;
+          push COMMA
+      | ':' ->
+          incr pos;
+          push COLON
+      | '=' ->
+          incr pos;
+          push EQUAL
+      | _ -> error (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (EOF :: !toks)

@@ -1,0 +1,203 @@
+(* Operations, regions and blocks: the SSA+Regions structure at the heart of
+   the stack.  Operations are immutable; rewriting rebuilds the enclosing
+   block.  All abstractions in the paper use single-block regions, but the
+   structure keeps the general block list. *)
+
+type t = {
+  name : string;
+  operands : Value.t list;
+  results : Value.t list;
+  attrs : (string * Typesys.attr) list;
+  regions : region list;
+}
+
+and region = { blocks : block list }
+
+and block = { args : Value.t list; ops : t list }
+
+let make ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = []) name =
+  { name; operands; results; attrs; regions }
+
+let block ?(args = []) ops = { args; ops }
+let region ?(args = []) ops = { blocks = [ block ~args ops ] }
+
+let single_block r =
+  match r.blocks with
+  | [ b ] -> b
+  | _ -> invalid_arg "Op.single_block: region does not have exactly one block"
+
+let region_ops r = (single_block r).ops
+let region_args r = (single_block r).args
+
+let attr op key = List.assoc_opt key op.attrs
+let has_attr op key = List.mem_assoc key op.attrs
+
+let set_attr op key value =
+  { op with attrs = (key, value) :: List.remove_assoc key op.attrs }
+
+let remove_attr op key = { op with attrs = List.remove_assoc key op.attrs }
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let attr_exn op key =
+  match attr op key with
+  | Some a -> a
+  | None -> ill_formed "%s: missing attribute %S" op.name key
+
+let int_attr_exn op key =
+  match attr_exn op key with
+  | Typesys.Int_attr (v, _) -> v
+  | a ->
+      ill_formed "%s: attribute %S is %s, expected integer" op.name key
+        (Typesys.attr_to_string a)
+
+let string_attr_exn op key =
+  match attr_exn op key with
+  | Typesys.String_attr s -> s
+  | _ -> ill_formed "%s: attribute %S is not a string" op.name key
+
+let symbol_attr_exn op key =
+  match attr_exn op key with
+  | Typesys.Symbol_attr s -> s
+  | _ -> ill_formed "%s: attribute %S is not a symbol" op.name key
+
+let dense_attr_exn op key =
+  match attr_exn op key with
+  | Typesys.Dense_attr xs -> xs
+  | _ -> ill_formed "%s: attribute %S is not a dense vector" op.name key
+
+let result_exn op =
+  match op.results with
+  | [ r ] -> r
+  | _ -> ill_formed "%s: expected exactly one result" op.name
+
+let operand_exn op i =
+  match List.nth_opt op.operands i with
+  | Some v -> v
+  | None -> ill_formed "%s: missing operand %d" op.name i
+
+(* Traversal *)
+
+let rec walk f op =
+  f op;
+  List.iter (fun r -> List.iter (fun b -> List.iter (walk f) b.ops) r.blocks)
+    op.regions
+
+let walk_regions f op =
+  List.iter (fun r -> List.iter (fun b -> List.iter (walk f) b.ops) r.blocks)
+    op.regions
+
+let rec exists p op =
+  p op
+  || List.exists
+       (fun r -> List.exists (fun b -> List.exists (exists p) b.ops) r.blocks)
+       op.regions
+
+let fold f acc op =
+  let acc = ref acc in
+  walk (fun o -> acc := f !acc o) op;
+  !acc
+
+let count_ops op = fold (fun n _ -> n + 1) 0 op
+
+(* Substitute values (operands and nested uses) according to [subst]. *)
+let rec substitute subst op =
+  let map_value v = match Value.Map.find_opt v subst with
+    | Some v' -> v'
+    | None -> v
+  in
+  {
+    op with
+    operands = List.map map_value op.operands;
+    regions =
+      List.map
+        (fun r ->
+          { blocks =
+              List.map
+                (fun b -> { b with ops = List.map (substitute subst) b.ops })
+                r.blocks;
+          })
+        op.regions;
+  }
+
+(* Rebuild an op with fresh result values and recursively fresh values for
+   every nested definition, so a cloned op can coexist with the original. *)
+let clone op =
+  let subst = ref Value.Map.empty in
+  let refresh v =
+    let v' = Value.fresh (Value.ty v) in
+    subst := Value.Map.add v v' !subst;
+    v'
+  in
+  let lookup v =
+    match Value.Map.find_opt v !subst with Some v' -> v' | None -> v
+  in
+  let rec go op =
+    let operands = List.map lookup op.operands in
+    let regions =
+      List.map
+        (fun r ->
+          { blocks =
+              List.map
+                (fun b ->
+                  let args = List.map refresh b.args in
+                  { args; ops = List.map go b.ops })
+                r.blocks;
+          })
+        op.regions
+    in
+    let results = List.map refresh op.results in
+    { op with operands; results; regions }
+  in
+  go op
+
+(* Values defined by an op (its results plus everything nested). *)
+let defined_values op =
+  fold
+    (fun acc o ->
+      let acc = List.fold_left (fun s v -> Value.Set.add v s) acc o.results in
+      List.fold_left
+        (fun acc r ->
+          List.fold_left
+            (fun acc b ->
+              List.fold_left (fun s v -> Value.Set.add v s) acc b.args)
+            acc r.blocks)
+        acc o.regions)
+    Value.Set.empty op
+
+(* Values used by an op (transitively) that it does not define itself. *)
+let free_values op =
+  let defined = defined_values op in
+  fold
+    (fun acc o ->
+      List.fold_left
+        (fun acc v ->
+          if Value.Set.mem v defined then acc else Value.Set.add v acc)
+        acc o.operands)
+    Value.Set.empty op
+
+(* Module-level helpers: a module is the op "builtin.module" with one
+   single-block region holding the top-level ops. *)
+
+let module_op ops = make "builtin.module" ~regions: [ region ops ]
+
+let module_ops m =
+  if m.name <> "builtin.module" then
+    ill_formed "expected builtin.module, got %s" m.name;
+  region_ops (List.hd m.regions)
+
+let with_module_ops m ops =
+  if m.name <> "builtin.module" then
+    ill_formed "expected builtin.module, got %s" m.name;
+  { m with regions = [ region ops ] }
+
+(* Find a symbol-defining op (e.g. a func.func with sym_name) in a module. *)
+let lookup_symbol m name =
+  List.find_opt
+    (fun op ->
+      match attr op "sym_name" with
+      | Some (Typesys.String_attr s) -> s = name
+      | _ -> false)
+    (module_ops m)

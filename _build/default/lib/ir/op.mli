@@ -1,0 +1,82 @@
+(** Operations, regions and blocks — the SSA+Regions program structure.
+
+    Operations are immutable: rewrites rebuild enclosing blocks.  Regions
+    contain blocks; every abstraction in the paper uses single-block regions
+    and the helpers below assume that shape where noted. *)
+
+type t = {
+  name : string;  (** Fully-qualified op name, e.g. ["stencil.apply"]. *)
+  operands : Value.t list;
+  results : Value.t list;
+  attrs : (string * Typesys.attr) list;
+  regions : region list;
+}
+
+and region = { blocks : block list }
+
+and block = { args : Value.t list; ops : t list }
+
+val make :
+  ?operands:Value.t list ->
+  ?results:Value.t list ->
+  ?attrs:(string * Typesys.attr) list ->
+  ?regions:region list ->
+  string ->
+  t
+
+val block : ?args:Value.t list -> t list -> block
+
+val region : ?args:Value.t list -> t list -> region
+(** Single-block region whose block has the given arguments. *)
+
+val single_block : region -> block
+(** Raises [Invalid_argument] unless the region has exactly one block. *)
+
+val region_ops : region -> t list
+val region_args : region -> Value.t list
+
+val attr : t -> string -> Typesys.attr option
+val has_attr : t -> string -> bool
+val set_attr : t -> string -> Typesys.attr -> t
+val remove_attr : t -> string -> t
+
+exception Ill_formed of string
+(** Raised when IR violates an op's structural expectations. *)
+
+val ill_formed : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val attr_exn : t -> string -> Typesys.attr
+val int_attr_exn : t -> string -> int
+val string_attr_exn : t -> string -> string
+val symbol_attr_exn : t -> string -> string
+val dense_attr_exn : t -> string -> int list
+val result_exn : t -> Value.t
+val operand_exn : t -> int -> Value.t
+
+val walk : (t -> unit) -> t -> unit
+(** Pre-order visit of the op and everything nested in its regions. *)
+
+val walk_regions : (t -> unit) -> t -> unit
+(** Like [walk] but skips the root op itself. *)
+
+val exists : (t -> bool) -> t -> bool
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+val count_ops : t -> int
+
+val substitute : Value.t Value.Map.t -> t -> t
+(** Replace operand uses (recursively) according to the map. *)
+
+val clone : t -> t
+(** Deep copy with fresh result values and fresh nested definitions. *)
+
+val defined_values : t -> Value.Set.t
+val free_values : t -> Value.Set.t
+
+val module_op : t list -> t
+(** Wrap top-level ops in a [builtin.module]. *)
+
+val module_ops : t -> t list
+val with_module_ops : t -> t list -> t
+
+val lookup_symbol : t -> string -> t option
+(** Find a top-level op whose [sym_name] attribute matches. *)

@@ -1,0 +1,10 @@
+(** Parser for the generic textual IR format produced by {!Printer}. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Op.t
+(** Parse a module: either a single [builtin.module] op, or a sequence of
+    top-level ops that gets wrapped in one. *)
+
+val parse_op_string : string -> Op.t
+(** Parse a single operation. *)

@@ -1,0 +1,30 @@
+(* Pass management: named module-to-module transformations composed into
+   pipelines, with optional verification and print-after-all debugging. *)
+
+type t = { name : string; run : Op.t -> Op.t }
+
+let make name run = { name; run }
+
+let of_patterns name patterns =
+  { name; run = Pattern.run_on_module patterns }
+
+type pipeline = { pipeline_name : string; passes : t list }
+
+let pipeline pipeline_name passes = { pipeline_name; passes }
+
+let log_src = Logs.Src.create "ir.pass" ~doc: "Pass manager"
+
+module Log = (val Logs.src_log log_src)
+
+let run_pipeline ?(verify = false) ?(checks = []) ?(print_after = false)
+    (p : pipeline) (m : Op.t) : Op.t =
+  List.fold_left
+    (fun m pass ->
+      Log.debug (fun f -> f "running pass %s" pass.name);
+      let m' = pass.run m in
+      if print_after then
+        Format.eprintf "// ----- after %s -----@.%a@." pass.name
+          Printer.print_module m';
+      if verify then Verifier.verify ~checks m';
+      m')
+    m p.passes

@@ -1,0 +1,22 @@
+(** Pass management: named module transformations composed into pipelines. *)
+
+type t = { name : string; run : Op.t -> Op.t }
+
+val make : string -> (Op.t -> Op.t) -> t
+
+val of_patterns : string -> Pattern.pattern list -> t
+(** A pass running a greedy pattern set to fixpoint. *)
+
+type pipeline = { pipeline_name : string; passes : t list }
+
+val pipeline : string -> t list -> pipeline
+
+val run_pipeline :
+  ?verify:bool ->
+  ?checks:Verifier.check list ->
+  ?print_after:bool ->
+  pipeline ->
+  Op.t ->
+  Op.t
+(** Run each pass in order.  [verify] re-checks the module after every pass;
+    [print_after] dumps the IR after every pass to stderr. *)

@@ -1,0 +1,21 @@
+(** Rewrite patterns and a greedy fixpoint driver, in the style of MLIR's
+    pattern rewriting infrastructure. *)
+
+(** Outcome of a successful match on one op. *)
+type rewrite =
+  | Replace of Op.t list * (Value.t * Value.t) list
+      (** Replacement ops, plus a map from each old result that remains used
+          to the value now producing it. *)
+  | Erase
+      (** Remove the op.  Only valid when its results have no remaining
+          uses; the pattern is responsible for that invariant. *)
+
+type pattern = { pname : string; apply : Op.t -> rewrite option }
+
+val pattern : string -> (Op.t -> rewrite option) -> pattern
+
+val replace_with : Op.t list -> (Value.t * Value.t) list -> rewrite option
+
+val run_on_module : pattern list -> Op.t -> Op.t
+(** Apply the patterns greedily, bottom-up, sweeping until fixpoint (bounded
+    number of sweeps). *)

@@ -1,0 +1,68 @@
+(* Textual output in MLIR's generic-operation style.  Printer and parser are
+   designed together: everything printed here round-trips through Parser. *)
+
+let pp_attr_dict fmt attrs =
+  if attrs <> [] then begin
+    Format.fprintf fmt " {";
+    List.iteri
+      (fun i (k, a) ->
+        if i > 0 then Format.fprintf fmt ", ";
+        Format.fprintf fmt "%s = %a" k Typesys.pp_attr a)
+      attrs;
+    Format.fprintf fmt "}"
+  end
+
+let rec pp_op ?(indent = 0) fmt (op : Op.t) =
+  let pad = String.make indent ' ' in
+  Format.fprintf fmt "%s" pad;
+  if op.results <> [] then begin
+    List.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf fmt ", ";
+        Value.pp fmt v)
+      op.results;
+    Format.fprintf fmt " = "
+  end;
+  Format.fprintf fmt "%S(" op.name;
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Value.pp fmt v)
+    op.operands;
+  Format.fprintf fmt ")";
+  pp_attr_dict fmt op.attrs;
+  if op.regions <> [] then begin
+    Format.fprintf fmt " (";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_region ~indent fmt r)
+      op.regions;
+    Format.fprintf fmt ")"
+  end;
+  Format.fprintf fmt " : (%a) -> (%a)" Typesys.pp_ty_list
+    (List.map Value.ty op.operands)
+    Typesys.pp_ty_list
+    (List.map Value.ty op.results)
+
+and pp_region ~indent fmt (r : Op.region) =
+  Format.fprintf fmt "{\n";
+  List.iter (pp_block ~indent: (indent + 2) fmt) r.blocks;
+  Format.fprintf fmt "%s}" (String.make indent ' ')
+
+and pp_block ~indent fmt (b : Op.block) =
+  Format.fprintf fmt "%s^(" (String.make (indent - 1) ' ');
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Value.pp_typed fmt v)
+    b.args;
+  Format.fprintf fmt "):\n";
+  List.iter (fun op -> Format.fprintf fmt "%a\n" (pp_op ~indent) op) b.ops
+
+let op_to_string op = Format.asprintf "%a" (pp_op ~indent: 0) op
+
+let print_module fmt m =
+  Format.fprintf fmt "%a@." (pp_op ~indent: 0) m
+
+let module_to_string m = Format.asprintf "%a" print_module m

@@ -1,0 +1,7 @@
+(** Textual output in MLIR's generic-operation style; everything printed here
+    round-trips through {!Parser}. *)
+
+val pp_op : ?indent:int -> Format.formatter -> Op.t -> unit
+val op_to_string : Op.t -> string
+val print_module : Format.formatter -> Op.t -> unit
+val module_to_string : Op.t -> string

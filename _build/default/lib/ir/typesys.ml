@@ -1,0 +1,196 @@
+(* The closed type and attribute universe of the shared compilation stack.
+
+   MLIR keeps types and attributes openly extensible; since every dialect of
+   this reproduction lives in this repository we instead use closed variants,
+   which buys exhaustive pattern matching everywhere a lowering inspects a
+   type.  Adding a dialect means extending these variants. *)
+
+type int_width = W1 | W8 | W16 | W32 | W64
+
+type float_width = F32 | F64
+
+type bound = { lo : int; hi : int }
+
+let bound lo hi =
+  if hi < lo then invalid_arg "Typesys.bound: hi < lo";
+  { lo; hi }
+
+let bound_size b = b.hi - b.lo
+
+type ty =
+  | Int of int_width
+  | Float of float_width
+  | Index
+  | None_type
+  | Memref of int list * ty
+  | Ptr
+  | Fn of ty list * ty list
+  | Field of bound list * ty
+  | Temp of bound list * ty
+  | Result_type of ty
+  | Request
+  | Request_array of int
+  | Status
+  | Datatype
+  | Comm
+  | Stream of ty
+
+let i1 = Int W1
+let i32 = Int W32
+let i64 = Int W64
+let f32 = Float F32
+let f64 = Float F64
+let index = Index
+
+type exchange = {
+  ex_offset : int list;
+  ex_size : int list;
+  ex_source_offset : int list;
+  ex_neighbor : int list;
+}
+
+type attr =
+  | Unit_attr
+  | Bool_attr of bool
+  | Int_attr of int * ty
+  | Float_attr of float * ty
+  | String_attr of string
+  | Type_attr of ty
+  | Array_attr of attr list
+  | Dense_attr of int list
+  | Symbol_attr of string
+  | Grid_attr of int list
+  | Exchange_attr of exchange
+
+let equal_ty (a : ty) (b : ty) = a = b
+let equal_attr (a : attr) (b : attr) = a = b
+
+let rec is_signless_numeric = function
+  | Int _ | Float _ | Index -> true
+  | Result_type t -> is_signless_numeric t
+  | None_type | Memref _ | Ptr | Fn _ | Field _ | Temp _ | Request
+  | Request_array _ | Status | Datatype | Comm | Stream _ ->
+      false
+
+let is_float = function Float _ -> true | _ -> false
+let is_int_like = function Int _ | Index -> true | _ -> false
+
+let bounds_of = function
+  | Field (bs, _) | Temp (bs, _) -> Some bs
+  | Int _ | Float _ | Index | None_type | Memref _ | Ptr | Fn _
+  | Result_type _ | Request | Request_array _ | Status | Datatype | Comm
+  | Stream _ ->
+      None
+
+let element_of = function
+  | Field (_, t) | Temp (_, t) | Memref (_, t) | Stream t | Result_type t ->
+      Some t
+  | Int _ | Float _ | Index | None_type | Ptr | Fn _ | Request
+  | Request_array _ | Status | Datatype | Comm ->
+      None
+
+let rank_of ty =
+  match ty with
+  | Field (bs, _) | Temp (bs, _) -> Some (List.length bs)
+  | Memref (shape, _) -> Some (List.length shape)
+  | _ -> None
+
+let memref_num_elements = function
+  | Memref (shape, _) -> List.fold_left ( * ) 1 shape
+  | _ -> invalid_arg "Typesys.memref_num_elements: not a memref"
+
+(* Byte width used by cost models and buffer sizing. *)
+let byte_width = function
+  | Int W1 | Int W8 -> 1
+  | Int W16 -> 2
+  | Int W32 | Float F32 -> 4
+  | Int W64 | Float F64 | Index | Ptr -> 8
+  | None_type | Memref _ | Fn _ | Field _ | Temp _ | Result_type _ | Request
+  | Request_array _ | Status | Datatype | Comm | Stream _ ->
+      invalid_arg "Typesys.byte_width: not a scalar type"
+
+let int_width_bits = function
+  | W1 -> 1
+  | W8 -> 8
+  | W16 -> 16
+  | W32 -> 32
+  | W64 -> 64
+
+(* Pretty printing, shared by the diagnostics and the textual format. *)
+
+let pp_bound fmt b = Format.fprintf fmt "[%d,%d]" b.lo b.hi
+
+let rec pp_ty fmt = function
+  | Int w -> Format.fprintf fmt "i%d" (int_width_bits w)
+  | Float F32 -> Format.pp_print_string fmt "f32"
+  | Float F64 -> Format.pp_print_string fmt "f64"
+  | Index -> Format.pp_print_string fmt "index"
+  | None_type -> Format.pp_print_string fmt "none"
+  | Memref (shape, t) ->
+      Format.fprintf fmt "memref<%a%a>" pp_shape shape pp_ty t
+  | Ptr -> Format.pp_print_string fmt "!llvm.ptr"
+  | Fn (args, res) ->
+      Format.fprintf fmt "(%a) -> (%a)" pp_ty_list args pp_ty_list res
+  | Field (bs, t) ->
+      Format.fprintf fmt "!stencil.field<%a%a>" pp_bounds bs pp_ty t
+  | Temp (bs, t) ->
+      Format.fprintf fmt "!stencil.temp<%a%a>" pp_bounds bs pp_ty t
+  | Result_type t -> Format.fprintf fmt "!stencil.result<%a>" pp_ty t
+  | Request -> Format.pp_print_string fmt "!mpi.request"
+  | Request_array n -> Format.fprintf fmt "!mpi.request_array<%d>" n
+  | Status -> Format.pp_print_string fmt "!mpi.status"
+  | Datatype -> Format.pp_print_string fmt "!mpi.datatype"
+  | Comm -> Format.pp_print_string fmt "!mpi.comm"
+  | Stream t -> Format.fprintf fmt "!hls.stream<%a>" pp_ty t
+
+and pp_shape fmt shape =
+  List.iter (fun d -> Format.fprintf fmt "%dx" d) shape
+
+and pp_bounds fmt bs =
+  List.iter (fun b -> Format.fprintf fmt "%a x " pp_bound b) bs
+
+and pp_ty_list fmt tys =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_ty fmt tys
+
+let pp_int_list fmt xs =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Format.pp_print_int)
+    xs
+
+(* Floats are printed with enough digits to round-trip through the parser. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec pp_attr fmt = function
+  | Unit_attr -> Format.pp_print_string fmt "unit"
+  | Bool_attr b -> Format.pp_print_bool fmt b
+  | Int_attr (v, t) -> Format.fprintf fmt "%d : %a" v pp_ty t
+  | Float_attr (v, t) ->
+      Format.fprintf fmt "%s : %a" (float_repr v) pp_ty t
+  | String_attr s -> Format.fprintf fmt "%S" s
+  | Type_attr t -> Format.fprintf fmt "type<%a>" pp_ty t
+  | Array_attr xs ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_attr)
+        xs
+  | Dense_attr xs -> Format.fprintf fmt "dense<%a>" pp_int_list xs
+  | Symbol_attr s -> Format.fprintf fmt "@%s" s
+  | Grid_attr dims ->
+      Format.fprintf fmt "#dmp.grid<%s>"
+        (String.concat "x" (List.map string_of_int dims))
+  | Exchange_attr e ->
+      Format.fprintf fmt
+        "#dmp.exchange<at %a size %a source offset %a to %a>" pp_int_list
+        e.ex_offset pp_int_list e.ex_size pp_int_list e.ex_source_offset
+        pp_int_list e.ex_neighbor
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+let attr_to_string a = Format.asprintf "%a" pp_attr a

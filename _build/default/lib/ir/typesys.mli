@@ -1,0 +1,115 @@
+(** The closed type and attribute universe of the shared compilation stack.
+
+    MLIR keeps types and attributes openly extensible; since every dialect of
+    this reproduction lives in this repository we use closed variants instead,
+    which buys exhaustive pattern matching in every lowering. *)
+
+(** Bit widths of the signless integer types ([i1] ... [i64]). *)
+type int_width = W1 | W8 | W16 | W32 | W64
+
+(** IEEE-754 widths of the floating point types. *)
+type float_width = F32 | F64
+
+(** A per-dimension half-open bound [\[lo, hi)] as carried by stencil types.
+    The paper's enhancement to the stencil dialect attaches domain bounds to
+    the types themselves rather than to operation attributes. *)
+type bound = { lo : int; hi : int }
+
+val bound : int -> int -> bound
+(** [bound lo hi] builds a bound; raises [Invalid_argument] if [hi < lo]. *)
+
+val bound_size : bound -> int
+(** Number of points covered by a bound. *)
+
+(** Every type of every dialect used in the stack. *)
+type ty =
+  | Int of int_width  (** [iN] signless integers. *)
+  | Float of float_width  (** [f32]/[f64]. *)
+  | Index  (** Target-width loop/index integer. *)
+  | None_type  (** Unit-like type for ops without meaningful results. *)
+  | Memref of int list * ty  (** Static-shaped memory reference. *)
+  | Ptr  (** [!llvm.ptr], an opaque pointer. *)
+  | Fn of ty list * ty list  (** Function type. *)
+  | Field of bound list * ty
+      (** [!stencil.field]: the buffer stencil values are loaded from /
+          stored to, with static bounds per dimension. *)
+  | Temp of bound list * ty
+      (** [!stencil.temp]: value-semantics stencil values operated on by
+          [stencil.apply]. *)
+  | Result_type of ty  (** [!stencil.result]: value yielded per grid point. *)
+  | Request  (** [!mpi.request]. *)
+  | Request_array of int  (** Fixed-size list of MPI requests. *)
+  | Status  (** [!mpi.status]. *)
+  | Datatype  (** [!mpi.datatype]. *)
+  | Comm  (** [!mpi.comm]. *)
+  | Stream of ty  (** [!hls.stream]: FPGA dataflow FIFO channel. *)
+
+val i1 : ty
+val i32 : ty
+val i64 : ty
+val f32 : ty
+val f64 : ty
+val index : ty
+
+(** One halo exchange declaration, mirroring [#dmp.exchange]: receive the
+    rectangle at [ex_offset] of size [ex_size] from the neighbor in direction
+    [ex_neighbor]; send the same-sized rectangle shifted by
+    [ex_source_offset]. *)
+type exchange = {
+  ex_offset : int list;
+  ex_size : int list;
+  ex_source_offset : int list;
+  ex_neighbor : int list;
+}
+
+(** Every attribute of every dialect used in the stack. *)
+type attr =
+  | Unit_attr
+  | Bool_attr of bool
+  | Int_attr of int * ty
+  | Float_attr of float * ty
+  | String_attr of string
+  | Type_attr of ty
+  | Array_attr of attr list
+  | Dense_attr of int list  (** Dense integer vectors (offsets, bounds). *)
+  | Symbol_attr of string  (** [@symbol] references. *)
+  | Grid_attr of int list  (** [#dmp.grid]: cartesian rank topology. *)
+  | Exchange_attr of exchange  (** [#dmp.exchange]. *)
+
+val equal_ty : ty -> ty -> bool
+val equal_attr : attr -> attr -> bool
+
+val is_signless_numeric : ty -> bool
+(** True on integers, floats and index (including under [Result_type]). *)
+
+val is_float : ty -> bool
+val is_int_like : ty -> bool
+
+val bounds_of : ty -> bound list option
+(** Bounds carried by stencil field/temp types. *)
+
+val element_of : ty -> ty option
+(** Element type of shaped/container types. *)
+
+val rank_of : ty -> int option
+(** Number of dimensions of shaped types. *)
+
+val memref_num_elements : ty -> int
+(** Total element count of a static memref; raises on other types. *)
+
+val byte_width : ty -> int
+(** Size in bytes of a scalar type; raises on aggregates. *)
+
+val int_width_bits : int_width -> int
+
+val pp_bound : Format.formatter -> bound -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val pp_ty_list : Format.formatter -> ty list -> unit
+val pp_attr : Format.formatter -> attr -> unit
+val pp_int_list : Format.formatter -> int list -> unit
+
+val float_repr : float -> string
+(** Decimal representation that round-trips through the parser. *)
+
+val ty_to_string : ty -> string
+val attr_to_string : attr -> string

@@ -1,0 +1,38 @@
+(* SSA values.  Identity is the numeric id; the type travels with the value so
+   that, per the paper's design, any operation using stencil-related types can
+   read bounds information directly off its operands. *)
+
+type t = { id : int; ty : Typesys.ty }
+
+let counter = ref 0
+
+let fresh ty =
+  incr counter;
+  { id = !counter; ty }
+
+(* Used only by the parser, which must materialize values with the ids
+   appearing in the source text. *)
+let with_id id ty =
+  if id > !counter then counter := id;
+  { id; ty }
+
+let id v = v.id
+let ty v = v.ty
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash v = v.id
+
+let pp fmt v = Format.fprintf fmt "%%%d" v.id
+let pp_typed fmt v = Format.fprintf fmt "%%%d : %a" v.id Typesys.pp_ty v.ty
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

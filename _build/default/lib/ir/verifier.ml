@@ -1,0 +1,72 @@
+(* Structural verification: SSA dominance (defs before uses, captured values
+   visible from enclosing regions), unique definitions, plus any dialect
+   op-checks supplied by the caller. *)
+
+type check = Op.t -> (unit, string) result
+
+exception Verification_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Verification_error s)) fmt
+
+let verify ?(checks : check list = []) (root : Op.t) : unit =
+  let defined = Hashtbl.create 256 in
+  let define v =
+    if Hashtbl.mem defined (Value.id v) then
+      fail "value %%%d defined twice" (Value.id v)
+    else Hashtbl.add defined (Value.id v) ()
+  in
+  let rec check_op visible (op : Op.t) =
+    List.iter
+      (fun v ->
+        if not (Value.Set.mem v visible) then
+          fail "%s: operand %%%d used before definition" op.Op.name
+            (Value.id v))
+      op.Op.operands;
+    List.iter
+      (fun (chk : check) ->
+        match chk op with
+        | Ok () -> ()
+        | Error msg -> fail "%s: %s" op.Op.name msg)
+      checks;
+    List.iter
+      (fun (r : Op.region) ->
+        List.iter
+          (fun (b : Op.block) ->
+            List.iter define b.Op.args;
+            let visible =
+              List.fold_left (fun s v -> Value.Set.add v s) visible b.Op.args
+            in
+            ignore
+              (List.fold_left
+                 (fun visible o ->
+                   check_op visible o;
+                   List.iter define o.Op.results;
+                   List.fold_left
+                     (fun s v -> Value.Set.add v s)
+                     visible o.Op.results)
+                 visible b.Op.ops))
+          r.Op.blocks)
+      op.Op.regions
+  in
+  check_op Value.Set.empty root;
+  List.iter define root.Op.results
+
+(* Convenience: build a check from an op-name and a predicate on that op. *)
+let for_op name f : check =
+ fun op -> if op.Op.name = name then f op else Ok ()
+
+let expect_operands name n : check =
+  for_op name (fun op ->
+      if List.length op.Op.operands = n then Ok ()
+      else
+        Error
+          (Printf.sprintf "expected %d operands, got %d" n
+             (List.length op.Op.operands)))
+
+let expect_results name n : check =
+  for_op name (fun op ->
+      if List.length op.Op.results = n then Ok ()
+      else
+        Error
+          (Printf.sprintf "expected %d results, got %d" n
+             (List.length op.Op.results)))

@@ -1,0 +1,16 @@
+(** Structural IR verification: SSA dominance (definitions precede uses,
+    values captured from enclosing regions are visible), unique definitions,
+    plus caller-supplied dialect op checks. *)
+
+type check = Op.t -> (unit, string) result
+
+exception Verification_error of string
+
+val verify : ?checks:check list -> Op.t -> unit
+(** Raises {!Verification_error} on the first violation. *)
+
+val for_op : string -> (Op.t -> (unit, string) result) -> check
+(** Restrict a check to ops with the given name. *)
+
+val expect_operands : string -> int -> check
+val expect_results : string -> int -> check

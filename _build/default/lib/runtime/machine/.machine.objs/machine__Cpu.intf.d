@@ -1,0 +1,1 @@
+lib/runtime/machine/cpu.mli: Features

@@ -1,0 +1,1 @@
+lib/runtime/machine/features.ml: Array Core Format Ir List Op Transforms Typesys Value

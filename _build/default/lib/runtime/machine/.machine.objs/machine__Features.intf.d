@@ -1,0 +1,1 @@
+lib/runtime/machine/features.mli: Format Ir

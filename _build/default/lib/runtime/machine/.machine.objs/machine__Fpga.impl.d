@@ -1,0 +1,1 @@
+lib/runtime/machine/fpga.ml: Core Features Float Ir String

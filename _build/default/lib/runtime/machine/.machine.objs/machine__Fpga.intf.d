@@ -1,0 +1,1 @@
+lib/runtime/machine/fpga.mli: Features Ir

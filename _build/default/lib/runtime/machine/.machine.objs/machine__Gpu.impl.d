@@ -1,0 +1,1 @@
+lib/runtime/machine/gpu.ml: Features Float

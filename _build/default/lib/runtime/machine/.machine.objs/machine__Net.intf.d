@@ -1,0 +1,1 @@
+lib/runtime/machine/net.mli: Ir

@@ -1,0 +1,47 @@
+(** First-order CPU node performance model: a roofline (compute vs memory
+    bandwidth) plus a fork/join cost per parallel region — the mechanism
+    behind the paper's tracer-advection findings (fig. 10a). *)
+
+type spec = {
+  name : string;
+  cores : int;
+  freq_ghz : float;
+  sp_flops_per_cycle_core : float;
+      (** achievable stencil flop rate per core per cycle *)
+  mem_bw_gbs : float;
+  numa_regions : int;
+  barrier_us : float;  (** fork/join cost of one parallel region *)
+}
+
+val archer2_node : spec
+(** A dual AMD EPYC 7742 ARCHER2 node. *)
+
+(** Compiler-pipeline efficiency knobs: how well generated code uses the
+    machine (the quantities the paper attributes fig. 7's differences to). *)
+type code_quality = {
+  vec_efficiency : float;
+  flop_factor : float;  (** executed / naive flops (CSE, factorization) *)
+  bw_efficiency : float;
+}
+
+val xdsl_cpu_quality : code_quality
+(** The shared stack: weaker vectorization of the lowered IR, good
+    streaming from the tiled lowering. *)
+
+val devito_cpu_quality : flop_factor:float -> code_quality
+(** Native Devito: aggressive flop reduction and SIMD. *)
+
+val cray_quality : code_quality
+val gnu_quality : code_quality
+
+val sweep_time :
+  spec -> code_quality -> Features.t -> points:float -> threads:int -> float
+(** Seconds to sweep [points] once (roofline). *)
+
+val step_time :
+  spec -> code_quality -> Features.t -> points:float -> threads:int -> float
+(** One timestep including per-region fork/join. *)
+
+val throughput :
+  spec -> code_quality -> Features.t -> points:float -> threads:int -> float
+(** GPts/s. *)

@@ -1,0 +1,85 @@
+(* Kernel features measured from compiled IR.  The analytic machine models
+   consume these rather than hard-coded workload tables, so a change to the
+   compiler (e.g. better CSE, a different lowering) shows up in the modeled
+   performance. *)
+
+open Ir
+
+type t = {
+  flops_per_pt : float;  (* floating-point ops per grid point per step *)
+  reads_per_pt : float;  (* access terms per point (register/cache hits) *)
+  unique_bytes_per_pt : float;  (* streaming memory traffic per point *)
+  stencil_regions : int;  (* applies -> parallel regions per timestep *)
+  points_per_step : float;  (* grid points updated per timestep *)
+  elt_bytes : int;
+  radius : int;  (* max halo extent, for communication volume *)
+}
+
+(* Extract features from a stencil-level module: each stencil.apply is one
+   kernel region; flops and accesses are counted in its body; streaming
+   traffic is one read per distinct input field plus a write(+allocate) per
+   output. *)
+let of_stencil_module ?(elt_bytes = 4) (m : Op.t) : t =
+  let flops = ref 0 and reads = ref 0 and regions = ref 0 in
+  let unique_streams = ref 0. and points = ref 0. and radius = ref 0 in
+  Op.walk
+    (fun op ->
+      if op.Op.name = "stencil.apply" then begin
+        incr regions;
+        flops := !flops + Transforms.Statistics.flops_in op;
+        reads := !reads + Transforms.Statistics.distinct_access_offsets op;
+        (* Inputs are streamed once per sweep, outputs written + allocated;
+           cross-plane reuse is imperfect in practice, growing with the
+           number of dimensions (TLB/NUMA effects), so input traffic is
+           amplified by the rank. *)
+        let rank_amp =
+          match Typesys.rank_of (Value.ty (List.hd op.Op.results)) with
+          | Some r -> float_of_int (max 1 r)
+          | None -> 1.
+        in
+        unique_streams :=
+          !unique_streams
+          +. (rank_amp *. float_of_int (List.length op.Op.operands))
+          +. (2. *. float_of_int (List.length op.Op.results));
+        (match Typesys.bounds_of (Value.ty (List.hd op.Op.results)) with
+        | Some bs ->
+            points :=
+              !points
+              +. float_of_int
+                   (List.fold_left
+                      (fun acc b -> acc * Typesys.bound_size b)
+                      1 bs)
+        | None -> ());
+        let rank =
+          match Typesys.rank_of (Value.ty (List.hd op.Op.results)) with
+          | Some r -> r
+          | None -> 0
+        in
+        Array.iter
+          (fun (n, p) -> radius := max !radius (max (-n) p))
+          (Core.Stencil.combined_halo op ~rank)
+      end)
+    m;
+  let regions_f = float_of_int (max 1 !regions) in
+  (* Normalize per point of one region sweep: averages over regions. *)
+  let avg_points = !points /. regions_f in
+  {
+    flops_per_pt = float_of_int !flops /. regions_f;
+    reads_per_pt = float_of_int !reads /. regions_f;
+    unique_bytes_per_pt =
+      !unique_streams /. regions_f *. float_of_int elt_bytes;
+    stencil_regions = !regions;
+    points_per_step = avg_points *. regions_f;
+    elt_bytes;
+    radius = !radius;
+  }
+
+(* Override the per-step grid size (e.g. to model a problem size larger
+   than what was compiled for functional validation). *)
+let with_points f points = { f with points_per_step = points }
+
+let pp fmt f =
+  Format.fprintf fmt
+    "flops/pt=%.1f reads/pt=%.1f bytes/pt=%.1f regions=%d points=%.3g r=%d"
+    f.flops_per_pt f.reads_per_pt f.unique_bytes_per_pt f.stencil_regions
+    f.points_per_step f.radius

@@ -1,0 +1,25 @@
+(** Kernel features measured from compiled IR.  The analytic machine models
+    consume these rather than hard-coded workload tables, so a change to
+    the compiler (better CSE, a different lowering) shows up in the modeled
+    performance. *)
+
+type t = {
+  flops_per_pt : float;  (** floating-point ops per grid point per region *)
+  reads_per_pt : float;  (** distinct access terms per point *)
+  unique_bytes_per_pt : float;  (** streaming memory traffic per point *)
+  stencil_regions : int;  (** applies, i.e. parallel regions per timestep *)
+  points_per_step : float;  (** grid points updated per timestep *)
+  elt_bytes : int;
+  radius : int;  (** max halo extent *)
+}
+
+val of_stencil_module : ?elt_bytes:int -> Ir.Op.t -> t
+(** Measure features from a stencil-level module: flops and distinct
+    accesses per apply body, streaming traffic (inputs amplified by the
+    rank to model imperfect cross-plane reuse, outputs with
+    write-allocate), regions and radius. *)
+
+val with_points : t -> float -> t
+(** Override the per-step grid size (e.g. the paper's problem sizes). *)
+
+val pp : Format.formatter -> t -> unit

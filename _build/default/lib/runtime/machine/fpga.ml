@@ -1,0 +1,94 @@
+(* First-order FPGA model (AMD Xilinx Alveo U280 substitute) for Table 1.
+
+   The model reads the compiled kernel's structure:
+
+   - *initial* kernels (Von Neumann form): every stencil operand read goes
+     to external DDR with limited memory-level parallelism and the loops
+     are not pipelined, so a cell costs (total reads over all stencil
+     regions) * effective-DDR-latency cycles;
+
+   - *optimized* kernels (dataflow + shift buffer, II=1): cells flow
+     through the pipelined dataflow at one per cycle; throughput is limited
+     by the external streams contending for the DDR channels.  Intermediate
+     values travel through on-chip streams, so only the kernel's primary
+     inputs and final output touch DDR. *)
+
+type spec = {
+  name : string;
+  clock_mhz : float;
+  ddr_latency_cycles : float;
+      (* effective external read latency after memory-level parallelism *)
+  ddr_channels : int;
+}
+
+let u280 =
+  {
+    name = "Alveo U280";
+    clock_mhz = 300.;
+    ddr_latency_cycles = 12.;
+    ddr_channels = 2;
+  }
+
+(* Structure of a compiled FPGA kernel, read off the hls-lowered module plus
+   the kernel's external dataflow boundary. *)
+type kernel_shape = {
+  optimized : bool;
+  stages : int;  (* dataflow stages (optimized mode) *)
+  total_reads_per_pt : float;  (* stencil reads per point over all regions *)
+  external_streams : int;  (* DDR streams of the fused dataflow *)
+}
+
+let shape_of_module (m : Ir.Op.t) ~(f : Features.t)
+    ?(external_streams = 0) () : kernel_shape =
+  let optimized = Core.Hls.has_shift_buffer m in
+  let stages = max 1 (Core.Hls.count_stages m) in
+  let external_streams =
+    if external_streams > 0 then external_streams
+    else
+      (* Fall back to counting the read/write stages of the module. *)
+      max 1
+        (Ir.Op.fold
+           (fun acc op ->
+             if op.Ir.Op.name = Core.Hls.stage then
+               match Ir.Op.attr op "stage_name" with
+               | Some (Ir.Typesys.String_attr s)
+                 when String.length s >= 4
+                      && (String.sub s 0 4 = "read"
+                         || String.sub s 0 4 = "writ") ->
+                   acc + 1
+               | _ -> acc
+             else acc)
+           0 m)
+  in
+  {
+    optimized;
+    stages;
+    total_reads_per_pt =
+      f.Features.reads_per_pt *. float_of_int f.Features.stencil_regions;
+    external_streams;
+  }
+
+let step_time (spec : spec) (shape : kernel_shape) ~(points : float) : float
+    =
+  let clock = spec.clock_mhz *. 1e6 in
+  if shape.optimized then begin
+    (* One cell per cycle per pipeline; external streams share channels. *)
+    let stream_pressure =
+      Float.max 1.
+        (float_of_int shape.external_streams
+        /. float_of_int spec.ddr_channels)
+    in
+    let fill = float_of_int (shape.stages * 200) in
+    ((points *. stream_pressure) +. fill) /. clock
+  end
+  else begin
+    (* Unpipelined external reads dominate. *)
+    let cycles_per_cell =
+      shape.total_reads_per_pt *. spec.ddr_latency_cycles
+    in
+    points *. cycles_per_cell /. clock
+  end
+
+let throughput (spec : spec) (shape : kernel_shape) ~(points : float) : float
+    =
+  points /. step_time spec shape ~points /. 1e9

@@ -1,0 +1,30 @@
+(** First-order FPGA model (Alveo U280 substitute) for Table 1: initial
+    (Von Neumann) kernels pay unpipelined external reads per stencil
+    operand; optimized (dataflow + shift buffer, II=1) kernels process one
+    cell per cycle limited by external streams contending for DDR
+    channels. *)
+
+type spec = {
+  name : string;
+  clock_mhz : float;
+  ddr_latency_cycles : float;
+  ddr_channels : int;
+}
+
+val u280 : spec
+
+type kernel_shape = {
+  optimized : bool;
+  stages : int;
+  total_reads_per_pt : float;
+  external_streams : int;
+}
+
+val shape_of_module :
+  Ir.Op.t -> f:Features.t -> ?external_streams:int -> unit -> kernel_shape
+(** Read the kernel structure off an hls-lowered module;
+    [external_streams] supplies the fused dataflow's DDR boundary
+    (primary inputs + final output) when known. *)
+
+val step_time : spec -> kernel_shape -> points:float -> float
+val throughput : spec -> kernel_shape -> points:float -> float

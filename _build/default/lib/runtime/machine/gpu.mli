@@ -1,0 +1,33 @@
+(** First-order GPU model (NVIDIA V100 substitute): roofline over device
+    bandwidth and SP peak, plus per-kernel launch and synchronization
+    overhead.  Models the paper's fig. 9/10b mechanisms: synchronous
+    per-kernel launches in the MLIR lowering, managed-memory page faults in
+    OpenACC baselines, explicit device allocation in the xDSL path. *)
+
+type spec = {
+  name : string;
+  peak_sp_tflops : float;
+  mem_bw_gbs : float;
+  launch_us : float;
+  sync_us : float;
+}
+
+val v100 : spec
+
+type code_quality = {
+  vec_efficiency : float;
+  bw_efficiency : float;
+  managed_memory : bool;
+  synchronous_launches : bool;
+}
+
+val xdsl_cuda_quality : code_quality
+val devito_openacc_quality : dims:int -> code_quality
+val psyclone_openacc_quality : code_quality
+val psyclone_openacc_resident_quality : code_quality
+
+val managed_penalty : float
+(** Bandwidth derating under unified-memory page faults. *)
+
+val step_time : spec -> code_quality -> Features.t -> points:float -> float
+val throughput : spec -> code_quality -> Features.t -> points:float -> float

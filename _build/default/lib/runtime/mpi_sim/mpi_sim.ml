@@ -1,0 +1,286 @@
+(* A simulated MPI runtime: the execution substrate standing in for the
+   paper's ARCHER2 deployment of mpich.
+
+   Every rank runs as a fiber (an OCaml effect-handler continuation) under a
+   deterministic cooperative round-robin scheduler.  Point-to-point messaging
+   uses the eager protocol with FIFO matching per (destination, source, tag);
+   collectives are built on top of point-to-point with a reserved tag, as in
+   textbook MPI implementations.  The scheduler detects deadlock: if every
+   live rank is blocked on an unsatisfiable condition the run aborts with
+   [Deadlock].
+
+   The runtime also keeps per-rank traffic counters (messages and bytes);
+   the benchmarks feed these measured volumes into the network model. *)
+
+type payload = Floats of float array | Ints of int array
+
+let payload_elems = function
+  | Floats a -> Array.length a
+  | Ints a -> Array.length a
+
+let copy_payload = function
+  | Floats a -> Floats (Array.copy a)
+  | Ints a -> Ints (Array.copy a)
+
+exception Deadlock of string
+exception Mpi_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Mpi_error s)) fmt
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable collectives : int;
+}
+
+type comm = {
+  size : int;
+  (* FIFO mailboxes keyed by (dst, src, tag). *)
+  mailboxes : (int * int * int, payload Queue.t) Hashtbl.t;
+  per_rank : stats array;
+}
+
+type rank_ctx = { rank : int; comm : comm }
+
+type request_kind =
+  | Send_req
+  | Recv_req of { source : int; tag : int; mutable data : payload option }
+  | Null_req
+
+type request = { kind : request_kind; ctx : rank_ctx }
+
+(* Cooperative scheduling primitives. *)
+
+type _ Effect.t += Block : (unit -> bool) -> unit Effect.t
+
+let block_until pred =
+  if pred () then () else Effect.perform (Block pred)
+
+let collective_tag = -1
+
+let create_comm size =
+  {
+    size;
+    mailboxes = Hashtbl.create 64;
+    per_rank = Array.init size (fun _ -> { messages = 0; bytes = 0; collectives = 0 });
+  }
+
+let mailbox comm key =
+  match Hashtbl.find_opt comm.mailboxes key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add comm.mailboxes key q;
+      q
+
+let rank ctx = ctx.rank
+let size ctx = ctx.comm.size
+
+let check_peer ctx peer what =
+  if peer < 0 || peer >= ctx.comm.size then
+    error "rank %d: %s peer %d out of range [0, %d)" ctx.rank what peer
+      ctx.comm.size
+
+(* Eager send: the payload is copied into the destination mailbox and the
+   operation completes immediately. *)
+let post_send ctx ~dest ~tag ?(bytes = -1) payload =
+  check_peer ctx dest "send to";
+  let q = mailbox ctx.comm (dest, ctx.rank, tag) in
+  Queue.push (copy_payload payload) q;
+  let s = ctx.comm.per_rank.(ctx.rank) in
+  s.messages <- s.messages + 1;
+  s.bytes <-
+    s.bytes + if bytes >= 0 then bytes else 8 * payload_elems payload
+
+let isend ctx ~dest ~tag ?bytes payload =
+  post_send ctx ~dest ~tag ?bytes payload;
+  { kind = Send_req; ctx }
+
+let try_match ctx ~source ~tag =
+  let q = mailbox ctx.comm (ctx.rank, source, tag) in
+  if Queue.is_empty q then None else Some (Queue.pop q)
+
+let irecv ctx ~source ~tag =
+  check_peer ctx source "receive from";
+  { kind = Recv_req { source; tag; data = None }; ctx }
+
+let request_complete (r : request) =
+  match r.kind with
+  | Send_req | Null_req -> true
+  | Recv_req rr -> (
+      match rr.data with
+      | Some _ -> true
+      | None -> (
+          match try_match r.ctx ~source: rr.source ~tag: rr.tag with
+          | Some p ->
+              rr.data <- Some p;
+              true
+          | None -> false))
+
+let null_request ctx = { kind = Null_req; ctx }
+
+let test (r : request) = request_complete r
+
+let wait (r : request) : payload option =
+  block_until (fun () -> request_complete r);
+  match r.kind with
+  | Recv_req rr -> rr.data
+  | Send_req | Null_req -> None
+
+let waitall (rs : request list) : unit =
+  block_until (fun () -> List.for_all request_complete rs);
+  List.iter (fun r -> ignore (wait r)) rs
+
+let send ctx ~dest ~tag ?bytes payload =
+  ignore (isend ctx ~dest ~tag ?bytes payload)
+
+let recv ctx ~source ~tag : payload =
+  let r = irecv ctx ~source ~tag in
+  match wait r with
+  | Some p -> p
+  | None -> error "recv completed without payload"
+
+(* Collectives, built over point-to-point with the reserved tag.  FIFO
+   matching per (dst, src, tag) keeps consecutive collectives ordered. *)
+
+let note_collective ctx =
+  let s = ctx.comm.per_rank.(ctx.rank) in
+  s.collectives <- s.collectives + 1
+
+let bcast ctx ~root (payload : payload) : payload =
+  note_collective ctx;
+  if ctx.rank = root then begin
+    for dest = 0 to ctx.comm.size - 1 do
+      if dest <> root then send ctx ~dest ~tag: collective_tag payload
+    done;
+    payload
+  end
+  else recv ctx ~source: root ~tag: collective_tag
+
+let combine op a b =
+  match (a, b) with
+  | Floats x, Floats y ->
+      Floats
+        (Array.mapi
+           (fun i v ->
+             match op with
+             | `Sum -> v +. y.(i)
+             | `Max -> Float.max v y.(i)
+             | `Min -> Float.min v y.(i))
+           x)
+  | Ints x, Ints y ->
+      Ints
+        (Array.mapi
+           (fun i v ->
+             match op with
+             | `Sum -> v + y.(i)
+             | `Max -> max v y.(i)
+             | `Min -> min v y.(i))
+           x)
+  | _ -> error "reduce: mixed payload kinds"
+
+let reduce ctx ~root op (payload : payload) : payload option =
+  note_collective ctx;
+  if ctx.rank = root then begin
+    let acc = ref (copy_payload payload) in
+    for source = 0 to ctx.comm.size - 1 do
+      if source <> root then
+        acc := combine op !acc (recv ctx ~source ~tag: collective_tag)
+    done;
+    Some !acc
+  end
+  else begin
+    send ctx ~dest: root ~tag: collective_tag payload;
+    None
+  end
+
+let allreduce ctx op (payload : payload) : payload =
+  match reduce ctx ~root: 0 op payload with
+  | Some combined -> bcast ctx ~root: 0 combined
+  | None -> bcast ctx ~root: 0 payload
+
+let gather ctx ~root (payload : payload) : payload list option =
+  note_collective ctx;
+  if ctx.rank = root then begin
+    let parts =
+      List.init ctx.comm.size (fun source ->
+          if source = root then copy_payload payload
+          else recv ctx ~source ~tag: collective_tag)
+    in
+    Some parts
+  end
+  else begin
+    send ctx ~dest: root ~tag: collective_tag payload;
+    None
+  end
+
+let barrier ctx =
+  ignore (allreduce ctx `Sum (Ints [| 0 |]))
+
+(* The scheduler. *)
+
+let run ~ranks (body : rank_ctx -> unit) : comm =
+  if ranks <= 0 then invalid_arg "Mpi_sim.run: ranks must be positive";
+  let comm = create_comm ranks in
+  let runnable : (unit -> unit) Queue.t = Queue.create () in
+  let blocked : ((unit -> bool) * (unit -> unit)) list ref = ref [] in
+  let failure : exn option ref = ref None in
+  let open Effect.Deep in
+  let make_fiber r () =
+    match_with
+      (fun () -> body { rank = r; comm })
+      ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> if !failure = None then failure := Some e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Block pred ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    blocked := (pred, fun () -> continue k ()) :: !blocked)
+            | _ -> None);
+      }
+  in
+  for r = 0 to ranks - 1 do
+    Queue.push (make_fiber r) runnable
+  done;
+  let rec loop () =
+    if !failure <> None then ()
+    else if not (Queue.is_empty runnable) then begin
+      let fiber = Queue.pop runnable in
+      fiber ();
+      loop ()
+    end
+    else if !blocked <> [] then begin
+      (* Wake every fiber whose condition is now satisfied. *)
+      let ready, still =
+        List.partition (fun (pred, _) -> pred ()) !blocked
+      in
+      if ready = [] then
+        raise
+          (Deadlock
+             (Printf.sprintf "%d rank(s) blocked with no runnable fiber"
+                (List.length still)))
+      else begin
+        blocked := still;
+        (* Preserve rough rank order for determinism. *)
+        List.iter (fun (_, k) -> Queue.push k runnable) (List.rev ready);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (match !failure with Some e -> raise e | None -> ());
+  comm
+
+(* Aggregate traffic statistics. *)
+
+let total_messages comm =
+  Array.fold_left (fun acc s -> acc + s.messages) 0 comm.per_rank
+
+let total_bytes comm =
+  Array.fold_left (fun acc s -> acc + s.bytes) 0 comm.per_rank
+
+let rank_stats comm r = comm.per_rank.(r)

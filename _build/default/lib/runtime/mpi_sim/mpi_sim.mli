@@ -1,0 +1,71 @@
+(** A simulated MPI runtime: the execution substrate standing in for the
+    paper's ARCHER2 deployment of mpich.
+
+    Ranks run as effect-handler fibers under a deterministic cooperative
+    scheduler; point-to-point messaging uses the eager protocol with FIFO
+    matching per (destination, source, tag); collectives are built on
+    point-to-point with a reserved tag.  The scheduler detects deadlock,
+    and per-rank traffic counters feed the network model. *)
+
+type payload = Floats of float array | Ints of int array
+
+val payload_elems : payload -> int
+val copy_payload : payload -> payload
+
+exception Deadlock of string
+(** Raised when every live rank is blocked on an unsatisfiable condition. *)
+
+exception Mpi_error of string
+
+type comm
+(** A communicator (the world of one run). *)
+
+type rank_ctx
+(** One rank's handle onto the communicator. *)
+
+type request
+
+val rank : rank_ctx -> int
+val size : rank_ctx -> int
+
+val block_until : (unit -> bool) -> unit
+(** Cooperative wait primitive (exposed for runtime extensions). *)
+
+val isend :
+  rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> request
+(** Eager non-blocking send: the payload is copied out immediately.
+    [bytes] overrides the accounted message size. *)
+
+val irecv : rank_ctx -> source:int -> tag:int -> request
+val test : request -> bool
+
+val wait : request -> payload option
+(** Blocks until completion; returns the payload for receive requests. *)
+
+val waitall : request list -> unit
+val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
+val recv : rank_ctx -> source:int -> tag:int -> payload
+val null_request : rank_ctx -> request
+
+val bcast : rank_ctx -> root:int -> payload -> payload
+val reduce : rank_ctx -> root:int -> [ `Sum | `Max | `Min ] -> payload -> payload option
+val allreduce : rank_ctx -> [ `Sum | `Max | `Min ] -> payload -> payload
+val gather : rank_ctx -> root:int -> payload -> payload list option
+val barrier : rank_ctx -> unit
+
+val run : ranks:int -> (rank_ctx -> unit) -> comm
+(** Run an SPMD body on [ranks] fibers; returns the communicator for
+    traffic inspection.  Deterministic: identical runs interleave
+    identically. *)
+
+(** {1 Traffic accounting} *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable collectives : int;
+}
+
+val total_messages : comm -> int
+val total_bytes : comm -> int
+val rank_stats : comm -> int -> stats

@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.ml: Arith Dce Dialects Float Ir List Op Pass Typesys Value

@@ -1,0 +1,1 @@
+lib/transforms/conversion.ml: Builder Hashtbl Ir List Op Typesys Value

@@ -1,0 +1,1 @@
+lib/transforms/conversion.mli: Builder Ir Op Typesys Value

@@ -1,0 +1,1 @@
+lib/transforms/cse.ml: Effects Ir List Op Pass Typesys Value

@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Effects Ir List Op Pass Value

@@ -1,0 +1,1 @@
+lib/transforms/effects.ml: Ir List Op String

@@ -1,0 +1,1 @@
+lib/transforms/effects.mli: Ir

@@ -1,0 +1,1 @@
+lib/transforms/licm.ml: Effects Ir List Op Pass Printer Value

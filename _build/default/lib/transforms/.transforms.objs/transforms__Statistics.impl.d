@@ -1,0 +1,1 @@
+lib/transforms/statistics.ml: Format Hashtbl Ir List Map Op String Typesys Value

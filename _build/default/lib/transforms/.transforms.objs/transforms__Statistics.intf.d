@@ -1,0 +1,1 @@
+lib/transforms/statistics.mli: Format Ir Map

@@ -1,0 +1,217 @@
+(* Canonicalization: constant folding and algebraic identities for the arith
+   dialect, as rewrite patterns run to fixpoint by the greedy driver. *)
+
+open Ir
+open Dialects
+
+let const_int_op v ty =
+  let r = Value.fresh ty in
+  ( Op.make Arith.constant ~results: [ r ]
+      ~attrs: [ ("value", Typesys.Int_attr (v, ty)) ],
+    r )
+
+let const_float_op v ty =
+  let r = Value.fresh ty in
+  ( Op.make Arith.constant ~results: [ r ]
+      ~attrs: [ ("value", Typesys.Float_attr (v, ty)) ],
+    r )
+
+(* A pattern needs to see its operands' defining constants; the driver only
+   hands us single ops, so we fold pairs where *both* sides are constants by
+   looking at an environment the pass maintains: instead, we implement
+   folding as a dedicated pass that tracks constants per block, then re-use
+   the pattern driver for pure algebraic identities that need no context. *)
+
+let eval_int_binop name a b =
+  match name with
+  | "arith.addi" -> Some (a + b)
+  | "arith.subi" -> Some (a - b)
+  | "arith.muli" -> Some (a * b)
+  | "arith.divsi" -> if b = 0 then None else Some (a / b)
+  | "arith.remsi" -> if b = 0 then None else Some (a mod b)
+  | "arith.andi" -> Some (a land b)
+  | "arith.ori" -> Some (a lor b)
+  | "arith.xori" -> Some (a lxor b)
+  | _ -> None
+
+let eval_float_binop name a b =
+  match name with
+  | "arith.addf" -> Some (a +. b)
+  | "arith.subf" -> Some (a -. b)
+  | "arith.mulf" -> Some (a *. b)
+  | "arith.divf" -> Some (a /. b)
+  | "arith.maximumf" -> Some (Float.max a b)
+  | "arith.minimumf" -> Some (Float.min a b)
+  | _ -> None
+
+let eval_cmp pred a b =
+  let open Arith in
+  match pred with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+(* Constant propagation + folding over a block, tracking the defining
+   constant of every value in scope (constants from enclosing blocks are
+   visible in nested regions). *)
+
+type const_value = Cint of int | Cfloat of float
+
+let rec fold_block env (b : Op.block) : Op.block =
+  let env = ref env in
+  let subst = ref Value.Map.empty in
+  let rev_ops =
+    List.fold_left
+      (fun acc op ->
+        let op = Op.substitute !subst op in
+        let op =
+          if op.Op.regions = [] then op
+          else
+            {
+              op with
+              Op.regions =
+                List.map
+                  (fun (r : Op.region) ->
+                    { Op.blocks = List.map (fold_block !env) r.Op.blocks })
+                  op.Op.regions;
+            }
+        in
+        let lookup v = Value.Map.find_opt v !env in
+        let record_const r c = env := Value.Map.add r c !env in
+        (* Try to fold this op to a constant. *)
+        let folded =
+          match (op.Op.name, op.Op.operands, op.Op.results) with
+          | "arith.constant", _, [ r ] ->
+              (match Op.attr op "value" with
+              | Some (Typesys.Int_attr (v, _)) -> record_const r (Cint v)
+              | Some (Typesys.Float_attr (v, _)) -> record_const r (Cfloat v)
+              | _ -> ());
+              None
+          | name, [ a; b ], [ r ] when Arith.is_int_binop name -> (
+              match (lookup a, lookup b) with
+              | Some (Cint va), Some (Cint vb) -> (
+                  match eval_int_binop name va vb with
+                  | Some v ->
+                      let cop, nr = const_int_op v (Value.ty r) in
+                      Some (cop, r, nr, Cint v)
+                  | None -> None)
+              | _ -> None)
+          | name, [ a; b ], [ r ] when Arith.is_float_binop name -> (
+              match (lookup a, lookup b) with
+              | Some (Cfloat va), Some (Cfloat vb) -> (
+                  match eval_float_binop name va vb with
+                  | Some v ->
+                      let cop, nr = const_float_op v (Value.ty r) in
+                      Some (cop, r, nr, Cfloat v)
+                  | None -> None)
+              | _ -> None)
+          | "arith.negf", [ a ], [ r ] -> (
+              match lookup a with
+              | Some (Cfloat va) ->
+                  let cop, nr = const_float_op (-.va) (Value.ty r) in
+                  Some (cop, r, nr, Cfloat (-.va))
+              | _ -> None)
+          | "arith.cmpi", [ a; b ], [ r ] -> (
+              match (lookup a, lookup b) with
+              | Some (Cint va), Some (Cint vb) ->
+                  let pred =
+                    Arith.predicate_of_string
+                      (Op.string_attr_exn op "predicate")
+                  in
+                  let v = if eval_cmp pred va vb then 1 else 0 in
+                  let cop, nr = const_int_op v Typesys.i1 in
+                  Some (cop, r, nr, Cint v)
+              | _ -> None)
+          | "arith.index_cast", [ a ], [ r ] -> (
+              match lookup a with
+              | Some (Cint va) ->
+                  let cop, nr = const_int_op va (Value.ty r) in
+                  Some (cop, r, nr, Cint va)
+              | _ -> None)
+          | "arith.sitofp", [ a ], [ r ] -> (
+              match lookup a with
+              | Some (Cint va) ->
+                  let v = float_of_int va in
+                  let cop, nr = const_float_op v (Value.ty r) in
+                  Some (cop, r, nr, Cfloat v)
+              | _ -> None)
+          | _ -> None
+        in
+        match folded with
+        | Some (cop, old_r, new_r, cv) ->
+            subst := Value.Map.add old_r new_r !subst;
+            record_const new_r cv;
+            cop :: acc
+        | None -> (
+            (* Algebraic identities with one constant side. *)
+            let identity =
+              match (op.Op.name, op.Op.operands, op.Op.results) with
+              | "arith.addf", [ a; b ], [ r ] -> (
+                  match (lookup a, lookup b) with
+                  | _, Some (Cfloat 0.) -> Some (r, a)
+                  | Some (Cfloat 0.), _ -> Some (r, b)
+                  | _ -> None)
+              | "arith.subf", [ a; b ], [ r ] -> (
+                  match lookup b with
+                  | Some (Cfloat 0.) -> Some (r, a)
+                  | _ -> None)
+              | "arith.mulf", [ a; b ], [ r ] -> (
+                  match (lookup a, lookup b) with
+                  | _, Some (Cfloat 1.) -> Some (r, a)
+                  | Some (Cfloat 1.), _ -> Some (r, b)
+                  | _ -> None)
+              | "arith.divf", [ a; b ], [ r ] -> (
+                  match lookup b with
+                  | Some (Cfloat 1.) -> Some (r, a)
+                  | _ -> None)
+              | "arith.addi", [ a; b ], [ r ] -> (
+                  match (lookup a, lookup b) with
+                  | _, Some (Cint 0) -> Some (r, a)
+                  | Some (Cint 0), _ -> Some (r, b)
+                  | _ -> None)
+              | "arith.subi", [ a; b ], [ r ] -> (
+                  match lookup b with
+                  | Some (Cint 0) -> Some (r, a)
+                  | _ -> None)
+              | "arith.muli", [ a; b ], [ r ] -> (
+                  match (lookup a, lookup b) with
+                  | _, Some (Cint 1) -> Some (r, a)
+                  | Some (Cint 1), _ -> Some (r, b)
+                  | _ -> None)
+              | "arith.select", [ c; t; f ], [ r ] -> (
+                  match lookup c with
+                  | Some (Cint 1) -> Some (r, t)
+                  | Some (Cint 0) -> Some (r, f)
+                  | _ -> None)
+              | _ -> None
+            in
+            match identity with
+            | Some (old_r, replacement) ->
+                subst := Value.Map.add old_r replacement !subst;
+                (match lookup replacement with
+                | Some c -> record_const old_r c
+                | None -> ());
+                acc
+            | None -> op :: acc))
+      [] b.Op.ops
+  in
+  { b with Op.ops = List.rev rev_ops }
+
+let run (m : Op.t) : Op.t =
+  let m' =
+    {
+      m with
+      Op.regions =
+        List.map
+          (fun (r : Op.region) ->
+            { Op.blocks = List.map (fold_block Value.Map.empty) r.Op.blocks })
+          m.Op.regions;
+    }
+  in
+  (* Folding leaves behind unused constants; clean them up. *)
+  Dce.run m'
+
+let pass = Pass.make "canonicalize" run

@@ -1,0 +1,9 @@
+(** Canonicalization: constant propagation and folding plus algebraic
+    identities (x+0, x*1, select on constants, ...) for the arith dialect,
+    with a DCE sweep for the leftover constants. *)
+
+val eval_int_binop : string -> int -> int -> int option
+val eval_float_binop : string -> float -> float -> float option
+
+val run : Ir.Op.t -> Ir.Op.t
+val pass : Ir.Pass.t

@@ -1,0 +1,74 @@
+(* A generic dialect-conversion driver in the style of MLIR's conversion
+   framework: a type converter rewrites the types of every value, and op
+   handlers translate individual ops while unhandled ops are rebuilt
+   generically (operands remapped, result/block-argument types converted,
+   regions recursed into). *)
+
+open Ir
+
+type ctx = {
+  lookup : Value.t -> Value.t;  (* old value -> converted value *)
+  bind : Value.t -> Value.t -> unit;  (* record old -> new *)
+  fresh_converted : Value.t -> Value.t;  (* fresh value of converted type *)
+}
+
+(* A handler returns true when it fully handled the op (emitting whatever
+   replacement into the builder and binding the old results). *)
+type handler = ctx -> Builder.t -> Op.t -> bool
+
+let convert ~(convert_ty : Typesys.ty -> Typesys.ty) ~(handler : handler)
+    (m : Op.t) : Op.t =
+  let vmap : (int, Value.t) Hashtbl.t = Hashtbl.create 128 in
+  let lookup v =
+    match Hashtbl.find_opt vmap (Value.id v) with
+    | Some v' -> v'
+    | None -> v
+  in
+  let bind old_v new_v = Hashtbl.replace vmap (Value.id old_v) new_v in
+  let fresh_converted v =
+    let v' = Value.fresh (convert_ty (Value.ty v)) in
+    bind v v';
+    v'
+  in
+  let ctx = { lookup; bind; fresh_converted } in
+  let rec rewrite_block (b : Op.block) : Op.block =
+    let args = List.map fresh_converted b.Op.args in
+    let bld = Builder.create () in
+    List.iter
+      (fun (op : Op.t) ->
+        if not (handler ctx bld op) then begin
+          let operands = List.map lookup op.Op.operands in
+          let results = List.map fresh_converted op.Op.results in
+          let regions =
+            List.map
+              (fun (r : Op.region) ->
+                { Op.blocks = List.map rewrite_block r.Op.blocks })
+              op.Op.regions
+          in
+          (* Keep function signatures in sync with converted types. *)
+          let attrs =
+            List.map
+              (fun (k, a) ->
+                match a with
+                | Typesys.Type_attr t -> (k, Typesys.Type_attr (conv_deep t))
+                | a -> (k, a))
+              op.Op.attrs
+          in
+          Builder.add bld { op with Op.operands; results; regions; attrs }
+        end)
+      b.Op.ops;
+    { Op.args; ops = Builder.ops bld }
+  and conv_deep (t : Typesys.ty) : Typesys.ty =
+    match t with
+    | Typesys.Fn (args, res) ->
+        Typesys.Fn (List.map conv_deep args, List.map conv_deep res)
+    | t -> convert_ty t
+  in
+  {
+    m with
+    Op.regions =
+      List.map
+        (fun (r : Op.region) ->
+          { Op.blocks = List.map rewrite_block r.Op.blocks })
+        m.Op.regions;
+  }

@@ -1,0 +1,20 @@
+(** A generic dialect-conversion driver in the style of MLIR's conversion
+    framework: a type converter rewrites every value's type, op handlers
+    translate individual ops, and unhandled ops are rebuilt generically
+    (operands remapped, result/argument types converted, regions
+    recursed). *)
+
+open Ir
+
+type ctx = {
+  lookup : Value.t -> Value.t;
+  bind : Value.t -> Value.t -> unit;
+  fresh_converted : Value.t -> Value.t;
+}
+
+type handler = ctx -> Builder.t -> Op.t -> bool
+(** Returns true when the op was fully handled (replacement emitted and old
+    results bound). *)
+
+val convert :
+  convert_ty:(Typesys.ty -> Typesys.ty) -> handler:handler -> Op.t -> Op.t

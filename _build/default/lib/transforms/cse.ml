@@ -1,0 +1,64 @@
+(* Common sub-expression elimination.
+
+   Pure ops are keyed by (name, operand ids, attributes); a later op with the
+   same key in scope is replaced by the earlier results.  Scoping follows
+   region nesting, so an expression already available in an enclosing block
+   is reused inside nested loop bodies as well. *)
+
+open Ir
+
+type key = string * int list * (string * Typesys.attr) list
+
+let key_of (op : Op.t) : key =
+  (op.Op.name, List.map Value.id op.Op.operands, op.Op.attrs)
+
+(* Scopes are an immutable association list from keys to result values, so
+   entering a region simply extends the enclosing scope. *)
+let rec cse_block scope (b : Op.block) : Op.block =
+  let subst = ref Value.Map.empty in
+  let scope = ref scope in
+  let rev_ops =
+    List.fold_left
+      (fun acc op ->
+        let op = Op.substitute !subst op in
+        let op =
+          if op.Op.regions = [] then op
+          else
+            {
+              op with
+              Op.regions =
+                List.map
+                  (fun (r : Op.region) ->
+                    { Op.blocks = List.map (cse_block !scope) r.Op.blocks })
+                  op.Op.regions;
+            }
+        in
+        if Effects.pure op then begin
+          let k = key_of op in
+          match List.assoc_opt k !scope with
+          | Some earlier_results ->
+              List.iter2
+                (fun old_v new_v ->
+                  subst := Value.Map.add old_v new_v !subst)
+                op.Op.results earlier_results;
+              acc
+          | None ->
+              scope := (k, op.Op.results) :: !scope;
+              op :: acc
+        end
+        else op :: acc)
+      [] b.Op.ops
+  in
+  { b with Op.ops = List.rev rev_ops }
+
+let run (m : Op.t) : Op.t =
+  {
+    m with
+    Op.regions =
+      List.map
+        (fun (r : Op.region) ->
+          { Op.blocks = List.map (cse_block []) r.Op.blocks })
+        m.Op.regions;
+  }
+
+let pass = Pass.make "cse" run

@@ -1,0 +1,6 @@
+(** Common sub-expression elimination: pure ops keyed by (name, operands,
+    attributes); later duplicates in scope reuse the earlier results.
+    Scoping follows region nesting. *)
+
+val run : Ir.Op.t -> Ir.Op.t
+val pass : Ir.Pass.t

@@ -1,0 +1,5 @@
+(** Dead code elimination: remove side-effect-free ops whose results are
+    never used, iterating to a fixpoint. *)
+
+val run : ?max_iters:int -> Ir.Op.t -> Ir.Op.t
+val pass : Ir.Pass.t

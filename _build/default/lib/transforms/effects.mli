@@ -1,0 +1,13 @@
+(** Side-effect classification shared by CSE, DCE and LICM. *)
+
+val pure : Ir.Op.t -> bool
+(** Neither reads nor writes memory: safe to deduplicate and delete. *)
+
+val hoistable : Ir.Op.t -> bool
+(** Speculatable and idempotent, so it may move out of loops even when not
+    pure (rank/size queries, allocations) — the paper's loop-invariant
+    hoisting of MPI calls and communication buffers. *)
+
+val read_only : Ir.Op.t -> bool
+
+val removable_if_unused : Ir.Op.t -> bool

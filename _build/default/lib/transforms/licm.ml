@@ -1,0 +1,114 @@
+(* Loop-invariant code motion: hoist hoistable ops whose operands are all
+   defined outside the loop body in front of the loop.  Applied to scf.for,
+   scf.parallel and gpu.launch bodies; the mpi-lowering relies on this to
+   hoist rank queries and communication buffers out of time loops. *)
+
+open Ir
+
+let loop_ops = [ "scf.for"; "scf.parallel"; "gpu.launch" ]
+
+let is_loop (op : Op.t) = List.mem op.Op.name loop_ops
+
+(* Hoist from the single-block body of [op]; returns (hoisted, op'). *)
+let hoist_from_loop (op : Op.t) : Op.t list * Op.t =
+  match op.Op.regions with
+  | [ r ] -> (
+      match r.Op.blocks with
+      | [ body ] ->
+          (* Values defined inside the body (block args + op results,
+             including nested ones). *)
+          let inside = ref Value.Set.empty in
+          List.iter
+            (fun v -> inside := Value.Set.add v !inside)
+            body.Op.args;
+          List.iter
+            (fun o ->
+              inside := Value.Set.union (Op.defined_values o) !inside)
+            body.Op.ops;
+          let hoisted = ref [] in
+          let rec sweep ops =
+            let changed = ref false in
+            let remaining =
+              List.filter
+                (fun o ->
+                  let invariant =
+                    Effects.hoistable o
+                    && List.for_all
+                         (fun v -> not (Value.Set.mem v !inside))
+                         o.Op.operands
+                  in
+                  if invariant then begin
+                    hoisted := o :: !hoisted;
+                    List.iter
+                      (fun res -> inside := Value.Set.remove res !inside)
+                      o.Op.results;
+                    changed := true;
+                    false
+                  end
+                  else true)
+                ops
+            in
+            if !changed then sweep remaining else remaining
+          in
+          let remaining = sweep body.Op.ops in
+          let op' =
+            {
+              op with
+              Op.regions =
+                [ { Op.blocks = [ { body with Op.ops = remaining } ] } ];
+            }
+          in
+          (List.rev !hoisted, op')
+      | _ -> ([], op))
+  | _ -> ([], op)
+
+let rec licm_block (b : Op.block) : Op.block =
+  let rev_ops =
+    List.fold_left
+      (fun acc op ->
+        (* Recurse first so inner loops bubble their invariants up one
+           level per pass application. *)
+        let op =
+          if op.Op.regions = [] then op
+          else
+            {
+              op with
+              Op.regions =
+                List.map
+                  (fun (r : Op.region) ->
+                    { Op.blocks = List.map licm_block r.Op.blocks })
+                  op.Op.regions;
+            }
+        in
+        if is_loop op then begin
+          let hoisted, op' = hoist_from_loop op in
+          op' :: List.rev_append hoisted acc
+        end
+        else op :: acc)
+      [] b.Op.ops
+  in
+  { b with Op.ops = List.rev rev_ops }
+
+let run_once (m : Op.t) : Op.t =
+  {
+    m with
+    Op.regions =
+      List.map
+        (fun (r : Op.region) ->
+          { Op.blocks = List.map licm_block r.Op.blocks })
+        m.Op.regions;
+  }
+
+(* Iterate so invariants escape multiply-nested loops completely. *)
+let run (m : Op.t) : Op.t =
+  let rec go n m =
+    if n = 0 then m
+    else begin
+      let m' = run_once m in
+      if Printer.module_to_string m' = Printer.module_to_string m then m'
+      else go (n - 1) m'
+    end
+  in
+  go 8 m
+
+let pass = Pass.make "loop-invariant-code-motion" run

@@ -1,0 +1,73 @@
+(* IR statistics used by benchmarks and the analytic machine models: the
+   kernel features (flops per point, memory accesses per point, parallel
+   regions, ...) are measured from the compiled IR rather than hard-coded. *)
+
+open Ir
+
+module String_map = Map.Make (String)
+
+let op_histogram (m : Op.t) : int String_map.t =
+  Op.fold
+    (fun acc op ->
+      let n = try String_map.find op.Op.name acc with Not_found -> 0 in
+      String_map.add op.Op.name (n + 1) acc)
+    String_map.empty m
+
+let count (m : Op.t) name =
+  Op.fold (fun n op -> if op.Op.name = name then n + 1 else n) 0 m
+
+let float_flop_ops =
+  [
+    "arith.addf";
+    "arith.subf";
+    "arith.mulf";
+    "arith.divf";
+    "arith.negf";
+    "arith.maximumf";
+    "arith.minimumf";
+  ]
+
+(* Floating point operations appearing in [op]'s own body (including nested
+   regions). *)
+let flops_in (op : Op.t) =
+  Op.fold
+    (fun n o -> if List.mem o.Op.name float_flop_ops then n + 1 else n)
+    0 op
+
+(* Memory reads/writes appearing in [op]. *)
+let loads_in (op : Op.t) =
+  Op.fold
+    (fun n o ->
+      if o.Op.name = "memref.load" || o.Op.name = "stencil.access" then n + 1
+      else n)
+    0 op
+
+let stores_in (op : Op.t) =
+  Op.fold
+    (fun n o ->
+      if o.Op.name = "memref.store" || o.Op.name = "stencil.return" then
+        n + 1
+      else n)
+    0 op
+
+(* Distinct access offsets of stencil.access / offset memref.load ops in a
+   kernel body: the cache model uses distinct-plane counts rather than raw
+   load counts because column-contiguous accesses hit in cache. *)
+let distinct_access_offsets (op : Op.t) =
+  let tbl = Hashtbl.create 16 in
+  Op.walk
+    (fun o ->
+      if o.Op.name = "stencil.access" then
+        match Op.attr o "offset" with
+        | Some (Typesys.Dense_attr offs) ->
+            Hashtbl.replace tbl
+              (List.map Value.id o.Op.operands, offs)
+              ()
+        | _ -> ())
+    op;
+  Hashtbl.length tbl
+
+let pp_histogram fmt m =
+  String_map.iter
+    (fun name n -> Format.fprintf fmt "%6d  %s@." n name)
+    (op_histogram m)

@@ -1,0 +1,16 @@
+(** IR statistics used by benchmarks and the machine models: kernel
+    features are measured from the compiled IR rather than hard-coded. *)
+
+module String_map : Map.S with type key = string
+
+val op_histogram : Ir.Op.t -> int String_map.t
+val count : Ir.Op.t -> string -> int
+val float_flop_ops : string list
+val flops_in : Ir.Op.t -> int
+val loads_in : Ir.Op.t -> int
+val stores_in : Ir.Op.t -> int
+
+val distinct_access_offsets : Ir.Op.t -> int
+(** Distinct (input, offset) pairs of stencil accesses in a kernel body. *)
+
+val pp_histogram : Format.formatter -> Ir.Op.t -> unit

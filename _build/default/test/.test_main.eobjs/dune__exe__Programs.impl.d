@@ -1,0 +1,1 @@
+test/programs.ml: Arith Core Dialects Func Interp Ir List Op Scf Stencil Typesys

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Builder Core Devito Dialects Driver Float Interp Ir Lexer List Mpi_sim Op Parser Printer Printf Programs Psyclone Typesys Value Verifier

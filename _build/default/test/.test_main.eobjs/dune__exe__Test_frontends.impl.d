@@ -1,0 +1,1 @@
+test/test_frontends.ml: Alcotest Array Core Devito Driver Float Hashtbl Interp Ir List Printf Programs Psyclone Typesys Verifier

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Core Dialects Driver Float Hls Interp Ir List Op Programs Registry Stencil Stencil_to_hls Transforms Typesys Verifier

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arith Array Dialects Func Interp Ir List Memref Op Printf Programs Scf Typesys

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Core Dialects Ir List Op Parser Printer Printf Programs QCheck QCheck_alcotest Typesys Value Verifier

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Core Devito Ir Machine Psyclone

@@ -1,0 +1,1 @@
+test/test_mpi_lowering.ml: Alcotest Array Builder Core Decomposition Dialects Dmp Dmp_to_mpi Driver Interp Ir List Mpi Mpi_sim Mpi_to_func Op Registry Transforms Typesys Verifier

@@ -1,0 +1,1 @@
+test/test_mpi_sim.ml: Alcotest Array List Mpi_sim

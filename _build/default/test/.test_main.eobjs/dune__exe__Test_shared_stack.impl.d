@@ -1,0 +1,1 @@
+test/test_shared_stack.ml: Alcotest Buffer Core Devito Driver Float Interp Ir List Mpi_sim Op Option Parser Printf Psyclone String Typesys

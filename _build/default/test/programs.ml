@@ -1,0 +1,191 @@
+(* Stencil programs used across the test suites, built through the public
+   dialect APIs. *)
+
+open Ir
+open Dialects
+open Core
+
+let b1 lo hi = Typesys.bound lo hi
+
+(* One Jacobi step: %out[i] = (in[i-1] + in[i] + in[i+1]) / 3. *)
+let jacobi1d_step_body bld args =
+  match args with
+  | [ t ] ->
+      let l = Stencil.access_op bld t [ -1 ] in
+      let c = Stencil.access_op bld t [ 0 ] in
+      let r = Stencil.access_op bld t [ 1 ] in
+      let third = Arith.const_float bld (1. /. 3.) in
+      let s = Arith.add_f bld l c in
+      let s = Arith.add_f bld s r in
+      let m = Arith.mul_f bld s third in
+      Stencil.return_vals bld [ m ]
+  | _ -> assert false
+
+(* func @step(%a, %b : field<[-1,n+1) f64>): b[0,n) = jacobi(a). *)
+let jacobi1d_module ~n : Op.t =
+  let fty = Stencil.field_ty [ b1 (-1) (n + 1) ] Typesys.f64 in
+  let f =
+    Func.define "step" ~arg_tys: [ fty; fty ] ~res_tys: [] (fun bld args ->
+        match args with
+        | [ a; bfield ] ->
+            let t = Stencil.load_op bld a in
+            let res =
+              Stencil.apply_op bld ~inputs: [ t ]
+                ~out_bounds: [ b1 0 n ] ~elt: Typesys.f64 ~n_results: 1
+                jacobi1d_step_body
+            in
+            Stencil.store_op bld (List.hd res) bfield ~lb: [ 0 ] ~ub: [ n ];
+            Func.return_op bld []
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+(* func @run(%a, %b): for t in [0, steps): swap buffers each iteration. *)
+let jacobi1d_timeloop_module ~n ~steps : Op.t =
+  let fty = Stencil.field_ty [ b1 (-1) (n + 1) ] Typesys.f64 in
+  let f =
+    Func.define "run" ~arg_tys: [ fty; fty ] ~res_tys: [ fty; fty ]
+      (fun bld args ->
+        match args with
+        | [ a; bfield ] ->
+            let lo = Arith.const_index bld 0 in
+            let hi = Arith.const_index bld steps in
+            let step = Arith.const_index bld 1 in
+            let outs =
+              Scf.for_op bld ~lo ~hi ~step ~init: [ a; bfield ]
+                (fun body _iv iters ->
+                  match iters with
+                  | [ cur; nxt ] ->
+                      let t = Stencil.load_op body cur in
+                      let res =
+                        Stencil.apply_op body ~inputs: [ t ]
+                          ~out_bounds: [ b1 0 n ] ~elt: Typesys.f64
+                          ~n_results: 1 jacobi1d_step_body
+                      in
+                      Stencil.store_op body (List.hd res) nxt ~lb: [ 0 ]
+                        ~ub: [ n ];
+                      Scf.yield_op body [ nxt; cur ]
+                  | _ -> assert false)
+            in
+            Func.return_op bld outs
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+(* 2D 5-point heat stencil with one timestep. *)
+let heat2d_module ~nx ~ny : Op.t =
+  let bounds = [ b1 (-1) (nx + 1); b1 (-1) (ny + 1) ] in
+  let fty = Stencil.field_ty bounds Typesys.f32 in
+  let f =
+    Func.define "step" ~arg_tys: [ fty; fty ] ~res_tys: [] (fun bld args ->
+        match args with
+        | [ a; out ] ->
+            let t = Stencil.load_op bld a in
+            let res =
+              Stencil.apply_op bld ~inputs: [ t ]
+                ~out_bounds: [ b1 0 nx; b1 0 ny ]
+                ~elt: Typesys.f32 ~n_results: 1 (fun body ba ->
+                  match ba with
+                  | [ t ] ->
+                      let c = Stencil.access_op body t [ 0; 0 ] in
+                      let n = Stencil.access_op body t [ 0; -1 ] in
+                      let s = Stencil.access_op body t [ 0; 1 ] in
+                      let w = Stencil.access_op body t [ -1; 0 ] in
+                      let e = Stencil.access_op body t [ 1; 0 ] in
+                      let alpha =
+                        Arith.const_float body ~ty: Typesys.f32 0.1
+                      in
+                      let four =
+                        Arith.const_float body ~ty: Typesys.f32 4.
+                      in
+                      let sum = Arith.add_f body n s in
+                      let sum = Arith.add_f body sum w in
+                      let sum = Arith.add_f body sum e in
+                      let c4 = Arith.mul_f body c four in
+                      let lap = Arith.sub_f body sum c4 in
+                      let dt = Arith.mul_f body lap alpha in
+                      let out_v = Arith.add_f body c dt in
+                      Stencil.return_vals body [ out_v ]
+                  | _ -> assert false)
+            in
+            Stencil.store_op bld (List.hd res) out ~lb: [ 0; 0 ]
+              ~ub: [ nx; ny ];
+            Func.return_op bld []
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+(* 2D heat with a time loop and buffer swapping. *)
+let heat2d_timeloop_module ~nx ~ny ~steps : Op.t =
+  let bounds = [ b1 (-1) (nx + 1); b1 (-1) (ny + 1) ] in
+  let fty = Stencil.field_ty bounds Typesys.f32 in
+  let f =
+    Func.define "run" ~arg_tys: [ fty; fty ] ~res_tys: [ fty; fty ]
+      (fun bld args ->
+        match args with
+        | [ a; out ] ->
+            let lo = Arith.const_index bld 0 in
+            let hi = Arith.const_index bld steps in
+            let stepv = Arith.const_index bld 1 in
+            let outs =
+              Scf.for_op bld ~lo ~hi ~step: stepv ~init: [ a; out ]
+                (fun body _iv iters ->
+                  match iters with
+                  | [ cur; nxt ] ->
+                      let t = Stencil.load_op body cur in
+                      let res =
+                        Stencil.apply_op body ~inputs: [ t ]
+                          ~out_bounds: [ b1 0 nx; b1 0 ny ]
+                          ~elt: Typesys.f32 ~n_results: 1 (fun bb ba ->
+                            match ba with
+                            | [ t ] ->
+                                let c = Stencil.access_op bb t [ 0; 0 ] in
+                                let n = Stencil.access_op bb t [ 0; -1 ] in
+                                let s = Stencil.access_op bb t [ 0; 1 ] in
+                                let w = Stencil.access_op bb t [ -1; 0 ] in
+                                let e = Stencil.access_op bb t [ 1; 0 ] in
+                                let alpha =
+                                  Arith.const_float bb ~ty: Typesys.f32 0.1
+                                in
+                                let four =
+                                  Arith.const_float bb ~ty: Typesys.f32 4.
+                                in
+                                let sum = Arith.add_f bb n s in
+                                let sum = Arith.add_f bb sum w in
+                                let sum = Arith.add_f bb sum e in
+                                let c4 = Arith.mul_f bb c four in
+                                let lap = Arith.sub_f bb sum c4 in
+                                let dt = Arith.mul_f bb lap alpha in
+                                let out_v = Arith.add_f bb c dt in
+                                Stencil.return_vals bb [ out_v ]
+                            | _ -> assert false)
+                      in
+                      Stencil.store_op body (List.hd res) nxt ~lb: [ 0; 0 ]
+                        ~ub: [ nx; ny ];
+                      Scf.yield_op body [ nxt; cur ]
+                  | _ -> assert false)
+            in
+            Func.return_op bld outs
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+(* Field initialization helpers. *)
+
+let make_field_1d ~n f : Interp.Rtval.buffer =
+  let buf = Interp.Rtval.alloc_buffer ~lo: [ -1 ] [ n + 2 ] Typesys.f64 in
+  for i = -1 to n do
+    Interp.Rtval.set buf [ i ] (Interp.Rtval.Rf (f i))
+  done;
+  buf
+
+let make_field_2d ~nx ~ny f : Interp.Rtval.buffer =
+  let buf =
+    Interp.Rtval.alloc_buffer ~lo: [ -1; -1 ] [ nx + 2; ny + 2 ] Typesys.f32
+  in
+  for i = -1 to nx do
+    for j = -1 to ny do
+      Interp.Rtval.set buf [ i; j ] (Interp.Rtval.Rf (f i j))
+    done
+  done;
+  buf

@@ -1,0 +1,729 @@
+(* End-to-end distributed-memory validation: the distributed execution on N
+   simulated ranks must bit-match the serial execution, at every lowering
+   stage — (A) stencil + dmp, (B) loops + dmp, (C) loops + mpi dialect, and
+   (D) fully lowered MPI_* function calls.
+
+   Also: unit tests for decomposition arithmetic, halo inference and the
+   swap-elimination dataflow. *)
+
+open Ir
+open Core
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+
+(* --- decomposition unit tests --- *)
+
+let test_grid_shapes () =
+  check (Alcotest.list int_c) "1d" [ 8; 1 ]
+    (Decomposition.grid_of Decomposition.Slice1d ~ranks: 8 ~rank: 2);
+  check (Alcotest.list int_c) "2d" [ 4; 2 ]
+    (Decomposition.grid_of Decomposition.Slice2d ~ranks: 8 ~rank: 2);
+  check (Alcotest.list int_c) "2d square" [ 4; 4 ]
+    (Decomposition.grid_of Decomposition.Slice2d ~ranks: 16 ~rank: 2);
+  check (Alcotest.list int_c) "3d" [ 2; 2; 2 ]
+    (Decomposition.grid_of Decomposition.Slice3d ~ranks: 8 ~rank: 3);
+  check (Alcotest.list int_c) "3d 64" [ 4; 4; 4 ]
+    (Decomposition.grid_of Decomposition.Slice3d ~ranks: 64 ~rank: 3);
+  check (Alcotest.list int_c) "2d on 3d domain" [ 4; 2; 1 ]
+    (Decomposition.grid_of Decomposition.Slice2d ~ranks: 8 ~rank: 3)
+
+let test_grid_product () =
+  (* The grid always covers exactly the rank count. *)
+  List.iter
+    (fun ranks ->
+      List.iter
+        (fun strategy ->
+          let g = Decomposition.grid_of strategy ~ranks ~rank: 3 in
+          check int_c
+            (Printf.sprintf "product for %d ranks" ranks)
+            ranks
+            (List.fold_left ( * ) 1 g))
+        [ Decomposition.Slice1d; Decomposition.Slice2d; Decomposition.Slice3d ])
+    [ 1; 2; 4; 6; 8; 12; 16; 32; 64; 128 ]
+
+let test_local_bounds () =
+  let bs =
+    Decomposition.local_bounds ~interior: [ 64; 64 ] ~grid: [ 4; 2 ]
+      ~halo: [| (-2, 2); (-1, 1) |]
+  in
+  check (Alcotest.list int_c) "los" [ -2; -1 ]
+    (List.map (fun (b : Typesys.bound) -> b.Typesys.lo) bs);
+  check (Alcotest.list int_c) "his" [ 18; 33 ]
+    (List.map (fun (b : Typesys.bound) -> b.Typesys.hi) bs)
+
+let test_indivisible_extent () =
+  (try
+     ignore
+       (Decomposition.local_bounds ~interior: [ 10 ] ~grid: [ 3 ]
+          ~halo: [| (-1, 1) |]);
+     Alcotest.fail "expected error"
+   with Op.Ill_formed _ -> ())
+
+let test_exchange_generation () =
+  let exs =
+    Decomposition.exchanges ~interior: [ 16; 8 ] ~halo: [| (-2, 2); (-1, 1) |]
+      ~grid: [ 2; 2 ] ()
+  in
+  check int_c "4 exchanges" 4 (List.length exs);
+  (* Low-side exchange along dim 0: receive [-2,0) x [0,8). *)
+  let e = List.hd exs in
+  check (Alcotest.list int_c) "offset" [ -2; 0 ] e.Typesys.ex_offset;
+  check (Alcotest.list int_c) "size" [ 2; 8 ] e.Typesys.ex_size;
+  check (Alcotest.list int_c) "source shift" [ 2; 0 ] e.Typesys.ex_source_offset;
+  check (Alcotest.list int_c) "neighbor" [ -1; 0 ] e.Typesys.ex_neighbor;
+  check int_c "volume" (2 * (2 * 8) + 2 * (16 * 1))
+    (Decomposition.exchange_volume exs)
+
+let test_no_exchange_on_undecomposed_dim () =
+  let exs =
+    Decomposition.exchanges ~interior: [ 16; 8 ] ~halo: [| (-1, 1); (-1, 1) |]
+      ~grid: [ 4; 1 ] ()
+  in
+  check int_c "only dim-0 exchanges" 2 (List.length exs);
+  List.iter
+    (fun (e : Typesys.exchange) ->
+      check int_c "dim1 direction zero" 0 (List.nth e.Typesys.ex_neighbor 1))
+    exs
+
+(* --- halo inference from stencil access offsets --- *)
+
+let test_halo_inference () =
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 8 in
+  let halo = ref [||] in
+  Op.walk
+    (fun o ->
+      if o.Op.name = Stencil.apply then halo := Stencil.combined_halo o ~rank: 2)
+    m;
+  check (Alcotest.pair int_c int_c) "dim0" (-1, 1) !halo.(0);
+  check (Alcotest.pair int_c int_c) "dim1" (-1, 1) !halo.(1)
+
+(* --- swap insertion and elimination --- *)
+
+let distribute ?(ranks = 4) ?(strategy = Decomposition.Slice2d) m =
+  Distribute.run (Distribute.options ~ranks ~strategy ()) m
+
+let count_swaps m = Transforms.Statistics.count m "dmp.swap"
+
+let test_swap_inserted () =
+  let m = distribute (Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 2) in
+  Verifier.verify ~checks: Registry.checks m;
+  check int_c "one swap per load" 1 (count_swaps m)
+
+let test_swap_elim_dedupes () =
+  (* A program loading the same (unmodified) field twice needs one swap. *)
+  let n = 8 in
+  let fty = Stencil.field_ty [ Typesys.bound (-1) (n + 1) ] Typesys.f64 in
+  let f =
+    Dialects.Func.define "step" ~arg_tys: [ fty; fty; fty ] ~res_tys: []
+      (fun bld args ->
+        match args with
+        | [ a; out1; out2 ] ->
+            let t1 = Stencil.load_op bld a in
+            let r1 =
+              Stencil.apply_op bld ~inputs: [ t1 ]
+                ~out_bounds: [ Typesys.bound 0 n ] ~elt: Typesys.f64
+                ~n_results: 1 Programs.jacobi1d_step_body
+            in
+            Stencil.store_op bld (List.hd r1) out1 ~lb: [ 0 ] ~ub: [ n ];
+            (* Second load of the *same untouched* field. *)
+            let t2 = Stencil.load_op bld a in
+            let r2 =
+              Stencil.apply_op bld ~inputs: [ t2 ]
+                ~out_bounds: [ Typesys.bound 0 n ] ~elt: Typesys.f64
+                ~n_results: 1 Programs.jacobi1d_step_body
+            in
+            Stencil.store_op bld (List.hd r2) out2 ~lb: [ 0 ] ~ub: [ n ];
+            Dialects.Func.return_op bld []
+        | _ -> assert false)
+  in
+  let m = distribute ~strategy: Decomposition.Slice1d (Op.module_op [ f ]) in
+  check int_c "two swaps before elimination" 2 (count_swaps m);
+  let m' = Swap_elim.run m in
+  check int_c "one swap after elimination" 1 (count_swaps m');
+  (* A swap inside a time loop must never be eliminated. *)
+  let timeloop =
+    distribute (Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 2)
+  in
+  check int_c "loop swap kept" 1 (count_swaps (Swap_elim.run timeloop))
+
+(* --- end-to-end distributed equivalence --- *)
+
+type stage = Stencil_dmp | Loops_dmp | Loops_mpi | Func_calls
+
+let stage_name = function
+  | Stencil_dmp -> "stencil+dmp"
+  | Loops_dmp -> "loops+dmp"
+  | Loops_mpi -> "loops+mpi"
+  | Func_calls -> "func-calls"
+
+let lower_to stage m =
+  match stage with
+  | Stencil_dmp -> m
+  | Loops_dmp ->
+      Stencil_to_loops.run ~style: Stencil_to_loops.Sequential (Swap_elim.run m)
+  | Loops_mpi ->
+      Dmp_to_mpi.run
+        (Stencil_to_loops.run ~style: Stencil_to_loops.Sequential
+           (Swap_elim.run m))
+  | Func_calls ->
+      Mpi_to_func.run
+        (Dmp_to_mpi.run
+           (Stencil_to_loops.run ~style: Stencil_to_loops.Sequential
+              (Swap_elim.run m)))
+
+let rebase (b : Interp.Rtval.buffer) =
+  { b with Interp.Rtval.lo = List.map (fun _ -> 0) b.Interp.Rtval.lo }
+
+(* Run the heat2d time loop distributed at the given stage and compare the
+   gathered interior with the serial run. *)
+let heat_distributed_matches_serial ~ranks ~strategy ~stage () =
+  let nx = 16 and ny = 16 and steps = 4 in
+  let init i j = Float.sin (float_of_int ((3 * i) + j)) in
+  let m = Programs.heat2d_timeloop_module ~nx ~ny ~steps in
+  (* Serial reference. *)
+  let ga = Programs.make_field_2d ~nx ~ny init in
+  let gb = Programs.make_field_2d ~nx ~ny init in
+  let serial_eng = Interp.Engine.create m in
+  let serial_result =
+    match
+      Interp.Engine.run serial_eng "run"
+        [ Interp.Rtval.Rbuf ga; Interp.Rtval.Rbuf gb ]
+    with
+    | [ Interp.Rtval.Rbuf latest; _ ] -> latest
+    | _ -> Alcotest.fail "expected two buffers"
+  in
+  (* Distributed run. *)
+  let dm = Distribute.run (Distribute.options ~ranks ~strategy ()) m in
+  let fop =
+    match Op.lookup_symbol dm "run" with
+    | Some f -> f
+    | None -> Alcotest.fail "missing run function"
+  in
+  let grid = Driver.Domain.topology_of fop in
+  let local_bounds =
+    match Driver.Domain.field_arg_bounds fop with
+    | bs :: _ -> bs
+    | [] ->
+        (* Lowered stages erase field types; recompute from the source. *)
+        []
+  in
+  let local_bounds =
+    if local_bounds <> [] then local_bounds
+    else
+      Distribute.localize_bounds
+        ~domain: [ nx; ny ] ~grid
+        [ Typesys.bound (-1) (nx + 1); Typesys.bound (-1) (ny + 1) ]
+  in
+  let lowered = lower_to stage dm in
+  Verifier.verify ~checks: Registry.checks lowered;
+  let interior =
+    List.map2
+      (fun n parts -> n / parts)
+      [ nx; ny ] grid
+  in
+  let origin =
+    List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) local_bounds
+  in
+  let global_a = Programs.make_field_2d ~nx ~ny init in
+  let gathered = Programs.make_field_2d ~nx ~ny (fun _ _ -> nan) in
+  let needs_rebase = stage <> Stencil_dmp in
+  ignore
+    (Driver.Simulate.run_spmd ~ranks ~func: "run"
+       ~make_args: (fun ctx ->
+         let rank = Mpi_sim.rank ctx in
+         let la =
+           Driver.Domain.scatter_field ~global: global_a ~grid ~local_bounds
+             ~rank
+         in
+         let lb =
+           Driver.Domain.scatter_field ~global: global_a ~grid ~local_bounds
+             ~rank
+         in
+         let fix b = if needs_rebase then rebase b else b in
+         [ Interp.Rtval.Rbuf (fix la); Interp.Rtval.Rbuf (fix lb) ])
+       ~collect: (fun ctx _args results ->
+         match results with
+         | Interp.Rtval.Rbuf latest :: _ ->
+             Driver.Domain.gather_interior
+               ~origin: (if needs_rebase then origin else List.map (fun _ -> 0) origin)
+               ~global: gathered ~local: latest ~grid ~interior
+               ~rank: (Mpi_sim.rank ctx) ()
+         | _ -> Alcotest.fail "expected buffers")
+       lowered);
+  (* Compare interiors. *)
+  let worst = ref 0. in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      let s = Interp.Rtval.as_float (Interp.Rtval.get serial_result [ i; j ]) in
+      let d = Interp.Rtval.as_float (Interp.Rtval.get gathered [ i; j ]) in
+      worst := Float.max !worst (Float.abs (s -. d))
+    done
+  done;
+  check (Alcotest.float 1e-9)
+    (Printf.sprintf "distributed %s == serial" (stage_name stage))
+    0. !worst
+
+let stage_cases =
+  List.concat_map
+    (fun stage ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "heat2d 4 ranks 2d-slice (%s)" (stage_name stage))
+          `Quick
+          (heat_distributed_matches_serial ~ranks: 4
+             ~strategy: Decomposition.Slice2d ~stage);
+      ])
+    [ Stencil_dmp; Loops_dmp; Loops_mpi; Func_calls ]
+
+let extra_topology_cases =
+  [
+    Alcotest.test_case "heat2d 2 ranks 1d-slice (func-calls)" `Quick
+      (heat_distributed_matches_serial ~ranks: 2
+         ~strategy: Decomposition.Slice1d ~stage: Func_calls);
+    Alcotest.test_case "heat2d 8 ranks 2d-slice (func-calls)" `Quick
+      (heat_distributed_matches_serial ~ranks: 8
+         ~strategy: Decomposition.Slice2d ~stage: Func_calls);
+    Alcotest.test_case "heat2d 16 ranks 2d-slice (stencil+dmp)" `Quick
+      (heat_distributed_matches_serial ~ranks: 16
+         ~strategy: Decomposition.Slice2d ~stage: Stencil_dmp);
+    Alcotest.test_case "heat2d 1 rank degenerate (func-calls)" `Quick
+      (heat_distributed_matches_serial ~ranks: 1
+         ~strategy: Decomposition.Slice2d ~stage: Func_calls);
+  ]
+
+(* Property: random rank counts and initializations agree with serial at the
+   final stage. *)
+let distributed_prop =
+  QCheck.Test.make ~count: 8 ~name: "random distributed runs match serial"
+    QCheck.(
+      make
+        Gen.(
+          pair (oneofl [ 2; 4; 8 ]) (int_range 0 1000)))
+    (fun (ranks, seed) ->
+      let nx = 8 and ny = 8 and steps = 2 in
+      let init i j =
+        Float.sin (float_of_int (seed + (5 * i) + j))
+      in
+      let m = Programs.heat2d_timeloop_module ~nx ~ny ~steps in
+      let ga = Programs.make_field_2d ~nx ~ny init in
+      let gb = Programs.make_field_2d ~nx ~ny init in
+      let serial =
+        match
+          Driver.Simulate.run_serial ~func: "run" m
+            [ Interp.Rtval.Rbuf ga; Interp.Rtval.Rbuf gb ]
+        with
+        | [ Interp.Rtval.Rbuf latest; _ ] -> latest
+        | _ -> failwith "bad results"
+      in
+      let dm =
+        Distribute.run
+          (Distribute.options ~ranks ~strategy: Decomposition.Slice2d ())
+          m
+      in
+      let fop = Option.get (Op.lookup_symbol dm "run") in
+      let grid = Driver.Domain.topology_of fop in
+      let local_bounds = List.hd (Driver.Domain.field_arg_bounds fop) in
+      let lowered = lower_to Func_calls dm in
+      let interior = List.map2 (fun n p -> n / p) [ nx; ny ] grid in
+      let origin =
+        List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) local_bounds
+      in
+      let global_a = Programs.make_field_2d ~nx ~ny init in
+      let gathered = Programs.make_field_2d ~nx ~ny (fun _ _ -> nan) in
+      ignore
+        (Driver.Simulate.run_spmd ~ranks ~func: "run"
+           ~make_args: (fun ctx ->
+             let rank = Mpi_sim.rank ctx in
+             let mk () =
+               rebase
+                 (Driver.Domain.scatter_field ~global: global_a ~grid
+                    ~local_bounds ~rank)
+             in
+             [ Interp.Rtval.Rbuf (mk ()); Interp.Rtval.Rbuf (mk ()) ])
+           ~collect: (fun ctx _ results ->
+             match results with
+             | Interp.Rtval.Rbuf latest :: _ ->
+                 Driver.Domain.gather_interior ~origin ~global: gathered
+                   ~local: latest ~grid ~interior ~rank: (Mpi_sim.rank ctx) ()
+             | _ -> failwith "bad results")
+           lowered);
+      let ok = ref true in
+      for i = 0 to nx - 1 do
+        for j = 0 to ny - 1 do
+          let s = Interp.Rtval.as_float (Interp.Rtval.get serial [ i; j ]) in
+          let d = Interp.Rtval.as_float (Interp.Rtval.get gathered [ i; j ]) in
+          if Float.abs (s -. d) > 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "grid shapes" `Quick test_grid_shapes;
+    Alcotest.test_case "grid covers ranks" `Quick test_grid_product;
+    Alcotest.test_case "local bounds" `Quick test_local_bounds;
+    Alcotest.test_case "indivisible extent rejected" `Quick
+      test_indivisible_extent;
+    Alcotest.test_case "exchange generation" `Quick test_exchange_generation;
+    Alcotest.test_case "no exchange on undecomposed dim" `Quick
+      test_no_exchange_on_undecomposed_dim;
+    Alcotest.test_case "halo inference" `Quick test_halo_inference;
+    Alcotest.test_case "swap inserted per load" `Quick test_swap_inserted;
+    Alcotest.test_case "swap elimination" `Quick test_swap_elim_dedupes;
+  ]
+  @ stage_cases @ extra_topology_cases
+  @ [ QCheck_alcotest.to_alcotest distributed_prop ]
+
+(* --- diagonal exchanges (the paper's future-work extension) --- *)
+
+let test_direction_enumeration () =
+  check int_c "2D faces" 4
+    (List.length (Decomposition.directions ~rank: 2 ~mode: Decomposition.Faces));
+  check int_c "2D with diagonals" 8
+    (List.length
+       (Decomposition.directions ~rank: 2 ~mode: Decomposition.Diagonals));
+  check int_c "3D faces" 6
+    (List.length (Decomposition.directions ~rank: 3 ~mode: Decomposition.Faces));
+  check int_c "3D with diagonals" 26
+    (List.length
+       (Decomposition.directions ~rank: 3 ~mode: Decomposition.Diagonals))
+
+let test_diagonal_exchange_regions () =
+  let exs =
+    Decomposition.exchanges ~mode: Decomposition.Diagonals
+      ~interior: [ 8; 8 ]
+      ~halo: [| (-1, 1); (-1, 1) |]
+      ~grid: [ 2; 2 ] ()
+  in
+  check int_c "4 faces + 4 corners" 8 (List.length exs);
+  (* The (+1,+1) corner receives the 1x1 region at (8,8) from data at
+     (7,7). *)
+  let corner =
+    List.find (fun (e : Typesys.exchange) -> e.Typesys.ex_neighbor = [ 1; 1 ]) exs
+  in
+  check (Alcotest.list int_c) "corner offset" [ 8; 8 ] corner.Typesys.ex_offset;
+  check (Alcotest.list int_c) "corner size" [ 1; 1 ] corner.Typesys.ex_size;
+  check (Alcotest.list int_c) "corner source" [ -1; -1 ]
+    corner.Typesys.ex_source_offset
+
+(* A 9-point box stencil genuinely reads corner neighbors, so distributing
+   it is only correct with diagonal exchanges. *)
+let box9_module ~n ~steps : Op.t =
+  let bounds = [ Typesys.bound (-1) (n + 1); Typesys.bound (-1) (n + 1) ] in
+  let fty = Stencil.field_ty bounds Typesys.f64 in
+  let f =
+    Dialects.Func.define "box" ~arg_tys: [ fty; fty ] ~res_tys: [ fty; fty ]
+      (fun bld args ->
+        match args with
+        | [ a; out ] ->
+            let lo = Dialects.Arith.const_index bld 0 in
+            let hi = Dialects.Arith.const_index bld steps in
+            let st = Dialects.Arith.const_index bld 1 in
+            let outs =
+              Dialects.Scf.for_op bld ~lo ~hi ~step: st ~init: [ a; out ]
+                (fun body _ iters ->
+                  match iters with
+                  | [ cur; nxt ] ->
+                      let t = Stencil.load_op body cur in
+                      let res =
+                        Stencil.apply_op body ~inputs: [ t ]
+                          ~out_bounds: [ Typesys.bound 0 n; Typesys.bound 0 n ]
+                          ~elt: Typesys.f64 ~n_results: 1 (fun ab targs ->
+                            match targs with
+                            | [ u ] ->
+                                let ninth =
+                                  Dialects.Arith.const_float ab (1. /. 9.)
+                                in
+                                let acc = ref None in
+                                for di = -1 to 1 do
+                                  for dj = -1 to 1 do
+                                    let v =
+                                      Stencil.access_op ab u [ di; dj ]
+                                    in
+                                    acc :=
+                                      Some
+                                        (match !acc with
+                                        | None -> v
+                                        | Some s ->
+                                            Dialects.Arith.add_f ab s v)
+                                  done
+                                done;
+                                let avg =
+                                  Dialects.Arith.mul_f ab
+                                    (Option.get !acc) ninth
+                                in
+                                Stencil.return_vals ab [ avg ]
+                            | _ -> assert false)
+                      in
+                      Stencil.store_op body (List.hd res) nxt ~lb: [ 0; 0 ]
+                        ~ub: [ n; n ];
+                      Dialects.Scf.yield_op body [ nxt; cur ]
+                  | _ -> assert false)
+            in
+            Dialects.Func.return_op bld outs
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+let run_box9_distributed ?(ranks = 4) ~mode ~stage () : float =
+  let n = 12 and steps = 3 in
+  let init i j = Float.sin (float_of_int ((5 * i) + (3 * j))) in
+  let mk_field () =
+    let b =
+      Interp.Rtval.alloc_buffer ~lo: [ -1; -1 ] [ n + 2; n + 2 ] Typesys.f64
+    in
+    for i = -1 to n do
+      for j = -1 to n do
+        Interp.Rtval.set b [ i; j ] (Interp.Rtval.Rf (init i j))
+      done
+    done;
+    b
+  in
+  let m = box9_module ~n ~steps in
+  let serial =
+    match
+      Driver.Simulate.run_serial ~func: "box" m
+        [ Interp.Rtval.Rbuf (mk_field ()); Interp.Rtval.Rbuf (mk_field ()) ]
+    with
+    | [ Interp.Rtval.Rbuf latest; _ ] -> latest
+    | _ -> Alcotest.fail "expected buffers"
+  in
+  let dm =
+    Distribute.run
+      (Distribute.options ~mode ~ranks ~strategy: Decomposition.Slice2d ())
+      m
+  in
+  let fop = Option.get (Op.lookup_symbol dm "box") in
+  let grid = Driver.Domain.topology_of fop in
+  let local_bounds = List.hd (Driver.Domain.field_arg_bounds fop) in
+  let lowered = lower_to stage dm in
+  Verifier.verify ~checks: Registry.checks lowered;
+  let interior = List.map2 (fun d p -> d / p) [ n; n ] grid in
+  let origin =
+    List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) local_bounds
+  in
+  let needs_rebase = stage <> Stencil_dmp in
+  let global = mk_field () in
+  let gathered = mk_field () in
+  ignore
+    (Driver.Simulate.run_spmd ~ranks ~func: "box"
+       ~make_args: (fun ctx ->
+         let rank = Mpi_sim.rank ctx in
+         List.init 2 (fun _ ->
+             let b =
+               Driver.Domain.scatter_field ~global ~grid ~local_bounds ~rank
+             in
+             Interp.Rtval.Rbuf (if needs_rebase then rebase b else b)))
+       ~collect: (fun ctx _ results ->
+         match results with
+         | Interp.Rtval.Rbuf latest :: _ ->
+             Driver.Domain.gather_interior
+               ~origin: (if needs_rebase then origin else [ 0; 0 ])
+               ~global: gathered ~local: latest ~grid ~interior
+               ~rank: (Mpi_sim.rank ctx) ()
+         | _ -> Alcotest.fail "expected buffers")
+       lowered);
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = Interp.Rtval.as_float (Interp.Rtval.get serial [ i; j ]) in
+      let d = Interp.Rtval.as_float (Interp.Rtval.get gathered [ i; j ]) in
+      worst := Float.max !worst (Float.abs (s -. d))
+    done
+  done;
+  !worst
+
+let test_box9_needs_diagonals () =
+  (* Face-only exchange leaves corner halos stale: the result must differ
+     from the serial run (this is the prototype limitation the paper
+     notes). *)
+  let diff = run_box9_distributed ~mode: Decomposition.Faces ~stage: Stencil_dmp () in
+  check Alcotest.bool "faces alone are insufficient" true (diff > 1e-9)
+
+let test_box9_diagonals_correct () =
+  List.iter
+    (fun stage ->
+      let diff = run_box9_distributed ~mode: Decomposition.Diagonals ~stage () in
+      check (Alcotest.float 1e-12)
+        (Printf.sprintf "diagonal exchange exact at %s" (stage_name stage))
+        0. diff)
+    [ Stencil_dmp; Loops_dmp; Loops_mpi; Func_calls ];
+  (* A 3x3 rank grid exercises ranks with all 8 neighbors. *)
+  let diff =
+    run_box9_distributed ~ranks: 9 ~mode: Decomposition.Diagonals
+      ~stage: Func_calls ()
+  in
+  check (Alcotest.float 1e-12) "3x3 grid, interior rank has 8 neighbors" 0.
+    diff
+
+let diagonal_cases =
+  [
+    Alcotest.test_case "direction enumeration" `Quick
+      test_direction_enumeration;
+    Alcotest.test_case "diagonal exchange regions" `Quick
+      test_diagonal_exchange_regions;
+    Alcotest.test_case "box9: faces alone insufficient" `Quick
+      test_box9_needs_diagonals;
+    Alcotest.test_case "box9: diagonals exact at all stages" `Quick
+      test_box9_diagonals_correct;
+  ]
+
+let suite = suite @ diagonal_cases
+
+(* --- property: arbitrary random stencils are distribution-invariant --- *)
+
+(* Build a one-apply time-loop program from a random stencil description:
+   [offsets] within radius [r], matching random weights. *)
+let random_stencil_module ~n ~r ~steps ~(taps : (int list * float) list) :
+    Op.t =
+  let bounds = [ Typesys.bound (-r) (n + r); Typesys.bound (-r) (n + r) ] in
+  let fty = Stencil.field_ty bounds Typesys.f64 in
+  let f =
+    Dialects.Func.define "rand" ~arg_tys: [ fty; fty ] ~res_tys: [ fty; fty ]
+      (fun bld args ->
+        match args with
+        | [ a; b ] ->
+            let lo = Dialects.Arith.const_index bld 0 in
+            let hi = Dialects.Arith.const_index bld steps in
+            let st = Dialects.Arith.const_index bld 1 in
+            let outs =
+              Dialects.Scf.for_op bld ~lo ~hi ~step: st ~init: [ a; b ]
+                (fun body _ iters ->
+                  match iters with
+                  | [ cur; nxt ] ->
+                      let t = Stencil.load_op body cur in
+                      let res =
+                        Stencil.apply_op body ~inputs: [ t ]
+                          ~out_bounds: [ Typesys.bound 0 n; Typesys.bound 0 n ]
+                          ~elt: Typesys.f64 ~n_results: 1 (fun ab targs ->
+                            match targs with
+                            | [ u ] ->
+                                let acc =
+                                  List.fold_left
+                                    (fun acc (off, w) ->
+                                      let v = Stencil.access_op ab u off in
+                                      let wv =
+                                        Dialects.Arith.const_float ab w
+                                      in
+                                      let term =
+                                        Dialects.Arith.mul_f ab v wv
+                                      in
+                                      match acc with
+                                      | None -> Some term
+                                      | Some acc ->
+                                          Some (Dialects.Arith.add_f ab acc term))
+                                    None taps
+                                in
+                                Stencil.return_vals ab [ Option.get acc ]
+                            | _ -> assert false)
+                      in
+                      Stencil.store_op body (List.hd res) nxt ~lb: [ 0; 0 ]
+                        ~ub: [ n; n ];
+                      Dialects.Scf.yield_op body [ nxt; cur ]
+                  | _ -> assert false)
+            in
+            Dialects.Func.return_op bld outs
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+let print_case (r, taps, ranks, seed) =
+  Printf.sprintf "r=%d ranks=%d seed=%d taps=[%s]" r ranks seed
+    (String.concat "; "
+       (List.map
+          (fun (o, w) ->
+            Printf.sprintf "(%s)*%g"
+              (String.concat "," (List.map string_of_int o))
+              w)
+          taps))
+
+let random_stencil_prop =
+  QCheck.Test.make ~count: 12
+    ~name: "random stencils are distribution-invariant (diagonal exchange)"
+    QCheck.(
+      make ~print: print_case
+        Gen.(
+          let* r = int_range 1 2 in
+          let* n_taps = int_range 1 5 in
+          let* taps =
+            list_size (return n_taps)
+              (let* di = int_range (-r) r in
+               let* dj = int_range (-r) r in
+               let* w = int_range (-8) 8 in
+               return ([ di; dj ], float_of_int w /. 16.))
+          in
+          let* ranks = oneofl [ 2; 4 ] in
+          let* seed = int_range 0 999 in
+          return (r, taps, ranks, seed)))
+    (fun (r, taps, ranks, seed) ->
+      let n = 8 and steps = 2 in
+      let init i j =
+        Float.sin (float_of_int (seed + (7 * i) + (3 * j)) *. 0.21)
+      in
+      let mkf () =
+        let b =
+          Interp.Rtval.alloc_buffer ~lo: [ -r; -r ]
+            [ n + (2 * r); n + (2 * r) ]
+            Typesys.f64
+        in
+        for i = -r to n + r - 1 do
+          for j = -r to n + r - 1 do
+            Interp.Rtval.set b [ i; j ] (Interp.Rtval.Rf (init i j))
+          done
+        done;
+        b
+      in
+      let m = random_stencil_module ~n ~r ~steps ~taps in
+      let serial =
+        match
+          Driver.Simulate.run_serial ~func: "rand" m
+            [ Interp.Rtval.Rbuf (mkf ()); Interp.Rtval.Rbuf (mkf ()) ]
+        with
+        | [ Interp.Rtval.Rbuf latest; _ ] -> latest
+        | _ -> failwith "bad results"
+      in
+      let dm =
+        Distribute.run
+          (Distribute.options ~mode: Decomposition.Diagonals ~ranks
+             ~strategy: Decomposition.Slice2d ())
+          m
+      in
+      let fop = Option.get (Op.lookup_symbol dm "rand") in
+      let grid = Driver.Domain.topology_of fop in
+      let local_bounds = List.hd (Driver.Domain.field_arg_bounds fop) in
+      let lowered = lower_to Func_calls dm in
+      let interior = List.map2 (fun d p -> d / p) [ n; n ] grid in
+      let origin =
+        List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) local_bounds
+      in
+      let global = mkf () in
+      let gathered = mkf () in
+      ignore
+        (Driver.Simulate.run_spmd ~ranks ~func: "rand"
+           ~make_args: (fun ctx ->
+             let rank = Mpi_sim.rank ctx in
+             List.init 2 (fun _ ->
+                 Interp.Rtval.Rbuf
+                   (rebase
+                      (Driver.Domain.scatter_field ~global ~grid
+                         ~local_bounds ~rank))))
+           ~collect: (fun ctx _ results ->
+             match results with
+             | Interp.Rtval.Rbuf latest :: _ ->
+                 Driver.Domain.gather_interior ~origin ~global: gathered
+                   ~local: latest ~grid ~interior ~rank: (Mpi_sim.rank ctx) ()
+             | _ -> failwith "bad results")
+           lowered);
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let s = Interp.Rtval.as_float (Interp.Rtval.get serial [ i; j ]) in
+          let d = Interp.Rtval.as_float (Interp.Rtval.get gathered [ i; j ]) in
+          if Float.abs (s -. d) > 1e-12 then ok := false
+        done
+      done;
+      !ok)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest random_stencil_prop ]
+

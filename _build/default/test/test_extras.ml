@@ -1,0 +1,447 @@
+(* Additional coverage: lexer/parser edge cases, shape inference, the mpi
+   dialect's collectives driven from IR, Devito coefficient fields and
+   first derivatives, and PSyclone recognizer corner cases. *)
+
+open Ir
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let float_c = Alcotest.float 1e-9
+let bool_c = Alcotest.bool
+
+(* --- lexer / parser edges --- *)
+
+let test_comments_and_whitespace () =
+  let src =
+    "// leading comment\n\
+     %1 = \"arith.constant\"() {value = 1 : i64} : () -> (i64)\n\
+     // trailing comment\n"
+  in
+  check int_c "one op" 1 (List.length (Op.module_ops (Parser.parse_string src)))
+
+let test_string_escapes () =
+  let op =
+    Op.make "test.op"
+      ~attrs: [ ("s", Typesys.String_attr "a\"b\\c\nd\te") ]
+  in
+  let s = Printer.module_to_string (Op.module_op [ op ]) in
+  let m = Parser.parse_string s in
+  match Op.module_ops m with
+  | [ op' ] ->
+      check Alcotest.string "escaped string survives" "a\"b\\c\nd\te"
+        (Op.string_attr_exn op' "s")
+  | _ -> Alcotest.fail "expected one op"
+
+let test_float_forms () =
+  List.iter
+    (fun v ->
+      let op =
+        Op.make "test.op" ~attrs: [ ("x", Typesys.Float_attr (v, Typesys.f64)) ]
+      in
+      let s = Printer.module_to_string (Op.module_op [ op ]) in
+      match Op.module_ops (Parser.parse_string s) with
+      | [ op' ] -> (
+          match Op.attr op' "x" with
+          | Some (Typesys.Float_attr (v', _)) ->
+              check float_c (Printf.sprintf "%.17g" v) v v'
+          | _ -> Alcotest.fail "missing float attr")
+      | _ -> Alcotest.fail "expected one op")
+    [ 0.; 1.; -1.5; 3.14159265358979; 1e-30; 2.5e22; -7.25e-3; 1e300 ]
+
+let test_deep_nesting_roundtrip () =
+  (* 6 levels of nested loops. *)
+  let bld = Builder.create () in
+  let rec nest b d =
+    if d = 0 then begin
+      let c = Dialects.Arith.const_float b 1. in
+      Builder.emit0 b "test.sink" ~operands: [ c ]
+    end
+    else begin
+      let lo = Dialects.Arith.const_index b 0 in
+      let hi = Dialects.Arith.const_index b 2 in
+      let st = Dialects.Arith.const_index b 1 in
+      ignore
+        (Dialects.Scf.for_op b ~lo ~hi ~step: st (fun b' _ _ ->
+             nest b' (d - 1);
+             Dialects.Scf.yield_op b' []))
+    end
+  in
+  nest bld 6;
+  let m = Op.module_op (Builder.ops bld) in
+  let s = Printer.module_to_string m in
+  check Alcotest.string "deep roundtrip" s
+    (Printer.module_to_string (Parser.parse_string s))
+
+let test_parse_error_messages () =
+  let expect_fail src =
+    try
+      ignore (Parser.parse_string src);
+      Alcotest.failf "expected parse error for %S" src
+    with Parser.Parse_error _ | Lexer.Lex_error _ -> ()
+  in
+  expect_fail "%1 = ";
+  expect_fail "\"op\"(";
+  expect_fail "%1 = \"op\"() : () -> (i32) extra";
+  expect_fail "\"op\"() : () -> (!unknown.type)";
+  expect_fail "\"op\"() {k = } : () -> ()"
+
+(* --- shape inference --- *)
+
+let test_shape_inference_accepts () =
+  ignore (Core.Shape_inference.run (Programs.heat2d_module ~nx: 8 ~ny: 8));
+  ignore
+    (Core.Shape_inference.run
+       (Programs.jacobi1d_timeloop_module ~n: 8 ~steps: 2))
+
+let test_shape_inference_rejects_missing_halo () =
+  (* A field without ghost margin cannot feed a 3-point stencil over its
+     full extent. *)
+  let n = 8 in
+  let fty = Core.Stencil.field_ty [ Typesys.bound 0 n ] Typesys.f64 in
+  let f =
+    Dialects.Func.define "bad" ~arg_tys: [ fty; fty ] ~res_tys: []
+      (fun bld args ->
+        match args with
+        | [ a; out ] ->
+            let t = Core.Stencil.load_op bld a in
+            let r =
+              Core.Stencil.apply_op bld ~inputs: [ t ]
+                ~out_bounds: [ Typesys.bound 0 n ] ~elt: Typesys.f64
+                ~n_results: 1 Programs.jacobi1d_step_body
+            in
+            Core.Stencil.store_op bld (List.hd r) out ~lb: [ 0 ] ~ub: [ n ];
+            Dialects.Func.return_op bld []
+        | _ -> assert false)
+  in
+  (try
+     ignore (Core.Shape_inference.run (Op.module_op [ f ]));
+     Alcotest.fail "expected shape error"
+   with Core.Shape_inference.Shape_error _ -> ())
+
+let test_shape_inference_required_bounds () =
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 8 in
+  let required = ref [||] in
+  Op.walk
+    (fun o ->
+      if o.Op.name = Core.Stencil.apply then
+        required := Core.Shape_inference.required_input_bounds o)
+    m;
+  match !required.(0) with
+  | [ b0; b1 ] ->
+      check int_c "lo expanded" (-1) b0.Typesys.lo;
+      check int_c "hi expanded" 9 b0.Typesys.hi;
+      check int_c "dim1 lo" (-1) b1.Typesys.lo
+  | _ -> Alcotest.fail "expected 2D bounds"
+
+(* --- mpi dialect collectives from IR --- *)
+
+(* A program computing the global sum of each rank's local value via
+   mpi.allreduce, exercising collective ops through the full
+   interpret-under-mpi_sim path. *)
+let test_allreduce_from_ir () =
+  let mref = Typesys.Memref ([ 1 ], Typesys.f64) in
+  let f =
+    Dialects.Func.define "global_sum" ~arg_tys: [ mref; mref ] ~res_tys: []
+      (fun bld args ->
+        match args with
+        | [ local; result ] ->
+            Core.Mpi.allreduce_op bld ~sendbuf: local ~recvbuf: result
+              Core.Mpi.Sum;
+            Dialects.Func.return_op bld []
+        | _ -> assert false)
+  in
+  let m = Op.module_op [ f ] in
+  let sums = Array.make 4 0. in
+  ignore
+    (Driver.Simulate.run_spmd ~ranks: 4 ~func: "global_sum"
+       ~make_args: (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         let local = Interp.Rtval.alloc_buffer [ 1 ] Typesys.f64 in
+         Interp.Rtval.set local [ 0 ] (Interp.Rtval.Rf (float_of_int (me + 1)));
+         let result = Interp.Rtval.alloc_buffer [ 1 ] Typesys.f64 in
+         [ Interp.Rtval.Rbuf local; Interp.Rtval.Rbuf result ])
+       ~collect: (fun ctx args _ ->
+         match args with
+         | [ _; Interp.Rtval.Rbuf result ] ->
+             sums.(Mpi_sim.rank ctx) <-
+               Interp.Rtval.as_float (Interp.Rtval.get result [ 0 ])
+         | _ -> Alcotest.fail "bad args")
+       m);
+  Array.iter (fun s -> check float_c "1+2+3+4" 10. s) sums
+
+(* The same program after the func lowering (MPI_Allreduce + magic op
+   constant). *)
+let test_allreduce_lowered () =
+  let mref = Typesys.Memref ([ 1 ], Typesys.f64) in
+  let f =
+    Dialects.Func.define "global_sum" ~arg_tys: [ mref; mref ] ~res_tys: []
+      (fun bld args ->
+        match args with
+        | [ local; result ] ->
+            Core.Mpi.allreduce_op bld ~sendbuf: local ~recvbuf: result
+              Core.Mpi.Sum;
+            Dialects.Func.return_op bld []
+        | _ -> assert false)
+  in
+  let lowered = Core.Mpi_to_func.run (Op.module_op [ f ]) in
+  check bool_c "calls MPI_Allreduce" true
+    (Op.exists
+       (fun o ->
+         o.Op.name = "func.call"
+         && Op.attr o "callee" = Some (Typesys.Symbol_attr "MPI_Allreduce"))
+       lowered);
+  let sums = Array.make 3 0. in
+  ignore
+    (Driver.Simulate.run_spmd ~ranks: 3 ~func: "global_sum"
+       ~make_args: (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         let local = Interp.Rtval.alloc_buffer [ 1 ] Typesys.f64 in
+         Interp.Rtval.set local [ 0 ] (Interp.Rtval.Rf (float_of_int me));
+         [ Interp.Rtval.Rbuf local;
+           Interp.Rtval.Rbuf (Interp.Rtval.alloc_buffer [ 1 ] Typesys.f64) ])
+       ~collect: (fun ctx args _ ->
+         match args with
+         | [ _; Interp.Rtval.Rbuf result ] ->
+             sums.(Mpi_sim.rank ctx) <-
+               Interp.Rtval.as_float (Interp.Rtval.get result [ 0 ])
+         | _ -> Alcotest.fail "bad args")
+       lowered);
+  Array.iter (fun s -> check float_c "0+1+2" 3. s) sums
+
+(* --- Devito extras --- *)
+
+(* A coefficient field (velocity model): u.dt2 = m * laplace(u). *)
+let test_coefficient_field () =
+  let n = 10 in
+  let g = Devito.Symbolic.grid ~dt: 0.05 [ n ] in
+  let u = Devito.Symbolic.function_ ~space_order: 2 ~time_order: 2 "u" g in
+  let m_field = Devito.Symbolic.function_ ~space_order: 2 "m" g in
+  let eqn =
+    Devito.Symbolic.eq (Devito.Symbolic.Dt2 u)
+      Devito.Symbolic.(here m_field *: laplace u)
+  in
+  let spec, modl =
+    Devito.Operator.operator ~name: "varwave" ~timesteps: 3 ~elt: Typesys.f64
+      eqn
+  in
+  check int_c "one coefficient" 1
+    (List.length spec.Devito.Operator.coefficients);
+  Verifier.verify ~checks: Core.Registry.checks modl;
+  (* Execute: 3 u-buffers + the model field. *)
+  let init_u i = if i = 5 then 1. else 0. in
+  let init_m i = 1.5 +. (0.1 *. float_of_int i) in
+  let mkf init =
+    let b = Interp.Rtval.alloc_buffer ~lo: [ -1 ] [ n + 2 ] Typesys.f64 in
+    for i = -1 to n do
+      Interp.Rtval.set b [ i ] (Interp.Rtval.Rf (init i))
+    done;
+    b
+  in
+  let bufs = [ mkf init_u; mkf init_u; mkf init_u; mkf init_m ] in
+  let results =
+    Driver.Simulate.run_serial ~func: "varwave" modl
+      (List.map (fun b -> Interp.Rtval.Rbuf b) bufs)
+  in
+  (* Manual leapfrog with variable coefficient. *)
+  let dt = 0.05 in
+  let prev = ref (Array.init (n + 2) (fun k -> init_u (k - 1))) in
+  let cur = ref (Array.copy !prev) in
+  for _ = 1 to 3 do
+    let nxt = Array.copy !prev in
+    for i = 1 to n do
+      let lap = !cur.(i - 1) -. (2. *. !cur.(i)) +. !cur.(i + 1) in
+      nxt.(i) <-
+        (2. *. !cur.(i)) -. !prev.(i)
+        +. (dt *. dt *. init_m (i - 1) *. lap)
+    done;
+    prev := !cur;
+    cur := nxt
+  done;
+  (match List.rev results with
+  | _coeff :: Interp.Rtval.Rbuf latest :: _ ->
+      for i = 0 to n - 1 do
+        check float_c
+          (Printf.sprintf "u[%d]" i)
+          !cur.(i + 1)
+          (Interp.Rtval.as_float (Interp.Rtval.get latest [ i ]))
+      done
+  | _ -> Alcotest.fail "expected buffers")
+
+let test_first_derivative_operator () =
+  (* Advection: u.dt = -c * d1(u): first-order upwind-ish with central
+     difference; check against manual stepping. *)
+  let n = 12 in
+  let g = Devito.Symbolic.grid ~dt: 0.1 [ n ] in
+  let u = Devito.Symbolic.function_ ~space_order: 2 "u" g in
+  let eqn =
+    Devito.Symbolic.eq (Devito.Symbolic.Dt u)
+      Devito.Symbolic.(f (-0.5) *: d1 u 0)
+  in
+  let _, m = Devito.Operator.operator ~name: "adv" ~timesteps: 2 ~elt: Typesys.f64 eqn in
+  let init i = Float.sin (0.5 *. float_of_int i) in
+  let mkf () =
+    let b = Interp.Rtval.alloc_buffer ~lo: [ -1 ] [ n + 2 ] Typesys.f64 in
+    for i = -1 to n do
+      Interp.Rtval.set b [ i ] (Interp.Rtval.Rf (init i))
+    done;
+    b
+  in
+  let results =
+    Driver.Simulate.run_serial ~func: "adv" m
+      [ Interp.Rtval.Rbuf (mkf ()); Interp.Rtval.Rbuf (mkf ()) ]
+  in
+  let cur = ref (Array.init (n + 2) (fun k -> init (k - 1))) in
+  for _ = 1 to 2 do
+    let nxt = Array.copy !cur in
+    for i = 1 to n do
+      nxt.(i) <-
+        !cur.(i) +. (0.1 *. -0.5 *. ((!cur.(i + 1) -. !cur.(i - 1)) /. 2.))
+    done;
+    cur := nxt
+  done;
+  (match List.rev results with
+  | Interp.Rtval.Rbuf latest :: _ ->
+      for i = 0 to n - 1 do
+        check float_c
+          (Printf.sprintf "u[%d]" i)
+          !cur.(i + 1)
+          (Interp.Rtval.as_float (Interp.Rtval.get latest [ i ]))
+      done
+  | _ -> Alcotest.fail "expected buffers")
+
+(* --- PSyclone recognizer corners --- *)
+
+let simple_decl name = { Psyclone.Fortran.array_name = name; decl_bounds = [ (0, 7); (0, 7) ] }
+
+let nest_with assigns =
+  Psyclone.Fortran.kernel ~name: "k"
+    ~arrays: [ simple_decl "a"; simple_decl "b" ]
+    ~scalars: []
+    [ { Psyclone.Fortran.loop_vars = [ "i"; "j" ]; ranges = [ (0, 7); (0, 7) ]; assigns } ]
+
+let test_reject_loop_carried () =
+  (* a(i,j) = a(i-1,j): reading the written array at non-zero offset in the
+     same nest is rejected. *)
+  let k =
+    nest_with
+      [
+        {
+          Psyclone.Fortran.lhs = ("a", Psyclone.Fortran.[ ix "i"; ix "j" ]);
+          rhs =
+            Psyclone.Fortran.Ref
+              ("a", Psyclone.Fortran.[ ix ~shift: (-1) "i"; ix "j" ]);
+        };
+      ]
+  in
+  match Psyclone.Psy_ir.of_kernel k with
+  | Psyclone.Psy_ir.Schedule [ Psyclone.Psy_ir.Unrecognized _ ] -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_accept_forwarding () =
+  (* b written then read at offset zero in the same nest: forwarded. *)
+  let k =
+    nest_with
+      Psyclone.Fortran.
+        [
+          { lhs = ("b", [ ix "i"; ix "j" ]); rhs = Num 2. };
+          {
+            lhs = ("a", [ ix "i"; ix "j" ]);
+            rhs = Ref ("b", [ ix "i"; ix "j" ]);
+          };
+        ]
+  in
+  match Psyclone.Psy_ir.of_kernel k with
+  | Psyclone.Psy_ir.Schedule
+      [ Psyclone.Psy_ir.Stencil_region { computations; _ } ] ->
+      check int_c "two computations" 2 (List.length computations)
+  | _ -> Alcotest.fail "expected one region"
+
+let test_external_inputs () =
+  let k = Psyclone.Benchkernels.tracer_advection ~iterations: 1 ~shape: [ 4; 4; 4 ] () in
+  let inputs = Psyclone.Fortran.external_inputs k in
+  List.iter
+    (fun a -> check bool_c (a ^ " is input") true (List.mem a inputs))
+    [ "rnfmsk"; "tsn"; "un"; "vn"; "wn"; "mydomain" ];
+  check bool_c "zind is internal" false (List.mem "zind" inputs)
+
+(* --- interpreter extras --- *)
+
+let test_stream_underflow () =
+  let f =
+    Dialects.Func.define "bad" ~arg_tys: [] ~res_tys: [ Typesys.f64 ]
+      (fun bld _ ->
+        let s = Core.Hls.stream_create_op bld Typesys.f64 in
+        let v = Core.Hls.stream_read_op bld s in
+        Dialects.Func.return_op bld [ v ])
+  in
+  (try
+     ignore (Driver.Simulate.run_serial ~func: "bad" (Op.module_op [ f ]) []);
+     Alcotest.fail "expected underflow"
+   with Interp.Rtval.Runtime_error _ -> ())
+
+let test_gpu_ops_interp () =
+  let f =
+    Dialects.Func.define "g" ~arg_tys: [ Typesys.Memref ([ 4 ], Typesys.f64) ]
+      ~res_tys: [] (fun bld args ->
+        let host = List.hd args in
+        let dev = Dialects.Gpu.alloc_op bld [ 4 ] Typesys.f64 in
+        Dialects.Gpu.memcpy_op bld ~src: host ~dst: dev;
+        let two = Dialects.Arith.const_index bld 2 in
+        let v = Dialects.Arith.const_float bld 9. in
+        Dialects.Memref.store_op bld v dev [ two ];
+        Dialects.Gpu.memcpy_op bld ~src: dev ~dst: host;
+        Dialects.Gpu.dealloc_op bld dev;
+        Dialects.Func.return_op bld [])
+  in
+  let b = Interp.Rtval.alloc_buffer [ 4 ] Typesys.f64 in
+  ignore
+    (Driver.Simulate.run_serial ~func: "g" (Op.module_op [ f ])
+       [ Interp.Rtval.Rbuf b ]);
+  check float_c "copied back" 9. (Interp.Rtval.as_float (Interp.Rtval.get b [ 2 ]))
+
+let test_unbound_value_error () =
+  let ghost = Value.fresh Typesys.f64 in
+  let f =
+    Op.make "func.func"
+      ~attrs:
+        [
+          ("sym_name", Typesys.String_attr "bad");
+          ("function_type", Typesys.Type_attr (Typesys.Fn ([], [])));
+        ]
+      ~regions: [ Op.region [ Op.make "test.sink" ~operands: [ ghost ] ] ]
+  in
+  (try
+     ignore (Driver.Simulate.run_serial ~func: "bad" (Op.module_op [ f ]) []);
+     Alcotest.fail "expected error"
+   with Interp.Rtval.Runtime_error _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "comments + whitespace" `Quick
+      test_comments_and_whitespace;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "float literal forms" `Quick test_float_forms;
+    Alcotest.test_case "deep nesting roundtrip" `Quick
+      test_deep_nesting_roundtrip;
+    Alcotest.test_case "parse error coverage" `Quick test_parse_error_messages;
+    Alcotest.test_case "shape inference accepts" `Quick
+      test_shape_inference_accepts;
+    Alcotest.test_case "shape inference rejects missing halo" `Quick
+      test_shape_inference_rejects_missing_halo;
+    Alcotest.test_case "required input bounds" `Quick
+      test_shape_inference_required_bounds;
+    Alcotest.test_case "mpi.allreduce from IR" `Quick test_allreduce_from_ir;
+    Alcotest.test_case "MPI_Allreduce lowered" `Quick test_allreduce_lowered;
+    Alcotest.test_case "devito coefficient field" `Quick
+      test_coefficient_field;
+    Alcotest.test_case "devito first derivative" `Quick
+      test_first_derivative_operator;
+    Alcotest.test_case "psyclone rejects loop-carried" `Quick
+      test_reject_loop_carried;
+    Alcotest.test_case "psyclone forwards same-point writes" `Quick
+      test_accept_forwarding;
+    Alcotest.test_case "psyclone external inputs" `Quick test_external_inputs;
+    Alcotest.test_case "stream underflow" `Quick test_stream_underflow;
+    Alcotest.test_case "gpu ops interpret" `Quick test_gpu_ops_interp;
+    Alcotest.test_case "unbound value error" `Quick test_unbound_value_error;
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the stencil-to-HLS flow: both the initial (Von Neumann) and the
+   optimized (dataflow + shift buffer) forms must compute the same values as
+   the stencil-level execution, and the optimized structure must carry the
+   dataflow/pipelining metadata the FPGA model consumes. *)
+
+open Ir
+open Core
+
+let float_c = Alcotest.float 1e-6
+
+let rebase (b : Interp.Rtval.buffer) =
+  { b with Interp.Rtval.lo = List.map (fun _ -> 0) b.Interp.Rtval.lo }
+
+let run_hls ~mode m func bufs =
+  let lowered = Stencil_to_hls.run ~mode m in
+  Verifier.verify ~checks: Registry.checks lowered;
+  let eng = Interp.Engine.create lowered in
+  ignore
+    (Interp.Engine.run eng func
+       (List.map (fun b -> Interp.Rtval.Rbuf (rebase b)) bufs));
+  lowered
+
+let mk_fields () =
+  [
+    Programs.make_field_2d ~nx: 8 ~ny: 6 (fun i j -> float_of_int ((i * 3) + j));
+    Programs.make_field_2d ~nx: 8 ~ny: 6 (fun _ _ -> 0.);
+  ]
+
+let reference () =
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 6 in
+  let fields = mk_fields () in
+  let eng = Interp.Engine.create m in
+  ignore
+    (Interp.Engine.run eng "step"
+       (List.map (fun b -> Interp.Rtval.Rbuf b) fields));
+  fields
+
+let test_initial_matches () =
+  let reference_fields = reference () in
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 6 in
+  let fields = mk_fields () in
+  ignore (run_hls ~mode: Stencil_to_hls.Initial m "step" fields);
+  List.iter2
+    (fun a b ->
+      Alcotest.check float_c "initial == stencil" 0.
+        (Driver.Simulate.max_abs_diff a b))
+    fields reference_fields
+
+let test_optimized_matches () =
+  let reference_fields = reference () in
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 6 in
+  let fields = mk_fields () in
+  ignore (run_hls ~mode: Stencil_to_hls.Optimized m "step" fields);
+  List.iter2
+    (fun a b ->
+      Alcotest.check float_c "optimized == stencil" 0.
+        (Driver.Simulate.max_abs_diff a b))
+    fields reference_fields
+
+let test_optimized_structure () =
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 6 in
+  let lowered = Stencil_to_hls.run ~mode: Stencil_to_hls.Optimized m in
+  Alcotest.check Alcotest.int "one dataflow region" 1
+    (Transforms.Statistics.count lowered "hls.dataflow");
+  Alcotest.check Alcotest.int "read + compute + write stages" 3
+    (Hls.count_stages lowered);
+  Alcotest.check Alcotest.bool "has shift buffer" true
+    (Hls.has_shift_buffer lowered);
+  (* The compute stage is pipelined at II = 1. *)
+  let ii = ref 0 in
+  Op.walk
+    (fun o ->
+      if o.Op.name = Hls.stage then
+        match Hls.pipeline_ii o with Some v -> ii := v | None -> ())
+    lowered;
+  Alcotest.check Alcotest.int "II = 1" 1 !ii
+
+let test_initial_marked () =
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 6 in
+  let lowered = Stencil_to_hls.run ~mode: Stencil_to_hls.Initial m in
+  match Op.lookup_symbol lowered "step" with
+  | Some f ->
+      Alcotest.check Alcotest.string "kernel attr" "initial"
+        (Op.string_attr_exn f Stencil_to_hls.kernel_attr);
+      Alcotest.check Alcotest.bool "no dataflow" false
+        (Op.exists (fun o -> o.Op.name = Hls.dataflow) lowered)
+  | None -> Alcotest.fail "missing function"
+
+let test_window_span () =
+  (* 5-point stencil on an 8-column row-major grid: offsets (0,-1) and
+     (0,1) are 2 apart; (-1,0) to (1,0) span two rows = 2*8; window =
+     2*8 + 1 ... plus the cross arms: max linear = +8, min = -8. *)
+  let span =
+    Stencil_to_hls.window_span ~shape: [ 10; 8 ]
+      ~offsets: [ [ 0; 0 ]; [ 0; -1 ]; [ 0; 1 ]; [ -1; 0 ]; [ 1; 0 ] ]
+  in
+  Alcotest.check Alcotest.int "window" 17 span
+
+let test_chained_applies () =
+  (* Two chained stencils: intermediate temp must flow through a stream
+     between compute stages without touching DDR. *)
+  let n = 12 in
+  let fty = Stencil.field_ty [ Typesys.bound (-2) (n + 2) ] Typesys.f64 in
+  let f =
+    Dialects.Func.define "chain" ~arg_tys: [ fty; fty ] ~res_tys: []
+      (fun bld args ->
+        match args with
+        | [ a; out ] ->
+            let t = Stencil.load_op bld a in
+            (* First stage computes on an extended domain so the second has
+               its halo. *)
+            let mid =
+              Stencil.apply_op bld ~inputs: [ t ]
+                ~out_bounds: [ Typesys.bound (-1) (n + 1) ]
+                ~elt: Typesys.f64 ~n_results: 1 Programs.jacobi1d_step_body
+            in
+            let final =
+              Stencil.apply_op bld ~inputs: [ List.hd mid ]
+                ~out_bounds: [ Typesys.bound 0 n ] ~elt: Typesys.f64
+                ~n_results: 1 Programs.jacobi1d_step_body
+            in
+            Stencil.store_op bld (List.hd final) out ~lb: [ 0 ] ~ub: [ n ];
+            Dialects.Func.return_op bld []
+        | _ -> assert false)
+  in
+  let m = Op.module_op [ f ] in
+  (* Reference at stencil level. *)
+  let mk () =
+    [
+      (let b = Interp.Rtval.alloc_buffer ~lo: [ -2 ] [ n + 4 ] Typesys.f64 in
+       for i = -2 to n + 1 do
+         Interp.Rtval.set b [ i ]
+           (Interp.Rtval.Rf (Float.cos (float_of_int i)))
+       done;
+       b);
+      Interp.Rtval.alloc_buffer ~lo: [ -2 ] [ n + 4 ] Typesys.f64;
+    ]
+  in
+  let ref_fields = mk () in
+  let eng = Interp.Engine.create m in
+  ignore
+    (Interp.Engine.run eng "chain"
+       (List.map (fun b -> Interp.Rtval.Rbuf b) ref_fields));
+  let fields = mk () in
+  let lowered = run_hls ~mode: Stencil_to_hls.Optimized m "chain" fields in
+  List.iter2
+    (fun a b ->
+      Alcotest.check float_c "chained == stencil" 0.
+        (Driver.Simulate.max_abs_diff a b))
+    fields ref_fields;
+  (* Structure: read, compute, compute, write = 4 stages. *)
+  Alcotest.check Alcotest.int "four stages" 4 (Hls.count_stages lowered)
+
+let suite =
+  [
+    Alcotest.test_case "initial mode matches stencil" `Quick
+      test_initial_matches;
+    Alcotest.test_case "optimized mode matches stencil" `Quick
+      test_optimized_matches;
+    Alcotest.test_case "optimized structure" `Quick test_optimized_structure;
+    Alcotest.test_case "initial marked, no dataflow" `Quick
+      test_initial_marked;
+    Alcotest.test_case "window span" `Quick test_window_span;
+    Alcotest.test_case "chained applies through streams" `Quick
+      test_chained_applies;
+  ]

@@ -1,0 +1,330 @@
+(* Lowering validation: executing the program before and after each lowering
+   must give identical results.  This covers convert-stencil-to-loops in all
+   three styles, the canonicalization/CSE/DCE/LICM passes, and round-trips
+   of the lowered IR through the printer/parser. *)
+
+open Ir
+open Core
+
+let float_c = Alcotest.float 1e-6
+
+let field_copy (b : Interp.Rtval.buffer) : Interp.Rtval.buffer =
+  {
+    b with
+    Interp.Rtval.data =
+      (match b.Interp.Rtval.data with
+      | Interp.Rtval.F a -> Interp.Rtval.F (Array.copy a)
+      | Interp.Rtval.I a -> Interp.Rtval.I (Array.copy a));
+  }
+
+(* Rebased view for lowered (memref-typed) functions: same storage, logical
+   origin moved to zero. *)
+let rebase (b : Interp.Rtval.buffer) : Interp.Rtval.buffer =
+  { b with Interp.Rtval.lo = List.map (fun _ -> 0) b.Interp.Rtval.lo }
+
+let run_stencil_level m func bufs =
+  let eng = Interp.Engine.create m in
+  ignore
+    (Interp.Engine.run eng func
+       (List.map (fun b -> Interp.Rtval.Rbuf b) bufs))
+
+let run_lowered m func bufs =
+  let eng = Interp.Engine.create m in
+  ignore
+    (Interp.Engine.run eng func
+       (List.map (fun b -> Interp.Rtval.Rbuf (rebase b)) bufs))
+
+let check_equal name (a : Interp.Rtval.buffer) (b : Interp.Rtval.buffer) =
+  Alcotest.check float_c name 0. (Driver.Simulate.max_abs_diff a b)
+
+(* Compare stencil-level execution against a lowered execution of the same
+   program for each loop style. *)
+let compare_styles ~make_module ~make_fields ~func () =
+  let m = make_module () in
+  let ref_fields = make_fields () in
+  run_stencil_level m func ref_fields;
+  List.iter
+    (fun (style_name, style) ->
+      let lowered = Stencil_to_loops.run ~style m in
+      Verifier.verify ~checks: Registry.checks lowered;
+      let fields = make_fields () in
+      run_lowered lowered func fields;
+      List.iteri
+        (fun i (f, rf) ->
+          check_equal (Printf.sprintf "%s field %d" style_name i) f rf)
+        (List.combine fields ref_fields))
+    [
+      ("sequential", Stencil_to_loops.Sequential);
+      ("parallel", Stencil_to_loops.Parallel_flat);
+      ("tiled", Stencil_to_loops.Tiled_omp [ 4; 4; 4 ]);
+      ( "gpu",
+        Stencil_to_loops.Gpu_launch { synchronous = true; managed = false } );
+      ( "gpu-managed",
+        Stencil_to_loops.Gpu_launch { synchronous = false; managed = true } );
+    ]
+
+let test_lower_jacobi1d =
+  compare_styles
+    ~make_module: (fun () -> Programs.jacobi1d_module ~n: 12)
+    ~make_fields: (fun () ->
+      [
+        Programs.make_field_1d ~n: 12 (fun i -> Float.sin (float_of_int i));
+        Programs.make_field_1d ~n: 12 (fun _ -> 0.);
+      ])
+    ~func: "step"
+
+let test_lower_heat2d =
+  compare_styles
+    ~make_module: (fun () -> Programs.heat2d_module ~nx: 10 ~ny: 6)
+    ~make_fields: (fun () ->
+      [
+        Programs.make_field_2d ~nx: 10 ~ny: 6 (fun i j ->
+            float_of_int ((i * 7) + j));
+        Programs.make_field_2d ~nx: 10 ~ny: 6 (fun _ _ -> 0.);
+      ])
+    ~func: "step"
+
+let test_lower_heat2d_timeloop =
+  compare_styles
+    ~make_module: (fun () ->
+      Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 5)
+    ~make_fields: (fun () ->
+      [
+        Programs.make_field_2d ~nx: 8 ~ny: 8 (fun i j ->
+            if i = 3 && j = 4 then 100. else 0.);
+        Programs.make_field_2d ~nx: 8 ~ny: 8 (fun _ _ -> 0.);
+      ])
+    ~func: "run"
+
+(* The lowered module must be free of stencil ops. *)
+let test_lowering_complete () =
+  let m = Programs.heat2d_timeloop_module ~nx: 4 ~ny: 4 ~steps: 2 in
+  let lowered = Stencil_to_loops.run ~style: Stencil_to_loops.Sequential m in
+  Alcotest.check Alcotest.bool "no stencil ops left" false
+    (Op.exists
+       (fun o ->
+         String.length o.Op.name > 8 && String.sub o.Op.name 0 8 = "stencil.")
+       lowered)
+
+(* Store fusion: single-consumer applies write straight into their target
+   field without an intermediate allocation. *)
+let test_store_fusion () =
+  let m = Programs.jacobi1d_module ~n: 8 in
+  let lowered = Stencil_to_loops.run ~style: Stencil_to_loops.Sequential m in
+  Alcotest.check Alcotest.int "no temp alloc" 0
+    (Transforms.Statistics.count lowered "memref.alloc")
+
+(* Lowered IR still round-trips through the textual format. *)
+let test_lowered_roundtrip () =
+  let m = Programs.heat2d_timeloop_module ~nx: 4 ~ny: 4 ~steps: 2 in
+  let lowered =
+    Stencil_to_loops.run ~style: (Stencil_to_loops.Tiled_omp [ 4; 4 ]) m
+  in
+  let s = Printer.module_to_string lowered in
+  Alcotest.check Alcotest.string "roundtrip" s
+    (Printer.module_to_string (Parser.parse_string s))
+
+(* Optimization passes preserve semantics on the lowered heat program. *)
+let test_passes_preserve_semantics () =
+  let m = Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 3 in
+  let lowered = Stencil_to_loops.run ~style: Stencil_to_loops.Sequential m in
+  let optimized =
+    Pass.run_pipeline
+      (Pass.pipeline "opt"
+         [
+           Transforms.Canonicalize.pass;
+           Transforms.Cse.pass;
+           Transforms.Licm.pass;
+           Transforms.Dce.pass;
+         ])
+      lowered
+  in
+  Verifier.verify ~checks: Registry.checks optimized;
+  let mk () =
+    [
+      Programs.make_field_2d ~nx: 8 ~ny: 8 (fun i j ->
+          Float.cos (float_of_int (i + (2 * j))));
+      Programs.make_field_2d ~nx: 8 ~ny: 8 (fun _ _ -> 0.);
+    ]
+  in
+  let f1 = mk () and f2 = mk () in
+  run_lowered lowered "run" f1;
+  run_lowered optimized "run" f2;
+  List.iter2 (fun a b -> check_equal "optimized equals baseline" a b) f1 f2;
+  (* And the optimizer should actually shrink the op count. *)
+  Alcotest.check Alcotest.bool "optimizer reduces ops" true
+    (Op.count_ops optimized <= Op.count_ops lowered)
+
+(* CSE dedupes identical constants. *)
+let test_cse_basic () =
+  let src =
+    {|
+    %1 = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %2 = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %3 = "arith.addi"(%1, %2) : (i64, i64) -> (i64)
+    %4 = "test.sink"(%3) : (i64) -> (i64)
+    |}
+  in
+  let m = Transforms.Cse.run (Parser.parse_string src) in
+  Alcotest.check Alcotest.int "one constant"
+    1
+    (Transforms.Statistics.count m "arith.constant")
+
+(* DCE removes unused pure chains but keeps side effects. *)
+let test_dce_basic () =
+  let src =
+    {|
+    %1 = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %2 = "arith.addi"(%1, %1) : (i64, i64) -> (i64)
+    "test.effect"() : () -> ()
+    |}
+  in
+  let m = Transforms.Dce.run (Parser.parse_string src) in
+  Alcotest.check Alcotest.int "dead arith gone" 1
+    (Op.count_ops m - 1 (* module op itself *))
+
+(* Constant folding computes through chains. *)
+let test_folding () =
+  let src =
+    {|
+    %1 = "arith.constant"() {value = 6 : i64} : () -> (i64)
+    %2 = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %3 = "arith.muli"(%1, %2) : (i64, i64) -> (i64)
+    %4 = "test.sink"(%3) : (i64) -> (i64)
+    |}
+  in
+  let m = Transforms.Canonicalize.run (Parser.parse_string src) in
+  let found = ref None in
+  Op.walk
+    (fun o ->
+      if o.Op.name = "arith.constant" then
+        match Op.attr o "value" with
+        | Some (Typesys.Int_attr (v, _)) -> found := Some v
+        | _ -> ())
+    m;
+  (match !found with
+  | Some 42 -> ()
+  | Some v -> Alcotest.failf "folded to %d, expected 42" v
+  | None -> Alcotest.fail "no constant left");
+  Alcotest.check Alcotest.int "mul folded away" 0
+    (Transforms.Statistics.count m "arith.muli")
+
+(* x * 1.0 simplifies away. *)
+let test_identities () =
+  let src =
+    {|
+    %1 = "test.source"() : () -> (f64)
+    %2 = "arith.constant"() {value = 1.0 : f64} : () -> (f64)
+    %3 = "arith.mulf"(%1, %2) : (f64, f64) -> (f64)
+    %4 = "test.sink"(%3) : (f64) -> (f64)
+    |}
+  in
+  let m = Transforms.Canonicalize.run (Parser.parse_string src) in
+  Alcotest.check Alcotest.int "mulf gone" 0
+    (Transforms.Statistics.count m "arith.mulf")
+
+(* LICM hoists invariant computations out of loops. *)
+let test_licm () =
+  let m =
+    Op.module_op
+      [
+        Dialects.Func.define "main" ~arg_tys: [] ~res_tys: [] (fun bld _ ->
+            let lo = Dialects.Arith.const_index bld 0 in
+            let hi = Dialects.Arith.const_index bld 10 in
+            let st = Dialects.Arith.const_index bld 1 in
+            ignore
+              (Dialects.Scf.for_op bld ~lo ~hi ~step: st (fun body _iv _ ->
+                   (* invariant: 3.0 *. 4.0; variant: uses iv *)
+                   let a = Dialects.Arith.const_float body 3. in
+                   let b = Dialects.Arith.const_float body 4. in
+                   let c = Dialects.Arith.mul_f body a b in
+                   Builder.emit0 body "test.effect" ~operands: [ c ];
+                   Dialects.Scf.yield_op body []));
+            Dialects.Func.return_op bld [])
+      ]
+  in
+  let hoisted = Transforms.Licm.run m in
+  (* The loop body should now contain only the effectful op + yield. *)
+  let loop_body_size = ref 0 in
+  Op.walk
+    (fun o ->
+      if o.Op.name = "scf.for" then
+        loop_body_size :=
+          List.length (Op.region_ops (List.hd o.Op.regions)))
+    hoisted;
+  Alcotest.check Alcotest.int "loop body shrank" 2 !loop_body_size
+
+(* Property: canonicalize+cse+dce preserve the interpreted result of random
+   arithmetic expression modules. *)
+let gen_arith_module =
+  QCheck.Gen.(
+    let* n = int_range 1 15 in
+    let bld = Builder.create () in
+    let seed = Dialects.Arith.const_float bld 1.5 in
+    let rec build k defined =
+      if k = 0 then return defined
+      else
+        let* pick = int_range 0 2 in
+        let* a = oneofl defined in
+        let* b = oneofl defined in
+        let v =
+          match pick with
+          | 0 -> Dialects.Arith.add_f bld a b
+          | 1 -> Dialects.Arith.mul_f bld a b
+          | _ -> Dialects.Arith.sub_f bld a b
+        in
+        build (k - 1) (v :: defined)
+    in
+    let* defined = build n [ seed ] in
+    Dialects.Func.return_op bld [ List.hd defined ];
+    let f =
+      Op.make "func.func"
+        ~attrs:
+          [
+            ("sym_name", Typesys.String_attr "main");
+            ( "function_type",
+              Typesys.Type_attr (Typesys.Fn ([], [ Typesys.f64 ])) );
+          ]
+        ~regions: [ Op.region (Builder.ops bld) ]
+    in
+    return (Op.module_op [ f ]))
+
+let opt_preserves_prop =
+  QCheck.Test.make ~count: 100
+    ~name: "canonicalize/cse/dce preserve interpreted semantics"
+    (QCheck.make gen_arith_module ~print: Printer.module_to_string)
+    (fun m ->
+      let run m =
+        let eng = Interp.Engine.create m in
+        match Interp.Engine.run eng "main" [] with
+        | [ Interp.Rtval.Rf v ] -> v
+        | _ -> nan
+      in
+      let before = run m in
+      let after =
+        run
+          (Transforms.Dce.run
+             (Transforms.Cse.run (Transforms.Canonicalize.run m)))
+      in
+      Float.abs (before -. after) <= 1e-9 *. Float.max 1. (Float.abs before))
+
+let suite =
+  [
+    Alcotest.test_case "lower jacobi1d (3 styles)" `Quick test_lower_jacobi1d;
+    Alcotest.test_case "lower heat2d (3 styles)" `Quick test_lower_heat2d;
+    Alcotest.test_case "lower heat2d timeloop (3 styles)" `Quick
+      test_lower_heat2d_timeloop;
+    Alcotest.test_case "lowering removes stencil ops" `Quick
+      test_lowering_complete;
+    Alcotest.test_case "store fusion avoids temp allocs" `Quick
+      test_store_fusion;
+    Alcotest.test_case "lowered IR roundtrips" `Quick test_lowered_roundtrip;
+    Alcotest.test_case "opt passes preserve semantics" `Quick
+      test_passes_preserve_semantics;
+    Alcotest.test_case "cse dedupes" `Quick test_cse_basic;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce_basic;
+    Alcotest.test_case "constant folding" `Quick test_folding;
+    Alcotest.test_case "algebraic identities" `Quick test_identities;
+    Alcotest.test_case "licm hoists invariants" `Quick test_licm;
+    QCheck_alcotest.to_alcotest opt_preserves_prop;
+  ]

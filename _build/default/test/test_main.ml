@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "stencil-shared-stack"
+    [
+      ("ir", Test_ir.suite);
+      ("interp", Test_interp.suite);
+      ("lowering", Test_lowering.suite);
+      ("mpi_sim", Test_mpi_sim.suite);
+      ("distributed", Test_distributed.suite);
+      ("hls", Test_hls.suite);
+      ("frontends", Test_frontends.suite);
+      ("machine", Test_machine.suite);
+      ("pipelines", Test_pipelines.suite);
+      ("mpi_lowering", Test_mpi_lowering.suite);
+      ("overlap", Test_overlap.suite);
+      ("extras", Test_extras.suite);
+      ("shared_stack", Test_shared_stack.suite);
+    ]

@@ -1,0 +1,234 @@
+(* Tests for the simulated MPI runtime: point-to-point matching, requests,
+   collectives, determinism, deadlock detection and traffic accounting. *)
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let float_c = Alcotest.float 1e-9
+
+let floats a = Mpi_sim.Floats a
+
+let test_send_recv () =
+  let received = ref [||] in
+  ignore
+    (Mpi_sim.run ~ranks: 2 (fun ctx ->
+         if Mpi_sim.rank ctx = 0 then
+           Mpi_sim.send ctx ~dest: 1 ~tag: 0 (floats [| 1.; 2.; 3. |])
+         else
+           match Mpi_sim.recv ctx ~source: 0 ~tag: 0 with
+           | Mpi_sim.Floats a -> received := a
+           | _ -> ()));
+  check (Alcotest.array float_c) "payload" [| 1.; 2.; 3. |] !received
+
+let test_recv_before_send () =
+  (* Rank 1 posts the receive before rank 0 sends: the scheduler must block
+     and resume it. *)
+  let ok = ref false in
+  ignore
+    (Mpi_sim.run ~ranks: 2 (fun ctx ->
+         if Mpi_sim.rank ctx = 1 then begin
+           let p = Mpi_sim.recv ctx ~source: 0 ~tag: 5 in
+           ok := p = floats [| 9. |]
+         end
+         else begin
+           (* Let rank 1 block first by doing a barrier-free busy step. *)
+           Mpi_sim.send ctx ~dest: 1 ~tag: 5 (floats [| 9. |])
+         end));
+  check Alcotest.bool "resumed" true !ok
+
+let test_tag_matching () =
+  (* Messages with different tags must not cross. *)
+  let a = ref 0. and b = ref 0. in
+  ignore
+    (Mpi_sim.run ~ranks: 2 (fun ctx ->
+         if Mpi_sim.rank ctx = 0 then begin
+           Mpi_sim.send ctx ~dest: 1 ~tag: 1 (floats [| 1. |]);
+           Mpi_sim.send ctx ~dest: 1 ~tag: 2 (floats [| 2. |])
+         end
+         else begin
+           (* Receive in the opposite order. *)
+           (match Mpi_sim.recv ctx ~source: 0 ~tag: 2 with
+           | Mpi_sim.Floats x -> b := x.(0)
+           | _ -> ());
+           match Mpi_sim.recv ctx ~source: 0 ~tag: 1 with
+           | Mpi_sim.Floats x -> a := x.(0)
+           | _ -> ()
+         end));
+  check float_c "tag 1" 1. !a;
+  check float_c "tag 2" 2. !b
+
+let test_fifo_order () =
+  (* Same (src, dst, tag): messages arrive in send order. *)
+  let got = ref [] in
+  ignore
+    (Mpi_sim.run ~ranks: 2 (fun ctx ->
+         if Mpi_sim.rank ctx = 0 then
+           for i = 1 to 4 do
+             Mpi_sim.send ctx ~dest: 1 ~tag: 0 (floats [| float_of_int i |])
+           done
+         else
+           for _ = 1 to 4 do
+             match Mpi_sim.recv ctx ~source: 0 ~tag: 0 with
+             | Mpi_sim.Floats x -> got := x.(0) :: !got
+             | _ -> ()
+           done));
+  check (Alcotest.list float_c) "fifo" [ 1.; 2.; 3.; 4. ] (List.rev !got)
+
+let test_isend_irecv_waitall () =
+  let results = Array.make 2 0. in
+  ignore
+    (Mpi_sim.run ~ranks: 2 (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         let peer = 1 - me in
+         let s =
+           Mpi_sim.isend ctx ~dest: peer ~tag: 7
+             (floats [| float_of_int (10 + me) |])
+         in
+         let r = Mpi_sim.irecv ctx ~source: peer ~tag: 7 in
+         Mpi_sim.waitall [ s; r ];
+         match Mpi_sim.wait r with
+         | Some (Mpi_sim.Floats x) -> results.(me) <- x.(0)
+         | _ -> ()));
+  check float_c "rank 0 got 11" 11. results.(0);
+  check float_c "rank 1 got 10" 10. results.(1)
+
+let test_test_progress () =
+  ignore
+    (Mpi_sim.run ~ranks: 2 (fun ctx ->
+         if Mpi_sim.rank ctx = 0 then
+           Mpi_sim.send ctx ~dest: 1 ~tag: 0 (floats [| 1. |])
+         else begin
+           let r = Mpi_sim.irecv ctx ~source: 0 ~tag: 0 in
+           (* The eager send happens before this fiber runs again, so test
+              eventually succeeds; at worst after one wait. *)
+           ignore (Mpi_sim.test r);
+           ignore (Mpi_sim.wait r)
+         end))
+
+let test_bcast () =
+  let got = Array.make 4 0. in
+  ignore
+    (Mpi_sim.run ~ranks: 4 (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         let payload = if me = 2 then floats [| 5. |] else floats [| 0. |] in
+         match Mpi_sim.bcast ctx ~root: 2 payload with
+         | Mpi_sim.Floats x -> got.(me) <- x.(0)
+         | _ -> ()));
+  Array.iter (fun v -> check float_c "bcast value" 5. v) got
+
+let test_reduce_sum () =
+  let result = ref 0. in
+  ignore
+    (Mpi_sim.run ~ranks: 5 (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         match
+           Mpi_sim.reduce ctx ~root: 0 `Sum (floats [| float_of_int me |])
+         with
+         | Some (Mpi_sim.Floats x) -> result := x.(0)
+         | _ -> ()));
+  check float_c "0+1+2+3+4" 10. !result
+
+let test_allreduce_max () =
+  let worst = ref infinity in
+  ignore
+    (Mpi_sim.run ~ranks: 4 (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         match
+           Mpi_sim.allreduce ctx `Max (floats [| float_of_int (me * me) |])
+         with
+         | Mpi_sim.Floats x -> if x.(0) < !worst then worst := x.(0)
+         | _ -> ()));
+  check float_c "max everywhere" 9. !worst
+
+let test_gather () =
+  let collected = ref [] in
+  ignore
+    (Mpi_sim.run ~ranks: 3 (fun ctx ->
+         let me = Mpi_sim.rank ctx in
+         match Mpi_sim.gather ctx ~root: 0 (floats [| float_of_int me |]) with
+         | Some parts ->
+             collected :=
+               List.map
+                 (function Mpi_sim.Floats x -> x.(0) | _ -> nan)
+                 parts
+         | None -> ()));
+  check (Alcotest.list float_c) "gathered" [ 0.; 1.; 2. ] !collected
+
+let test_barrier_all_arrive () =
+  let after = ref 0 in
+  ignore
+    (Mpi_sim.run ~ranks: 6 (fun ctx ->
+         Mpi_sim.barrier ctx;
+         ignore ctx;
+         incr after));
+  check int_c "all passed barrier" 6 !after
+
+let test_deadlock_detection () =
+  (try
+     ignore
+       (Mpi_sim.run ~ranks: 2 (fun ctx ->
+            (* Both ranks wait for a message nobody sends. *)
+            ignore (Mpi_sim.recv ctx ~source: (1 - Mpi_sim.rank ctx) ~tag: 3)));
+     Alcotest.fail "expected deadlock"
+   with Mpi_sim.Deadlock _ -> ())
+
+let test_bad_peer () =
+  (try
+     ignore
+       (Mpi_sim.run ~ranks: 2 (fun ctx ->
+            Mpi_sim.send ctx ~dest: 5 ~tag: 0 (floats [| 1. |])));
+     Alcotest.fail "expected error"
+   with Mpi_sim.Mpi_error _ -> ())
+
+let test_traffic_accounting () =
+  let comm =
+    Mpi_sim.run ~ranks: 2 (fun ctx ->
+        if Mpi_sim.rank ctx = 0 then begin
+          Mpi_sim.send ctx ~dest: 1 ~tag: 0 ~bytes: 400 (floats (Array.make 100 0.));
+          Mpi_sim.send ctx ~dest: 1 ~tag: 0 ~bytes: 400 (floats (Array.make 100 0.))
+        end
+        else begin
+          ignore (Mpi_sim.recv ctx ~source: 0 ~tag: 0);
+          ignore (Mpi_sim.recv ctx ~source: 0 ~tag: 0)
+        end)
+  in
+  check int_c "messages" 2 (Mpi_sim.total_messages comm);
+  check int_c "bytes" 800 (Mpi_sim.total_bytes comm);
+  check int_c "rank1 sent nothing" 0 (Mpi_sim.rank_stats comm 1).Mpi_sim.messages
+
+let test_determinism () =
+  (* Two identical runs must interleave identically; we check via a trace of
+     receive completions. *)
+  let trace () =
+    let log = ref [] in
+    ignore
+      (Mpi_sim.run ~ranks: 3 (fun ctx ->
+           let me = Mpi_sim.rank ctx in
+           let peer = (me + 1) mod 3 in
+           let from = (me + 2) mod 3 in
+           Mpi_sim.send ctx ~dest: peer ~tag: 0 (floats [| float_of_int me |]);
+           match Mpi_sim.recv ctx ~source: from ~tag: 0 with
+           | Mpi_sim.Floats x -> log := (me, x.(0)) :: !log
+           | _ -> ()));
+    !log
+  in
+  let t1 = trace () and t2 = trace () in
+  Alcotest.check Alcotest.bool "deterministic schedule" true (t1 = t2)
+
+let suite =
+  [
+    Alcotest.test_case "send/recv" `Quick test_send_recv;
+    Alcotest.test_case "recv posted before send" `Quick test_recv_before_send;
+    Alcotest.test_case "tag matching" `Quick test_tag_matching;
+    Alcotest.test_case "fifo order per channel" `Quick test_fifo_order;
+    Alcotest.test_case "isend/irecv/waitall" `Quick test_isend_irecv_waitall;
+    Alcotest.test_case "test + wait" `Quick test_test_progress;
+    Alcotest.test_case "bcast" `Quick test_bcast;
+    Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
+    Alcotest.test_case "allreduce max" `Quick test_allreduce_max;
+    Alcotest.test_case "gather" `Quick test_gather;
+    Alcotest.test_case "barrier" `Quick test_barrier_all_arrive;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "bad peer" `Quick test_bad_peer;
+    Alcotest.test_case "traffic accounting" `Quick test_traffic_accounting;
+    Alcotest.test_case "deterministic scheduling" `Quick test_determinism;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the communication/computation-overlap extension: interior/
+   boundary splitting geometry, the structural rewrite, and end-to-end
+   distributed equivalence of the overlapped program at the stencil+dmp and
+   fully lowered stages. *)
+
+open Ir
+open Core
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+(* --- geometry --- *)
+
+let test_interior_box () =
+  let inner =
+    Overlap.interior_box ~halo: [| (-1, 1); (-2, 2) |] ([ 0; 0 ], [ 8; 10 ])
+  in
+  check (Alcotest.pair (Alcotest.list int_c) (Alcotest.list int_c))
+    "interior shrinks by halo" ([ 1; 2 ], [ 7; 8 ]) inner
+
+let box_points (lb, ub) =
+  List.fold_left2 (fun acc l u -> acc * max 0 (u - l)) 1 lb ub
+
+let test_boundary_cover () =
+  let outer = ([ 0; 0 ], [ 8; 10 ]) in
+  let inner = ([ 1; 2 ], [ 7; 8 ]) in
+  let frags = Overlap.boundary_fragments ~outer ~inner in
+  (* Disjoint cover: points sum to outer minus inner. *)
+  let total = List.fold_left (fun acc b -> acc + box_points b) 0 frags in
+  check int_c "covers outer minus inner" (80 - 36) total;
+  (* Pairwise disjoint. *)
+  let cells = Hashtbl.create 64 in
+  List.iter
+    (fun (lb, ub) ->
+      for i = List.nth lb 0 to List.nth ub 0 - 1 do
+        for j = List.nth lb 1 to List.nth ub 1 - 1 do
+          check bool_c "cell covered once" false (Hashtbl.mem cells (i, j));
+          Hashtbl.add cells (i, j) ()
+        done
+      done)
+    frags;
+  (* No fragment overlaps the interior. *)
+  Hashtbl.iter
+    (fun (i, j) () ->
+      check bool_c "outside interior" false
+        (i >= 1 && i < 7 && j >= 2 && j < 8))
+    cells
+
+let boundary_prop =
+  QCheck.Test.make ~count: 200
+    ~name: "boundary fragments partition outer minus inner"
+    QCheck.(
+      make
+        Gen.(
+          let* rank = int_range 1 3 in
+          let* dims = list_size (return rank) (int_range 3 9) in
+          let* halo = list_size (return rank) (int_range 0 2) in
+          return (dims, halo)))
+    (fun (dims, halo) ->
+      let outer = (List.map (fun _ -> 0) dims, dims) in
+      let halo_arr = Array.of_list (List.map (fun h -> (-h, h)) halo) in
+      let inner = Overlap.interior_box ~halo: halo_arr outer in
+      let frags = Overlap.boundary_fragments ~outer ~inner in
+      let inner_pts = if Overlap.box_empty inner then 0 else box_points inner in
+      let frag_pts = List.fold_left (fun acc b -> acc + box_points b) 0 frags in
+      frag_pts + inner_pts = box_points outer)
+
+(* --- structural rewrite --- *)
+
+let distributed_heat () =
+  Distribute.run
+    (Distribute.options ~ranks: 4 ~strategy: Decomposition.Slice2d ())
+    (Programs.heat2d_timeloop_module ~nx: 16 ~ny: 16 ~steps: 3)
+
+let test_overlap_structure () =
+  let m = Overlap.run (Swap_elim.run (distributed_heat ())) in
+  Verifier.verify ~checks: Registry.checks m;
+  check int_c "no fused swaps left" 0
+    (Transforms.Statistics.count m "dmp.swap");
+  check int_c "one begin" 1 (Transforms.Statistics.count m "dmp.swap_begin");
+  check int_c "one wait" 1 (Transforms.Statistics.count m "dmp.swap_wait");
+  (* 1 interior apply + 4 boundary slabs. *)
+  check int_c "interior + 4 slabs" 5
+    (Transforms.Statistics.count m "stencil.apply");
+  (* The interior apply sits between begin and wait. *)
+  let order = ref [] in
+  Op.walk
+    (fun o ->
+      if
+        List.mem o.Op.name
+          [ "dmp.swap_begin"; "dmp.swap_wait"; "stencil.apply" ]
+      then order := o.Op.name :: !order)
+    m;
+  (match List.rev !order with
+  | "dmp.swap_begin" :: "stencil.apply" :: "dmp.swap_wait" :: _ -> ()
+  | other ->
+      Alcotest.failf "unexpected op order: %s" (String.concat ", " other))
+
+let test_overlap_conservative () =
+  (* A block without the pattern is untouched. *)
+  let m = Programs.heat2d_module ~nx: 8 ~ny: 8 in
+  let m' = Overlap.run m in
+  check Alcotest.string "no change without swaps"
+    (Printer.module_to_string m)
+    (Printer.module_to_string m')
+
+(* --- end-to-end equivalence --- *)
+
+let rebase (b : Interp.Rtval.buffer) =
+  { b with Interp.Rtval.lo = List.map (fun _ -> 0) b.Interp.Rtval.lo }
+
+let run_overlapped ~lowered_stage () =
+  let nx = 16 and ny = 16 and steps = 4 and ranks = 4 in
+  let init i j = Float.cos (float_of_int ((2 * i) + (3 * j))) in
+  let m = Programs.heat2d_timeloop_module ~nx ~ny ~steps in
+  let serial =
+    match
+      Driver.Simulate.run_serial ~func: "run" m
+        [
+          Interp.Rtval.Rbuf (Programs.make_field_2d ~nx ~ny init);
+          Interp.Rtval.Rbuf (Programs.make_field_2d ~nx ~ny init);
+        ]
+    with
+    | [ Interp.Rtval.Rbuf latest; _ ] -> latest
+    | _ -> Alcotest.fail "expected buffers"
+  in
+  let dm =
+    Overlap.run
+      (Swap_elim.run
+         (Distribute.run
+            (Distribute.options ~ranks ~strategy: Decomposition.Slice2d ())
+            m))
+  in
+  let fop = Option.get (Op.lookup_symbol dm "run") in
+  let grid = Driver.Domain.topology_of fop in
+  let local_bounds = List.hd (Driver.Domain.field_arg_bounds fop) in
+  let lowered =
+    if lowered_stage then
+      Mpi_to_func.run
+        (Dmp_to_mpi.run
+           (Stencil_to_loops.run ~style: Stencil_to_loops.Sequential dm))
+    else dm
+  in
+  Verifier.verify ~checks: Registry.checks lowered;
+  let interior = List.map2 (fun n p -> n / p) [ nx; ny ] grid in
+  let origin =
+    List.map (fun (b : Typesys.bound) -> -b.Typesys.lo) local_bounds
+  in
+  let global = Programs.make_field_2d ~nx ~ny init in
+  let gathered = Programs.make_field_2d ~nx ~ny (fun _ _ -> nan) in
+  ignore
+    (Driver.Simulate.run_spmd ~ranks ~func: "run"
+       ~make_args: (fun ctx ->
+         let rank = Mpi_sim.rank ctx in
+         List.init 2 (fun _ ->
+             let b =
+               Driver.Domain.scatter_field ~global ~grid ~local_bounds ~rank
+             in
+             Interp.Rtval.Rbuf (if lowered_stage then rebase b else b)))
+       ~collect: (fun ctx _ results ->
+         match results with
+         | Interp.Rtval.Rbuf latest :: _ ->
+             Driver.Domain.gather_interior
+               ~origin: (if lowered_stage then origin else [ 0; 0 ])
+               ~global: gathered ~local: latest ~grid ~interior
+               ~rank: (Mpi_sim.rank ctx) ()
+         | _ -> Alcotest.fail "expected buffers")
+       lowered);
+  let worst = ref 0. in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      let s = Interp.Rtval.as_float (Interp.Rtval.get serial [ i; j ]) in
+      let d = Interp.Rtval.as_float (Interp.Rtval.get gathered [ i; j ]) in
+      worst := Float.max !worst (Float.abs (s -. d))
+    done
+  done;
+  check (Alcotest.float 1e-12)
+    (Printf.sprintf "overlapped == serial (%s)"
+       (if lowered_stage then "func-calls" else "stencil+dmp"))
+    0. !worst
+
+let test_overlap_matches_serial_stencil () = run_overlapped ~lowered_stage: false ()
+let test_overlap_matches_serial_lowered () = run_overlapped ~lowered_stage: true ()
+
+let suite =
+  [
+    Alcotest.test_case "interior box" `Quick test_interior_box;
+    Alcotest.test_case "boundary cover (2D)" `Quick test_boundary_cover;
+    QCheck_alcotest.to_alcotest boundary_prop;
+    Alcotest.test_case "overlap rewrite structure" `Quick
+      test_overlap_structure;
+    Alcotest.test_case "overlap is conservative" `Quick
+      test_overlap_conservative;
+    Alcotest.test_case "overlapped == serial (stencil+dmp)" `Quick
+      test_overlap_matches_serial_stencil;
+    Alcotest.test_case "overlapped == serial (func-calls)" `Quick
+      test_overlap_matches_serial_lowered;
+  ]

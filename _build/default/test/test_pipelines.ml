@@ -1,0 +1,269 @@
+(* Coverage of the named pipelines and additional cross-cutting properties:
+   every pipeline compiles + verifies + (where executable) runs the heat
+   program correctly; boundary conditions encoded with stencil.index and
+   scf.if survive all lowerings; qcheck properties for decomposition
+   partitioning. *)
+
+open Ir
+open Core
+
+let check = Alcotest.check
+let float_c = Alcotest.float 1e-6
+
+let rebase (b : Interp.Rtval.buffer) =
+  { b with Interp.Rtval.lo = List.map (fun _ -> 0) b.Interp.Rtval.lo }
+
+(* --- every named pipeline compiles and verifies --- *)
+
+let test_named_pipelines_compile () =
+  let m = Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 2 in
+  List.iter
+    (fun (name, pipeline) ->
+      let out = Pass.run_pipeline pipeline m in
+      try Verifier.verify ~checks: Registry.checks out
+      with Verifier.Verification_error msg ->
+        Alcotest.failf "pipeline %s: %s" name msg)
+    Pipeline.named_pipelines
+
+(* The shared-memory pipelines all compute the same answer. *)
+let test_executable_pipelines_agree () =
+  let m = Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 3 in
+  let init i j = Float.sin (float_of_int ((2 * i) + j)) in
+  let reference = ref None in
+  List.iter
+    (fun target ->
+      let compiled = Pipeline.compile target m in
+      let a = rebase (Programs.make_field_2d ~nx: 8 ~ny: 8 init) in
+      let b = rebase (Programs.make_field_2d ~nx: 8 ~ny: 8 init) in
+      ignore
+        (Driver.Simulate.run_serial ~func: "run" compiled
+           [ Interp.Rtval.Rbuf a; Interp.Rtval.Rbuf b ]);
+      match !reference with
+      | None -> reference := Some (a, b)
+      | Some (ra, rb) ->
+          check float_c
+            (Printf.sprintf "%s matches" (Pipeline.target_name target))
+            0.
+            (Float.max
+               (Driver.Simulate.max_abs_diff a ra)
+               (Driver.Simulate.max_abs_diff b rb)))
+    [
+      Pipeline.Cpu_sequential;
+      Pipeline.Cpu_openmp { tiles = [ 4; 4 ] };
+      Pipeline.Gpu { managed = false };
+      Pipeline.Gpu { managed = true };
+      Pipeline.Fpga { optimized = false };
+      Pipeline.Fpga { optimized = true };
+    ]
+
+(* --- boundary conditions via stencil.index + scf.if (paper §4.1: the
+   dialect can encode boundary conditions manually as conditionals) --- *)
+
+let bc_module ~n : Op.t =
+  let fty = Stencil.field_ty [ Typesys.bound (-1) (n + 1) ] Typesys.f64 in
+  let f =
+    Dialects.Func.define "bc" ~arg_tys: [ fty; fty ] ~res_tys: []
+      (fun bld args ->
+        match args with
+        | [ a; out ] ->
+            let t = Stencil.load_op bld a in
+            let res =
+              Stencil.apply_op bld ~inputs: [ t ]
+                ~out_bounds: [ Typesys.bound 0 n ] ~elt: Typesys.f64
+                ~n_results: 1 (fun ab targs ->
+                  match targs with
+                  | [ u ] ->
+                      (* Dirichlet edges: out[i] = 0 at i = 0 and n-1,
+                         interior gets the 3-point average. *)
+                      let idx = Stencil.index_op ab ~dim: 0 in
+                      let zero = Dialects.Arith.const_index ab 0 in
+                      let last = Dialects.Arith.const_index ab (n - 1) in
+                      let at_lo = Dialects.Arith.cmp_i ab Dialects.Arith.Eq idx zero in
+                      let at_hi = Dialects.Arith.cmp_i ab Dialects.Arith.Eq idx last in
+                      let on_edge =
+                        Dialects.Arith.binop ab Dialects.Arith.ori at_lo at_hi
+                      in
+                      let results =
+                        Dialects.Scf.if_op ab on_edge
+                          ~res_tys: [ Typesys.f64 ]
+                          ~then_: (fun b ->
+                            let z = Dialects.Arith.const_float b 0. in
+                            Dialects.Scf.yield_op b [ z ])
+                          ~else_: (fun b ->
+                            let l = Stencil.access_op b u [ -1 ] in
+                            let c = Stencil.access_op b u [ 0 ] in
+                            let r = Stencil.access_op b u [ 1 ] in
+                            let third = Dialects.Arith.const_float b (1. /. 3.) in
+                            let s = Dialects.Arith.add_f b l c in
+                            let s = Dialects.Arith.add_f b s r in
+                            let avg = Dialects.Arith.mul_f b s third in
+                            Dialects.Scf.yield_op b [ avg ])
+                      in
+                      Stencil.return_vals ab results
+                  | _ -> assert false)
+            in
+            Stencil.store_op bld (List.hd res) out ~lb: [ 0 ] ~ub: [ n ];
+            Dialects.Func.return_op bld []
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
+let test_boundary_conditions () =
+  let n = 10 in
+  let m = bc_module ~n in
+  Verifier.verify ~checks: Registry.checks m;
+  let mk () = Programs.make_field_1d ~n (fun i -> float_of_int (i + 2)) in
+  (* Stencil-level execution. *)
+  let a1 = mk () and o1 = mk () in
+  ignore
+    (Driver.Simulate.run_serial ~func: "bc" m
+       [ Interp.Rtval.Rbuf a1; Interp.Rtval.Rbuf o1 ]);
+  check float_c "left edge zero" 0.
+    (Interp.Rtval.as_float (Interp.Rtval.get o1 [ 0 ]));
+  check float_c "right edge zero" 0.
+    (Interp.Rtval.as_float (Interp.Rtval.get o1 [ n - 1 ]));
+  check float_c "interior average" 5.
+    (Interp.Rtval.as_float (Interp.Rtval.get o1 [ 3 ]));
+  (* And after the CPU lowering. *)
+  let lowered = Pipeline.compile Pipeline.Cpu_sequential m in
+  let a2 = rebase (mk ()) and o2 = rebase (mk ()) in
+  ignore
+    (Driver.Simulate.run_serial ~func: "bc" lowered
+       [ Interp.Rtval.Rbuf a2; Interp.Rtval.Rbuf o2 ]);
+  check float_c "lowered agrees" 0. (Driver.Simulate.max_abs_diff o1 o2)
+
+(* --- qcheck: decomposition partitions the domain exactly --- *)
+
+let partition_prop =
+  QCheck.Test.make ~count: 100
+    ~name: "rank interiors partition the global domain"
+    QCheck.(
+      make
+        Gen.(
+          let* ranks = oneofl [ 2; 4; 8; 16 ] in
+          let* strategy = oneofl [ 0; 1; 2 ] in
+          let* mult = int_range 1 4 in
+          return (ranks, strategy, mult)))
+    (fun (ranks, strategy_i, mult) ->
+      let strategy =
+        match strategy_i with
+        | 0 -> Decomposition.Slice1d
+        | 1 -> Decomposition.Slice2d
+        | _ -> Decomposition.Slice3d
+      in
+      let rank = 3 in
+      let grid = Decomposition.grid_of strategy ~ranks ~rank in
+      let interior = List.map (fun g -> g * mult * 2) grid in
+      let local = Decomposition.local_interior ~interior ~grid in
+      (* Every global cell is owned by exactly one rank. *)
+      let counts = Hashtbl.create 64 in
+      let strides = Core.Dmp_to_mpi.grid_strides grid in
+      for r = 0 to ranks - 1 do
+        let coords = List.map2 (fun g s -> r / s mod g) grid strides in
+        let offset = List.map2 (fun c n -> c * n) coords local in
+        let rec iter dims acc =
+          match dims with
+          | [] ->
+              let key = List.rev acc in
+              Hashtbl.replace counts key
+                (1 + try Hashtbl.find counts key with Not_found -> 0)
+          | n :: rest ->
+              for i = 0 to n - 1 do
+                iter rest ((i :: acc) : int list)
+              done
+        in
+        let rec iter_local dims off acc =
+          match (dims, off) with
+          | [], [] ->
+              let key = List.rev acc in
+              Hashtbl.replace counts key
+                (1 + try Hashtbl.find counts key with Not_found -> 0)
+          | n :: rest, o :: orest ->
+              for i = 0 to n - 1 do
+                iter_local rest orest ((o + i) :: acc)
+              done
+          | _ -> ()
+        in
+        ignore iter;
+        iter_local local offset []
+      done;
+      let total = List.fold_left ( * ) 1 interior in
+      Hashtbl.length counts = total
+      && Hashtbl.fold (fun _ c ok -> ok && c = 1) counts true)
+
+(* --- qcheck: every exchange's send region lies inside the interior and
+   its receive region inside the halo --- *)
+
+let exchange_regions_prop =
+  QCheck.Test.make ~count: 200 ~name: "exchange regions are well-placed"
+    QCheck.(
+      make
+        Gen.(
+          let* rank = int_range 1 3 in
+          let* interior = list_size (return rank) (int_range 4 16) in
+          let* radius = int_range 1 2 in
+          let* diag = bool in
+          return (interior, radius, diag)))
+    (fun (interior, radius, diag) ->
+      let rank = List.length interior in
+      let grid = List.map (fun _ -> 2) interior in
+      let halo = Array.make rank (-radius, radius) in
+      let mode =
+        if diag then Decomposition.Diagonals else Decomposition.Faces
+      in
+      let exs = Decomposition.exchanges ~mode ~interior ~halo ~grid () in
+      List.for_all
+        (fun (e : Typesys.exchange) ->
+          List.for_all2
+            (fun d n_d ->
+              let off = List.nth e.Typesys.ex_offset d in
+              let sz = List.nth e.Typesys.ex_size d in
+              let src = off + List.nth e.Typesys.ex_source_offset d in
+              (* receive region within [-radius, n+radius) *)
+              off >= -radius
+              && off + sz <= n_d + radius
+              (* send region within the interior [0, n) *)
+              && src >= 0
+              && src + sz <= n_d)
+            (List.init rank (fun d -> d))
+            interior)
+        exs)
+
+(* --- qcheck: textual round-trip of exchange attributes --- *)
+
+let exchange_attr_roundtrip_prop =
+  QCheck.Test.make ~count: 200 ~name: "exchange attr print/parse round-trip"
+    QCheck.(
+      make
+        Gen.(
+          let* rank = int_range 1 3 in
+          let v k = list_size (return rank) (int_range (-k) k) in
+          let* ex_offset = v 8 in
+          let* ex_size = list_size (return rank) (int_range 1 9) in
+          let* ex_source_offset = v 8 in
+          let* ex_neighbor = v 1 in
+          return
+            Typesys.{ ex_offset; ex_size; ex_source_offset; ex_neighbor }))
+    (fun e ->
+      let attr = Typesys.Exchange_attr e in
+      let op =
+        Op.make "test.op" ~attrs: [ ("x", attr) ]
+      in
+      let s = Printer.module_to_string (Op.module_op [ op ]) in
+      let m = Parser.parse_string s in
+      match Op.module_ops m with
+      | [ op' ] -> Op.attr op' "x" = Some attr
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "named pipelines compile+verify" `Quick
+      test_named_pipelines_compile;
+    Alcotest.test_case "executable pipelines agree" `Quick
+      test_executable_pipelines_agree;
+    Alcotest.test_case "boundary conditions via index+if" `Quick
+      test_boundary_conditions;
+    QCheck_alcotest.to_alcotest partition_prop;
+    QCheck_alcotest.to_alcotest exchange_regions_prop;
+    QCheck_alcotest.to_alcotest exchange_attr_roundtrip_prop;
+  ]
