@@ -4,7 +4,14 @@
 
    Run with: dune exec bench/main.exe
    (pass a section name — fig7 fig8 fig9 fig10 fig11 tab1 ablation
-   measured — to run just that section). *)
+   measured — to run just that section).
+
+   After each figure section the harness compiles that figure's
+   representative workload(s) through the shared pipelines under the Obs
+   sink and prints the per-pass time table, attributing compile cost the
+   same way the figures attribute runtime.  The "measured" section is
+   exempt: Bechamel times real compiles there, so instrumentation stays
+   off. *)
 
 let sections =
   [
@@ -17,6 +24,47 @@ let sections =
     ("ablation", Bench_ablation.run);
     ("measured", Bench_measured.run);
   ]
+
+(* Representative compile jobs per figure: the same workloads the section
+   models, taken through the shared pipeline that figure evaluates. *)
+let pass_table_jobs (section : string) :
+    (Core.Pipeline.target * Ir.Op.t) list =
+  let heat ~dims ~so = (Workloads.heat ~dims ~so).Workloads.module_ in
+  let wave ~dims ~so = (Workloads.wave ~dims ~so).Workloads.module_ in
+  let omp = Core.Pipeline.Cpu_openmp { tiles = [ 32; 32; 32 ] } in
+  let dist ~overlap =
+    Core.Pipeline.Distributed_cpu
+      {
+        ranks = 4;
+        strategy = Core.Decomposition.Slice2d;
+        tiles = [ 32; 32 ];
+        overlap;
+      }
+  in
+  match section with
+  | "fig7" -> [ (omp, heat ~dims: 2 ~so: 2); (omp, wave ~dims: 2 ~so: 4) ]
+  | "fig8" -> [ (dist ~overlap: false, heat ~dims: 3 ~so: 2) ]
+  | "fig9" -> [ (dist ~overlap: false, wave ~dims: 3 ~so: 4) ]
+  | "fig10" -> [ (omp, (Workloads.pw ()).Workloads.p_module) ]
+  | "fig11" -> [ (dist ~overlap: false, (Workloads.traadv ()).Workloads.p_module) ]
+  | "tab1" ->
+      [ (Core.Pipeline.Fpga { optimized = true }, (Workloads.pw ()).Workloads.p_module) ]
+  | "ablation" -> [ (dist ~overlap: true, heat ~dims: 2 ~so: 2) ]
+  | _ -> []
+
+let print_pass_table section =
+  match pass_table_jobs section with
+  | [] -> ()
+  | jobs ->
+      Obs.enable ();
+      List.iter
+        (fun (target, m) ->
+          ignore (Core.Pipeline.compile ~verify: false target m))
+        jobs;
+      Printf.printf "-- %s: shared-stack pass times --\n%!" section;
+      Format.printf "%a@?" Obs.Passes.pp_table ();
+      Obs.disable ();
+      print_newline ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -34,4 +82,8 @@ let () =
     "shared stencil compilation stack: evaluation reproduction\n\
      (absolute numbers come from first-order machine models; the paper's\n\
      claims are about shapes/ratios — see EXPERIMENTS.md)\n\n";
-  List.iter (fun (_, run) -> run ()) selected
+  List.iter
+    (fun (name, run) ->
+      run ();
+      print_pass_table name)
+    selected

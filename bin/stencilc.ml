@@ -75,8 +75,11 @@ let distribute_pass ~ranks ~strategy =
   Core.Distribute.pass (Core.Distribute.options ~ranks ~strategy ())
 
 let run_cmd input demo pipeline passes ranks strategy print_after verify
-    stats =
+    stats profile pass_stats trace_out =
   try
+    (* Any observability flag installs the Obs sink before the pipeline
+       runs; off otherwise, so plain compiles pay nothing. *)
+    if profile || pass_stats || trace_out <> None then Obs.enable ();
     let m =
       match demo with
       | Some name -> (
@@ -111,9 +114,17 @@ let run_cmd input demo pipeline passes ranks strategy print_after verify
       Format.printf "// op histogram:@.%a" Transforms.Statistics.pp_histogram
         result
     else Format.printf "%a" Ir.Printer.print_module result;
+    if profile || pass_stats then
+      Format.eprintf "%a" Obs.Passes.pp_table ();
+    if profile then Format.eprintf "%a" Obs.Trace.pp_summary ();
+    (match trace_out with
+    | Some path ->
+        Obs.Trace.write_chrome_json path;
+        Format.eprintf "// trace written to %s (load in Perfetto: https://ui.perfetto.dev)@." path
+    | None -> ());
     0
   with
-  | Failure msg | Ir.Op.Ill_formed msg ->
+  | Failure msg | Ir.Op.Ill_formed msg | Sys_error msg ->
       Format.eprintf "stencilc: %s@." msg;
       1
   | Ir.Parser.Parse_error msg ->
@@ -164,12 +175,38 @@ let verify_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc: "Print an op histogram instead of IR.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile the pipeline: print the per-pass stats table and a \
+           trace summary to stderr.")
+
+let pass_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "pass-stats" ]
+        ~doc:
+          "Print the per-pass stats table (wall/verify time, op-count and \
+           IR-size deltas, pattern applications) to stderr.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv: "FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the compilation (one span \
+           per pass) to $(docv); load it in Perfetto or chrome://tracing.")
+
 let cmd =
   let doc = "shared stencil compilation stack driver" in
   Cmd.v
     (Cmd.info "stencilc" ~doc)
     Term.(
       const run_cmd $ input_arg $ demo_arg $ pipeline_arg $ passes_arg
-      $ ranks_arg $ strategy_arg $ print_after_arg $ verify_arg $ stats_arg)
+      $ ranks_arg $ strategy_arg $ print_after_arg $ verify_arg $ stats_arg
+      $ profile_arg $ pass_stats_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,23 +4,87 @@
 
 open Ir
 
+(* Convert a recorded per-rank mpi_sim timeline into Obs trace events
+   (one Chrome "process" per rank, logical sequence numbers as
+   microsecond timestamps) so rank timelines land in the same exported
+   trace as the compiler's pass spans. *)
+let timeline_to_obs (comm : Mpi_sim.comm) : unit =
+  let ts_of seq = float_of_int seq *. 1e-6 in
+  List.iter
+    (fun (ev : Mpi_sim.timeline_event) ->
+      let pid = ev.Mpi_sim.ev_rank + 1 in
+      let ts = ts_of ev.Mpi_sim.seq in
+      let cat = "mpi" in
+      match ev.Mpi_sim.kind with
+      | Mpi_sim.Isend { dest; tag; bytes } ->
+          Obs.Trace.instant ~ts ~cat ~pid
+            ~args:
+              [
+                ("src", Obs.Int ev.Mpi_sim.ev_rank);
+                ("dst", Obs.Int dest);
+                ("tag", Obs.Int tag);
+                ("bytes", Obs.Int bytes);
+              ]
+            (Printf.sprintf "isend->%d" dest)
+      | Mpi_sim.Irecv { source; tag } ->
+          Obs.Trace.instant ~ts ~cat ~pid
+            ~args: [ ("src", Obs.Int source); ("tag", Obs.Int tag) ]
+            (Printf.sprintf "irecv<-%d" source)
+      | Mpi_sim.Recv_complete { source; tag; bytes } ->
+          Obs.Trace.instant ~ts ~cat ~pid
+            ~args:
+              [
+                ("src", Obs.Int source);
+                ("tag", Obs.Int tag);
+                ("bytes", Obs.Int bytes);
+              ]
+            (Printf.sprintf "recv<-%d" source)
+      | Mpi_sim.Wait_begin what ->
+          Obs.Trace.begin_span ~ts ~cat ~pid
+            ~args: [ ("what", Obs.Str what) ]
+            "wait"
+      | Mpi_sim.Wait_end -> Obs.Trace.end_span ~ts ~pid "wait"
+      | Mpi_sim.Waitall_begin n ->
+          Obs.Trace.begin_span ~ts ~cat ~pid
+            ~args: [ ("requests", Obs.Int n) ]
+            "waitall"
+      | Mpi_sim.Waitall_end -> Obs.Trace.end_span ~ts ~pid "waitall"
+      | Mpi_sim.Collective name ->
+          Obs.Trace.instant ~ts ~cat ~pid ("collective:" ^ name))
+    (Mpi_sim.timeline comm)
+
 (* Run [func] on [ranks] simulated ranks.  [make_args] builds each rank's
    argument list (typically scattered local fields); [collect] receives the
    rank context, its argument list and the function results once the rank
-   finishes.  Returns the communicator for traffic inspection. *)
-let run_spmd ~(ranks : int) ~(func : string)
+   finishes.  Returns the communicator for traffic inspection.
+
+   [trace] turns on the runtime's per-rank event timeline; [on_timeline]
+   (which implies [trace]) receives the communicator after the run, and
+   when the Obs sink is installed the timeline is also exported there. *)
+let run_spmd ?(trace = false) ?(on_timeline : (Mpi_sim.comm -> unit) option)
+    ~(ranks : int) ~(func : string)
     ~(make_args : Mpi_sim.rank_ctx -> Interp.Rtval.t list)
     ?(collect :
         (Mpi_sim.rank_ctx -> Interp.Rtval.t list -> Interp.Rtval.t list -> unit)
         option) (m : Op.t) : Mpi_sim.comm =
-  Mpi_sim.run ~ranks (fun ctx ->
-      let st = Runtime_link.create ctx in
-      let eng = Interp.Engine.create ~externs: (Runtime_link.externs_for st) m in
-      let args = make_args ctx in
-      let results = Interp.Engine.run eng func args in
-      match collect with
-      | Some f -> f ctx args results
-      | None -> ())
+  let trace = trace || on_timeline <> None in
+  let comm =
+    Mpi_sim.run ~trace ~ranks (fun ctx ->
+        let st = Runtime_link.create ctx in
+        let eng =
+          Interp.Engine.create ~externs: (Runtime_link.externs_for st) m
+        in
+        let args = make_args ctx in
+        let results = Interp.Engine.run eng func args in
+        match collect with
+        | Some f -> f ctx args results
+        | None -> ())
+  in
+  if trace then begin
+    (match on_timeline with Some f -> f comm | None -> ());
+    if Obs.Trace.enabled () then timeline_to_obs comm
+  end;
+  comm
 
 (* Serial execution (no MPI): interpret [func] with the given arguments. *)
 let run_serial ~(func : string) (m : Op.t) (args : Interp.Rtval.t list) :

@@ -5,6 +5,8 @@
 open Ir
 
 val run_spmd :
+  ?trace:bool ->
+  ?on_timeline:(Mpi_sim.comm -> unit) ->
   ranks:int ->
   func:string ->
   make_args:(Mpi_sim.rank_ctx -> Interp.Rtval.t list) ->
@@ -15,7 +17,18 @@ val run_spmd :
 (** Run [func] on [ranks] simulated ranks; [make_args] builds each rank's
     arguments (typically scattered local fields), [collect] receives the
     context, arguments and results when a rank finishes.  Returns the
-    communicator for traffic inspection. *)
+    communicator for traffic inspection.
+
+    [trace] records the runtime's deterministic per-rank event timeline;
+    the [on_timeline] hook (which implies [trace]) receives the
+    communicator once all ranks finish, and when the {!Obs} sink is
+    installed the timeline is additionally exported there as one Chrome
+    "process" per rank ({!timeline_to_obs}). *)
+
+val timeline_to_obs : Mpi_sim.comm -> unit
+(** Export a recorded timeline into the current Obs sink: pid = rank+1,
+    logical sequence numbers as timestamps, wait/waitall as spans and
+    messages as instants carrying src/dst/tag/bytes edges. *)
 
 val run_serial : func:string -> Op.t -> Interp.Rtval.t list -> Interp.Rtval.t list
 

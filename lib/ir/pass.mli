@@ -19,4 +19,8 @@ val run_pipeline :
   Op.t ->
   Op.t
 (** Run each pass in order.  [verify] re-checks the module after every pass;
-    [print_after] dumps the IR after every pass to stderr. *)
+    [print_after] dumps the IR after every pass through {!Obs.Report},
+    labeled with the pass and pipeline names.  When the {!Obs} sink is
+    installed, every pass additionally records a trace span and an
+    {!Obs.pass_stat} (wall time, verifier time, op-count and IR-size
+    deltas, rewrite-pattern application counts). *)

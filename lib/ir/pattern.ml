@@ -38,9 +38,11 @@ let rewrite_block changed patterns (b : Op.block) : Op.block =
           | None -> try_patterns rest
           | Some Erase ->
               changed := true;
+              Obs.Patterns.note p.pname;
               ([], [])
           | Some (Replace (ops, mapping)) ->
               changed := true;
+              Obs.Patterns.note p.pname;
               (ops, mapping))
     in
     try_patterns patterns

@@ -11,6 +11,8 @@ type rewrite =
           uses; the pattern is responsible for that invariant. *)
 
 type pattern = { pname : string; apply : Op.t -> rewrite option }
+(** [pname] also labels the per-pattern application counters the greedy
+    driver feeds into {!Obs.Patterns} when the Obs sink is installed. *)
 
 val pattern : string -> (Op.t -> rewrite option) -> pattern
 

@@ -7,10 +7,13 @@
    collectives are built on top of point-to-point with a reserved tag, as in
    textbook MPI implementations.  The scheduler detects deadlock: if every
    live rank is blocked on an unsatisfiable condition the run aborts with
-   [Deadlock].
+   [Deadlock], naming each blocked rank's call (peer, tag) and — when
+   tracing is on — its last timeline event.
 
-   The runtime also keeps per-rank traffic counters (messages and bytes);
-   the benchmarks feed these measured volumes into the network model. *)
+   The runtime keeps per-rank traffic counters (messages and bytes); with
+   [~trace:true] it additionally records a deterministic per-rank event
+   timeline (isend/irecv/recv-complete/wait/waitall/collective) ordered by
+   a global sequence number, from which message-flow traces are dumped. *)
 
 type payload = Floats of float array | Ints of int array
 
@@ -33,11 +36,28 @@ type stats = {
   mutable collectives : int;
 }
 
+(* --- per-rank event timelines --- *)
+
+type event_kind =
+  | Isend of { dest : int; tag : int; bytes : int }
+  | Irecv of { source : int; tag : int }
+  | Recv_complete of { source : int; tag : int; bytes : int }
+  | Wait_begin of string
+  | Wait_end
+  | Waitall_begin of int
+  | Waitall_end
+  | Collective of string
+
+type timeline_event = { seq : int; ev_rank : int; kind : event_kind }
+
 type comm = {
   size : int;
   (* FIFO mailboxes keyed by (dst, src, tag). *)
   mailboxes : (int * int * int, payload Queue.t) Hashtbl.t;
   per_rank : stats array;
+  trace_on : bool;
+  mutable next_seq : int;
+  mutable rev_trace : timeline_event list;
 }
 
 type rank_ctx = { rank : int; comm : comm }
@@ -49,20 +69,36 @@ type request_kind =
 
 type request = { kind : request_kind; ctx : rank_ctx }
 
-(* Cooperative scheduling primitives. *)
+let tracing ctx = ctx.comm.trace_on
 
-type _ Effect.t += Block : (unit -> bool) -> unit Effect.t
+let record ctx kind =
+  if ctx.comm.trace_on then begin
+    let comm = ctx.comm in
+    let seq = comm.next_seq in
+    comm.next_seq <- seq + 1;
+    comm.rev_trace <- { seq; ev_rank = ctx.rank; kind } :: comm.rev_trace
+  end
 
-let block_until pred =
-  if pred () then () else Effect.perform (Block pred)
+(* Cooperative scheduling primitives.  A blocked fiber carries its rank and
+   a lazy description of what it is waiting for, so that deadlock reports
+   can name each stuck rank's call. *)
+
+type _ Effect.t +=
+  | Block : (unit -> bool) * int * (unit -> string) -> unit Effect.t
+
+let block_until ?(rank = -1) ?(info = fun () -> "blocked") pred =
+  if pred () then () else Effect.perform (Block (pred, rank, info))
 
 let collective_tag = -1
 
-let create_comm size =
+let create_comm ~trace size =
   {
     size;
     mailboxes = Hashtbl.create 64;
     per_rank = Array.init size (fun _ -> { messages = 0; bytes = 0; collectives = 0 });
+    trace_on = trace;
+    next_seq = 0;
+    rev_trace = [];
   }
 
 let mailbox comm key =
@@ -81,16 +117,28 @@ let check_peer ctx peer what =
     error "rank %d: %s peer %d out of range [0, %d)" ctx.rank what peer
       ctx.comm.size
 
+let pp_tag fmt tag =
+  if tag = collective_tag then Format.pp_print_string fmt "collective"
+  else Format.fprintf fmt "tag=%d" tag
+
+let describe_request (r : request) =
+  match r.kind with
+  | Send_req -> "wait(send)"
+  | Null_req -> "wait(null)"
+  | Recv_req { source; tag; _ } ->
+      Format.asprintf "wait(irecv src=%d %a)" source pp_tag tag
+
 (* Eager send: the payload is copied into the destination mailbox and the
    operation completes immediately. *)
 let post_send ctx ~dest ~tag ?(bytes = -1) payload =
   check_peer ctx dest "send to";
   let q = mailbox ctx.comm (dest, ctx.rank, tag) in
   Queue.push (copy_payload payload) q;
+  let bytes = if bytes >= 0 then bytes else 8 * payload_elems payload in
   let s = ctx.comm.per_rank.(ctx.rank) in
   s.messages <- s.messages + 1;
-  s.bytes <-
-    s.bytes + if bytes >= 0 then bytes else 8 * payload_elems payload
+  s.bytes <- s.bytes + bytes;
+  record ctx (Isend { dest; tag; bytes })
 
 let isend ctx ~dest ~tag ?bytes payload =
   post_send ctx ~dest ~tag ?bytes payload;
@@ -102,6 +150,7 @@ let try_match ctx ~source ~tag =
 
 let irecv ctx ~source ~tag =
   check_peer ctx source "receive from";
+  record ctx (Irecv { source; tag });
   { kind = Recv_req { source; tag; data = None }; ctx }
 
 let request_complete (r : request) =
@@ -114,6 +163,13 @@ let request_complete (r : request) =
           match try_match r.ctx ~source: rr.source ~tag: rr.tag with
           | Some p ->
               rr.data <- Some p;
+              record r.ctx
+                (Recv_complete
+                   {
+                     source = rr.source;
+                     tag = rr.tag;
+                     bytes = 8 * payload_elems p;
+                   });
               true
           | None -> false))
 
@@ -122,14 +178,34 @@ let null_request ctx = { kind = Null_req; ctx }
 let test (r : request) = request_complete r
 
 let wait (r : request) : payload option =
-  block_until (fun () -> request_complete r);
+  if tracing r.ctx then record r.ctx (Wait_begin (describe_request r));
+  block_until ~rank: r.ctx.rank
+    ~info: (fun () -> describe_request r)
+    (fun () -> request_complete r);
+  if tracing r.ctx then record r.ctx Wait_end;
   match r.kind with
   | Recv_req rr -> rr.data
   | Send_req | Null_req -> None
 
 let waitall (rs : request list) : unit =
-  block_until (fun () -> List.for_all request_complete rs);
-  List.iter (fun r -> ignore (wait r)) rs
+  match rs with
+  | [] -> ()
+  | first :: _ ->
+      let ctx = first.ctx in
+      record ctx (Waitall_begin (List.length rs));
+      block_until ~rank: ctx.rank
+        ~info: (fun () ->
+          let pending =
+            List.filter (fun r -> not (request_complete r)) rs
+          in
+          Printf.sprintf "waitall(%d of %d pending%s)" (List.length pending)
+            (List.length rs)
+            (match pending with
+            | [] -> ""
+            | ps -> ": " ^ String.concat ", " (List.map describe_request ps)))
+        (fun () -> List.for_all request_complete rs);
+      record ctx Waitall_end;
+      List.iter (fun r -> ignore (wait r)) rs
 
 let send ctx ~dest ~tag ?bytes payload =
   ignore (isend ctx ~dest ~tag ?bytes payload)
@@ -143,12 +219,13 @@ let recv ctx ~source ~tag : payload =
 (* Collectives, built over point-to-point with the reserved tag.  FIFO
    matching per (dst, src, tag) keeps consecutive collectives ordered. *)
 
-let note_collective ctx =
+let note_collective ctx name =
   let s = ctx.comm.per_rank.(ctx.rank) in
-  s.collectives <- s.collectives + 1
+  s.collectives <- s.collectives + 1;
+  record ctx (Collective name)
 
 let bcast ctx ~root (payload : payload) : payload =
-  note_collective ctx;
+  note_collective ctx "bcast";
   if ctx.rank = root then begin
     for dest = 0 to ctx.comm.size - 1 do
       if dest <> root then send ctx ~dest ~tag: collective_tag payload
@@ -180,7 +257,7 @@ let combine op a b =
   | _ -> error "reduce: mixed payload kinds"
 
 let reduce ctx ~root op (payload : payload) : payload option =
-  note_collective ctx;
+  note_collective ctx "reduce";
   if ctx.rank = root then begin
     let acc = ref (copy_payload payload) in
     for source = 0 to ctx.comm.size - 1 do
@@ -200,7 +277,7 @@ let allreduce ctx op (payload : payload) : payload =
   | None -> bcast ctx ~root: 0 payload
 
 let gather ctx ~root (payload : payload) : payload list option =
-  note_collective ctx;
+  note_collective ctx "gather";
   if ctx.rank = root then begin
     let parts =
       List.init ctx.comm.size (fun source ->
@@ -215,15 +292,54 @@ let gather ctx ~root (payload : payload) : payload list option =
   end
 
 let barrier ctx =
+  note_collective ctx "barrier";
   ignore (allreduce ctx `Sum (Ints [| 0 |]))
+
+(* --- timeline accessors --- *)
+
+let timeline comm = List.rev comm.rev_trace
+
+let rank_timeline comm r =
+  List.filter (fun ev -> ev.ev_rank = r) (timeline comm)
+
+let edge_bytes comm =
+  List.fold_left
+    (fun acc (ev : timeline_event) ->
+      match ev.kind with Isend { bytes; _ } -> acc + bytes | _ -> acc)
+    0 (timeline comm)
+
+let pp_event fmt (ev : timeline_event) =
+  let k fmt = Format.fprintf fmt in
+  Format.fprintf fmt "[%4d] rank %d: " ev.seq ev.ev_rank;
+  match ev.kind with
+  | Isend { dest; tag; bytes } ->
+      k fmt "isend -> %d %a bytes=%d" dest pp_tag tag bytes
+  | Irecv { source; tag } -> k fmt "irecv <- %d %a" source pp_tag tag
+  | Recv_complete { source; tag; bytes } ->
+      k fmt "recv-complete <- %d %a bytes=%d" source pp_tag tag bytes
+  | Wait_begin what -> k fmt "wait-begin %s" what
+  | Wait_end -> k fmt "wait-end"
+  | Waitall_begin n -> k fmt "waitall-begin (%d request(s))" n
+  | Waitall_end -> k fmt "waitall-end"
+  | Collective name -> k fmt "collective %s" name
+
+let pp_timeline fmt comm =
+  List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) (timeline comm)
+
+let last_event_of comm r =
+  (* rev_trace is newest-first. *)
+  List.find_opt (fun ev -> ev.ev_rank = r) comm.rev_trace
 
 (* The scheduler. *)
 
-let run ~ranks (body : rank_ctx -> unit) : comm =
+let run ?(trace = false) ~ranks (body : rank_ctx -> unit) : comm =
   if ranks <= 0 then invalid_arg "Mpi_sim.run: ranks must be positive";
-  let comm = create_comm ranks in
+  let comm = create_comm ~trace ranks in
   let runnable : (unit -> unit) Queue.t = Queue.create () in
-  let blocked : ((unit -> bool) * (unit -> unit)) list ref = ref [] in
+  let blocked :
+      ((unit -> bool) * int * (unit -> string) * (unit -> unit)) list ref =
+    ref []
+  in
   let failure : exn option ref = ref None in
   let open Effect.Deep in
   let make_fiber r () =
@@ -236,16 +352,25 @@ let run ~ranks (body : rank_ctx -> unit) : comm =
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
-            | Block pred ->
+            | Block (pred, rank, info) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    blocked := (pred, fun () -> continue k ()) :: !blocked)
+                    blocked :=
+                      (pred, rank, info, fun () -> continue k ()) :: !blocked)
             | _ -> None);
       }
   in
   for r = 0 to ranks - 1 do
     Queue.push (make_fiber r) runnable
   done;
+  let describe_blocked (_, rank, info, _) =
+    let last =
+      match if trace then last_event_of comm rank else None with
+      | Some ev -> Format.asprintf " (last event %a)" pp_event ev
+      | None -> ""
+    in
+    Printf.sprintf "  rank %d blocked in %s%s" rank (info ()) last
+  in
   let rec loop () =
     if !failure <> None then ()
     else if not (Queue.is_empty runnable) then begin
@@ -256,17 +381,24 @@ let run ~ranks (body : rank_ctx -> unit) : comm =
     else if !blocked <> [] then begin
       (* Wake every fiber whose condition is now satisfied. *)
       let ready, still =
-        List.partition (fun (pred, _) -> pred ()) !blocked
+        List.partition (fun (pred, _, _, _) -> pred ()) !blocked
       in
-      if ready = [] then
+      if ready = [] then begin
+        let by_rank =
+          List.sort
+            (fun (_, a, _, _) (_, b, _, _) -> compare (a : int) b)
+            still
+        in
         raise
           (Deadlock
-             (Printf.sprintf "%d rank(s) blocked with no runnable fiber"
-                (List.length still)))
+             (Printf.sprintf "%d rank(s) blocked with no runnable fiber:\n%s"
+                (List.length still)
+                (String.concat "\n" (List.map describe_blocked by_rank))))
+      end
       else begin
         blocked := still;
         (* Preserve rough rank order for determinism. *)
-        List.iter (fun (_, k) -> Queue.push k runnable) (List.rev ready);
+        List.iter (fun (_, _, _, k) -> Queue.push k runnable) (List.rev ready);
         loop ()
       end
     end

@@ -13,7 +13,10 @@ val payload_elems : payload -> int
 val copy_payload : payload -> payload
 
 exception Deadlock of string
-(** Raised when every live rank is blocked on an unsatisfiable condition. *)
+(** Raised when every live rank is blocked on an unsatisfiable condition.
+    The message names each blocked rank's call (which MPI operation, which
+    peer and tag) and, when tracing is on, the rank's last timeline
+    event. *)
 
 exception Mpi_error of string
 
@@ -28,8 +31,11 @@ type request
 val rank : rank_ctx -> int
 val size : rank_ctx -> int
 
-val block_until : (unit -> bool) -> unit
-(** Cooperative wait primitive (exposed for runtime extensions). *)
+val block_until :
+  ?rank:int -> ?info:(unit -> string) -> (unit -> bool) -> unit
+(** Cooperative wait primitive (exposed for runtime extensions).  [rank]
+    and [info] describe the blocked state for deadlock reports; [info] is
+    only forced when a deadlock is being reported. *)
 
 val isend :
   rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> request
@@ -53,10 +59,44 @@ val allreduce : rank_ctx -> [ `Sum | `Max | `Min ] -> payload -> payload
 val gather : rank_ctx -> root:int -> payload -> payload list option
 val barrier : rank_ctx -> unit
 
-val run : ranks:int -> (rank_ctx -> unit) -> comm
+val run : ?trace:bool -> ranks:int -> (rank_ctx -> unit) -> comm
 (** Run an SPMD body on [ranks] fibers; returns the communicator for
     traffic inspection.  Deterministic: identical runs interleave
-    identically. *)
+    identically.  With [~trace:true] (default false) every rank records
+    its event timeline; identical runs produce identical timelines. *)
+
+(** {1 Per-rank event timelines}
+
+    Recorded only when [run ~trace:true]; ordered by a global sequence
+    number assigned in deterministic scheduler order. *)
+
+type event_kind =
+  | Isend of { dest : int; tag : int; bytes : int }
+      (** One posted message edge; [bytes] is the accounted size, so the
+          timeline's edge byte total equals {!total_bytes}. *)
+  | Irecv of { source : int; tag : int }
+  | Recv_complete of { source : int; tag : int; bytes : int }
+  | Wait_begin of string  (** description of the awaited request *)
+  | Wait_end
+  | Waitall_begin of int  (** number of requests awaited *)
+  | Waitall_end
+  | Collective of string  (** bcast / reduce / gather / barrier *)
+
+type timeline_event = { seq : int; ev_rank : int; kind : event_kind }
+
+val timeline : comm -> timeline_event list
+(** All events in sequence order (empty when tracing was off). *)
+
+val rank_timeline : comm -> int -> timeline_event list
+
+val edge_bytes : comm -> int
+(** Sum of [Isend] edge bytes over the timeline; equals {!total_bytes}
+    when tracing was on. *)
+
+val pp_event : Format.formatter -> timeline_event -> unit
+
+val pp_timeline : Format.formatter -> comm -> unit
+(** Human-readable message-flow trace, one event per line. *)
 
 (** {1 Traffic accounting} *)
 

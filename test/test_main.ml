@@ -14,4 +14,5 @@ let () =
       ("overlap", Test_overlap.suite);
       ("extras", Test_extras.suite);
       ("shared_stack", Test_shared_stack.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -169,7 +169,19 @@ let test_deadlock_detection () =
             (* Both ranks wait for a message nobody sends. *)
             ignore (Mpi_sim.recv ctx ~source: (1 - Mpi_sim.rank ctx) ~tag: 3)));
      Alcotest.fail "expected deadlock"
-   with Mpi_sim.Deadlock _ -> ())
+   with Mpi_sim.Deadlock msg ->
+     (* The report names every stuck rank and what it is blocked on. *)
+     let contains needle =
+       let ln = String.length needle and lm = String.length msg in
+       let rec scan i =
+         i + ln <= lm && (String.sub msg i ln = needle || scan (i + 1))
+       in
+       if not (scan 0) then
+         Alcotest.failf "deadlock report %S lacks %S" msg needle
+     in
+     contains "rank 0";
+     contains "rank 1";
+     contains "irecv")
 
 let test_bad_peer () =
   (try
