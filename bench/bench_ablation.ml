@@ -7,7 +7,10 @@
    - decomposition strategies: surface volume and message count of
      1D/2D/3D slicing for the same rank count;
    - tiled CPU lowering: loop-structure difference of the contributed
-     tiling pipeline (ops and parallel regions). *)
+     tiling pipeline (ops and parallel regions);
+   - rewrite driver: wall time and pattern applications of the worklist
+     greedy driver vs the legacy whole-module sweep driver on the fig7
+     and fig10 compile pipelines (written to BENCH_rewrite.json). *)
 
 open Ir
 
@@ -164,6 +167,94 @@ let overlap () =
       Printf.printf "    overlap=%-5b step %.2e s\n" ov t)
     [ false; true ]
 
+(* A/B the two greedy-rewrite drivers on whole compile pipelines.  Both
+   run the same patterns through the same Rewriter workspace; only the
+   scheduling differs (worklist re-enqueues users of changed values, the
+   sweep re-scans the whole module until a fixpoint).  Timing runs keep
+   Obs off so neither driver pays instrumentation cost; a separate
+   counted run per configuration collects pattern applications. *)
+let rewrite_driver () =
+  Printf.printf
+    " -- rewrite drivers on compile pipelines (best of %d, warm):\n" 5;
+  let pipelines =
+    [
+      ( "fig7-heat2d-so2-openmp",
+        Core.Pipeline.Cpu_openmp { tiles = [ 32; 32 ] },
+        (Workloads.heat ~dims: 2 ~so: 2).Workloads.module_ );
+      ( "fig10-traadv-distributed-4",
+        Core.Pipeline.Distributed_cpu
+          {
+            ranks = 4;
+            strategy = Core.Decomposition.Slice2d;
+            tiles = [ 16; 16; 16 ];
+            overlap = false;
+          },
+        (Workloads.traadv ()).Workloads.p_module );
+      ( "fig10-pw-distributed-4",
+        Core.Pipeline.Distributed_cpu
+          {
+            ranks = 4;
+            strategy = Core.Decomposition.Slice2d;
+            tiles = [ 16; 16; 8 ];
+            overlap = true;
+          },
+        (Workloads.pw ()).Workloads.p_module );
+    ]
+  in
+  let time_compile target m =
+    ignore (Core.Pipeline.compile ~verify: false target m);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Pipeline.compile ~verify: false target m);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let count_pattern_apps target m =
+    Obs.enable ();
+    Obs.Rewrites.clear ();
+    ignore (Core.Pipeline.compile ~verify: false target m);
+    let apps =
+      List.fold_left
+        (fun acc (s : Obs.rewrite_stat) -> acc + s.Obs.rw_applied)
+        0 (Obs.Rewrites.stats ())
+    in
+    Obs.disable ();
+    apps
+  in
+  let entries =
+    List.concat_map
+      (fun (label, target, m) ->
+        List.map
+          (fun driver ->
+            Ir.Rewriter.set_default_driver driver;
+            let wall = time_compile target m in
+            let apps = count_pattern_apps target m in
+            let dname = Ir.Rewriter.driver_to_string driver in
+            Printf.printf "    %-26s %-9s %9.1f us, %4d pattern apps\n"
+              label dname (wall *. 1e6) apps;
+            (label, dname, wall, apps))
+          [ Ir.Rewriter.Sweep; Ir.Rewriter.Worklist ])
+      pipelines
+  in
+  Ir.Rewriter.set_default_driver Ir.Rewriter.Worklist;
+  let oc = open_out "BENCH_rewrite.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"rewrite_driver\",\n  \"entries\": [\n";
+  List.iteri
+    (fun i (label, dname, wall, apps) ->
+      Printf.fprintf oc
+        "    {\"pipeline\": %S, \"driver\": %S, \"wall_s\": %.9f, \
+         \"pattern_apps\": %d}%s\n"
+        label dname wall apps
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "    (machine-readable copy: BENCH_rewrite.json)\n"
+
 let run () =
   Printf.printf "== Ablations ==\n";
   halo_inference ();
@@ -173,4 +264,5 @@ let run () =
   tiling ();
   overlap_structure ();
   overlap ();
+  rewrite_driver ();
   print_newline ()

@@ -74,9 +74,15 @@ let distribute_pass ~ranks ~strategy =
   in
   Core.Distribute.pass (Core.Distribute.options ~ranks ~strategy ())
 
-let run_cmd input demo pipeline passes ranks strategy print_after verify
-    stats profile pass_stats trace_out =
+let run_cmd input demo pipeline passes ranks strategy rewrite_driver
+    print_after verify stats profile pass_stats trace_out =
   try
+    (match Ir.Rewriter.driver_of_string rewrite_driver with
+    | Some d -> Ir.Rewriter.set_default_driver d
+    | None ->
+        failwith
+          ("unknown rewrite driver: " ^ rewrite_driver
+         ^ " (expected worklist or sweep)"));
     (* Any observability flag installs the Obs sink before the pipeline
        runs; off otherwise, so plain compiles pay nothing. *)
     if profile || pass_stats || trace_out <> None then Obs.enable ();
@@ -114,8 +120,10 @@ let run_cmd input demo pipeline passes ranks strategy print_after verify
       Format.printf "// op histogram:@.%a" Transforms.Statistics.pp_histogram
         result
     else Format.printf "%a" Ir.Printer.print_module result;
-    if profile || pass_stats then
+    if profile || pass_stats then begin
       Format.eprintf "%a" Obs.Passes.pp_table ();
+      Format.eprintf "%a" Obs.Rewrites.pp_table ()
+    end;
     if profile then Format.eprintf "%a" Obs.Trace.pp_summary ();
     (match trace_out with
     | Some path ->
@@ -166,6 +174,16 @@ let strategy_arg =
     value & opt string "2d"
     & info [ "strategy" ] ~doc: "Decomposition strategy: 1d, 2d, 3d.")
 
+let rewrite_driver_arg =
+  Arg.(
+    value
+    & opt string "worklist"
+    & info [ "rewrite-driver" ] ~docv: "DRIVER"
+        ~doc:
+          "Greedy rewrite driver for pattern passes: worklist (default, \
+           re-enqueues only users of changed values) or sweep (legacy \
+           whole-module sweeps, for A/B comparison).")
+
 let print_after_arg =
   Arg.(value & flag & info [ "print-after-all" ] ~doc: "Dump IR after each pass.")
 
@@ -206,7 +224,8 @@ let cmd =
     (Cmd.info "stencilc" ~doc)
     Term.(
       const run_cmd $ input_arg $ demo_arg $ pipeline_arg $ passes_arg
-      $ ranks_arg $ strategy_arg $ print_after_arg $ verify_arg $ stats_arg
-      $ profile_arg $ pass_stats_arg $ trace_out_arg)
+      $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
+      $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
+      $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -230,59 +230,54 @@ let emit_swap_complete bld (op : Op.t) (posted : posted list) : unit =
 let lower_swap bld (op : Op.t) =
   emit_swap_complete bld op (emit_swap_begin bld op)
 
-let rec lower_block (b : Op.block) : Op.block =
-  let bld = Builder.create () in
-  (* Split-phase swaps: requests posted at swap_begin are completed at the
-     matching swap_wait; the posted state is keyed by the begin's first
-    request result. *)
+(* The lowering runs as three patterns on the shared Rewriter core.  The
+   split-phase state (requests posted at swap_begin, completed at the
+   matching swap_wait) is keyed by the begin's first replacement request
+   value in a table the pattern closures share per [run].  The begin's
+   rewrite remaps the wait's request operands, which is what re-enqueues
+   (or, under the sweep driver, re-visits) the wait; a wait whose operand
+   is not yet a lowered request simply does not match yet. *)
+let patterns () =
   let pending : (int, posted list) Hashtbl.t = Hashtbl.create 4 in
-  let subst = ref Value.Map.empty in
-  List.iter
-    (fun (op : Op.t) ->
-      let op = Op.substitute !subst op in
-      if op.Op.name = Dmp.swap then lower_swap bld op
-      else if op.Op.name = Dmp.swap_begin then begin
+  let swap =
+    Rewriter.pattern ~roots: [ Dmp.swap ] "lower-dmp-swap" (fun _ op ->
+        let bld = Builder.create () in
+        lower_swap bld op;
+        Pattern.replace_with (Builder.ops bld) [])
+  in
+  let swap_begin =
+    Rewriter.pattern ~roots: [ Dmp.swap_begin ] "lower-dmp-swap-begin"
+      (fun _ op ->
+        let bld = Builder.create () in
         let posted = emit_swap_begin bld op in
         let new_reqs = List.concat_map (fun p -> p.p_reqs) posted in
-        List.iter2
-          (fun old_r new_r -> subst := Value.Map.add old_r new_r !subst)
-          op.Op.results new_reqs;
-        match new_reqs with
+        (match new_reqs with
         | first :: _ -> Hashtbl.replace pending (Value.id first) posted
-        | [] -> ()
-      end
-      else if op.Op.name = Dmp.swap_wait then begin
+        | [] -> ());
+        Pattern.replace_with (Builder.ops bld)
+          (List.combine op.Op.results new_reqs))
+  in
+  let swap_wait =
+    Rewriter.pattern ~roots: [ Dmp.swap_wait ] "lower-dmp-swap-wait"
+      (fun _ op ->
         match op.Op.operands with
         | _ :: first_req :: _ -> (
             match Hashtbl.find_opt pending (Value.id first_req) with
-            | Some posted -> emit_swap_complete bld op posted
-            | None ->
-                Op.ill_formed
-                  "dmp.swap_wait: no matching swap_begin in this block")
-        | _ -> Op.ill_formed "dmp.swap_wait: missing request operands"
-      end
-      else if op.Op.regions = [] then Builder.add bld op
-      else
-        Builder.add bld
-          {
-            op with
-            Op.regions =
-              List.map
-                (fun (r : Op.region) ->
-                  { Op.blocks = List.map lower_block r.Op.blocks })
-                op.Op.regions;
-          })
-    b.Op.ops;
-  { b with Op.ops = Builder.ops bld }
+            | Some posted ->
+                let bld = Builder.create () in
+                emit_swap_complete bld op posted;
+                Pattern.replace_with (Builder.ops bld) []
+            | None -> None (* the matching begin has not been lowered yet *))
+        | _ -> Op.ill_formed "dmp.swap_wait: missing request operands")
+  in
+  [ swap; swap_begin; swap_wait ]
 
 let run (m : Op.t) : Op.t =
-  {
-    m with
-    Op.regions =
-      List.map
-        (fun (r : Op.region) ->
-          { Op.blocks = List.map lower_block r.Op.blocks })
-        m.Op.regions;
-  }
+  let m' = Rewriter.run ~name: "convert-dmp-to-mpi" (patterns ()) m in
+  (* Every wait must have found its begin; a leftover one means the input
+     was ill-formed (e.g. a wait before its begin's requests exist). *)
+  if Op.exists (fun o -> o.Op.name = Dmp.swap_wait) m' then
+    Op.ill_formed "dmp.swap_wait: no matching swap_begin in this block";
+  m'
 
 let pass = Pass.make "convert-dmp-to-mpi" run

@@ -126,9 +126,12 @@ let emit_overlapped bld (seg : segment) ~(halo : (int * int) array) : unit =
   (* Boundary slabs. *)
   List.iter emit_box (boundary_fragments ~outer: (lb, ub) ~inner)
 
-(* Recognize a segment starting at op index [i] (a dmp.swap). *)
-let recognize (uses : (int, Op.t list) Hashtbl.t) (ops : Op.t array) (i : int)
-    : (segment * int) option =
+(* Recognize a segment starting at op index [i] (a dmp.swap).  [uses] is
+   the enclosing function indexed as a Rewriter workspace; its [src] ops
+   are the physical records of this tree, so identity checks against the
+   segment's ops work. *)
+let recognize (uses : Rewriter.Workspace.t) (ops : Op.t array) (i : int) :
+    (segment * int) option =
   let n = Array.length ops in
   let swaps = ref [] and loads = ref [] and stores = ref [] in
   let apply = ref None in
@@ -178,17 +181,22 @@ let recognize (uses : (int, Op.t list) Hashtbl.t) (ops : Op.t array) (i : int)
         let results_only_stored =
           List.for_all
             (fun r ->
-              match Hashtbl.find_opt uses (Value.id r) with
-              | Some us ->
-                  List.for_all (fun (u : Op.t) -> List.memq u stores) us
-              | None -> false)
+              match Rewriter.Workspace.users uses r with
+              | [] -> false
+              | us ->
+                  List.for_all
+                    (fun nid ->
+                      List.memq (Rewriter.Workspace.src uses nid) stores)
+                    us)
             apply.Op.results
         in
         let temps_only_applied =
           List.for_all
             (fun t ->
-              match Hashtbl.find_opt uses (Value.id t) with
-              | Some [ u ] -> u == apply
+              Rewriter.Workspace.use_count uses t = 1
+              &&
+              match Rewriter.Workspace.users uses t with
+              | [ nid ] -> Rewriter.Workspace.src uses nid == apply
               | _ -> false)
             temps
         in
@@ -248,7 +256,7 @@ let run (m : Op.t) : Op.t =
     (List.map
        (fun (top : Op.t) ->
          if top.Op.name = Dialects.Func.func && top.Op.regions <> [] then begin
-           let uses = Stencil_to_loops.collect_uses top in
+           let uses = Rewriter.Workspace.of_op top in
            {
              top with
              Op.regions =

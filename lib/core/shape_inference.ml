@@ -80,12 +80,17 @@ let check_store (store : Op.t) : unit =
       | None -> error "stencil.store operands must be stencil-typed")
     [ temp; field ]
 
+(* Traverses through the shared Rewriter workspace; applies are
+   materialized in full because halo extents walk their body. *)
 let run (m : Op.t) : Op.t =
-  Op.walk
-    (fun op ->
-      if op.Op.name = Stencil.apply then check_apply op
+  let ws = Rewriter.Workspace.of_op m in
+  List.iter
+    (fun nid ->
+      let op = Rewriter.Workspace.shallow ws nid in
+      if op.Op.name = Stencil.apply then
+        check_apply (Rewriter.Workspace.op ws nid)
       else if op.Op.name = Stencil.store then check_store op)
-    m;
+    (Rewriter.Workspace.post_order ws);
   m
 
 let pass = Pass.make "stencil-shape-inference" run

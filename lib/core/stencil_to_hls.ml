@@ -64,12 +64,8 @@ let run_optimized (m : Op.t) : Op.t =
       || not (Op.exists (fun o -> o.Op.name = Stencil.apply) fop)
     then fop
     else begin
-      let uses = Stencil_to_loops.collect_uses fop in
-      let use_count v =
-        match Hashtbl.find_opt uses (Value.id v) with
-        | Some l -> List.length l
-        | None -> 0
-      in
+      let uses = Rewriter.Workspace.of_op fop in
+      let use_count v = Rewriter.Workspace.use_count uses v in
       let env = { Stencil_to_loops.map = Hashtbl.create 32; vmap = Hashtbl.create 32 } in
       let stream_env : (int, stream_binding) Hashtbl.t = Hashtbl.create 16 in
       let pop_stream v =

@@ -237,29 +237,19 @@ let lower_apply_body bld (apply_op : Op.t) ~coords ~inputs ~emit_result =
   in
   lower_ops bld body.Op.ops
 
-(* Use counts of every value over a whole function, for store fusion. *)
-let collect_uses (fop : Op.t) : (int, Op.t list) Hashtbl.t =
-  let uses = Hashtbl.create 64 in
-  Op.walk
-    (fun o ->
-      List.iter
-        (fun v ->
-          let prev =
-            match Hashtbl.find_opt uses (Value.id v) with
-            | Some l -> l
-            | None -> []
-          in
-          Hashtbl.replace uses (Value.id v) (o :: prev))
-        o.Op.operands)
-    fop;
-  uses
-
 (* The store that solely consumes [v], if any: enables writing apply results
-   directly into their destination field instead of a temporary buffer. *)
-let sole_store uses v =
-  match Hashtbl.find_opt uses (Value.id v) with
-  | Some [ op ] when op.Op.name = Stencil.store -> Some op
-  | _ -> None
+   directly into their destination field instead of a temporary buffer.
+   [uses] is the function indexed as a Rewriter workspace; [src] preserves
+   the physical op record from the tree so the returned store can be
+   recognized by identity in [skipped_stores] during lowering. *)
+let sole_store (uses : Rewriter.Workspace.t) v =
+  if Rewriter.Workspace.use_count uses v <> 1 then None
+  else
+    match Rewriter.Workspace.users uses v with
+    | [ nid ] ->
+        let op = Rewriter.Workspace.src uses nid in
+        if op.Op.name = Stencil.store then Some op else None
+    | _ -> None
 
 let lower_apply env bld style uses (op : Op.t) ~skipped_stores =
   let inputs =
@@ -451,7 +441,8 @@ let rec lower_ops ?(on_return = fun _ -> ()) env style uses skipped_stores
 let lower_func style (fop : Op.t) : Op.t =
   if Func.is_declaration fop then fop
   else begin
-    let uses = collect_uses fop in
+    (* The shared workspace replaces the pass's private use-count walk. *)
+    let uses = Rewriter.Workspace.of_op fop in
     let env = { map = Hashtbl.create 64; vmap = Hashtbl.create 64 } in
     let arg_tys, res_tys = Func.signature_of fop in
     let body = Op.single_block (Func.body_exn fop) in

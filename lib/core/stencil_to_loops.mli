@@ -67,8 +67,10 @@ val lower_apply_body :
     stencil.index becomes the coordinate, scf.if conditionals are rebuilt,
     and each returned scalar is passed to [emit_result]. *)
 
-val collect_uses : Op.t -> (int, Op.t list) Hashtbl.t
-(** Use lists of every value in a function (store-fusion analysis). *)
+val sole_store : Rewriter.Workspace.t -> Value.t -> Op.t option
+(** The store that solely consumes a value, if any (store-fusion
+    analysis over the function's Rewriter workspace); the returned op is
+    the physical record from the source tree. *)
 
 val run : ?style:style -> Op.t -> Op.t
 val pass : ?style:style -> unit -> Pass.t

@@ -7,74 +7,49 @@
 
    Block arguments (e.g. time-loop iteration buffers) start dirty, so
    exchanges inside time loops are conservatively kept — which is exactly
-   the behaviour needed for buffer-swapping time iterations. *)
+   the behaviour needed for buffer-swapping time iterations.
+
+   Runs on the shared Rewriter workspace: redundant swaps are erased in
+   place instead of rebuilding every block. *)
 
 open Ir
+module W = Rewriter.Workspace
 
 module Int_set = Set.Make (Int)
 
-let rec elim_block (b : Op.block) : Op.block =
-  let clean = ref Int_set.empty in
-  let kept =
-    List.fold_left
-      (fun acc (op : Op.t) ->
+let run (m : Op.t) : Op.t =
+  let ws = W.of_op m in
+  let rec elim_block bid =
+    let clean = ref Int_set.empty in
+    List.iter
+      (fun nid ->
+        let op = W.shallow ws nid in
         match op.Op.name with
         | "dmp.swap" ->
             let buf = Value.id (Dmp.buffer_of op) in
-            if Int_set.mem buf !clean then acc
-            else begin
-              clean := Int_set.add buf !clean;
-              op :: acc
-            end
+            if Int_set.mem buf !clean then ignore (W.erase_op ws nid)
+            else clean := Int_set.add buf !clean
         | "stencil.store" ->
-            let field = Value.id (Op.operand_exn op 1) in
-            clean := Int_set.remove field !clean;
-            op :: acc
+            clean := Int_set.remove (Value.id (Op.operand_exn op 1)) !clean
         | "memref.store" | "memref.copy" ->
             (* After lowering, conservatively dirty the written memref. *)
-            (match op.Op.name with
-            | "memref.store" ->
-                clean := Int_set.remove (Value.id (Op.operand_exn op 1)) !clean
-            | _ ->
-                clean :=
-                  Int_set.remove (Value.id (Op.operand_exn op 1)) !clean);
-            op :: acc
+            clean := Int_set.remove (Value.id (Op.operand_exn op 1)) !clean
         | "stencil.apply" ->
             (* Value semantics: an apply reads temps and yields new temps;
                it can never write a field, so swap state survives it. *)
-            op :: acc
+            ()
         | _ ->
             (* Other ops with regions may store into captured or aliased
                buffers (e.g. time loops whose iteration arguments alias the
                operands), so clear the state conservatively and recurse. *)
-            let op =
-              if op.Op.regions = [] then op
-              else begin
-                clean := Int_set.empty;
-                {
-                  op with
-                  Op.regions =
-                    List.map
-                      (fun (r : Op.region) ->
-                        { Op.blocks = List.map elim_block r.Op.blocks })
-                      op.Op.regions;
-                }
-              end
-            in
-            op :: acc)
-      [] b.Op.ops
+            if W.has_regions ws nid then begin
+              clean := Int_set.empty;
+              List.iter (List.iter elim_block) (W.blocks ws nid)
+            end)
+      (W.block_ops ws bid)
   in
-  { b with Op.ops = List.rev kept }
-
-let run (m : Op.t) : Op.t =
-  {
-    m with
-    Op.regions =
-      List.map
-        (fun (r : Op.region) ->
-          { Op.blocks = List.map elim_block r.Op.blocks })
-        m.Op.regions;
-  }
+  List.iter (List.iter elim_block) (W.blocks ws (W.root ws));
+  W.to_op ws
 
 let count_swaps m = Transforms.Statistics.count m Dmp.swap
 

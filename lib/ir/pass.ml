@@ -7,8 +7,15 @@ type t = { name : string; run : Op.t -> Op.t }
 
 let make name run = { name; run }
 
+(* Pattern passes run through the shared Rewriter core, under whichever
+   driver is the session default (worklist unless overridden). *)
 let of_patterns name patterns =
-  { name; run = Pattern.run_on_module patterns }
+  {
+    name;
+    run =
+      (fun m ->
+        Rewriter.run ~name (List.map Rewriter.of_legacy patterns) m);
+  }
 
 type pipeline = { pipeline_name : string; passes : t list }
 

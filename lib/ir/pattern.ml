@@ -1,7 +1,16 @@
-(* Rewrite patterns and a greedy driver.  A pattern inspects one op and can
-   replace it with a list of new ops together with a mapping from the old
-   results to values produced by the replacement; the driver splices the new
-   ops in and substitutes subsequent uses.  Sweeps repeat until fixpoint. *)
+(* Rewrite patterns and the legacy greedy sweep driver.  A pattern inspects
+   one op and can replace it with a list of new ops together with a mapping
+   from the old results to values produced by the replacement; the driver
+   splices the new ops in and substitutes subsequent uses.  Sweeps repeat
+   until fixpoint.
+
+   New code should go through Rewriter (the indexed worklist core);
+   [run_on_module] is kept as the compatibility sweep implementation and as
+   the semantic baseline the Rewriter is property-tested against. *)
+
+let log_src = Logs.Src.create "ir.pattern" ~doc: "Legacy sweep rewrite driver"
+
+module Log = (val Logs.src_log log_src)
 
 type rewrite =
   | Replace of Op.t list * (Value.t * Value.t) list
@@ -16,7 +25,7 @@ let replace_with ops mapping = Some (Replace (ops, mapping))
 
 let max_sweeps = 100
 
-let rewrite_block changed patterns (b : Op.block) : Op.block =
+let rewrite_block changed last_pattern patterns (b : Op.block) : Op.block =
   let rec rewrite_op op =
     (* Bottom-up: rewrite nested regions first. *)
     let op =
@@ -38,10 +47,12 @@ let rewrite_block changed patterns (b : Op.block) : Op.block =
           | None -> try_patterns rest
           | Some Erase ->
               changed := true;
+              last_pattern := p.pname;
               Obs.Patterns.note p.pname;
               ([], [])
           | Some (Replace (ops, mapping)) ->
               changed := true;
+              last_pattern := p.pname;
               Obs.Patterns.note p.pname;
               (ops, mapping))
     in
@@ -64,8 +75,27 @@ let rewrite_block changed patterns (b : Op.block) : Op.block =
   rewrite_region_block b
 
 let run_on_module patterns (m : Op.t) : Op.t =
+  let last_pattern = ref "" in
   let rec sweep n m =
-    if n >= max_sweeps then m
+    if n >= max_sweeps then begin
+      (* A sweep at the cap still changed the module: the pattern set does
+         not converge.  Say so instead of returning quietly. *)
+      Log.warn (fun f ->
+          f
+            "legacy sweep driver hit max_sweeps (%d) without converging; \
+             last applied pattern: %s"
+            max_sweeps
+            (if !last_pattern = "" then "<none>" else !last_pattern));
+      Obs.Trace.instant ~cat: "rewrite"
+        ~args:
+          [
+            ("driver", Obs.Str "legacy-sweep");
+            ("budget", Obs.Int max_sweeps);
+            ("last_pattern", Obs.Str !last_pattern);
+          ]
+        "rewrite-non-convergence";
+      m
+    end
     else begin
       let changed = ref false in
       let m' =
@@ -75,7 +105,9 @@ let run_on_module patterns (m : Op.t) : Op.t =
             List.map
               (fun (r : Op.region) ->
                 { Op.blocks =
-                    List.map (rewrite_block changed patterns) r.Op.blocks;
+                    List.map
+                      (rewrite_block changed last_pattern patterns)
+                      r.Op.blocks;
                 })
               m.Op.regions;
         }

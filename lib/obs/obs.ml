@@ -46,12 +46,24 @@ type pass_stat = {
   pattern_apps : (string * int) list;
 }
 
+type rewrite_stat = {
+  rw_pass : string;
+  rw_driver : string;
+  rw_enqueued : int;
+  rw_processed : int;
+  rw_max_depth : int;
+  rw_applied : int;
+  rw_erased_dead : int;
+  rw_sweeps : int;
+}
+
 type sink = {
   t0 : float;
   mutable rev_events : event list;
   mutable n_events : int;
   mutable open_spans : int;
   mutable rev_pass_stats : pass_stat list;
+  mutable rev_rewrite_stats : rewrite_stat list;
   pattern_counts : (string, int) Hashtbl.t;
 }
 
@@ -68,6 +80,7 @@ let enable () =
         n_events = 0;
         open_spans = 0;
         rev_pass_stats = [];
+        rev_rewrite_stats = [];
         pattern_counts = Hashtbl.create 32;
       }
 
@@ -290,6 +303,35 @@ module Passes = struct
             st.pipeline st.pass_name (st.wall_s *. 1e3)
             (st.verify_s *. 1e3) st.ops_before st.ops_after
             st.ir_bytes_before st.ir_bytes_after apps)
+        sts
+    end
+end
+
+(* --- rewrite-driver counters (worklist/sweep, per pass run) --- *)
+
+module Rewrites = struct
+  let record st =
+    match !current with
+    | None -> ()
+    | Some s -> s.rev_rewrite_stats <- st :: s.rev_rewrite_stats
+
+  let stats () =
+    match !current with None -> [] | Some s -> List.rev s.rev_rewrite_stats
+
+  let clear () =
+    match !current with None -> () | Some s -> s.rev_rewrite_stats <- []
+
+  let pp_table fmt () =
+    let sts = stats () in
+    if sts <> [] then begin
+      Format.fprintf fmt "// %-32s %-8s %9s %9s %9s %8s %7s %6s@." "rewrite pass"
+        "driver" "enqueued" "processed" "max-depth" "applied" "erased"
+        "sweeps";
+      List.iter
+        (fun st ->
+          Format.fprintf fmt "// %-32s %-8s %9d %9d %9d %8d %7d %6d@."
+            st.rw_pass st.rw_driver st.rw_enqueued st.rw_processed
+            st.rw_max_depth st.rw_applied st.rw_erased_dead st.rw_sweeps)
         sts
     end
 end

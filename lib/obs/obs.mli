@@ -50,6 +50,17 @@ type pass_stat = {
       (** greedy-driver applications per named pattern during this pass *)
 }
 
+type rewrite_stat = {
+  rw_pass : string;  (** the rewrite-driver run's pass label *)
+  rw_driver : string;  (** "worklist" or "sweep" *)
+  rw_enqueued : int;  (** worklist pushes (0 under the sweep driver) *)
+  rw_processed : int;  (** ops popped / visited *)
+  rw_max_depth : int;  (** high-water worklist depth *)
+  rw_applied : int;  (** successful pattern applications *)
+  rw_erased_dead : int;  (** trivially-dead ops the driver erased itself *)
+  rw_sweeps : int;  (** full-module sweeps (sweep driver only) *)
+}
+
 (** Span tracing: begin/end spans, complete spans with explicit
     timestamps, instants and counters. *)
 module Trace : sig
@@ -121,6 +132,17 @@ module Passes : sig
   val pp_table : Format.formatter -> unit -> unit
   (** Render the recorded stats as an aligned table (nothing when no
       stats were recorded). *)
+end
+
+(** Per-run counters recorded by the {!Ir.Rewriter} drivers. *)
+module Rewrites : sig
+  val record : rewrite_stat -> unit
+  val stats : unit -> rewrite_stat list
+  val clear : unit -> unit
+
+  val pp_table : Format.formatter -> unit -> unit
+  (** Render the recorded driver counters as an aligned table (nothing
+      when none were recorded). *)
 end
 
 (** Rewrite-pattern application counters (fed by the greedy driver). *)

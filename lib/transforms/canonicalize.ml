@@ -1,5 +1,12 @@
 (* Canonicalization: constant folding and algebraic identities for the arith
-   dialect, as rewrite patterns run to fixpoint by the greedy driver. *)
+   dialect, as context-aware rewrite patterns on the shared Rewriter core.
+
+   Patterns look up each operand's defining constant through the rewriter
+   context's use-def index, so folding needs no per-block constant
+   environment: replacing an op re-enqueues its users, and a user whose
+   operands have just become constants folds when it is re-visited.  The
+   driver's [dead] predicate erases the constants (and other pure ops) that
+   folding strands, which replaces the old trailing DCE sweep. *)
 
 open Ir
 open Dialects
@@ -15,12 +22,6 @@ let const_float_op v ty =
   ( Op.make Arith.constant ~results: [ r ]
       ~attrs: [ ("value", Typesys.Float_attr (v, ty)) ],
     r )
-
-(* A pattern needs to see its operands' defining constants; the driver only
-   hands us single ops, so we fold pairs where *both* sides are constants by
-   looking at an environment the pass maintains: instead, we implement
-   folding as a dedicated pass that tracks constants per block, then re-use
-   the pattern driver for pure algebraic identities that need no context. *)
 
 let eval_int_binop name a b =
   match name with
@@ -54,164 +55,162 @@ let eval_cmp pred a b =
   | Gt -> a > b
   | Ge -> a >= b
 
-(* Constant propagation + folding over a block, tracking the defining
-   constant of every value in scope (constants from enclosing blocks are
-   visible in nested regions). *)
-
 type const_value = Cint of int | Cfloat of float
 
-let rec fold_block env (b : Op.block) : Op.block =
-  let env = ref env in
-  let subst = ref Value.Map.empty in
-  let rev_ops =
-    List.fold_left
-      (fun acc op ->
-        let op = Op.substitute !subst op in
-        let op =
-          if op.Op.regions = [] then op
-          else
-            {
-              op with
-              Op.regions =
-                List.map
-                  (fun (r : Op.region) ->
-                    { Op.blocks = List.map (fold_block !env) r.Op.blocks })
-                  op.Op.regions;
-            }
-        in
-        let lookup v = Value.Map.find_opt v !env in
-        let record_const r c = env := Value.Map.add r c !env in
-        (* Try to fold this op to a constant. *)
-        let folded =
-          match (op.Op.name, op.Op.operands, op.Op.results) with
-          | "arith.constant", _, [ r ] ->
-              (match Op.attr op "value" with
-              | Some (Typesys.Int_attr (v, _)) -> record_const r (Cint v)
-              | Some (Typesys.Float_attr (v, _)) -> record_const r (Cfloat v)
-              | _ -> ());
-              None
-          | name, [ a; b ], [ r ] when Arith.is_int_binop name -> (
-              match (lookup a, lookup b) with
-              | Some (Cint va), Some (Cint vb) -> (
-                  match eval_int_binop name va vb with
-                  | Some v ->
-                      let cop, nr = const_int_op v (Value.ty r) in
-                      Some (cop, r, nr, Cint v)
-                  | None -> None)
-              | _ -> None)
-          | name, [ a; b ], [ r ] when Arith.is_float_binop name -> (
-              match (lookup a, lookup b) with
-              | Some (Cfloat va), Some (Cfloat vb) -> (
-                  match eval_float_binop name va vb with
-                  | Some v ->
-                      let cop, nr = const_float_op v (Value.ty r) in
-                      Some (cop, r, nr, Cfloat v)
-                  | None -> None)
-              | _ -> None)
-          | "arith.negf", [ a ], [ r ] -> (
-              match lookup a with
-              | Some (Cfloat va) ->
-                  let cop, nr = const_float_op (-.va) (Value.ty r) in
-                  Some (cop, r, nr, Cfloat (-.va))
-              | _ -> None)
-          | "arith.cmpi", [ a; b ], [ r ] -> (
-              match (lookup a, lookup b) with
-              | Some (Cint va), Some (Cint vb) ->
-                  let pred =
-                    Arith.predicate_of_string
-                      (Op.string_attr_exn op "predicate")
-                  in
-                  let v = if eval_cmp pred va vb then 1 else 0 in
-                  let cop, nr = const_int_op v Typesys.i1 in
-                  Some (cop, r, nr, Cint v)
-              | _ -> None)
-          | "arith.index_cast", [ a ], [ r ] -> (
-              match lookup a with
-              | Some (Cint va) ->
-                  let cop, nr = const_int_op va (Value.ty r) in
-                  Some (cop, r, nr, Cint va)
-              | _ -> None)
-          | "arith.sitofp", [ a ], [ r ] -> (
-              match lookup a with
-              | Some (Cint va) ->
-                  let v = float_of_int va in
+(* The constant defining [v], if its defining op is an arith.constant. *)
+let const_of (ctx : Rewriter.ctx) v =
+  match ctx.Rewriter.def v with
+  | Some op when op.Op.name = Arith.constant -> (
+      match Op.attr op "value" with
+      | Some (Typesys.Int_attr (i, _)) -> Some (Cint i)
+      | Some (Typesys.Float_attr (f, _)) -> Some (Cfloat f)
+      | _ -> None)
+  | _ -> None
+
+let forward old_v new_v = Pattern.replace_with [] [ (old_v, new_v) ]
+
+let fold_int_binop =
+  Rewriter.pattern ~roots: Arith.int_binops "fold-int-binop"
+    (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a; b ], [ r ] -> (
+          match (const_of ctx a, const_of ctx b) with
+          | Some (Cint va), Some (Cint vb) -> (
+              match eval_int_binop op.Op.name va vb with
+              | Some v ->
+                  let cop, nr = const_int_op v (Value.ty r) in
+                  Pattern.replace_with [ cop ] [ (r, nr) ]
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
+
+let fold_float_binop =
+  Rewriter.pattern ~roots: Arith.float_binops "fold-float-binop"
+    (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a; b ], [ r ] -> (
+          match (const_of ctx a, const_of ctx b) with
+          | Some (Cfloat va), Some (Cfloat vb) -> (
+              match eval_float_binop op.Op.name va vb with
+              | Some v ->
                   let cop, nr = const_float_op v (Value.ty r) in
-                  Some (cop, r, nr, Cfloat v)
-              | _ -> None)
-          | _ -> None
-        in
-        match folded with
-        | Some (cop, old_r, new_r, cv) ->
-            subst := Value.Map.add old_r new_r !subst;
-            record_const new_r cv;
-            cop :: acc
-        | None -> (
-            (* Algebraic identities with one constant side. *)
-            let identity =
-              match (op.Op.name, op.Op.operands, op.Op.results) with
-              | "arith.addf", [ a; b ], [ r ] -> (
-                  match (lookup a, lookup b) with
-                  | _, Some (Cfloat 0.) -> Some (r, a)
-                  | Some (Cfloat 0.), _ -> Some (r, b)
-                  | _ -> None)
-              | "arith.subf", [ a; b ], [ r ] -> (
-                  match lookup b with
-                  | Some (Cfloat 0.) -> Some (r, a)
-                  | _ -> None)
-              | "arith.mulf", [ a; b ], [ r ] -> (
-                  match (lookup a, lookup b) with
-                  | _, Some (Cfloat 1.) -> Some (r, a)
-                  | Some (Cfloat 1.), _ -> Some (r, b)
-                  | _ -> None)
-              | "arith.divf", [ a; b ], [ r ] -> (
-                  match lookup b with
-                  | Some (Cfloat 1.) -> Some (r, a)
-                  | _ -> None)
-              | "arith.addi", [ a; b ], [ r ] -> (
-                  match (lookup a, lookup b) with
-                  | _, Some (Cint 0) -> Some (r, a)
-                  | Some (Cint 0), _ -> Some (r, b)
-                  | _ -> None)
-              | "arith.subi", [ a; b ], [ r ] -> (
-                  match lookup b with
-                  | Some (Cint 0) -> Some (r, a)
-                  | _ -> None)
-              | "arith.muli", [ a; b ], [ r ] -> (
-                  match (lookup a, lookup b) with
-                  | _, Some (Cint 1) -> Some (r, a)
-                  | Some (Cint 1), _ -> Some (r, b)
-                  | _ -> None)
-              | "arith.select", [ c; t; f ], [ r ] -> (
-                  match lookup c with
-                  | Some (Cint 1) -> Some (r, t)
-                  | Some (Cint 0) -> Some (r, f)
-                  | _ -> None)
-              | _ -> None
-            in
-            match identity with
-            | Some (old_r, replacement) ->
-                subst := Value.Map.add old_r replacement !subst;
-                (match lookup replacement with
-                | Some c -> record_const old_r c
-                | None -> ());
-                acc
-            | None -> op :: acc))
-      [] b.Op.ops
-  in
-  { b with Op.ops = List.rev rev_ops }
+                  Pattern.replace_with [ cop ] [ (r, nr) ]
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
 
-let run (m : Op.t) : Op.t =
-  let m' =
-    {
-      m with
-      Op.regions =
-        List.map
-          (fun (r : Op.region) ->
-            { Op.blocks = List.map (fold_block Value.Map.empty) r.Op.blocks })
-          m.Op.regions;
-    }
-  in
-  (* Folding leaves behind unused constants; clean them up. *)
-  Dce.run m'
+let fold_negf =
+  Rewriter.pattern ~roots: [ "arith.negf" ] "fold-negf" (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a ], [ r ] -> (
+          match const_of ctx a with
+          | Some (Cfloat va) ->
+              let cop, nr = const_float_op (-.va) (Value.ty r) in
+              Pattern.replace_with [ cop ] [ (r, nr) ]
+          | _ -> None)
+      | _ -> None)
 
-let pass = Pass.make "canonicalize" run
+let fold_cmpi =
+  Rewriter.pattern ~roots: [ "arith.cmpi" ] "fold-cmpi" (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a; b ], [ r ] -> (
+          match (const_of ctx a, const_of ctx b) with
+          | Some (Cint va), Some (Cint vb) ->
+              let pred =
+                Arith.predicate_of_string (Op.string_attr_exn op "predicate")
+              in
+              let v = if eval_cmp pred va vb then 1 else 0 in
+              let cop, nr = const_int_op v Typesys.i1 in
+              Pattern.replace_with [ cop ] [ (r, nr) ]
+          | _ -> None)
+      | _ -> None)
+
+let fold_index_cast =
+  Rewriter.pattern ~roots: [ "arith.index_cast" ] "fold-index-cast"
+    (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a ], [ r ] -> (
+          match const_of ctx a with
+          | Some (Cint va) ->
+              let cop, nr = const_int_op va (Value.ty r) in
+              Pattern.replace_with [ cop ] [ (r, nr) ]
+          | _ -> None)
+      | _ -> None)
+
+let fold_sitofp =
+  Rewriter.pattern ~roots: [ "arith.sitofp" ] "fold-sitofp" (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a ], [ r ] -> (
+          match const_of ctx a with
+          | Some (Cint va) ->
+              let v = float_of_int va in
+              let cop, nr = const_float_op v (Value.ty r) in
+              Pattern.replace_with [ cop ] [ (r, nr) ]
+          | _ -> None)
+      | _ -> None)
+
+(* Algebraic identities with one constant side: the result is forwarded to
+   an existing value, no replacement op is needed. *)
+let float_identities =
+  Rewriter.pattern
+    ~roots: [ "arith.addf"; "arith.subf"; "arith.mulf"; "arith.divf" ]
+    "float-identity"
+    (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a; b ], [ r ] -> (
+          let ca = const_of ctx a and cb = const_of ctx b in
+          match (op.Op.name, ca, cb) with
+          | "arith.addf", _, Some (Cfloat 0.) -> forward r a
+          | "arith.addf", Some (Cfloat 0.), _ -> forward r b
+          | "arith.subf", _, Some (Cfloat 0.) -> forward r a
+          | "arith.mulf", _, Some (Cfloat 1.) -> forward r a
+          | "arith.mulf", Some (Cfloat 1.), _ -> forward r b
+          | "arith.divf", _, Some (Cfloat 1.) -> forward r a
+          | _ -> None)
+      | _ -> None)
+
+let int_identities =
+  Rewriter.pattern
+    ~roots: [ "arith.addi"; "arith.subi"; "arith.muli" ]
+    "int-identity"
+    (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ a; b ], [ r ] -> (
+          let ca = const_of ctx a and cb = const_of ctx b in
+          match (op.Op.name, ca, cb) with
+          | "arith.addi", _, Some (Cint 0) -> forward r a
+          | "arith.addi", Some (Cint 0), _ -> forward r b
+          | "arith.subi", _, Some (Cint 0) -> forward r a
+          | "arith.muli", _, Some (Cint 1) -> forward r a
+          | "arith.muli", Some (Cint 1), _ -> forward r b
+          | _ -> None)
+      | _ -> None)
+
+let select_identity =
+  Rewriter.pattern ~roots: [ "arith.select" ] "select-const" (fun ctx op ->
+      match (op.Op.operands, op.Op.results) with
+      | [ c; t; f ], [ r ] -> (
+          match const_of ctx c with
+          | Some (Cint 1) -> forward r t
+          | Some (Cint 0) -> forward r f
+          | _ -> None)
+      | _ -> None)
+
+let patterns =
+  [
+    fold_int_binop;
+    fold_float_binop;
+    fold_negf;
+    fold_cmpi;
+    fold_index_cast;
+    fold_sitofp;
+    float_identities;
+    int_identities;
+    select_identity;
+  ]
+
+let run ?driver (m : Op.t) : Op.t =
+  Rewriter.run ?driver ~dead: Effects.removable_if_unused
+    ~name: "canonicalize" patterns m
+
+let pass = Pass.make "canonicalize" (fun m -> run m)

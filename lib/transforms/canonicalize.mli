@@ -1,9 +1,14 @@
 (** Canonicalization: constant propagation and folding plus algebraic
     identities (x+0, x*1, select on constants, ...) for the arith dialect,
-    with a DCE sweep for the leftover constants. *)
+    as context-aware patterns on the shared {!Ir.Rewriter} core.  The
+    driver's dead-op folding erases the constants stranded by folding, so
+    no separate DCE sweep is needed. *)
 
 val eval_int_binop : string -> int -> int -> int option
 val eval_float_binop : string -> float -> float -> float option
 
-val run : Ir.Op.t -> Ir.Op.t
+val patterns : Ir.Rewriter.pattern list
+(** The canonicalization pattern set (exposed for driver A/B tests). *)
+
+val run : ?driver:Ir.Rewriter.driver -> Ir.Op.t -> Ir.Op.t
 val pass : Ir.Pass.t

@@ -2,9 +2,16 @@
    framework: a type converter rewrites the types of every value, and op
    handlers translate individual ops while unhandled ops are rebuilt
    generically (operands remapped, result/block-argument types converted,
-   regions recursed into). *)
+   regions recursed into).
+
+   The traversal runs on the shared Rewriter workspace: handled ops are
+   spliced out through [Workspace.replace_op] with the handler's builder
+   output, unhandled ops are updated in place with [set_shallow].  The
+   value map is a plain hashtable exactly as before, so handlers keep the
+   same ctx API. *)
 
 open Ir
+module W = Rewriter.Workspace
 
 type ctx = {
   lookup : Value.t -> Value.t;  (* old value -> converted value *)
@@ -31,44 +38,40 @@ let convert ~(convert_ty : Typesys.ty -> Typesys.ty) ~(handler : handler)
     v'
   in
   let ctx = { lookup; bind; fresh_converted } in
-  let rec rewrite_block (b : Op.block) : Op.block =
-    let args = List.map fresh_converted b.Op.args in
-    let bld = Builder.create () in
-    List.iter
-      (fun (op : Op.t) ->
-        if not (handler ctx bld op) then begin
-          let operands = List.map lookup op.Op.operands in
-          let results = List.map fresh_converted op.Op.results in
-          let regions =
-            List.map
-              (fun (r : Op.region) ->
-                { Op.blocks = List.map rewrite_block r.Op.blocks })
-              op.Op.regions
-          in
-          (* Keep function signatures in sync with converted types. *)
-          let attrs =
-            List.map
-              (fun (k, a) ->
-                match a with
-                | Typesys.Type_attr t -> (k, Typesys.Type_attr (conv_deep t))
-                | a -> (k, a))
-              op.Op.attrs
-          in
-          Builder.add bld { op with Op.operands; results; regions; attrs }
-        end)
-      b.Op.ops;
-    { Op.args; ops = Builder.ops bld }
-  and conv_deep (t : Typesys.ty) : Typesys.ty =
+  let rec conv_deep (t : Typesys.ty) : Typesys.ty =
     match t with
     | Typesys.Fn (args, res) ->
         Typesys.Fn (List.map conv_deep args, List.map conv_deep res)
     | t -> convert_ty t
   in
-  {
-    m with
-    Op.regions =
-      List.map
-        (fun (r : Op.region) ->
-          { Op.blocks = List.map rewrite_block r.Op.blocks })
-        m.Op.regions;
-  }
+  let ws = W.of_op m in
+  let rec visit_block bid =
+    W.set_block_args ws bid (List.map fresh_converted (W.block_args ws bid));
+    List.iter visit_op (W.block_ops ws bid)
+  and visit_op nid =
+    (* Handlers see the full op (regions included, still unconverted, as
+       under the old block-rebuild traversal). *)
+    let op = if W.has_regions ws nid then W.op ws nid else W.shallow ws nid in
+    let bld = Builder.create () in
+    if handler ctx bld op then
+      (* Uses of the old results are remapped lazily through [lookup] as
+         their users are visited, so no explicit mapping is needed. *)
+      ignore (W.replace_op ws nid (Builder.ops bld) [])
+    else begin
+      let operands = List.map lookup op.Op.operands in
+      let results = List.map fresh_converted op.Op.results in
+      (* Keep function signatures in sync with converted types. *)
+      let attrs =
+        List.map
+          (fun (k, a) ->
+            match a with
+            | Typesys.Type_attr t -> (k, Typesys.Type_attr (conv_deep t))
+            | a -> (k, a))
+          op.Op.attrs
+      in
+      W.set_shallow ws nid { op with Op.operands; results; attrs };
+      List.iter (List.iter visit_block) (W.blocks ws nid)
+    end
+  in
+  List.iter (List.iter visit_block) (W.blocks ws (W.root ws));
+  W.to_op ws

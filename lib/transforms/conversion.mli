@@ -2,7 +2,8 @@
     framework: a type converter rewrites every value's type, op handlers
     translate individual ops, and unhandled ops are rebuilt generically
     (operands remapped, result/argument types converted, regions
-    recursed). *)
+    recursed).  The traversal runs on the shared {!Ir.Rewriter}
+    workspace; the handler API is unchanged. *)
 
 open Ir
 

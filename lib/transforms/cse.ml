@@ -1,64 +1,49 @@
-(* Common sub-expression elimination.
+(* Common sub-expression elimination on the shared Rewriter workspace.
 
    Pure ops are keyed by (name, operand ids, attributes); a later op with the
-   same key in scope is replaced by the earlier results.  Scoping follows
-   region nesting, so an expression already available in an enclosing block
-   is reused inside nested loop bodies as well. *)
+   same key in scope forwards its uses to the earlier results and is erased.
+   Scoping follows region nesting, so an expression already available in an
+   enclosing block is reused inside nested loop bodies as well.
+
+   Attributes are sorted by key before keying: attr order is not semantic,
+   and builders reach the same attr set in different orders (Op.set_attr
+   prepends), so keying on the raw assoc list missed equal ops. *)
 
 open Ir
+module W = Rewriter.Workspace
 
 type key = string * int list * (string * Typesys.attr) list
 
 let key_of (op : Op.t) : key =
-  (op.Op.name, List.map Value.id op.Op.operands, op.Op.attrs)
+  ( op.Op.name,
+    List.map Value.id op.Op.operands,
+    List.sort (fun (a, _) (b, _) -> String.compare a b) op.Op.attrs )
 
 (* Scopes are an immutable association list from keys to result values, so
    entering a region simply extends the enclosing scope. *)
-let rec cse_block scope (b : Op.block) : Op.block =
-  let subst = ref Value.Map.empty in
-  let scope = ref scope in
-  let rev_ops =
-    List.fold_left
-      (fun acc op ->
-        let op = Op.substitute !subst op in
-        let op =
-          if op.Op.regions = [] then op
-          else
-            {
-              op with
-              Op.regions =
-                List.map
-                  (fun (r : Op.region) ->
-                    { Op.blocks = List.map (cse_block !scope) r.Op.blocks })
-                  op.Op.regions;
-            }
-        in
-        if Effects.pure op then begin
+let run (m : Op.t) : Op.t =
+  let ws = W.of_op m in
+  let rec visit_block scope bid =
+    let scope = ref scope in
+    List.iter
+      (fun nid ->
+        List.iter (List.iter (visit_block !scope)) (W.blocks ws nid);
+        (* The shallow op reflects any operand forwarding done so far, so
+           keys see post-CSE operands. *)
+        let op = W.shallow ws nid in
+        if (not (W.has_regions ws nid)) && Effects.pure op then begin
           let k = key_of op in
           match List.assoc_opt k !scope with
           | Some earlier_results ->
               List.iter2
-                (fun old_v new_v ->
-                  subst := Value.Map.add old_v new_v !subst)
+                (fun old_v new_v -> ignore (W.replace_all_uses ws old_v new_v))
                 op.Op.results earlier_results;
-              acc
-          | None ->
-              scope := (k, op.Op.results) :: !scope;
-              op :: acc
-        end
-        else op :: acc)
-      [] b.Op.ops
+              ignore (W.erase_op ws nid)
+          | None -> scope := (k, op.Op.results) :: !scope
+        end)
+      (W.block_ops ws bid)
   in
-  { b with Op.ops = List.rev rev_ops }
-
-let run (m : Op.t) : Op.t =
-  {
-    m with
-    Op.regions =
-      List.map
-        (fun (r : Op.region) ->
-          { Op.blocks = List.map (cse_block []) r.Op.blocks })
-        m.Op.regions;
-  }
+  List.iter (List.iter (visit_block [])) (W.blocks ws (W.root ws));
+  W.to_op ws
 
 let pass = Pass.make "cse" run

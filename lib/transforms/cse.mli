@@ -1,6 +1,12 @@
 (** Common sub-expression elimination: pure ops keyed by (name, operands,
-    attributes); later duplicates in scope reuse the earlier results.
-    Scoping follows region nesting. *)
+    attributes — sorted by key, since attr order is not semantic); later
+    duplicates in scope reuse the earlier results.  Scoping follows region
+    nesting; runs on the shared {!Ir.Rewriter} workspace. *)
+
+type key = string * int list * (string * Ir.Typesys.attr) list
+
+val key_of : Ir.Op.t -> key
+(** The CSE key of an op, with attributes canonically sorted. *)
 
 val run : Ir.Op.t -> Ir.Op.t
 val pass : Ir.Pass.t

@@ -1,69 +1,14 @@
 (* Dead code elimination: drop side-effect-free ops whose results are never
-   used.  Blocks are processed back-to-front so chains of dead ops disappear
-   in one pass; the module-level driver iterates to a fixpoint anyway because
-   uses may cross region boundaries. *)
+   used.  On the Rewriter workspace this is a single cascading walk — erasing
+   an op releases its operands, and any released definition whose use count
+   drops to zero is erased in turn — so no fixpoint iteration over the whole
+   module is needed even when uses cross region boundaries. *)
 
 open Ir
 
-let rec live_uses (acc : Value.Set.t) (op : Op.t) =
-  let acc =
-    List.fold_left (fun s v -> Value.Set.add v s) acc op.Op.operands
-  in
-  List.fold_left
-    (fun acc (r : Op.region) ->
-      List.fold_left
-        (fun acc (b : Op.block) -> List.fold_left live_uses acc b.Op.ops)
-        acc r.Op.blocks)
-    acc op.Op.regions
-
-let rec dce_block (used_outside : Value.Set.t) (b : Op.block) : Op.block =
-  (* Process ops back-to-front: a def is live if used by any later op in
-     this block, by anything nested in a later op, or outside the block. *)
-  let ops_rev = List.rev b.Op.ops in
-  let used = ref used_outside in
-  let kept =
-    List.fold_left
-      (fun kept op ->
-        let dead =
-          Effects.removable_if_unused op
-          && List.for_all
-               (fun r -> not (Value.Set.mem r !used))
-               op.Op.results
-        in
-        if dead then kept
-        else begin
-          used := live_uses !used op;
-          let op =
-            if op.Op.regions = [] then op
-            else
-              {
-                op with
-                Op.regions =
-                  List.map
-                    (fun (r : Op.region) ->
-                      { Op.blocks = List.map (dce_block !used) r.Op.blocks })
-                    op.Op.regions;
-              }
-          in
-          op :: kept
-        end)
-      [] ops_rev
-  in
-  { b with Op.ops = kept }
-
-let run_once (m : Op.t) : Op.t =
-  {
-    m with
-    Op.regions =
-      List.map
-        (fun (r : Op.region) ->
-          { Op.blocks = List.map (dce_block Value.Set.empty) r.Op.blocks })
-        m.Op.regions;
-  }
-
-let rec run ?(max_iters = 10) (m : Op.t) : Op.t =
-  let m' = run_once m in
-  if max_iters <= 1 || Op.count_ops m' = Op.count_ops m then m'
-  else run ~max_iters: (max_iters - 1) m'
+let run ?max_iters:_ (m : Op.t) : Op.t =
+  let ws = Rewriter.Workspace.of_op m in
+  ignore (Rewriter.erase_dead ~removable: Effects.removable_if_unused ws);
+  Rewriter.Workspace.to_op ws
 
 let pass = Pass.make "dce" (fun m -> run m)

@@ -1,5 +1,7 @@
 (** Dead code elimination: remove side-effect-free ops whose results are
-    never used, iterating to a fixpoint. *)
+    never used, as one cascading erasure walk on the shared
+    {!Ir.Rewriter} workspace.  [max_iters] is accepted for compatibility
+    and ignored: the use-count cascade needs no fixpoint iteration. *)
 
 val run : ?max_iters:int -> Ir.Op.t -> Ir.Op.t
 val pass : Ir.Pass.t

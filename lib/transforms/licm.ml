@@ -1,114 +1,80 @@
-(* Loop-invariant code motion: hoist hoistable ops whose operands are all
-   defined outside the loop body in front of the loop.  Applied to scf.for,
-   scf.parallel and gpu.launch bodies; the mpi-lowering relies on this to
-   hoist rank queries and communication buffers out of time loops. *)
+(* Loop-invariant code motion on the shared Rewriter workspace: hoist
+   hoistable ops whose operands are all defined outside the loop body in
+   front of the loop.  Applied to scf.for, scf.parallel and gpu.launch
+   bodies; the mpi-lowering relies on this to hoist rank queries and
+   communication buffers out of time loops.
+
+   Loops are processed inner-first off a queue; when hoisting changed a
+   loop, its enclosing loop (if any) is re-queued, so invariants escape
+   multiply-nested loops completely without re-printing or re-sweeping the
+   module. *)
 
 open Ir
+module W = Rewriter.Workspace
 
 let loop_ops = [ "scf.for"; "scf.parallel"; "gpu.launch" ]
 
-let is_loop (op : Op.t) = List.mem op.Op.name loop_ops
+let is_loop_node ws nid = List.mem (W.shallow ws nid).Op.name loop_ops
 
-(* Hoist from the single-block body of [op]; returns (hoisted, op'). *)
-let hoist_from_loop (op : Op.t) : Op.t list * Op.t =
-  match op.Op.regions with
-  | [ r ] -> (
-      match r.Op.blocks with
-      | [ body ] ->
-          (* Values defined inside the body (block args + op results,
-             including nested ones). *)
-          let inside = ref Value.Set.empty in
-          List.iter
-            (fun v -> inside := Value.Set.add v !inside)
-            body.Op.args;
-          List.iter
-            (fun o ->
-              inside := Value.Set.union (Op.defined_values o) !inside)
-            body.Op.ops;
-          let hoisted = ref [] in
-          let rec sweep ops =
-            let changed = ref false in
-            let remaining =
-              List.filter
-                (fun o ->
-                  let invariant =
-                    Effects.hoistable o
-                    && List.for_all
-                         (fun v -> not (Value.Set.mem v !inside))
-                         o.Op.operands
-                  in
-                  if invariant then begin
-                    hoisted := o :: !hoisted;
-                    List.iter
-                      (fun res -> inside := Value.Set.remove res !inside)
-                      o.Op.results;
-                    changed := true;
-                    false
-                  end
-                  else true)
-                ops
-            in
-            if !changed then sweep remaining else remaining
-          in
-          let remaining = sweep body.Op.ops in
-          let op' =
-            {
-              op with
-              Op.regions =
-                [ { Op.blocks = [ { body with Op.ops = remaining } ] } ];
-            }
-          in
-          (List.rev !hoisted, op')
-      | _ -> ([], op))
-  | _ -> ([], op)
+(* Is [v] defined outside the subtree rooted at [loop]? *)
+let defined_outside ws ~loop v =
+  match W.def_site ws v with
+  | `Op d -> not (W.in_subtree ws ~top: loop d)
+  | `Arg b -> not (W.block_in_subtree ws ~top: loop b)
+  | `None -> true
 
-let rec licm_block (b : Op.block) : Op.block =
-  let rev_ops =
-    List.fold_left
-      (fun acc op ->
-        (* Recurse first so inner loops bubble their invariants up one
-           level per pass application. *)
-        let op =
-          if op.Op.regions = [] then op
-          else
-            {
-              op with
-              Op.regions =
-                List.map
-                  (fun (r : Op.region) ->
-                    { Op.blocks = List.map licm_block r.Op.blocks })
-                  op.Op.regions;
-            }
-        in
-        if is_loop op then begin
-          let hoisted, op' = hoist_from_loop op in
-          op' :: List.rev_append hoisted acc
-        end
-        else op :: acc)
-      [] b.Op.ops
-  in
-  { b with Op.ops = List.rev rev_ops }
+let body_block ws nid =
+  match W.blocks ws nid with [ [ b ] ] -> Some b | _ -> None
 
-let run_once (m : Op.t) : Op.t =
-  {
-    m with
-    Op.regions =
-      List.map
-        (fun (r : Op.region) ->
-          { Op.blocks = List.map licm_block r.Op.blocks })
-        m.Op.regions;
-  }
+(* One scan over the loop body; returns true when something was hoisted.
+   Moved ops land directly before the loop in body order. *)
+let hoist_once ws loop =
+  match body_block ws loop with
+  | None -> false
+  | Some body ->
+      List.fold_left
+        (fun changed nid ->
+          let op = W.shallow ws nid in
+          if
+            (not (W.has_regions ws nid))
+            && Effects.hoistable op
+            && List.for_all (defined_outside ws ~loop) op.Op.operands
+          then begin
+            W.move_before ws ~anchor: loop nid;
+            true
+          end
+          else changed)
+        false
+        (W.block_ops ws body)
 
-(* Iterate so invariants escape multiply-nested loops completely. *)
 let run (m : Op.t) : Op.t =
-  let rec go n m =
-    if n = 0 then m
-    else begin
-      let m' = run_once m in
-      if Printer.module_to_string m' = Printer.module_to_string m then m'
-      else go (n - 1) m'
+  let ws = W.of_op m in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  let push nid =
+    if not (Hashtbl.mem queued nid) then begin
+      Hashtbl.replace queued nid ();
+      Queue.add nid queue
     end
   in
-  go 8 m
+  (* Post order queues inner loops before their enclosing loops. *)
+  List.iter
+    (fun nid -> if is_loop_node ws nid then push nid)
+    (W.post_order ws);
+  while not (Queue.is_empty queue) do
+    let loop = Queue.pop queue in
+    Hashtbl.remove queued loop;
+    if not (W.is_erased ws loop) then begin
+      let rec fixpoint changed =
+        if hoist_once ws loop then fixpoint true else changed
+      in
+      if fixpoint false then
+        (* Hoisted ops may now be loop-invariant one level up. *)
+        match W.parent_op ws loop with
+        | Some p when p <> W.root ws && is_loop_node ws p -> push p
+        | _ -> ()
+    end
+  done;
+  W.to_op ws
 
 let pass = Pass.make "loop-invariant-code-motion" run

@@ -1,7 +1,8 @@
 (** Loop-invariant code motion: hoist hoistable ops whose operands are
     defined outside the loop body in front of scf.for / scf.parallel /
-    gpu.launch loops.  The mpi lowering relies on this to hoist rank
-    queries and communication buffers out of time loops (paper §4.3). *)
+    gpu.launch loops, using the shared {!Ir.Rewriter} workspace's use-def
+    index.  The mpi lowering relies on this to hoist rank queries and
+    communication buffers out of time loops (paper §4.3). *)
 
 val run : Ir.Op.t -> Ir.Op.t
 val pass : Ir.Pass.t

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Repo check: formatting, full build, full test suite.
+# Run from anywhere; operates on the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @fmt
+dune build
+dune runtest

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "stencil-shared-stack"
     [
       ("ir", Test_ir.suite);
+      ("rewriter", Test_rewriter.suite);
       ("interp", Test_interp.suite);
       ("lowering", Test_lowering.suite);
       ("mpi_sim", Test_mpi_sim.suite);
