@@ -18,7 +18,7 @@ let halo_inference () =
   Printf.printf " -- halo inference from access offsets (bounds in types):\n";
   List.iter
     (fun so ->
-      let w = Workloads.heat ~dims: 3 ~so in
+      let w = Workloads.heat ~dims: 3 ~so () in
       let halo = ref (0, 0) in
       Op.walk
         (fun op ->
@@ -36,7 +36,7 @@ let swap_elimination () =
   Printf.printf " -- redundant-swap elimination (dmp):\n";
   let cases =
     [
-      ("heat3d so4 time loop", (Workloads.heat ~dims: 3 ~so: 4).Workloads.module_);
+      ("heat3d so4 time loop", (Workloads.heat ~dims: 3 ~so: 4 ()).Workloads.module_);
       ("tracer advection", (Workloads.traadv ()).Workloads.p_module);
     ]
   in
@@ -108,7 +108,7 @@ let decomposition_strategies () =
 
 let tiling () =
   Printf.printf " -- CPU lowering styles (heat3d so4):\n";
-  let m = (Workloads.heat ~dims: 3 ~so: 4).Workloads.module_ in
+  let m = (Workloads.heat ~dims: 3 ~so: 4 ()).Workloads.module_ in
   List.iter
     (fun (label, style) ->
       let lowered = Core.Stencil_to_loops.run ~style m in
@@ -132,7 +132,7 @@ let overlap_structure () =
       (Core.Distribute.run
          (Core.Distribute.options ~ranks: 4
             ~strategy: Core.Decomposition.Slice2d ())
-         ((Workloads.heat ~dims: 2 ~so: 2).Workloads.module_))
+         ((Workloads.heat ~dims: 2 ~so: 2 ()).Workloads.module_))
   in
   let ov = Core.Overlap.run dm in
   Printf.printf
@@ -180,7 +180,7 @@ let rewrite_driver () =
     [
       ( "fig7-heat2d-so2-openmp",
         Core.Pipeline.Cpu_openmp { tiles = [ 32; 32 ] },
-        (Workloads.heat ~dims: 2 ~so: 2).Workloads.module_ );
+        (Workloads.heat ~dims: 2 ~so: 2 ()).Workloads.module_ );
       ( "fig10-traadv-distributed-4",
         Core.Pipeline.Distributed_cpu
           {

@@ -32,10 +32,10 @@ let run () =
     "Devito" "ratio";
   Printf.printf " (a) heat diffusion, 16384^2 / 1024^3:\n";
   List.iter
-    (fun (dims, so) -> row (Workloads.heat ~dims ~so))
+    (fun (dims, so) -> row (Workloads.heat ~dims ~so ()))
     [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
   Printf.printf " (b) acoustic wave, 16384^2 / 1024^3:\n";
   List.iter
-    (fun (dims, so) -> row (Workloads.wave ~dims ~so))
+    (fun (dims, so) -> row (Workloads.wave ~dims ~so ()))
     [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
   print_newline ()

@@ -109,7 +109,7 @@ let scaling_row (w : Workloads.devito_workload) ranks =
 (* Cross-check: the analytic message count must match what the simulated
    MPI run actually sends for a small configuration. *)
 let validate_schedule () =
-  let w = Workloads.heat ~dims: 2 ~so: 2 in
+  let w = Workloads.heat ~dims: 2 ~so: 2 () in
   let ranks = 4 in
   let dm =
     Core.Swap_elim.run
@@ -160,10 +160,10 @@ let run () =
     "== Figure 8: strong scaling 3D so4 on ARCHER2, 1024^3 (GPts/s) ==\n";
   Printf.printf "   ranks  %10s  %10s  %10s\n" "xDSL" "xDSL+ovl" "Devito";
   Printf.printf " (a) heat diffusion:\n";
-  let heat = Workloads.heat ~dims: 3 ~so: 4 in
+  let heat = Workloads.heat ~dims: 3 ~so: 4 () in
   List.iter (scaling_row heat) ranks_list;
   Printf.printf " (b) acoustic wave:\n";
-  let wave = Workloads.wave ~dims: 3 ~so: 4 in
+  let wave = Workloads.wave ~dims: 3 ~so: 4 () in
   List.iter (scaling_row wave) ranks_list;
   validate_schedule ();
   print_newline ()

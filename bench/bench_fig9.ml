@@ -29,10 +29,10 @@ let run () =
     "OpenACC" "ratio";
   Printf.printf " (a) heat diffusion, 8192^2 / 512^3:\n";
   List.iter
-    (fun (dims, so) -> row (Workloads.heat ~dims ~so))
+    (fun (dims, so) -> row (Workloads.heat ~dims ~so ()))
     [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
   Printf.printf " (b) acoustic wave, 8192^2 / 512^3:\n";
   List.iter
-    (fun (dims, so) -> row (Workloads.wave ~dims ~so))
+    (fun (dims, so) -> row (Workloads.wave ~dims ~so ()))
     [ (2, 2); (2, 4); (2, 8); (3, 2); (3, 4); (3, 8) ];
   print_newline ()

@@ -12,14 +12,14 @@ open Ir
 let test_heat_compile =
   Test.make ~name: "fig7: compile heat2d (shared cpu pipeline)"
     (Staged.stage (fun () ->
-         let w = Workloads.heat ~dims: 2 ~so: 2 in
+         let w = Workloads.heat ~dims: 2 ~so: 2 () in
          ignore
            (Core.Pipeline.compile ~verify: false
               (Core.Pipeline.Cpu_openmp { tiles = [ 16; 16 ] })
               w.Workloads.module_)))
 
 let heat_step_runner () =
-  let w = Workloads.heat ~dims: 2 ~so: 4 in
+  let w = Workloads.heat ~dims: 2 ~so: 4 () in
   let lowered =
     Core.Pipeline.compile ~verify: false Core.Pipeline.Cpu_sequential
       w.Workloads.module_
@@ -38,7 +38,7 @@ let test_heat_exec =
 
 (* fig. 8 family: a full 4-rank distributed step on the simulated MPI. *)
 let distributed_runner () =
-  let w = Workloads.heat ~dims: 2 ~so: 2 in
+  let w = Workloads.heat ~dims: 2 ~so: 2 () in
   let dm =
     Core.Swap_elim.run
       (Core.Distribute.run
@@ -93,7 +93,7 @@ let test_hls_lowering =
 let test_roundtrip =
   Test.make ~name: "infra: print+parse lowered heat3d"
     (Staged.stage
-       (let w = Workloads.heat ~dims: 3 ~so: 4 in
+       (let w = Workloads.heat ~dims: 3 ~so: 4 () in
         let lowered =
           Core.Pipeline.compile ~verify: false Core.Pipeline.Cpu_sequential
             w.Workloads.module_

@@ -1,0 +1,115 @@
+(* Measured parallel execution: the fig7 heat and fig10-class wave
+   workloads run end-to-end through the full distributed pipeline on BOTH
+   substrates — the deterministic fiber simulator (mpi_sim) and the real
+   multicore domain runtime (mpi_par) — at increasing rank counts.
+
+   Per (workload, ranks) row we report the serial interpreter wall time,
+   each substrate's wall time, the mpi_par speedup over serial, and the
+   cross-substrate max abs difference of the gathered results (must be
+   exactly 0: both substrates share the collective reduction order, so
+   floating point agrees bitwise).
+
+   Results are also written to BENCH_par.json.  Note: measured speedup
+   depends on the host core count ([Mpi_par.host_cores]); on a single-core
+   host the parallel runtime is exercised for correctness but cannot beat
+   serial. *)
+
+type row = {
+  workload : string;
+  ranks : int;
+  grid : string;
+  serial_s : float;
+  sim_s : float;
+  par_s : float;
+  speedup : float;  (* serial / par wall *)
+  cross_diff : float;  (* par vs sim gathered results *)
+  par_diff : float;  (* par vs serial reference *)
+}
+
+let run_workload (name, m) ~ranks : row =
+  let sim = Driver.Harness.run_distributed ~substrate: Driver.Harness.Sim ~ranks m in
+  let par = Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks m in
+  {
+    workload = name;
+    ranks;
+    grid = String.concat "x" (List.map string_of_int par.Driver.Harness.grid);
+    serial_s = par.Driver.Harness.serial_wall_s;
+    sim_s = sim.Driver.Harness.wall_s;
+    par_s = par.Driver.Harness.wall_s;
+    speedup = par.Driver.Harness.serial_wall_s /. par.Driver.Harness.wall_s;
+    cross_diff = Driver.Harness.max_result_diff par sim;
+    par_diff = par.Driver.Harness.max_diff_vs_serial;
+  }
+
+let write_json (rows : row list) =
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"par\",\n  \"host_cores\": %d,\n  \"entries\": [\n"
+    (Mpi_par.host_cores ());
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"ranks\": %d, \"grid\": %S, \"serial_s\": \
+         %.6f, \"sim_s\": %.6f, \"par_s\": %.6f, \"speedup\": %.3f, \
+         \"max_abs_diff_par_vs_sim\": %.17g, \"max_abs_diff_par_vs_serial\": \
+         %.17g}%s\n"
+        r.workload r.ranks r.grid r.serial_s r.sim_s r.par_s r.speedup
+        r.cross_diff r.par_diff
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run ?(smoke = false) () =
+  Printf.printf "== Measured parallel execution (mpi_par vs mpi_sim) ==\n";
+  Printf.printf "   host cores: %d%s\n" (Mpi_par.host_cores ())
+    (if (Mpi_par.host_cores ()) = 1 then
+       " (speedup > 1 not expected on a single-core host)"
+     else "");
+  let grid2 n = [ n; n ] in
+  let workloads =
+    if smoke then
+      [
+        ( "heat2d-so2",
+          (Workloads.heat ~grid: (grid2 16) ~timesteps: 2 ~dims: 2 ~so: 2 ())
+            .Workloads.module_ );
+      ]
+    else
+      [
+        ( "heat2d-so2",
+          (Workloads.heat ~grid: (grid2 48) ~timesteps: 4 ~dims: 2 ~so: 2 ())
+            .Workloads.module_ );
+        ( "wave2d-so4",
+          (Workloads.wave ~grid: (grid2 48) ~timesteps: 4 ~dims: 2 ~so: 4 ())
+            .Workloads.module_ );
+      ]
+  in
+  let rank_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf
+    "   %-12s %5s %6s %10s %10s %10s %8s %10s\n" "workload" "ranks" "grid"
+    "serial_s" "sim_s" "par_s" "speedup" "par-sim";
+  let rows =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun ranks ->
+            let r = run_workload w ~ranks in
+            Printf.printf
+              "   %-12s %5d %6s %10.4f %10.4f %10.4f %7.2fx %10.2e%s\n%!"
+              r.workload r.ranks r.grid r.serial_s r.sim_s r.par_s r.speedup
+              r.cross_diff
+              (if r.cross_diff <> 0. || r.par_diff <> 0. then "  MISMATCH"
+               else "");
+            r)
+          rank_counts)
+      workloads
+  in
+  write_json rows;
+  Printf.printf "   (machine-readable copy: BENCH_par.json)\n";
+  let bad = List.filter (fun r -> r.cross_diff <> 0. || r.par_diff <> 0.) rows in
+  if bad <> [] then begin
+    Printf.printf "   FAIL: %d row(s) diverged between substrates\n"
+      (List.length bad);
+    exit 1
+  end;
+  print_newline ()

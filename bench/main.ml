@@ -29,8 +29,8 @@ let sections =
    models, taken through the shared pipeline that figure evaluates. *)
 let pass_table_jobs (section : string) :
     (Core.Pipeline.target * Ir.Op.t) list =
-  let heat ~dims ~so = (Workloads.heat ~dims ~so).Workloads.module_ in
-  let wave ~dims ~so = (Workloads.wave ~dims ~so).Workloads.module_ in
+  let heat ~dims ~so = (Workloads.heat ~dims ~so ()).Workloads.module_ in
+  let wave ~dims ~so = (Workloads.wave ~dims ~so ()).Workloads.module_ in
   let omp = Core.Pipeline.Cpu_openmp { tiles = [ 32; 32; 32 ] } in
   let dist ~overlap =
     Core.Pipeline.Distributed_cpu
@@ -68,6 +68,14 @@ let print_pass_table section =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* "par" measures real multicore execution; it is dispatched explicitly
+     (with an optional --smoke flag) and not part of the default model-based
+     section sweep. *)
+  (match args with
+  | "par" :: rest ->
+      Bench_par.run ~smoke: (List.mem "--smoke" rest) ();
+      exit 0
+  | _ -> ());
   let selected =
     if args = [] then sections
     else
@@ -76,6 +84,7 @@ let () =
   if selected = [] then begin
     prerr_endline "unknown section; available:";
     List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) sections;
+    prerr_endline "  par [--smoke]   (measured multicore execution)";
     exit 1
   end;
   Printf.printf

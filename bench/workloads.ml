@@ -19,20 +19,20 @@ type devito_workload = {
 
 let small_grid dims = if dims = 2 then [ 16; 16 ] else [ 8; 8; 8 ]
 
-let heat ~dims ~so : devito_workload =
-  let g = Devito.Symbolic.grid ~dt: 0.1 (small_grid dims) in
+let heat ?grid ?(timesteps = 1) ~dims ~so () : devito_workload =
+  let shape = match grid with Some s -> s | None -> small_grid dims in
+  let g = Devito.Symbolic.grid ~dt: 0.1 shape in
   let u = Devito.Symbolic.function_ ~space_order: so "u" g in
   let eqn =
     Devito.Symbolic.eq (Devito.Symbolic.Dt u)
       Devito.Symbolic.(f 0.5 *: laplace u)
   in
-  let spec, m =
-    Devito.Operator.operator ~name: "heat" ~timesteps: 1 eqn
-  in
+  let spec, m = Devito.Operator.operator ~name: "heat" ~timesteps eqn in
   { w_name = "heat"; dims; so; module_ = m; spec }
 
-let wave ~dims ~so : devito_workload =
-  let g = Devito.Symbolic.grid ~dt: 0.02 (small_grid dims) in
+let wave ?grid ?(timesteps = 1) ~dims ~so () : devito_workload =
+  let shape = match grid with Some s -> s | None -> small_grid dims in
+  let g = Devito.Symbolic.grid ~dt: 0.02 shape in
   let u =
     Devito.Symbolic.function_ ~space_order: so ~time_order: 2 "u" g
   in
@@ -40,9 +40,7 @@ let wave ~dims ~so : devito_workload =
     Devito.Symbolic.eq (Devito.Symbolic.Dt2 u)
       Devito.Symbolic.(f 2.25 *: laplace u)
   in
-  let spec, m =
-    Devito.Operator.operator ~name: "wave" ~timesteps: 1 eqn
-  in
+  let spec, m = Devito.Operator.operator ~name: "wave" ~timesteps eqn in
   { w_name = "wave"; dims; so; module_ = m; spec }
 
 (* The paper's problem sizes: 16384^2 / 1024^3 on ARCHER2, 8192^2 / 512^3 on

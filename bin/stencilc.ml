@@ -64,18 +64,55 @@ let all_passes : (string * Ir.Pass.t) list =
       Core.Stencil_to_hls.pass ~mode: Core.Stencil_to_hls.Optimized () );
   ]
 
+let strategy_of_string = function
+  | "1d" -> Core.Decomposition.Slice1d
+  | "2d" -> Core.Decomposition.Slice2d
+  | "3d" -> Core.Decomposition.Slice3d
+  | s -> failwith ("unknown decomposition strategy: " ^ s)
+
 let distribute_pass ~ranks ~strategy =
-  let strategy =
-    match strategy with
-    | "1d" -> Core.Decomposition.Slice1d
-    | "2d" -> Core.Decomposition.Slice2d
-    | "3d" -> Core.Decomposition.Slice3d
-    | s -> failwith ("unknown decomposition strategy: " ^ s)
+  Core.Distribute.pass
+    (Core.Distribute.options ~ranks ~strategy: (strategy_of_string strategy) ())
+
+(* Execute the module end-to-end on an MPI substrate (--run-par/--run-sim):
+   serial reference, distribute + lower, run, gather, compare. *)
+let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
+    m =
+  let trace = trace_out <> None in
+  if trace then Obs.enable ();
+  let r =
+    Driver.Harness.run_distributed ~substrate
+      ~strategy: (strategy_of_string strategy)
+      ~stall_timeout_s: stall_timeout ~trace ~ranks m
   in
-  Core.Distribute.pass (Core.Distribute.options ~ranks ~strategy ())
+  Format.printf "substrate:  %s@." r.Driver.Harness.substrate_name;
+  Format.printf "ranks:      %d (topology %s)@." r.Driver.Harness.ranks
+    (String.concat "x" (List.map string_of_int r.Driver.Harness.grid));
+  Format.printf "domain:     %s@."
+    (String.concat "x" (List.map string_of_int r.Driver.Harness.domain));
+  Format.printf "serial:     %.6f s@." r.Driver.Harness.serial_wall_s;
+  Format.printf "distributed: %.6f s (speedup %.2fx)@." r.Driver.Harness.wall_s
+    (r.Driver.Harness.serial_wall_s /. r.Driver.Harness.wall_s);
+  Format.printf "traffic:    %d messages, %d bytes@."
+    r.Driver.Harness.messages r.Driver.Harness.bytes;
+  Format.printf "max abs diff vs serial: %g@."
+    r.Driver.Harness.max_diff_vs_serial;
+  (match trace_out with
+  | Some path ->
+      Obs.Trace.write_chrome_json path;
+      Format.eprintf
+        "// trace written to %s (load in Perfetto: https://ui.perfetto.dev)@."
+        path
+  | None -> ());
+  if r.Driver.Harness.max_diff_vs_serial = 0. then 0
+  else begin
+    Format.eprintf "stencilc: distributed run diverged from serial@.";
+    1
+  end
 
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
-    print_after verify stats profile pass_stats trace_out =
+    print_after verify stats profile pass_stats trace_out run_par run_sim
+    stall_timeout =
   try
     (match Ir.Rewriter.driver_of_string rewrite_driver with
     | Some d -> Ir.Rewriter.set_default_driver d
@@ -94,6 +131,14 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
           | None -> failwith ("unknown demo: " ^ name))
       | None -> Ir.Parser.parse_string (read_input input)
     in
+    match (run_par, run_sim) with
+    | Some ranks, _ ->
+        execute_distributed ~substrate: Driver.Harness.Par ~ranks ~strategy
+          ~stall_timeout ~trace_out m
+    | None, Some ranks ->
+        execute_distributed ~substrate: Driver.Harness.Sim ~ranks ~strategy
+          ~stall_timeout ~trace_out m
+    | None, None ->
     let selected =
       match (pipeline, passes) with
       | Some p, _ -> (
@@ -134,6 +179,9 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
   with
   | Failure msg | Ir.Op.Ill_formed msg | Sys_error msg ->
       Format.eprintf "stencilc: %s@." msg;
+      1
+  | Mpi_par.Stall report ->
+      Format.eprintf "stencilc: %s@." report;
       1
   | Ir.Parser.Parse_error msg ->
       Format.eprintf "stencilc: parse error: %s@." msg;
@@ -218,6 +266,37 @@ let trace_out_arg =
           "Write a Chrome trace-event JSON of the compilation (one span \
            per pass) to $(docv); load it in Perfetto or chrome://tracing.")
 
+let run_par_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "run-par" ] ~docv: "N"
+        ~doc:
+          "Execute the module end-to-end on $(docv) parallel ranks (one \
+           OCaml domain per rank, shared-memory transport), compare \
+           against the serial interpreter and report wall-clock speedup. \
+           Combines with --strategy and --trace-out (per-rank wall-clock \
+           timelines).")
+
+let run_sim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "run-sim" ] ~docv: "N"
+        ~doc:
+          "Execute the module end-to-end on $(docv) simulated ranks \
+           (deterministic cooperative fibers) and compare against the \
+           serial interpreter.")
+
+let stall_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "stall-timeout" ] ~docv: "SECONDS"
+        ~doc:
+          "Watchdog for --run-par: abort when no transport progress is \
+           made for $(docv) seconds while every domain is blocked, and \
+           report each domain's pending operation.")
+
 let cmd =
   let doc = "shared stencil compilation stack driver" in
   Cmd.v
@@ -226,6 +305,6 @@ let cmd =
       const run_cmd $ input_arg $ demo_arg $ pipeline_arg $ passes_arg
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ run_par_arg $ run_sim_arg $ stall_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

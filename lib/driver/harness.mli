@@ -1,0 +1,54 @@
+(** End-to-end distributed execution harness: serial reference run,
+    distribution + full lowering to MPI_* calls, execution on a chosen
+    substrate (simulated fibers or real OCaml 5 domains), interior gather
+    and comparison.  Shared by [stencilc --run-par]/[--run-sim], the
+    bench [par] section and the parallel-runtime tests. *)
+
+open Ir
+
+type substrate = Sim | Par
+
+type result = {
+  ranks : int;
+  grid : int list;  (** rank topology chosen by the distribution pass *)
+  substrate_name : string;  (** "sim" or "par" *)
+  serial_wall_s : float;  (** wall-clock of the serial interpreter run *)
+  wall_s : float;  (** wall-clock of the distributed run (incl. scatter/gather) *)
+  max_diff_vs_serial : float;
+      (** max abs interior difference vs the serial reference *)
+  messages : int;
+  bytes : int;
+  domain : int list;  (** global interior extents *)
+  gathered : Interp.Rtval.buffer list;  (** gathered result buffers *)
+  serial : Interp.Rtval.buffer list;  (** serial result buffers *)
+}
+
+val run_distributed :
+  ?substrate:substrate ->
+  ?strategy:Core.Decomposition.strategy ->
+  ?stall_timeout_s:float ->
+  ?queue_capacity:int ->
+  ?trace:bool ->
+  ?seed:int ->
+  ?func:string ->
+  ranks:int ->
+  Op.t ->
+  result
+(** Run a stencil-dialect module distributed over [ranks].  [func]
+    defaults to the first function with a [sym_name]; inputs are
+    deterministically initialized from [seed] (default 0); [substrate]
+    defaults to {!Sim}.  [stall_timeout_s]/[queue_capacity] configure the
+    {!Par} transport.  Every result buffer is gathered and compared
+    against its serial counterpart over the global interior. *)
+
+val max_result_diff : result -> result -> float
+(** Max abs interior difference between two runs' gathered results
+    (infinite when the result counts differ) — the cross-substrate
+    equivalence check. *)
+
+val interior_diff :
+  domain:int list -> Interp.Rtval.buffer -> Interp.Rtval.buffer -> float
+(** Max abs difference over the interior [0, domain_d) per dimension. *)
+
+val default_func : Op.t -> string
+(** First function symbol in the module. *)

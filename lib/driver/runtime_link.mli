@@ -1,13 +1,19 @@
-(** Binding between interpreted IR and the simulated MPI runtime: an
+(** Binding between interpreted IR and an MPI substrate: an
     {!Interp.Engine.externs} handler for one rank that implements the fully
     lowered MPI_* ABI (with mpich magic constants), the mpi dialect ops,
     and the dmp dialect's declarative swaps — so distributed programs can
-    be executed and validated at every lowering stage. *)
+    be executed and validated at every lowering stage.
 
-type state
-(** Per-rank handler state (request-handle table). *)
+    Functorized over {!Mpi_intf.MPI_CORE}: the same binding drives the
+    deterministic fiber simulator ([Mpi_sim]) and the multicore domain
+    runtime ([Mpi_par]). *)
 
-val create : Mpi_sim.rank_ctx -> state
+module Make (M : Mpi_intf.MPI_CORE) : sig
+  type state
+  (** Per-rank handler state (request-handle table). *)
 
-val externs_for : state -> Interp.Engine.externs
-(** The combined handler for one rank. *)
+  val create : M.rank_ctx -> state
+
+  val externs_for : state -> Interp.Engine.externs
+  (** The combined handler for one rank. *)
+end

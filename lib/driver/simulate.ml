@@ -1,36 +1,41 @@
-(* SPMD execution of a compiled module on the simulated MPI runtime: every
-   rank interprets the same module with its own external-call state, exactly
-   as the generated executable would run under mpirun. *)
+(* SPMD execution of a compiled module on an MPI substrate: every rank
+   interprets the same module with its own external-call state, exactly as
+   the generated executable would run under mpirun.
+
+   Substrate-generic via the [Spmd] functor: [Sim_exec] runs ranks as
+   deterministic cooperative fibers (Mpi_sim), [Par_exec] runs each rank
+   as an OCaml 5 domain in parallel (Mpi_par).  The top-level [run_spmd]
+   keeps its historical simulator-typed signature. *)
 
 open Ir
 
-(* Convert a recorded per-rank mpi_sim timeline into Obs trace events
-   (one Chrome "process" per rank, logical sequence numbers as
-   microsecond timestamps) so rank timelines land in the same exported
-   trace as the compiler's pass spans. *)
-let timeline_to_obs (comm : Mpi_sim.comm) : unit =
-  let ts_of seq = float_of_int seq *. 1e-6 in
+(* Convert a recorded per-rank timeline into Obs trace events (one Chrome
+   "process" per rank; the substrate's [ts] field as the timestamp —
+   logical sequence "microseconds" on the simulator, real wall-clock
+   seconds on the parallel runtime) so rank timelines land in the same
+   exported trace as the compiler's pass spans. *)
+let events_to_obs (events : Mpi_intf.timeline_event list) : unit =
   List.iter
-    (fun (ev : Mpi_sim.timeline_event) ->
-      let pid = ev.Mpi_sim.ev_rank + 1 in
-      let ts = ts_of ev.Mpi_sim.seq in
+    (fun (ev : Mpi_intf.timeline_event) ->
+      let pid = ev.Mpi_intf.ev_rank + 1 in
+      let ts = ev.Mpi_intf.ts in
       let cat = "mpi" in
-      match ev.Mpi_sim.kind with
-      | Mpi_sim.Isend { dest; tag; bytes } ->
+      match ev.Mpi_intf.kind with
+      | Mpi_intf.Isend { dest; tag; bytes } ->
           Obs.Trace.instant ~ts ~cat ~pid
             ~args:
               [
-                ("src", Obs.Int ev.Mpi_sim.ev_rank);
+                ("src", Obs.Int ev.Mpi_intf.ev_rank);
                 ("dst", Obs.Int dest);
                 ("tag", Obs.Int tag);
                 ("bytes", Obs.Int bytes);
               ]
             (Printf.sprintf "isend->%d" dest)
-      | Mpi_sim.Irecv { source; tag } ->
+      | Mpi_intf.Irecv { source; tag } ->
           Obs.Trace.instant ~ts ~cat ~pid
             ~args: [ ("src", Obs.Int source); ("tag", Obs.Int tag) ]
             (Printf.sprintf "irecv<-%d" source)
-      | Mpi_sim.Recv_complete { source; tag; bytes } ->
+      | Mpi_intf.Recv_complete { source; tag; bytes } ->
           Obs.Trace.instant ~ts ~cat ~pid
             ~args:
               [
@@ -39,52 +44,76 @@ let timeline_to_obs (comm : Mpi_sim.comm) : unit =
                 ("bytes", Obs.Int bytes);
               ]
             (Printf.sprintf "recv<-%d" source)
-      | Mpi_sim.Wait_begin what ->
+      | Mpi_intf.Wait_begin what ->
           Obs.Trace.begin_span ~ts ~cat ~pid
             ~args: [ ("what", Obs.Str what) ]
             "wait"
-      | Mpi_sim.Wait_end -> Obs.Trace.end_span ~ts ~pid "wait"
-      | Mpi_sim.Waitall_begin n ->
+      | Mpi_intf.Wait_end -> Obs.Trace.end_span ~ts ~pid "wait"
+      | Mpi_intf.Waitall_begin n ->
           Obs.Trace.begin_span ~ts ~cat ~pid
             ~args: [ ("requests", Obs.Int n) ]
             "waitall"
-      | Mpi_sim.Waitall_end -> Obs.Trace.end_span ~ts ~pid "waitall"
-      | Mpi_sim.Collective name ->
+      | Mpi_intf.Waitall_end -> Obs.Trace.end_span ~ts ~pid "waitall"
+      | Mpi_intf.Collective name ->
           Obs.Trace.instant ~ts ~cat ~pid ("collective:" ^ name))
-    (Mpi_sim.timeline comm)
+    events
 
-(* Run [func] on [ranks] simulated ranks.  [make_args] builds each rank's
-   argument list (typically scattered local fields); [collect] receives the
-   rank context, its argument list and the function results once the rank
-   finishes.  Returns the communicator for traffic inspection.
+let timeline_to_obs (comm : Mpi_sim.comm) : unit =
+  events_to_obs (Mpi_sim.timeline comm)
 
-   [trace] turns on the runtime's per-rank event timeline; [on_timeline]
-   (which implies [trace]) receives the communicator after the run, and
-   when the Obs sink is installed the timeline is also exported there. *)
-let run_spmd ?(trace = false) ?(on_timeline : (Mpi_sim.comm -> unit) option)
-    ~(ranks : int) ~(func : string)
-    ~(make_args : Mpi_sim.rank_ctx -> Interp.Rtval.t list)
-    ?(collect :
-        (Mpi_sim.rank_ctx -> Interp.Rtval.t list -> Interp.Rtval.t list -> unit)
-        option) (m : Op.t) : Mpi_sim.comm =
-  let trace = trace || on_timeline <> None in
-  let comm =
-    Mpi_sim.run ~trace ~ranks (fun ctx ->
-        let st = Runtime_link.create ctx in
-        let eng =
-          Interp.Engine.create ~externs: (Runtime_link.externs_for st) m
-        in
-        let args = make_args ctx in
-        let results = Interp.Engine.run eng func args in
-        match collect with
-        | Some f -> f ctx args results
-        | None -> ())
-  in
-  if trace then begin
-    (match on_timeline with Some f -> f comm | None -> ());
-    if Obs.Trace.enabled () then timeline_to_obs comm
-  end;
-  comm
+(* Substrate-generic SPMD execution.  [make_args] builds each rank's
+   argument list (typically scattered local fields); [collect] receives
+   the rank context, its argument list and the function results once the
+   rank finishes.  On the parallel substrate rank bodies run concurrently,
+   so [collect] calls are serialized under a mutex — collectors may write
+   into shared (per-rank-disjoint or root-only) structures without their
+   own locking, exactly as the fiber-based collectors always have. *)
+module Spmd (M : Mpi_intf.MPI_CORE) = struct
+  module RL = Runtime_link.Make (M)
+
+  let run_spmd ?(trace = false)
+      ?(on_timeline : (M.comm -> unit) option) ~(ranks : int)
+      ~(func : string) ~(make_args : M.rank_ctx -> Interp.Rtval.t list)
+      ?(collect :
+          (M.rank_ctx -> Interp.Rtval.t list -> Interp.Rtval.t list -> unit)
+          option) (m : Op.t) : M.comm =
+    let trace = trace || on_timeline <> None in
+    let collect_mutex = Mutex.create () in
+    let comm =
+      M.run ~trace ~ranks (fun ctx ->
+          let st = RL.create ctx in
+          let eng = Interp.Engine.create ~externs: (RL.externs_for st) m in
+          let args = make_args ctx in
+          let results = Interp.Engine.run eng func args in
+          match collect with
+          | Some f ->
+              Mutex.lock collect_mutex;
+              Fun.protect
+                ~finally: (fun () -> Mutex.unlock collect_mutex)
+                (fun () -> f ctx args results)
+          | None -> ())
+    in
+    if trace then begin
+      (match on_timeline with Some f -> f comm | None -> ());
+      if Obs.Trace.enabled () then events_to_obs (M.timeline comm)
+    end;
+    comm
+end
+
+module Sim_exec = Spmd (Mpi_sim)
+module Par_exec = Spmd (Mpi_par)
+
+(* The historical simulator-typed entry point. *)
+let run_spmd = Sim_exec.run_spmd
+
+(* Parallel execution with transport configuration: each rank is a real
+   domain; a stall watchdog (Mpi_par.Stall) replaces the simulator's
+   exact deadlock detection. *)
+let run_spmd_par ?stall_timeout_s ?queue_capacity ?trace ?on_timeline ~ranks
+    ~func ~make_args ?collect m =
+  Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
+      Par_exec.run_spmd ?trace ?on_timeline ~ranks ~func ~make_args ?collect
+        m)
 
 (* Serial execution (no MPI): interpret [func] with the given arguments. *)
 let run_serial ~(func : string) (m : Op.t) (args : Interp.Rtval.t list) :

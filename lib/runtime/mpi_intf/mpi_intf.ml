@@ -1,0 +1,191 @@
+(* The MPI substrate interface: payloads, timelines, traffic counters and
+   the MPI_CORE signature shared by the deterministic simulator (Mpi_sim)
+   and the multicore domain runtime (Mpi_par), plus the collective
+   algorithms both substrates instantiate so their reduction orders — and
+   therefore floating-point results — are identical. *)
+
+type payload = Floats of float array | Ints of int array
+
+let payload_elems = function
+  | Floats a -> Array.length a
+  | Ints a -> Array.length a
+
+let copy_payload = function
+  | Floats a -> Floats (Array.copy a)
+  | Ints a -> Ints (Array.copy a)
+
+let payload_bytes p = 8 * payload_elems p
+
+(* Matches Core.Mpi.Mpich.any_source, so fully lowered modules can pass
+   the magic constant straight through to either substrate. *)
+let any_source = -2
+let collective_tag = -1
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable collectives : int;
+}
+
+type event_kind =
+  | Isend of { dest : int; tag : int; bytes : int }
+  | Irecv of { source : int; tag : int }
+  | Recv_complete of { source : int; tag : int; bytes : int }
+  | Wait_begin of string
+  | Wait_end
+  | Waitall_begin of int
+  | Waitall_end
+  | Collective of string
+
+type timeline_event = { seq : int; ts : float; ev_rank : int; kind : event_kind }
+
+let pp_tag fmt tag =
+  if tag = collective_tag then Format.pp_print_string fmt "collective"
+  else Format.fprintf fmt "tag=%d" tag
+
+let pp_source fmt source =
+  if source = any_source then Format.pp_print_string fmt "any"
+  else Format.pp_print_int fmt source
+
+let pp_event fmt (ev : timeline_event) =
+  let k fmt = Format.fprintf fmt in
+  Format.fprintf fmt "[%4d] rank %d: " ev.seq ev.ev_rank;
+  match ev.kind with
+  | Isend { dest; tag; bytes } ->
+      k fmt "isend -> %d %a bytes=%d" dest pp_tag tag bytes
+  | Irecv { source; tag } -> k fmt "irecv <- %a %a" pp_source source pp_tag tag
+  | Recv_complete { source; tag; bytes } ->
+      k fmt "recv-complete <- %d %a bytes=%d" source pp_tag tag bytes
+  | Wait_begin what -> k fmt "wait-begin %s" what
+  | Wait_end -> k fmt "wait-end"
+  | Waitall_begin n -> k fmt "waitall-begin (%d request(s))" n
+  | Waitall_end -> k fmt "waitall-end"
+  | Collective name -> k fmt "collective %s" name
+
+let edge_bytes_of tl =
+  List.fold_left
+    (fun acc (ev : timeline_event) ->
+      match ev.kind with Isend { bytes; _ } -> acc + bytes | _ -> acc)
+    0 tl
+
+module type MPI_CORE = sig
+  type comm
+  type rank_ctx
+  type request
+
+  val substrate : string
+  val rank : rank_ctx -> int
+  val size : rank_ctx -> int
+
+  val isend :
+    rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> request
+
+  val irecv : rank_ctx -> source:int -> tag:int -> request
+  val test : request -> bool
+  val wait : request -> payload option
+  val waitall : request list -> unit
+  val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
+  val recv : rank_ctx -> source:int -> tag:int -> payload
+  val null_request : rank_ctx -> request
+  val bcast : rank_ctx -> root:int -> payload -> payload
+
+  val reduce :
+    rank_ctx -> root:int -> [ `Sum | `Max | `Min ] -> payload -> payload option
+
+  val allreduce : rank_ctx -> [ `Sum | `Max | `Min ] -> payload -> payload
+  val gather : rank_ctx -> root:int -> payload -> payload list option
+  val barrier : rank_ctx -> unit
+  val run : ?trace:bool -> ranks:int -> (rank_ctx -> unit) -> comm
+  val timeline : comm -> timeline_event list
+  val rank_timeline : comm -> int -> timeline_event list
+  val total_messages : comm -> int
+  val total_bytes : comm -> int
+  val rank_stats : comm -> int -> stats
+end
+
+(* Collectives over point-to-point with the reserved tag.  FIFO matching
+   per (dst, src, tag) keeps consecutive collectives ordered; the root
+   combines contributions in rank order, fixing the floating-point
+   reduction order across substrates. *)
+module Collectives (P : sig
+  type rank_ctx
+
+  val rank : rank_ctx -> int
+  val size : rank_ctx -> int
+  val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
+  val recv : rank_ctx -> source:int -> tag:int -> payload
+  val note_collective : rank_ctx -> string -> unit
+  val payload_error : string -> 'a
+end) =
+struct
+  let bcast ctx ~root (payload : payload) : payload =
+    P.note_collective ctx "bcast";
+    if P.rank ctx = root then begin
+      for dest = 0 to P.size ctx - 1 do
+        if dest <> root then P.send ctx ~dest ~tag: collective_tag payload
+      done;
+      payload
+    end
+    else P.recv ctx ~source: root ~tag: collective_tag
+
+  let combine op a b =
+    match (a, b) with
+    | Floats x, Floats y ->
+        Floats
+          (Array.mapi
+             (fun i v ->
+               match op with
+               | `Sum -> v +. y.(i)
+               | `Max -> Float.max v y.(i)
+               | `Min -> Float.min v y.(i))
+             x)
+    | Ints x, Ints y ->
+        Ints
+          (Array.mapi
+             (fun i v ->
+               match op with
+               | `Sum -> v + y.(i)
+               | `Max -> max v y.(i)
+               | `Min -> min v y.(i))
+             x)
+    | _ -> P.payload_error "reduce: mixed payload kinds"
+
+  let reduce ctx ~root op (payload : payload) : payload option =
+    P.note_collective ctx "reduce";
+    if P.rank ctx = root then begin
+      let acc = ref (copy_payload payload) in
+      for source = 0 to P.size ctx - 1 do
+        if source <> root then
+          acc := combine op !acc (P.recv ctx ~source ~tag: collective_tag)
+      done;
+      Some !acc
+    end
+    else begin
+      P.send ctx ~dest: root ~tag: collective_tag payload;
+      None
+    end
+
+  let allreduce ctx op (payload : payload) : payload =
+    match reduce ctx ~root: 0 op payload with
+    | Some combined -> bcast ctx ~root: 0 combined
+    | None -> bcast ctx ~root: 0 payload
+
+  let gather ctx ~root (payload : payload) : payload list option =
+    P.note_collective ctx "gather";
+    if P.rank ctx = root then begin
+      let parts =
+        List.init (P.size ctx) (fun source ->
+            if source = root then copy_payload payload
+            else P.recv ctx ~source ~tag: collective_tag)
+      in
+      Some parts
+    end
+    else begin
+      P.send ctx ~dest: root ~tag: collective_tag payload;
+      None
+    end
+
+  let barrier ctx =
+    P.note_collective ctx "barrier";
+    ignore (allreduce ctx `Sum (Ints [| 0 |]))
+end

@@ -1,0 +1,165 @@
+(** The MPI substrate interface: the surface shared by every execution
+    runtime of the stack.
+
+    Two substrates implement it today: [Mpi_sim] (deterministic
+    cooperative fibers on one core, exact deadlock detection — the unit
+    of validation) and [Mpi_par] (one OCaml 5 domain per rank over
+    shared-memory mailboxes — the unit of measurement).  Everything that
+    executes distributed programs ([Runtime_link], [Driver.Simulate],
+    [Driver.Harness]) is written against {!MPI_CORE}, so compiled modules
+    run unchanged on either substrate. *)
+
+(** {1 Payloads} *)
+
+type payload = Floats of float array | Ints of int array
+
+val payload_elems : payload -> int
+
+val copy_payload : payload -> payload
+(** A deep copy.  Substrates must copy payloads at the send boundary so a
+    receiver never aliases a sender's mutable array — on the parallel
+    substrate an aliased array would be a cross-domain data race. *)
+
+val payload_bytes : payload -> int
+(** Default accounted size (8 bytes per element). *)
+
+val any_source : int
+(** Wildcard receive source ([MPI_ANY_SOURCE]; equals the mpich magic
+    value in [Core.Mpi.Mpich]).  Matching order is deterministic: the
+    lowest-ranked source with a pending message wins. *)
+
+val collective_tag : int
+(** The reserved tag collectives are built on. *)
+
+(** {1 Traffic accounting} *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable collectives : int;
+}
+
+(** {1 Per-rank event timelines} *)
+
+type event_kind =
+  | Isend of { dest : int; tag : int; bytes : int }
+  | Irecv of { source : int; tag : int }
+      (** [source] may be {!any_source}. *)
+  | Recv_complete of { source : int; tag : int; bytes : int }
+      (** [source] is the actual sender, even for wildcard receives. *)
+  | Wait_begin of string
+  | Wait_end
+  | Waitall_begin of int
+  | Waitall_end
+  | Collective of string
+
+type timeline_event = {
+  seq : int;  (** global emission order *)
+  ts : float;
+      (** seconds: wall-clock since the run started on measuring
+          substrates, the logical sequence number scaled by 1e-6 on
+          deterministic ones *)
+  ev_rank : int;
+  kind : event_kind;
+}
+
+val pp_tag : Format.formatter -> int -> unit
+val pp_source : Format.formatter -> int -> unit
+val pp_event : Format.formatter -> timeline_event -> unit
+
+val edge_bytes_of : timeline_event list -> int
+(** Sum of [Isend] edge bytes. *)
+
+(** {1 The substrate signature} *)
+
+module type MPI_CORE = sig
+  type comm
+  (** A communicator (the world of one run). *)
+
+  type rank_ctx
+  (** One rank's handle onto the communicator. *)
+
+  type request
+
+  val substrate : string
+  (** Short name for reports ("sim", "par"). *)
+
+  val rank : rank_ctx -> int
+  val size : rank_ctx -> int
+
+  val isend :
+    rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> request
+  (** Eager non-blocking send: the payload is copied out immediately.
+      [bytes] overrides the accounted message size. *)
+
+  val irecv : rank_ctx -> source:int -> tag:int -> request
+  (** [source] may be {!any_source}. *)
+
+  val test : request -> bool
+
+  val wait : request -> payload option
+  (** Blocks until completion; returns the payload for receive
+      requests. *)
+
+  val waitall : request list -> unit
+  val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
+  val recv : rank_ctx -> source:int -> tag:int -> payload
+  val null_request : rank_ctx -> request
+
+  val bcast : rank_ctx -> root:int -> payload -> payload
+
+  val reduce :
+    rank_ctx -> root:int -> [ `Sum | `Max | `Min ] -> payload -> payload option
+
+  val allreduce : rank_ctx -> [ `Sum | `Max | `Min ] -> payload -> payload
+  val gather : rank_ctx -> root:int -> payload -> payload list option
+  val barrier : rank_ctx -> unit
+
+  val run : ?trace:bool -> ranks:int -> (rank_ctx -> unit) -> comm
+  (** Run an SPMD body on [ranks] execution contexts; returns the
+      communicator for traffic inspection.  With [~trace:true] (default
+      false) every rank records its event timeline. *)
+
+  val timeline : comm -> timeline_event list
+  (** All events in sequence order (empty when tracing was off). *)
+
+  val rank_timeline : comm -> int -> timeline_event list
+  val total_messages : comm -> int
+  val total_bytes : comm -> int
+  val rank_stats : comm -> int -> stats
+end
+
+(** {1 Shared collective algorithms}
+
+    Collectives are built on point-to-point with the reserved tag, as in
+    textbook MPI implementations; both substrates instantiate this
+    functor so their reduction orders (and therefore floating-point
+    results) are identical. *)
+
+module Collectives (P : sig
+  type rank_ctx
+
+  val rank : rank_ctx -> int
+  val size : rank_ctx -> int
+  val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
+  val recv : rank_ctx -> source:int -> tag:int -> payload
+
+  val note_collective : rank_ctx -> string -> unit
+  (** Count + trace one collective entry. *)
+
+  val payload_error : string -> 'a
+  (** Raise the substrate's error exception. *)
+end) : sig
+  val bcast : P.rank_ctx -> root:int -> payload -> payload
+
+  val reduce :
+    P.rank_ctx ->
+    root:int ->
+    [ `Sum | `Max | `Min ] ->
+    payload ->
+    payload option
+
+  val allreduce : P.rank_ctx -> [ `Sum | `Max | `Min ] -> payload -> payload
+  val gather : P.rank_ctx -> root:int -> payload -> payload list option
+  val barrier : P.rank_ctx -> unit
+end

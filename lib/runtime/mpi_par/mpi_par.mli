@@ -1,0 +1,50 @@
+(** A true multicore SPMD substrate: each rank is an OCaml 5 [Domain].
+
+    Transport is shared-memory: one bounded FIFO mailbox per
+    (destination, source, tag) triple, guarded by a mutex/condvar pair,
+    with an eager protocol (payloads are copied out at the send call, so
+    an [isend] completes immediately unless the mailbox is full —
+    backpressure blocks the sender).  Matching is FIFO per channel and
+    wildcard ([any_source]) receives scan sources in ascending rank
+    order, mirroring [Mpi_sim]'s deterministic matching.
+
+    Unlike the fiber simulator there is no exact deadlock detection —
+    ranks run preemptively in parallel — so a configurable {e stall
+    watchdog} replaces it: if no transport operation completes for
+    [stall_timeout_s] seconds while every unfinished domain is blocked
+    in the transport, the run is poisoned, every domain is woken and
+    unwound, and {!Stall} is raised with a report naming each blocked
+    domain's pending operation. *)
+
+exception Stall of string
+(** No transport progress for the stall timeout while every unfinished
+    domain was blocked; the payload is a human-readable report. *)
+
+exception Mpi_error of string
+
+include Mpi_intf.MPI_CORE
+
+val host_cores : unit -> int
+(** [Domain.recommended_domain_count ()]: how many domains this host can
+    usefully run in parallel. *)
+
+val default_stall_timeout_s : float ref
+(** Watchdog timeout used by {!run} (seconds; default 30.0). *)
+
+val default_queue_capacity : int ref
+(** Mailbox capacity in messages before senders block (default 1024). *)
+
+val run_with :
+  ?stall_timeout_s:float ->
+  ?queue_capacity:int ->
+  ?trace:bool ->
+  ranks:int ->
+  (rank_ctx -> unit) ->
+  comm
+(** {!run} with explicit transport configuration. *)
+
+val with_defaults :
+  ?stall_timeout_s:float -> ?queue_capacity:int -> (unit -> 'a) -> 'a
+(** Run [f] with the mutable defaults overridden (restored on exit) — for
+    callers that reach [run] through the substrate-generic signature,
+    which has no room for the extra parameters. *)

@@ -13,24 +13,24 @@
    The runtime keeps per-rank traffic counters (messages and bytes); with
    [~trace:true] it additionally records a deterministic per-rank event
    timeline (isend/irecv/recv-complete/wait/waitall/collective) ordered by
-   a global sequence number, from which message-flow traces are dumped. *)
+   a global sequence number, from which message-flow traces are dumped.
 
-type payload = Floats of float array | Ints of int array
+   The surface is [Mpi_intf.MPI_CORE] — the same programs run unchanged on
+   [Mpi_par], the multicore domain substrate. *)
 
-let payload_elems = function
-  | Floats a -> Array.length a
-  | Ints a -> Array.length a
+type payload = Mpi_intf.payload =
+  | Floats of float array
+  | Ints of int array
 
-let copy_payload = function
-  | Floats a -> Floats (Array.copy a)
-  | Ints a -> Ints (Array.copy a)
+let payload_elems = Mpi_intf.payload_elems
+let copy_payload = Mpi_intf.copy_payload
 
 exception Deadlock of string
 exception Mpi_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Mpi_error s)) fmt
 
-type stats = {
+type stats = Mpi_intf.stats = {
   mutable messages : int;
   mutable bytes : int;
   mutable collectives : int;
@@ -38,7 +38,7 @@ type stats = {
 
 (* --- per-rank event timelines --- *)
 
-type event_kind =
+type event_kind = Mpi_intf.event_kind =
   | Isend of { dest : int; tag : int; bytes : int }
   | Irecv of { source : int; tag : int }
   | Recv_complete of { source : int; tag : int; bytes : int }
@@ -48,7 +48,12 @@ type event_kind =
   | Waitall_end
   | Collective of string
 
-type timeline_event = { seq : int; ev_rank : int; kind : event_kind }
+type timeline_event = Mpi_intf.timeline_event = {
+  seq : int;
+  ts : float;
+  ev_rank : int;
+  kind : event_kind;
+}
 
 type comm = {
   size : int;
@@ -69,6 +74,7 @@ type request_kind =
 
 type request = { kind : request_kind; ctx : rank_ctx }
 
+let substrate = "sim"
 let tracing ctx = ctx.comm.trace_on
 
 let record ctx kind =
@@ -76,7 +82,11 @@ let record ctx kind =
     let comm = ctx.comm in
     let seq = comm.next_seq in
     comm.next_seq <- seq + 1;
-    comm.rev_trace <- { seq; ev_rank = ctx.rank; kind } :: comm.rev_trace
+    (* Deterministic pseudo-timestamp: the logical sequence number scaled
+       to "microseconds", so identical runs produce identical
+       timelines. *)
+    let ts = float_of_int seq *. 1e-6 in
+    comm.rev_trace <- { seq; ts; ev_rank = ctx.rank; kind } :: comm.rev_trace
   end
 
 (* Cooperative scheduling primitives.  A blocked fiber carries its rank and
@@ -89,7 +99,8 @@ type _ Effect.t +=
 let block_until ?(rank = -1) ?(info = fun () -> "blocked") pred =
   if pred () then () else Effect.perform (Block (pred, rank, info))
 
-let collective_tag = -1
+let collective_tag = Mpi_intf.collective_tag
+let any_source = Mpi_intf.any_source
 
 let create_comm ~trace size =
   {
@@ -117,16 +128,15 @@ let check_peer ctx peer what =
     error "rank %d: %s peer %d out of range [0, %d)" ctx.rank what peer
       ctx.comm.size
 
-let pp_tag fmt tag =
-  if tag = collective_tag then Format.pp_print_string fmt "collective"
-  else Format.fprintf fmt "tag=%d" tag
+let pp_tag = Mpi_intf.pp_tag
+let pp_source = Mpi_intf.pp_source
 
 let describe_request (r : request) =
   match r.kind with
   | Send_req -> "wait(send)"
   | Null_req -> "wait(null)"
   | Recv_req { source; tag; _ } ->
-      Format.asprintf "wait(irecv src=%d %a)" source pp_tag tag
+      Format.asprintf "wait(irecv src=%a %a)" pp_source source pp_tag tag
 
 (* Eager send: the payload is copied into the destination mailbox and the
    operation completes immediately. *)
@@ -144,12 +154,25 @@ let isend ctx ~dest ~tag ?bytes payload =
   post_send ctx ~dest ~tag ?bytes payload;
   { kind = Send_req; ctx }
 
+(* FIFO matching; a wildcard ([any_source]) receive deterministically
+   takes the lowest-ranked source with a pending message. *)
 let try_match ctx ~source ~tag =
-  let q = mailbox ctx.comm (ctx.rank, source, tag) in
-  if Queue.is_empty q then None else Some (Queue.pop q)
+  if source = any_source then begin
+    let rec scan s =
+      if s >= ctx.comm.size then None
+      else
+        let q = mailbox ctx.comm (ctx.rank, s, tag) in
+        if Queue.is_empty q then scan (s + 1) else Some (s, Queue.pop q)
+    in
+    scan 0
+  end
+  else begin
+    let q = mailbox ctx.comm (ctx.rank, source, tag) in
+    if Queue.is_empty q then None else Some (source, Queue.pop q)
+  end
 
 let irecv ctx ~source ~tag =
-  check_peer ctx source "receive from";
+  if source <> any_source then check_peer ctx source "receive from";
   record ctx (Irecv { source; tag });
   { kind = Recv_req { source; tag; data = None }; ctx }
 
@@ -161,15 +184,11 @@ let request_complete (r : request) =
       | Some _ -> true
       | None -> (
           match try_match r.ctx ~source: rr.source ~tag: rr.tag with
-          | Some p ->
+          | Some (src, p) ->
               rr.data <- Some p;
               record r.ctx
                 (Recv_complete
-                   {
-                     source = rr.source;
-                     tag = rr.tag;
-                     bytes = 8 * payload_elems p;
-                   });
+                   { source = src; tag = rr.tag; bytes = 8 * payload_elems p });
               true
           | None -> false))
 
@@ -216,84 +235,30 @@ let recv ctx ~source ~tag : payload =
   | Some p -> p
   | None -> error "recv completed without payload"
 
-(* Collectives, built over point-to-point with the reserved tag.  FIFO
-   matching per (dst, src, tag) keeps consecutive collectives ordered. *)
+(* Collectives: the algorithms shared with the parallel substrate, so
+   reduction orders (and therefore floating-point results) match. *)
 
 let note_collective ctx name =
   let s = ctx.comm.per_rank.(ctx.rank) in
   s.collectives <- s.collectives + 1;
   record ctx (Collective name)
 
-let bcast ctx ~root (payload : payload) : payload =
-  note_collective ctx "bcast";
-  if ctx.rank = root then begin
-    for dest = 0 to ctx.comm.size - 1 do
-      if dest <> root then send ctx ~dest ~tag: collective_tag payload
-    done;
-    payload
-  end
-  else recv ctx ~source: root ~tag: collective_tag
+module C = Mpi_intf.Collectives (struct
+  type nonrec rank_ctx = rank_ctx
 
-let combine op a b =
-  match (a, b) with
-  | Floats x, Floats y ->
-      Floats
-        (Array.mapi
-           (fun i v ->
-             match op with
-             | `Sum -> v +. y.(i)
-             | `Max -> Float.max v y.(i)
-             | `Min -> Float.min v y.(i))
-           x)
-  | Ints x, Ints y ->
-      Ints
-        (Array.mapi
-           (fun i v ->
-             match op with
-             | `Sum -> v + y.(i)
-             | `Max -> max v y.(i)
-             | `Min -> min v y.(i))
-           x)
-  | _ -> error "reduce: mixed payload kinds"
+  let rank = rank
+  let size = size
+  let send = send
+  let recv = recv
+  let note_collective = note_collective
+  let payload_error msg = raise (Mpi_error msg)
+end)
 
-let reduce ctx ~root op (payload : payload) : payload option =
-  note_collective ctx "reduce";
-  if ctx.rank = root then begin
-    let acc = ref (copy_payload payload) in
-    for source = 0 to ctx.comm.size - 1 do
-      if source <> root then
-        acc := combine op !acc (recv ctx ~source ~tag: collective_tag)
-    done;
-    Some !acc
-  end
-  else begin
-    send ctx ~dest: root ~tag: collective_tag payload;
-    None
-  end
-
-let allreduce ctx op (payload : payload) : payload =
-  match reduce ctx ~root: 0 op payload with
-  | Some combined -> bcast ctx ~root: 0 combined
-  | None -> bcast ctx ~root: 0 payload
-
-let gather ctx ~root (payload : payload) : payload list option =
-  note_collective ctx "gather";
-  if ctx.rank = root then begin
-    let parts =
-      List.init ctx.comm.size (fun source ->
-          if source = root then copy_payload payload
-          else recv ctx ~source ~tag: collective_tag)
-    in
-    Some parts
-  end
-  else begin
-    send ctx ~dest: root ~tag: collective_tag payload;
-    None
-  end
-
-let barrier ctx =
-  note_collective ctx "barrier";
-  ignore (allreduce ctx `Sum (Ints [| 0 |]))
+let bcast = C.bcast
+let reduce = C.reduce
+let allreduce = C.allreduce
+let gather = C.gather
+let barrier = C.barrier
 
 (* --- timeline accessors --- *)
 
@@ -302,26 +267,8 @@ let timeline comm = List.rev comm.rev_trace
 let rank_timeline comm r =
   List.filter (fun ev -> ev.ev_rank = r) (timeline comm)
 
-let edge_bytes comm =
-  List.fold_left
-    (fun acc (ev : timeline_event) ->
-      match ev.kind with Isend { bytes; _ } -> acc + bytes | _ -> acc)
-    0 (timeline comm)
-
-let pp_event fmt (ev : timeline_event) =
-  let k fmt = Format.fprintf fmt in
-  Format.fprintf fmt "[%4d] rank %d: " ev.seq ev.ev_rank;
-  match ev.kind with
-  | Isend { dest; tag; bytes } ->
-      k fmt "isend -> %d %a bytes=%d" dest pp_tag tag bytes
-  | Irecv { source; tag } -> k fmt "irecv <- %d %a" source pp_tag tag
-  | Recv_complete { source; tag; bytes } ->
-      k fmt "recv-complete <- %d %a bytes=%d" source pp_tag tag bytes
-  | Wait_begin what -> k fmt "wait-begin %s" what
-  | Wait_end -> k fmt "wait-end"
-  | Waitall_begin n -> k fmt "waitall-begin (%d request(s))" n
-  | Waitall_end -> k fmt "waitall-end"
-  | Collective name -> k fmt "collective %s" name
+let edge_bytes comm = Mpi_intf.edge_bytes_of (timeline comm)
+let pp_event = Mpi_intf.pp_event
 
 let pp_timeline fmt comm =
   List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) (timeline comm)

@@ -5,9 +5,15 @@
     scheduler; point-to-point messaging uses the eager protocol with FIFO
     matching per (destination, source, tag); collectives are built on
     point-to-point with a reserved tag.  The scheduler detects deadlock,
-    and per-rank traffic counters feed the network model. *)
+    and per-rank traffic counters feed the network model.
 
-type payload = Floats of float array | Ints of int array
+    The surface implements {!Mpi_intf.MPI_CORE}, the signature shared
+    with [Mpi_par] (the multicore domain substrate), so compiled programs
+    run unchanged on either. *)
+
+type payload = Mpi_intf.payload =
+  | Floats of float array
+  | Ints of int array
 
 val payload_elems : payload -> int
 val copy_payload : payload -> payload
@@ -28,8 +34,20 @@ type rank_ctx
 
 type request
 
+val substrate : string
+(** ["sim"]. *)
+
 val rank : rank_ctx -> int
 val size : rank_ctx -> int
+
+val any_source : int
+(** Wildcard receive source (= {!Mpi_intf.any_source}).  Matching is
+    deterministic: the lowest-ranked source with a pending message
+    wins. *)
+
+val collective_tag : int
+(** The reserved tag collectives are built on
+    (= {!Mpi_intf.collective_tag}). *)
 
 val block_until :
   ?rank:int -> ?info:(unit -> string) -> (unit -> bool) -> unit
@@ -43,6 +61,8 @@ val isend :
     [bytes] overrides the accounted message size. *)
 
 val irecv : rank_ctx -> source:int -> tag:int -> request
+(** [source] may be {!any_source}. *)
+
 val test : request -> bool
 
 val wait : request -> payload option
@@ -68,21 +88,30 @@ val run : ?trace:bool -> ranks:int -> (rank_ctx -> unit) -> comm
 (** {1 Per-rank event timelines}
 
     Recorded only when [run ~trace:true]; ordered by a global sequence
-    number assigned in deterministic scheduler order. *)
+    number assigned in deterministic scheduler order.  [ts] is the
+    sequence number scaled by 1e-6 (a deterministic pseudo-clock), not
+    wall time. *)
 
-type event_kind =
+type event_kind = Mpi_intf.event_kind =
   | Isend of { dest : int; tag : int; bytes : int }
       (** One posted message edge; [bytes] is the accounted size, so the
           timeline's edge byte total equals {!total_bytes}. *)
   | Irecv of { source : int; tag : int }
+      (** [source] may be {!any_source}. *)
   | Recv_complete of { source : int; tag : int; bytes : int }
+      (** [source] is the actual sender, even for wildcard receives. *)
   | Wait_begin of string  (** description of the awaited request *)
   | Wait_end
   | Waitall_begin of int  (** number of requests awaited *)
   | Waitall_end
   | Collective of string  (** bcast / reduce / gather / barrier *)
 
-type timeline_event = { seq : int; ev_rank : int; kind : event_kind }
+type timeline_event = Mpi_intf.timeline_event = {
+  seq : int;
+  ts : float;
+  ev_rank : int;
+  kind : event_kind;
+}
 
 val timeline : comm -> timeline_event list
 (** All events in sequence order (empty when tracing was off). *)
@@ -100,7 +129,7 @@ val pp_timeline : Format.formatter -> comm -> unit
 
 (** {1 Traffic accounting} *)
 
-type stats = {
+type stats = Mpi_intf.stats = {
   mutable messages : int;
   mutable bytes : int;
   mutable collectives : int;

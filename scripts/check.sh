@@ -1,8 +1,18 @@
 #!/bin/sh
-# Repo check: formatting, full build, full test suite.
+# Repo check: formatting, full build, full test suite, and a smoke run of
+# the parallel (OCaml-domains) execution path on both the CLI and the
+# bench harness.
 # Run from anywhere; operates on the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @fmt
 dune build
 dune runtest
+# Parallel runtime smoke: distribute + execute the heat2d demo on real
+# domains and check the gathered result against the serial reference
+# (stencilc exits non-zero on any divergence).
+dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 > /dev/null
+dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
+# Bench par section, smoke sizes: sim vs par cross-check, BENCH_par.json.
+dune exec bench/main.exe -- par --smoke > /dev/null
+echo "check.sh: all checks passed"

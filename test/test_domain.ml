@@ -1,0 +1,154 @@
+(* Edge-case tests for the host-side scatter/gather decomposition helpers
+   (Driver.Domain): non-divisible extents, 1-cell slabs, 3D grids,
+   boundary halos and rebased gathers. *)
+
+open Ir
+
+let check = Alcotest.check
+let float_c = Alcotest.float 1e-12
+
+(* A global buffer with symmetric ghost margins [margin] and interior
+   [extents], filled with a coordinate-identifying pattern.  Logical
+   coordinates run [-margin, extent + margin) per dimension. *)
+let make_global ~margin ~extents =
+  let lo = List.map (fun _ -> -margin) extents in
+  let shape = List.map (fun n -> n + (2 * margin)) extents in
+  let b = Interp.Rtval.alloc_buffer ~lo shape Typesys.f64 in
+  Interp.Rtval.fill b (fun i -> float_of_int i *. 0.5);
+  b
+
+let local_bounds ~margin ~interior ~grid =
+  List.map2
+    (fun n parts -> Typesys.{ lo = -margin; hi = (n / parts) + margin })
+    interior grid
+
+(* Scatter to every rank, then gather every interior back into a zeroed
+   copy; the interiors must round-trip exactly. *)
+let roundtrip ~margin ~extents ~grid =
+  let global = make_global ~margin ~extents in
+  let lb = local_bounds ~margin ~interior: extents ~grid in
+  let interior = List.map2 (fun n parts -> n / parts) extents grid in
+  let back =
+    Interp.Rtval.alloc_buffer ~lo: global.Interp.Rtval.lo
+      global.Interp.Rtval.shape global.Interp.Rtval.elt
+  in
+  let ranks = List.fold_left ( * ) 1 grid in
+  for rank = 0 to ranks - 1 do
+    let local =
+      Driver.Domain.scatter_field ~global ~grid ~local_bounds: lb ~rank
+    in
+    Driver.Domain.gather_interior ~global: back ~local ~grid ~interior ~rank ()
+  done;
+  (global, back, interior)
+
+let check_interior_equal ~what (global, back, _interior) ~extents =
+  let rec nest dims coords =
+    match dims with
+    | [] ->
+        let c = List.rev coords in
+        check float_c
+          (Printf.sprintf "%s %s" what
+             (String.concat "," (List.map string_of_int c)))
+          (Interp.Rtval.as_float (Interp.Rtval.get global c))
+          (Interp.Rtval.as_float (Interp.Rtval.get back c))
+    | n :: rest ->
+        for i = 0 to n - 1 do
+          nest rest (i :: coords)
+        done
+  in
+  nest extents []
+
+let test_roundtrip_2d () =
+  let extents = [ 8; 8 ] in
+  check_interior_equal ~what: "2x2"
+    (roundtrip ~margin: 1 ~extents ~grid: [ 2; 2 ])
+    ~extents
+
+let test_roundtrip_3d () =
+  (* A full 3D decomposition: 2x2x2 ranks over an 8x4x6 box. *)
+  let extents = [ 8; 4; 6 ] in
+  check_interior_equal ~what: "2x2x2"
+    (roundtrip ~margin: 2 ~extents ~grid: [ 2; 2; 2 ])
+    ~extents
+
+let test_one_cell_slabs () =
+  (* Grid 4 over extent 4: every rank owns a single 1-cell-wide slab, so
+     each local buffer is pure halo except one line. *)
+  let extents = [ 4; 6 ] in
+  check_interior_equal ~what: "1-cell slab"
+    (roundtrip ~margin: 1 ~extents ~grid: [ 4; 1 ])
+    ~extents
+
+let test_non_divisible_rejected () =
+  (* The decomposition is compile-time-bounds based: extents that do not
+     divide evenly across the grid are rejected, not silently truncated. *)
+  (try
+     ignore (Core.Decomposition.local_interior ~interior: [ 10; 16 ] ~grid: [ 3; 2 ]);
+     Alcotest.fail "expected Ill_formed"
+   with Op.Ill_formed msg ->
+     check Alcotest.bool "names the extent"
+       true
+       (String.length msg > 0));
+  (* And end-to-end through the distribution pass. *)
+  let m = Programs.heat2d_timeloop_module ~nx: 15 ~ny: 16 ~steps: 1 in
+  match
+    Core.Distribute.run
+      (Core.Distribute.options ~ranks: 4 ~strategy: Core.Decomposition.Slice2d ())
+      m
+  with
+  | _ -> Alcotest.fail "expected Ill_formed from distribution"
+  | exception Op.Ill_formed _ -> ()
+
+let test_boundary_halo_zero () =
+  (* Halo cells that fall outside the global domain are zero-filled;
+     halo cells inside it take the neighbour's values. *)
+  let extents = [ 4; 4 ] in
+  let global = make_global ~margin: 0 ~extents in
+  let lb = local_bounds ~margin: 1 ~interior: extents ~grid: [ 2; 1 ] in
+  let local0 =
+    Driver.Domain.scatter_field ~global ~grid: [ 2; 1 ] ~local_bounds: lb
+      ~rank: 0
+  in
+  (* Rank 0's low-side halo row (-1) is outside the global buffer. *)
+  check float_c "outside halo is zero" 0.
+    (Interp.Rtval.as_float (Interp.Rtval.get local0 [ -1; 0 ]));
+  (* Its high-side halo row (2) is rank 1's first interior row. *)
+  check float_c "interior halo from neighbour"
+    (Interp.Rtval.as_float (Interp.Rtval.get global [ 2; 0 ]))
+    (Interp.Rtval.as_float (Interp.Rtval.get local0 [ 2; 0 ]))
+
+let test_rebased_gather_origin () =
+  (* Lowered code rebases locals to lo = 0; gather_interior's [origin]
+     shifts coordinates back by the halo width. *)
+  let extents = [ 4; 4 ] in
+  let global = make_global ~margin: 0 ~extents in
+  let lb = local_bounds ~margin: 1 ~interior: extents ~grid: [ 2; 2 ] in
+  let interior = [ 2; 2 ] in
+  let back =
+    Interp.Rtval.alloc_buffer ~lo: global.Interp.Rtval.lo
+      global.Interp.Rtval.shape global.Interp.Rtval.elt
+  in
+  for rank = 0 to 3 do
+    let local =
+      Driver.Domain.scatter_field ~global ~grid: [ 2; 2 ] ~local_bounds: lb
+        ~rank
+    in
+    (* Rebase: same data, logical origin moved to 0. *)
+    let rebased =
+      { local with Interp.Rtval.lo = List.map (fun _ -> 0) local.Interp.Rtval.lo }
+    in
+    Driver.Domain.gather_interior ~origin: [ 1; 1 ] ~global: back
+      ~local: rebased ~grid: [ 2; 2 ] ~interior ~rank ()
+  done;
+  check_interior_equal ~what: "rebased" (global, back, interior) ~extents
+
+let suite =
+  [
+    Alcotest.test_case "2D round-trip" `Quick test_roundtrip_2d;
+    Alcotest.test_case "3D 2x2x2 round-trip" `Quick test_roundtrip_3d;
+    Alcotest.test_case "1-cell slabs" `Quick test_one_cell_slabs;
+    Alcotest.test_case "non-divisible extents rejected" `Quick
+      test_non_divisible_rejected;
+    Alcotest.test_case "boundary halo zero-fill" `Quick test_boundary_halo_zero;
+    Alcotest.test_case "rebased gather origin" `Quick test_rebased_gather_origin;
+  ]

@@ -6,6 +6,8 @@ let () =
       ("interp", Test_interp.suite);
       ("lowering", Test_lowering.suite);
       ("mpi_sim", Test_mpi_sim.suite);
+      ("mpi_par", Test_mpi_par.suite);
+      ("domain", Test_domain.suite);
       ("distributed", Test_distributed.suite);
       ("hls", Test_hls.suite);
       ("frontends", Test_frontends.suite);
