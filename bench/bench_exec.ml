@@ -1,0 +1,165 @@
+(* Measured executor comparison: the tree-walking reference interpreter
+   vs the ahead-of-time closure compiler (Exec_compile) on the same fully
+   lowered modules.
+
+   Two settings per workload:
+   - serial: the cpu-sequential lowering of heat/wave, run single-rank on
+     each executor with identically initialized inputs; results must agree
+     bitwise (max abs diff exactly 0 — both executors perform the same
+     float operations in the same order).
+   - par4: the full distributed harness (mpi_par, 4 ranks) with each
+     executor driving the rank bodies; both runs are compared against the
+     interpreted serial oracle and against each other.
+
+   Results are also written to BENCH_exec.json.  The compiled executor is
+   the default for stencilc --run-par/--run-sim; this section is the
+   regression guard for the speedup that justifies that default. *)
+
+type row = {
+  workload : string;
+  mode : string;  (* "serial" or "par4" *)
+  interp_s : float;
+  compiled_s : float;
+  speedup : float;  (* interp / compiled wall *)
+  max_abs_diff : float;  (* compiled vs interpreted results *)
+}
+
+(* Fresh identically-initialized zero-based arguments for the lowered
+   module: executions mutate their input buffers, so every measured run
+   gets its own copy. *)
+let make_args field_specs =
+  List.map
+    (fun spec ->
+      Interp.Rtval.Rbuf (Driver.Harness.rebase (Driver.Harness.global_field ~seed: 0 spec)))
+    field_specs
+
+let buffers_of rvs =
+  List.filter_map
+    (function Interp.Rtval.Rbuf b -> Some b | _ -> None)
+    rvs
+
+(* All buffers an execution produced or mutated: results plus arguments. *)
+let observable args results = buffers_of results @ buffers_of args
+
+let max_diff_all a b =
+  if List.length a <> List.length b then infinity
+  else List.fold_left2 (fun acc x y -> Float.max acc (Driver.Simulate.max_abs_diff x y)) 0. a b
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Best-of-[reps] wall time; returns the last run's observable buffers. *)
+let measure ~reps runf args_of =
+  let best = ref infinity and obs = ref [] in
+  for _ = 1 to reps do
+    let args = args_of () in
+    let dt, results = time_run (fun () -> runf args) in
+    best := Float.min !best dt;
+    obs := observable args results
+  done;
+  (!best, !obs)
+
+let run_serial ~reps (name, m) : row =
+  let func = Driver.Harness.default_func m in
+  let specs = Driver.Harness.field_args m func in
+  let lowered = Core.Pipeline.compile ~verify: false Core.Pipeline.Cpu_sequential m in
+  let prep (e : Interp.Executor.t) = e.Interp.Executor.prepare lowered func in
+  let interp_run = prep Interp.Executor.interpreter in
+  let compiled_run = prep Exec_compile.executor in
+  let interp_s, interp_obs =
+    measure ~reps interp_run (fun () -> make_args specs)
+  in
+  let compiled_s, compiled_obs =
+    measure ~reps compiled_run (fun () -> make_args specs)
+  in
+  {
+    workload = name;
+    mode = "serial";
+    interp_s;
+    compiled_s;
+    speedup = interp_s /. compiled_s;
+    max_abs_diff = max_diff_all interp_obs compiled_obs;
+  }
+
+let run_par ~ranks (name, m) : row =
+  let interp =
+    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks m
+  in
+  let compiled =
+    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
+      ~executor: Exec_compile.executor m
+  in
+  {
+    workload = name;
+    mode = Printf.sprintf "par%d" ranks;
+    interp_s = interp.Driver.Harness.wall_s;
+    compiled_s = compiled.Driver.Harness.wall_s;
+    speedup = interp.Driver.Harness.wall_s /. compiled.Driver.Harness.wall_s;
+    max_abs_diff =
+      Float.max
+        (Driver.Harness.max_result_diff interp compiled)
+        (Float.max interp.Driver.Harness.max_diff_vs_serial
+           compiled.Driver.Harness.max_diff_vs_serial);
+  }
+
+let write_json (rows : row list) =
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"exec\",\n  \"entries\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"mode\": %S, \"interp_s\": %.6f, \
+         \"compiled_s\": %.6f, \"speedup\": %.3f, \"max_abs_diff\": %.17g}%s\n"
+        r.workload r.mode r.interp_s r.compiled_s r.speedup r.max_abs_diff
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run ?(smoke = false) () =
+  Printf.printf "== Measured executor comparison (interp vs compiled) ==\n";
+  let grid2 n = [ n; n ] in
+  let workloads =
+    if smoke then
+      [
+        ( "heat2d-so2",
+          (Workloads.heat ~grid: (grid2 64) ~timesteps: 8 ~dims: 2 ~so: 2 ())
+            .Workloads.module_ );
+      ]
+    else
+      [
+        ( "heat2d-so2",
+          (Workloads.heat ~grid: (grid2 96) ~timesteps: 8 ~dims: 2 ~so: 2 ())
+            .Workloads.module_ );
+        ( "wave2d-so4",
+          (Workloads.wave ~grid: (grid2 96) ~timesteps: 8 ~dims: 2 ~so: 4 ())
+            .Workloads.module_ );
+      ]
+  in
+  let reps = if smoke then 1 else 3 in
+  Printf.printf "   %-12s %7s %10s %12s %8s %10s\n" "workload" "mode"
+    "interp_s" "compiled_s" "speedup" "diff";
+  let rows =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun r ->
+            Printf.printf "   %-12s %7s %10.4f %12.4f %7.1fx %10.2e%s\n%!"
+              r.workload r.mode r.interp_s r.compiled_s r.speedup
+              r.max_abs_diff
+              (if r.max_abs_diff <> 0. then "  MISMATCH" else "");
+            r)
+          [ run_serial ~reps w; run_par ~ranks: 4 w ])
+      workloads
+  in
+  write_json rows;
+  Printf.printf "   (machine-readable copy: BENCH_exec.json)\n";
+  let bad = List.filter (fun r -> r.max_abs_diff <> 0.) rows in
+  if bad <> [] then begin
+    Printf.printf "   FAIL: %d row(s) diverged between executors\n"
+      (List.length bad);
+    exit 1
+  end;
+  print_newline ()

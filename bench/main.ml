@@ -75,6 +75,9 @@ let () =
   | "par" :: rest ->
       Bench_par.run ~smoke: (List.mem "--smoke" rest) ();
       exit 0
+  | "exec" :: rest ->
+      Bench_exec.run ~smoke: (List.mem "--smoke" rest) ();
+      exit 0
   | _ -> ());
   let selected =
     if args = [] then sections
@@ -85,6 +88,7 @@ let () =
     prerr_endline "unknown section; available:";
     List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) sections;
     prerr_endline "  par [--smoke]   (measured multicore execution)";
+    prerr_endline "  exec [--smoke]  (measured interp vs compiled executor)";
     exit 1
   end;
   Printf.printf

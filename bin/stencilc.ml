@@ -77,15 +77,25 @@ let distribute_pass ~ranks ~strategy =
 (* Execute the module end-to-end on an MPI substrate (--run-par/--run-sim):
    serial reference, distribute + lower, run, gather, compare. *)
 let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
-    m =
+    ~exec m =
+  let executor =
+    match Exec_compile.of_name exec with
+    | Some e -> e
+    | None ->
+        failwith
+          ("unknown executor: " ^ exec ^ " (expected "
+          ^ String.concat " or " Exec_compile.names
+          ^ ")")
+  in
   let trace = trace_out <> None in
   if trace then Obs.enable ();
   let r =
     Driver.Harness.run_distributed ~substrate
       ~strategy: (strategy_of_string strategy)
-      ~stall_timeout_s: stall_timeout ~trace ~ranks m
+      ~stall_timeout_s: stall_timeout ~trace ~executor ~ranks m
   in
   Format.printf "substrate:  %s@." r.Driver.Harness.substrate_name;
+  Format.printf "executor:   %s@." r.Driver.Harness.executor_name;
   Format.printf "ranks:      %d (topology %s)@." r.Driver.Harness.ranks
     (String.concat "x" (List.map string_of_int r.Driver.Harness.grid));
   Format.printf "domain:     %s@."
@@ -112,7 +122,7 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
 
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     print_after verify stats profile pass_stats trace_out run_par run_sim
-    stall_timeout =
+    stall_timeout exec =
   try
     (match Ir.Rewriter.driver_of_string rewrite_driver with
     | Some d -> Ir.Rewriter.set_default_driver d
@@ -134,10 +144,10 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     match (run_par, run_sim) with
     | Some ranks, _ ->
         execute_distributed ~substrate: Driver.Harness.Par ~ranks ~strategy
-          ~stall_timeout ~trace_out m
+          ~stall_timeout ~trace_out ~exec m
     | None, Some ranks ->
         execute_distributed ~substrate: Driver.Harness.Sim ~ranks ~strategy
-          ~stall_timeout ~trace_out m
+          ~stall_timeout ~trace_out ~exec m
     | None, None ->
     let selected =
       match (pipeline, passes) with
@@ -297,6 +307,16 @@ let stall_timeout_arg =
            made for $(docv) seconds while every domain is blocked, and \
            report each domain's pending operation.")
 
+let exec_arg =
+  Arg.(
+    value & opt string "compiled"
+    & info [ "exec" ] ~docv: "BACKEND"
+        ~doc:
+          "Execution backend for --run-par/--run-sim: compiled (default; \
+           ahead-of-time closure compilation of the lowered module) or \
+           interp (the tree-walking reference interpreter).  The serial \
+           reference is always interpreted.")
+
 let cmd =
   let doc = "shared stencil compilation stack driver" in
   Cmd.v
@@ -305,6 +325,7 @@ let cmd =
       const run_cmd $ input_arg $ demo_arg $ pipeline_arg $ passes_arg
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
-      $ trace_out_arg $ run_par_arg $ run_sim_arg $ stall_timeout_arg)
+      $ trace_out_arg $ run_par_arg $ run_sim_arg $ stall_timeout_arg
+      $ exec_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,7 @@ type result = {
   ranks : int;
   grid : int list;
   substrate_name : string;
+  executor_name : string;
   serial_wall_s : float;
   wall_s : float;
   max_diff_vs_serial : float;
@@ -92,9 +93,9 @@ let max_result_diff (a : result) (b : result) : float =
 module Runner (M : Mpi_intf.MPI_CORE) = struct
   module S = Simulate.Spmd (M)
 
-  let exec ?(trace = false) ~ranks ~func ~make_args ~collect m =
+  let exec ?(trace = false) ?executor ~ranks ~func ~make_args ~collect m =
     let comm =
-      S.run_spmd ~trace ~ranks ~func
+      S.run_spmd ~trace ?executor ~ranks ~func
         ~make_args: (fun ctx -> make_args (M.rank ctx))
         ~collect: (fun ctx _args results -> collect (M.rank ctx) results)
         m
@@ -107,8 +108,8 @@ module Par_runner = Runner (Mpi_par)
 
 let run_distributed ?(substrate = Sim)
     ?(strategy = Core.Decomposition.Slice2d) ?stall_timeout_s
-    ?queue_capacity ?(trace = false) ?(seed = 0) ?func ~ranks (m : Op.t) :
-    result =
+    ?queue_capacity ?(trace = false) ?executor ?(seed = 0) ?func ~ranks
+    (m : Op.t) : result =
   let func = match func with Some f -> f | None -> default_func m in
   let args = field_args m func in
   if args = [] then
@@ -183,13 +184,23 @@ let run_distributed ?(substrate = Sim)
         | _ -> ())
       results
   in
+  (* The serial reference above always runs on the interpreter — it is the
+     oracle; [executor] selects the backend for the distributed run only. *)
+  let executor_name =
+    match executor with
+    | Some e -> e.Interp.Executor.exec_name
+    | None -> Interp.Executor.interpreter.Interp.Executor.exec_name
+  in
   let t1 = Unix.gettimeofday () in
   let substrate_name, messages, bytes =
     match substrate with
-    | Sim -> Sim_runner.exec ~trace ~ranks ~func ~make_args ~collect lowered
+    | Sim ->
+        Sim_runner.exec ~trace ?executor ~ranks ~func ~make_args ~collect
+          lowered
     | Par ->
         Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
-            Par_runner.exec ~trace ~ranks ~func ~make_args ~collect lowered)
+            Par_runner.exec ~trace ?executor ~ranks ~func ~make_args ~collect
+              lowered)
   in
   let wall_s = Unix.gettimeofday () -. t1 in
   let max_diff_vs_serial =
@@ -201,6 +212,7 @@ let run_distributed ?(substrate = Sim)
     ranks;
     grid;
     substrate_name;
+    executor_name;
     serial_wall_s;
     wall_s;
     max_diff_vs_serial;

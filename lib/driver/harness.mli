@@ -12,6 +12,7 @@ type result = {
   ranks : int;
   grid : int list;  (** rank topology chosen by the distribution pass *)
   substrate_name : string;  (** "sim" or "par" *)
+  executor_name : string;  (** backend of the distributed run, e.g. "compiled" *)
   serial_wall_s : float;  (** wall-clock of the serial interpreter run *)
   wall_s : float;  (** wall-clock of the distributed run (incl. scatter/gather) *)
   max_diff_vs_serial : float;
@@ -29,6 +30,7 @@ val run_distributed :
   ?stall_timeout_s:float ->
   ?queue_capacity:int ->
   ?trace:bool ->
+  ?executor:Interp.Executor.t ->
   ?seed:int ->
   ?func:string ->
   ranks:int ->
@@ -38,8 +40,11 @@ val run_distributed :
     defaults to the first function with a [sym_name]; inputs are
     deterministically initialized from [seed] (default 0); [substrate]
     defaults to {!Sim}.  [stall_timeout_s]/[queue_capacity] configure the
-    {!Par} transport.  Every result buffer is gathered and compared
-    against its serial counterpart over the global interior. *)
+    {!Par} transport.  [executor] selects the backend for the
+    distributed run (default: reference interpreter); the serial
+    reference always runs interpreted, as the oracle.  Every result
+    buffer is gathered and compared against its serial counterpart over
+    the global interior. *)
 
 val max_result_diff : result -> result -> float
 (** Max abs interior difference between two runs' gathered results
@@ -52,3 +57,15 @@ val interior_diff :
 
 val default_func : Op.t -> string
 (** First function symbol in the module. *)
+
+val field_args : Op.t -> string -> (Typesys.ty * Typesys.bound list) list
+(** Field (buffer) arguments of a function: (element type, global bounds)
+    per buffer argument. *)
+
+val global_field :
+  seed:int -> Typesys.ty * Typesys.bound list -> Interp.Rtval.buffer
+(** Deterministically initialized global buffer for one field argument. *)
+
+val rebase : Interp.Rtval.buffer -> Interp.Rtval.buffer
+(** Alias of a buffer with all logical lower bounds set to zero (the
+    memref view of a field). *)

@@ -72,6 +72,7 @@ module Spmd (M : Mpi_intf.MPI_CORE) = struct
   module RL = Runtime_link.Make (M)
 
   let run_spmd ?(trace = false)
+      ?(executor = Interp.Executor.interpreter)
       ?(on_timeline : (M.comm -> unit) option) ~(ranks : int)
       ~(func : string) ~(make_args : M.rank_ctx -> Interp.Rtval.t list)
       ?(collect :
@@ -82,9 +83,15 @@ module Spmd (M : Mpi_intf.MPI_CORE) = struct
     let comm =
       M.run ~trace ~ranks (fun ctx ->
           let st = RL.create ctx in
-          let eng = Interp.Engine.create ~externs: (RL.externs_for st) m in
+          (* Preparation (interpreter setup or closure compilation) happens
+             per rank, inside the rank body: compiled closures then capture
+             no state shared across domains, and externs bind to this
+             rank's context. *)
+          let runf =
+            executor.Interp.Executor.prepare ~externs: (RL.externs_for st) m
+          in
           let args = make_args ctx in
-          let results = Interp.Engine.run eng func args in
+          let results = runf func args in
           match collect with
           | Some f ->
               Mutex.lock collect_mutex;
@@ -109,17 +116,17 @@ let run_spmd = Sim_exec.run_spmd
 (* Parallel execution with transport configuration: each rank is a real
    domain; a stall watchdog (Mpi_par.Stall) replaces the simulator's
    exact deadlock detection. *)
-let run_spmd_par ?stall_timeout_s ?queue_capacity ?trace ?on_timeline ~ranks
-    ~func ~make_args ?collect m =
+let run_spmd_par ?stall_timeout_s ?queue_capacity ?trace ?executor
+    ?on_timeline ~ranks ~func ~make_args ?collect m =
   Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
-      Par_exec.run_spmd ?trace ?on_timeline ~ranks ~func ~make_args ?collect
-        m)
+      Par_exec.run_spmd ?trace ?executor ?on_timeline ~ranks ~func ~make_args
+        ?collect m)
 
-(* Serial execution (no MPI): interpret [func] with the given arguments. *)
-let run_serial ~(func : string) (m : Op.t) (args : Interp.Rtval.t list) :
-    Interp.Rtval.t list =
-  let eng = Interp.Engine.create m in
-  Interp.Engine.run eng func args
+(* Serial execution (no MPI): run [func] with the given arguments on the
+   chosen executor (the reference interpreter by default). *)
+let run_serial ?(executor = Interp.Executor.interpreter) ~(func : string)
+    (m : Op.t) (args : Interp.Rtval.t list) : Interp.Rtval.t list =
+  executor.Interp.Executor.prepare m func args
 
 (* Maximum absolute difference between two float buffers, used by
    equivalence checks throughout tests and examples. *)

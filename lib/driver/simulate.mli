@@ -19,6 +19,7 @@ module Spmd (M : Mpi_intf.MPI_CORE) : sig
 
   val run_spmd :
     ?trace:bool ->
+    ?executor:Interp.Executor.t ->
     ?on_timeline:(M.comm -> unit) ->
     ranks:int ->
     func:string ->
@@ -33,6 +34,11 @@ module Spmd (M : Mpi_intf.MPI_CORE) : sig
       calls are serialized, so collectors need no locking of their own).
       Returns the communicator for traffic inspection.
 
+      [executor] selects the execution backend (the reference
+      interpreter by default); preparation — interpreter setup or
+      closure compilation — happens per rank inside the rank body, so
+      compiled programs share no mutable state across domains.
+
       [trace] records the runtime's per-rank event timeline; the
       [on_timeline] hook (which implies [trace]) receives the
       communicator once all ranks finish, and when the {!Obs} sink is
@@ -45,6 +51,7 @@ module Par_exec : module type of Spmd (Mpi_par)
 
 val run_spmd :
   ?trace:bool ->
+  ?executor:Interp.Executor.t ->
   ?on_timeline:(Mpi_sim.comm -> unit) ->
   ranks:int ->
   func:string ->
@@ -59,6 +66,7 @@ val run_spmd_par :
   ?stall_timeout_s:float ->
   ?queue_capacity:int ->
   ?trace:bool ->
+  ?executor:Interp.Executor.t ->
   ?on_timeline:(Mpi_par.comm -> unit) ->
   ranks:int ->
   func:string ->
@@ -80,7 +88,14 @@ val events_to_obs : Mpi_intf.timeline_event list -> unit
 val timeline_to_obs : Mpi_sim.comm -> unit
 (** [events_to_obs] over a simulator communicator's timeline. *)
 
-val run_serial : func:string -> Op.t -> Interp.Rtval.t list -> Interp.Rtval.t list
+val run_serial :
+  ?executor:Interp.Executor.t ->
+  func:string ->
+  Op.t ->
+  Interp.Rtval.t list ->
+  Interp.Rtval.t list
+(** Serial execution (no MPI) of [func] on the chosen executor (the
+    reference interpreter by default). *)
 
 val max_abs_diff : Interp.Rtval.buffer -> Interp.Rtval.buffer -> float
 (** Equivalence metric used throughout tests and examples (infinite when

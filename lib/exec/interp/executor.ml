@@ -1,0 +1,53 @@
+(* The executor seam of the execution half of the stack.
+
+   An executor turns a module into something runnable: the tree-walking
+   reference interpreter ([Engine]) and the ahead-of-time closure compiler
+   ([Exec_compile], in lib/exec/compile) both implement the [EXECUTOR]
+   signature, and everything downstream — [Driver.Simulate.Spmd],
+   [Driver.Harness], stencilc's --run-par/--run-sim, the bench harness —
+   is written against the packed first-class form [t], so the execution
+   backend is a runtime choice while the MPI substrates stay orthogonal. *)
+
+(* External-call handler, shared by every executor: the [Runtime_link]
+   binding implements the MPI_* ABI against either substrate through this
+   type. *)
+type externs = Engine.externs
+
+module type EXECUTOR = sig
+  val name : string
+
+  (* A prepared module: interpreter state or compiled closures. *)
+  type prog
+
+  val prepare : ?externs:externs -> Ir.Op.t -> prog
+  val run : prog -> string -> Rtval.t list -> Rtval.t list
+end
+
+(* Packed executor for runtime selection (e.g. stencilc --exec).
+   [prepare] does all per-module work (slot resolution, closure
+   compilation); the returned function only executes. *)
+type t = {
+  exec_name : string;
+  prepare : ?externs:externs -> Ir.Op.t -> string -> Rtval.t list -> Rtval.t list;
+}
+
+let pack (module E : EXECUTOR) : t =
+  {
+    exec_name = E.name;
+    prepare =
+      (fun ?externs m ->
+        let prog = E.prepare ?externs m in
+        E.run prog);
+  }
+
+(* The reference interpreter as an executor. *)
+module Interpreter : EXECUTOR = struct
+  let name = "interp"
+
+  type prog = Engine.t
+
+  let prepare ?externs m = Engine.create ?externs m
+  let run = Engine.run
+end
+
+let interpreter = pack (module Interpreter)

@@ -13,6 +13,12 @@ dune runtest
 # (stencilc exits non-zero on any divergence).
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 > /dev/null
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
+# Compiled-executor smoke: the closure-compiled backend must agree with
+# the serial interpreter bitwise (stencilc exits non-zero otherwise).
+dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --exec=compiled > /dev/null
+dune exec bin/stencilc.exe -- --demo heat2d --run-sim 2 --exec=interp > /dev/null
 # Bench par section, smoke sizes: sim vs par cross-check, BENCH_par.json.
 dune exec bench/main.exe -- par --smoke > /dev/null
+# Bench exec section, smoke sizes: interp vs compiled, BENCH_exec.json.
+dune exec bench/main.exe -- exec --smoke > /dev/null
 echo "check.sh: all checks passed"

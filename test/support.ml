@@ -1,0 +1,35 @@
+(* Shared helpers for the test suites. *)
+
+(* Substring search (the suites match needles in error reports and
+   captured tool output). *)
+let contains hay needle =
+  let ln = String.length needle and lm = String.length hay in
+  let rec scan i =
+    i + ln <= lm && (String.sub hay i ln = needle || scan (i + 1))
+  in
+  scan 0
+
+(* Fail the test when [hay] lacks [needle]; [what] names the haystack in
+   the failure message. *)
+let assert_contains ~what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s %S lacks %S" what hay needle
+
+(* Absolute path of the built stencilc binary.  The dune test stanza sets
+   STENCILC to the declared ../bin/stencilc.exe dependency (relative to
+   the test's build directory, which is also its cwd at startup); outside
+   dune — or after a chdir — fall back to resolving it as a sibling of
+   the running test executable, which always lives in
+   _build/<ctx>/test/. *)
+let stencilc_path () =
+  let absolutize p =
+    if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+  in
+  match Sys.getenv_opt "STENCILC" with
+  | Some p when Sys.file_exists p -> absolutize p
+  | _ ->
+      absolutize
+        (Filename.concat
+           (Filename.dirname Sys.executable_name)
+           (Filename.concat Filename.parent_dir_name
+              (Filename.concat "bin" "stencilc.exe")))

@@ -4,6 +4,7 @@ let () =
       ("ir", Test_ir.suite);
       ("rewriter", Test_rewriter.suite);
       ("interp", Test_interp.suite);
+      ("exec_compile", Test_exec_compile.suite);
       ("lowering", Test_lowering.suite);
       ("mpi_sim", Test_mpi_sim.suite);
       ("mpi_par", Test_mpi_par.suite);

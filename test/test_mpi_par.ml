@@ -9,10 +9,7 @@ let check = Alcotest.check
 let int_c = Alcotest.int
 let float_c = Alcotest.float 1e-9
 
-let contains msg needle =
-  let ln = String.length needle and lm = String.length msg in
-  let rec scan i = i + ln <= lm && (String.sub msg i ln = needle || scan (i + 1)) in
-  if not (scan 0) then Alcotest.failf "report %S lacks %S" msg needle
+let contains msg needle = Support.assert_contains ~what: "report" msg needle
 
 (* --- substrate-generic tests, instantiated for both runtimes --- *)
 

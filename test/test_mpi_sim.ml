@@ -172,12 +172,7 @@ let test_deadlock_detection () =
    with Mpi_sim.Deadlock msg ->
      (* The report names every stuck rank and what it is blocked on. *)
      let contains needle =
-       let ln = String.length needle and lm = String.length msg in
-       let rec scan i =
-         i + ln <= lm && (String.sub msg i ln = needle || scan (i + 1))
-       in
-       if not (scan 0) then
-         Alcotest.failf "deadlock report %S lacks %S" msg needle
+       Support.assert_contains ~what: "deadlock report" msg needle
      in
      contains "rank 0";
      contains "rank 1";

@@ -464,11 +464,7 @@ let test_deadlock_names_ranks () =
         check bool_c
           (Printf.sprintf "message mentions %S" needle)
           true
-          (let ln = String.length needle and lm = String.length msg in
-           let rec scan i =
-             i + ln <= lm && (String.sub msg i ln = needle || scan (i + 1))
-           in
-           scan 0)
+          (Support.contains msg needle)
       in
       has "rank 0";
       has "rank 1";
@@ -479,49 +475,60 @@ let test_deadlock_names_ranks () =
 (* --- stencilc --profile smoke run (the built binary is a test dep) --- *)
 
 let test_stencilc_profile_smoke () =
-  let trace_file = "obs_smoke_trace.json" in
-  let rc =
-    Sys.command
-      (Printf.sprintf
-         "../bin/stencilc.exe --demo heat2d -p distributed-cpu-4 --profile \
-          --trace-out %s > obs_smoke_out.txt 2> obs_smoke_err.txt"
-         trace_file)
-  in
-  check int_c "stencilc --profile exits 0" 0 rc;
-  let slurp path = In_channel.with_open_text path In_channel.input_all in
-  let err = slurp "obs_smoke_err.txt" in
-  let contains hay needle =
-    let ln = String.length needle and lm = String.length hay in
-    let rec scan i =
-      i + ln <= lm && (String.sub hay i ln = needle || scan (i + 1))
-    in
-    scan 0
-  in
-  check bool_c "pass table printed" true (contains err "pass");
-  check bool_c "trace summary printed" true (contains err "trace summary");
-  (* The trace file is valid JSON with >= 1 begin span per pipeline pass. *)
-  let evs = trace_events_of (parse_json (slurp trace_file)) in
-  check bool_c "trace has events" true (evs <> []);
-  let pl =
-    List.assoc "distributed-cpu-4" Pipeline.named_pipelines
-  in
-  List.iter
-    (fun (pass : Pass.t) ->
-      let spans =
-        List.filter
-          (fun ev ->
-            match ev with
-            | Jobj fields ->
-                List.assoc_opt "name" fields = Some (Jstr pass.Pass.name)
-                && List.assoc_opt "ph" fields = Some (Jstr "B")
-            | _ -> false)
-          evs
+  (* The binary path comes from the dune stanza (STENCILC) with a
+     fallback next to the test executable, and all artifacts live in a
+     temp dir, so this test is independent of the invoking cwd and
+     leaves nothing behind. *)
+  let stencilc = Support.stencilc_path () in
+  let dir = Filename.temp_dir "obs_smoke" "" in
+  let out_file = Filename.concat dir "obs_smoke_out.txt" in
+  let err_file = Filename.concat dir "obs_smoke_err.txt" in
+  let trace_file = Filename.concat dir "obs_smoke_trace.json" in
+  Fun.protect
+    ~finally: (fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ out_file; err_file; trace_file ];
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let rc =
+        Sys.command
+          (Printf.sprintf
+             "%s --demo heat2d -p distributed-cpu-4 --profile --trace-out \
+              %s > %s 2> %s"
+             (Filename.quote stencilc)
+             (Filename.quote trace_file)
+             (Filename.quote out_file)
+             (Filename.quote err_file))
       in
-      check bool_c
-        (Printf.sprintf "trace has a span for pass %s" pass.Pass.name)
-        true
-        (spans <> []))
-    pl.Pass.passes
+      check int_c "stencilc --profile exits 0" 0 rc;
+      let slurp path = In_channel.with_open_text path In_channel.input_all in
+      let err = slurp err_file in
+      check bool_c "pass table printed" true (Support.contains err "pass");
+      check bool_c "trace summary printed" true
+        (Support.contains err "trace summary");
+      (* The trace file is valid JSON with >= 1 begin span per pipeline
+         pass. *)
+      let evs = trace_events_of (parse_json (slurp trace_file)) in
+      check bool_c "trace has events" true (evs <> []);
+      let pl = List.assoc "distributed-cpu-4" Pipeline.named_pipelines in
+      List.iter
+        (fun (pass : Pass.t) ->
+          let spans =
+            List.filter
+              (fun ev ->
+                match ev with
+                | Jobj fields ->
+                    List.assoc_opt "name" fields = Some (Jstr pass.Pass.name)
+                    && List.assoc_opt "ph" fields = Some (Jstr "B")
+                | _ -> false)
+              evs
+          in
+          check bool_c
+            (Printf.sprintf "trace has a span for pass %s" pass.Pass.name)
+            true
+            (spans <> []))
+        pl.Pass.passes)
 
 let suite =
   [
