@@ -241,7 +241,8 @@ let rewrite_driver () =
       pipelines
   in
   Ir.Rewriter.set_default_driver Ir.Rewriter.Worklist;
-  let oc = open_out "BENCH_rewrite.json" in
+  let json_path = Bench_paths.artifact "BENCH_rewrite.json" in
+  let oc = open_out json_path in
   Printf.fprintf oc "{\n  \"bench\": \"rewrite_driver\",\n  \"entries\": [\n";
   List.iteri
     (fun i (label, dname, wall, apps) ->
@@ -253,7 +254,7 @@ let rewrite_driver () =
     entries;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "    (machine-readable copy: BENCH_rewrite.json)\n"
+  Printf.printf "    (machine-readable copy: %s)\n" json_path
 
 let run () =
   Printf.printf "== Ablations ==\n";

@@ -17,7 +17,8 @@
 
 type row = {
   workload : string;
-  mode : string;  (* "serial" or "par4" *)
+  mode : string;  (* "serial", "par4" or "par4-nooverlap" *)
+  overlap : bool option;  (* None for serial rows *)
   interp_s : float;
   compiled_s : float;
   speedup : float;  (* interp / compiled wall *)
@@ -77,23 +78,41 @@ let run_serial ~reps (name, m) : row =
   {
     workload = name;
     mode = "serial";
+    overlap = None;
     interp_s;
     compiled_s;
     speedup = interp_s /. compiled_s;
     max_abs_diff = max_diff_all interp_obs compiled_obs;
   }
 
-let run_par ~ranks (name, m) : row =
+(* Best-of-[reps] distributed run: wall times of domain runs on a shared
+   host are noisy, so keep the fastest wall clock (correctness fields
+   are identical across reps — the runs are deterministic). *)
+let best_distributed ~reps run =
+  let first = run () in
+  let best = ref first in
+  for _ = 2 to reps do
+    let r = run () in
+    if r.Driver.Harness.wall_s < !best.Driver.Harness.wall_s then best := r
+  done;
+  !best
+
+let run_par ~reps ~ranks ~overlap (name, m) : row =
   let interp =
-    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks m
+    best_distributed ~reps (fun () ->
+        Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
+          ~overlap m)
   in
   let compiled =
-    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
-      ~executor: Exec_compile.executor m
+    best_distributed ~reps (fun () ->
+        Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
+          ~overlap ~executor: Exec_compile.executor m)
   in
   {
     workload = name;
-    mode = Printf.sprintf "par%d" ranks;
+    mode =
+      Printf.sprintf "par%d%s" ranks (if overlap then "" else "-nooverlap");
+    overlap = Some overlap;
     interp_s = interp.Driver.Harness.wall_s;
     compiled_s = compiled.Driver.Harness.wall_s;
     speedup = interp.Driver.Harness.wall_s /. compiled.Driver.Harness.wall_s;
@@ -105,18 +124,25 @@ let run_par ~ranks (name, m) : row =
   }
 
 let write_json (rows : row list) =
-  let oc = open_out "BENCH_exec.json" in
+  let path = Bench_paths.artifact "BENCH_exec.json" in
+  let oc = open_out path in
   Printf.fprintf oc "{\n  \"bench\": \"exec\",\n  \"entries\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "    {\"workload\": %S, \"mode\": %S, \"interp_s\": %.6f, \
-         \"compiled_s\": %.6f, \"speedup\": %.3f, \"max_abs_diff\": %.17g}%s\n"
-        r.workload r.mode r.interp_s r.compiled_s r.speedup r.max_abs_diff
+        "    {\"workload\": %S, \"mode\": %S, \"overlap\": %s, \"interp_s\": \
+         %.6f, \"compiled_s\": %.6f, \"speedup\": %.3f, \"max_abs_diff\": \
+         %.17g}%s\n"
+        r.workload r.mode
+        (match r.overlap with
+        | Some b -> string_of_bool b
+        | None -> "null")
+        r.interp_s r.compiled_s r.speedup r.max_abs_diff
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+  close_out oc;
+  path
 
 let run ?(smoke = false) () =
   Printf.printf "== Measured executor comparison (interp vs compiled) ==\n";
@@ -151,11 +177,15 @@ let run ?(smoke = false) () =
               r.max_abs_diff
               (if r.max_abs_diff <> 0. then "  MISMATCH" else "");
             r)
-          [ run_serial ~reps w; run_par ~ranks: 4 w ])
+          [
+            run_serial ~reps w;
+            run_par ~reps ~ranks: 4 ~overlap: true w;
+            run_par ~reps ~ranks: 4 ~overlap: false w;
+          ])
       workloads
   in
-  write_json rows;
-  Printf.printf "   (machine-readable copy: BENCH_exec.json)\n";
+  let path = write_json rows in
+  Printf.printf "   (machine-readable copy: %s)\n" path;
   let bad = List.filter (fun r -> r.max_abs_diff <> 0.) rows in
   if bad <> [] then begin
     Printf.printf "   FAIL: %d row(s) diverged between executors\n"

@@ -1,69 +1,122 @@
 (* Measured parallel execution: the fig7 heat and fig10-class wave
    workloads run end-to-end through the full distributed pipeline on BOTH
    substrates — the deterministic fiber simulator (mpi_sim) and the real
-   multicore domain runtime (mpi_par) — at increasing rank counts.
+   multicore domain runtime (mpi_par) — at increasing rank counts, with
+   the compiled executor driving every rank body (the same backend
+   stencilc --run-par uses), and with communication/computation overlap
+   both on (the default executed pipeline) and off (the ablation).
 
-   Per (workload, ranks) row we report the serial interpreter wall time,
-   each substrate's wall time, the mpi_par speedup over serial, and the
-   cross-substrate max abs difference of the gathered results (must be
-   exactly 0: both substrates share the collective reduction order, so
-   floating point agrees bitwise).
+   Per (workload, ranks, overlap) row we report the serial interpreter
+   wall time, each substrate's wall time, the substrate traffic
+   (messages/bytes from the mpi_par run), and the cross-substrate max abs
+   difference of the gathered results (must be exactly 0: both substrates
+   share the collective reduction order, so floating point agrees
+   bitwise).
 
-   Results are also written to BENCH_par.json.  Note: measured speedup
-   depends on the host core count ([Mpi_par.host_cores]); on a single-core
-   host the parallel runtime is exercised for correctness but cannot beat
-   serial. *)
+   Speedup honesty: each row records the host's effective core count and
+   an [oversubscribed] flag; when [ranks > host_cores] the domains time-
+   share cores and serial/par is not a parallel speedup, so the speedup
+   column is omitted (null in JSON, "-" in the table).
+
+   Results are also written to BENCH_par.json at the repo root (or
+   --out-dir), wherever the binary is run from. *)
 
 type row = {
   workload : string;
   ranks : int;
+  overlap : bool;
   grid : string;
+  executor : string;
   serial_s : float;
   sim_s : float;
   par_s : float;
-  speedup : float;  (* serial / par wall *)
+  host_cores : int;
+  oversubscribed : bool;
+  speedup : float option;  (* serial / par wall; None when oversubscribed *)
+  messages : int;  (* mpi_par point-to-point messages *)
+  bytes : int;  (* mpi_par payload bytes *)
   cross_diff : float;  (* par vs sim gathered results *)
   par_diff : float;  (* par vs serial reference *)
 }
 
-let run_workload (name, m) ~ranks : row =
-  let sim = Driver.Harness.run_distributed ~substrate: Driver.Harness.Sim ~ranks m in
-  let par = Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks m in
+(* Best-of-[reps] distributed run: wall times of domain runs on a shared
+   host are noisy, so keep the fastest wall clock (correctness fields
+   are identical across reps — the runs are deterministic). *)
+let best_distributed ~reps run =
+  let first = run () in
+  let best = ref first in
+  for _ = 2 to reps do
+    let r = run () in
+    if r.Driver.Harness.wall_s < !best.Driver.Harness.wall_s then best := r
+  done;
+  !best
+
+let run_workload (name, m) ~reps ~ranks ~overlap : row =
+  let executor = Exec_compile.executor in
+  let sim =
+    best_distributed ~reps (fun () ->
+        Driver.Harness.run_distributed ~substrate: Driver.Harness.Sim ~ranks
+          ~overlap ~executor m)
+  in
+  let par =
+    best_distributed ~reps (fun () ->
+        Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
+          ~overlap ~executor m)
+  in
+  let host_cores = Mpi_par.host_cores () in
+  let oversubscribed = ranks > host_cores in
   {
     workload = name;
     ranks;
+    overlap;
     grid = String.concat "x" (List.map string_of_int par.Driver.Harness.grid);
+    executor = par.Driver.Harness.executor_name;
     serial_s = par.Driver.Harness.serial_wall_s;
     sim_s = sim.Driver.Harness.wall_s;
     par_s = par.Driver.Harness.wall_s;
-    speedup = par.Driver.Harness.serial_wall_s /. par.Driver.Harness.wall_s;
+    host_cores;
+    oversubscribed;
+    speedup =
+      (if oversubscribed then None
+       else
+         Some (par.Driver.Harness.serial_wall_s /. par.Driver.Harness.wall_s));
+    messages = par.Driver.Harness.messages;
+    bytes = par.Driver.Harness.bytes;
     cross_diff = Driver.Harness.max_result_diff par sim;
     par_diff = par.Driver.Harness.max_diff_vs_serial;
   }
 
 let write_json (rows : row list) =
-  let oc = open_out "BENCH_par.json" in
+  let path = Bench_paths.artifact "BENCH_par.json" in
+  let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"bench\": \"par\",\n  \"host_cores\": %d,\n  \"entries\": [\n"
     (Mpi_par.host_cores ());
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "    {\"workload\": %S, \"ranks\": %d, \"grid\": %S, \"serial_s\": \
-         %.6f, \"sim_s\": %.6f, \"par_s\": %.6f, \"speedup\": %.3f, \
+        "    {\"workload\": %S, \"ranks\": %d, \"overlap\": %b, \"grid\": \
+         %S, \"executor\": %S, \"serial_s\": %.6f, \"sim_s\": %.6f, \
+         \"par_s\": %.6f, \"host_cores\": %d, \"oversubscribed\": %b, \
+         \"speedup\": %s, \"messages\": %d, \"bytes\": %d, \
          \"max_abs_diff_par_vs_sim\": %.17g, \"max_abs_diff_par_vs_serial\": \
          %.17g}%s\n"
-        r.workload r.ranks r.grid r.serial_s r.sim_s r.par_s r.speedup
-        r.cross_diff r.par_diff
+        r.workload r.ranks r.overlap r.grid r.executor r.serial_s r.sim_s
+        r.par_s r.host_cores r.oversubscribed
+        (match r.speedup with
+        | Some s -> Printf.sprintf "%.3f" s
+        | None -> "null")
+        r.messages r.bytes r.cross_diff r.par_diff
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+  close_out oc;
+  path
 
 let run ?(smoke = false) () =
   Printf.printf "== Measured parallel execution (mpi_par vs mpi_sim) ==\n";
   Printf.printf "   host cores: %d%s\n" (Mpi_par.host_cores ())
-    (if (Mpi_par.host_cores ()) = 1 then
+    (if Mpi_par.host_cores () = 1 then
        " (speedup > 1 not expected on a single-core host)"
      else "");
   let grid2 n = [ n; n ] in
@@ -77,36 +130,61 @@ let run ?(smoke = false) () =
     else
       [
         ( "heat2d-so2",
-          (Workloads.heat ~grid: (grid2 48) ~timesteps: 4 ~dims: 2 ~so: 2 ())
+          (Workloads.heat ~grid: (grid2 96) ~timesteps: 8 ~dims: 2 ~so: 2 ())
             .Workloads.module_ );
         ( "wave2d-so4",
-          (Workloads.wave ~grid: (grid2 48) ~timesteps: 4 ~dims: 2 ~so: 4 ())
+          (Workloads.wave ~grid: (grid2 96) ~timesteps: 8 ~dims: 2 ~so: 4 ())
             .Workloads.module_ );
       ]
   in
   let rank_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-  Printf.printf
-    "   %-12s %5s %6s %10s %10s %10s %8s %10s\n" "workload" "ranks" "grid"
-    "serial_s" "sim_s" "par_s" "speedup" "par-sim";
+  let reps = if smoke then 1 else 3 in
+  (* The overlap ablation runs at the largest rank count only; all other
+     rows measure the default (overlap-on) executed pipeline. *)
+  let ablation_ranks = List.fold_left max 1 rank_counts in
+  let configs =
+    List.concat_map
+      (fun ranks ->
+        if ranks = ablation_ranks then
+          [ (ranks, true); (ranks, false) ]
+        else [ (ranks, true) ])
+      rank_counts
+  in
+  Printf.printf "   %-12s %5s %3s %6s %10s %10s %10s %8s %9s %9s %10s\n"
+    "workload" "ranks" "ov" "grid" "serial_s" "sim_s" "par_s" "speedup"
+    "msgs" "bytes" "par-sim";
   let rows =
     List.concat_map
       (fun w ->
         List.map
-          (fun ranks ->
-            let r = run_workload w ~ranks in
+          (fun (ranks, overlap) ->
+            let r = run_workload w ~reps ~ranks ~overlap in
             Printf.printf
-              "   %-12s %5d %6s %10.4f %10.4f %10.4f %7.2fx %10.2e%s\n%!"
-              r.workload r.ranks r.grid r.serial_s r.sim_s r.par_s r.speedup
-              r.cross_diff
+              "   %-12s %5d %3s %6s %10.4f %10.4f %10.4f %8s %9d %9d \
+               %10.2e%s\n\
+               %!"
+              r.workload r.ranks
+              (if r.overlap then "on" else "off")
+              r.grid r.serial_s r.sim_s r.par_s
+              (match r.speedup with
+              | Some s -> Printf.sprintf "%7.2fx" s
+              | None -> "      -")
+              r.messages r.bytes r.cross_diff
               (if r.cross_diff <> 0. || r.par_diff <> 0. then "  MISMATCH"
                else "");
             r)
-          rank_counts)
+          configs)
       workloads
   in
-  write_json rows;
-  Printf.printf "   (machine-readable copy: BENCH_par.json)\n";
-  let bad = List.filter (fun r -> r.cross_diff <> 0. || r.par_diff <> 0.) rows in
+  let path = write_json rows in
+  Printf.printf "   (machine-readable copy: %s)\n" path;
+  (if List.exists (fun r -> r.oversubscribed) rows then
+     Printf.printf
+       "   (speedup omitted on rows with ranks > host cores: domains \
+        time-share cores there)\n");
+  let bad =
+    List.filter (fun r -> r.cross_diff <> 0. || r.par_diff <> 0.) rows
+  in
   if bad <> [] then begin
     Printf.printf "   FAIL: %d row(s) diverged between substrates\n"
       (List.length bad);

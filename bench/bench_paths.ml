@@ -1,0 +1,36 @@
+(* Where bench artifacts (BENCH_*.json) land.
+
+   The writers used to open cwd-relative paths, so running the bench
+   binary from anywhere but the repo root scattered JSON files around the
+   filesystem.  Artifacts now resolve against the repo root — found by
+   walking up from the executable (dune places it under _build/ inside
+   the root) to the TOPMOST directory containing a dune-project, which
+   skips the dune-project copy inside _build/default — or against an
+   explicit --out-dir override. *)
+
+let out_dir_override : string option ref = ref None
+let set_out_dir dir = out_dir_override := Some dir
+
+let repo_root () =
+  let exe =
+    if Filename.is_relative Sys.executable_name then
+      Filename.concat (Sys.getcwd ()) Sys.executable_name
+    else Sys.executable_name
+  in
+  let rec climb dir best =
+    let best =
+      if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+      else best
+    in
+    let parent = Filename.dirname dir in
+    if parent = dir then best else climb parent best
+  in
+  match climb (Filename.dirname exe) None with
+  | Some root -> root
+  | None -> Sys.getcwd ()
+
+let out_dir () =
+  match !out_dir_override with Some d -> d | None -> repo_root ()
+
+let artifact name = Filename.concat (out_dir ()) name
+(** Absolute path for a named bench artifact. *)

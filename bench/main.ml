@@ -66,8 +66,21 @@ let print_pass_table section =
       Obs.disable ();
       print_newline ()
 
+(* Strip a leading-anywhere [--out-dir DIR] pair from the argument list,
+   configuring where BENCH_*.json artifacts land (default: the repo
+   root, wherever the binary is run from). *)
+let rec extract_out_dir = function
+  | [] -> []
+  | "--out-dir" :: dir :: rest ->
+      Bench_paths.set_out_dir dir;
+      extract_out_dir rest
+  | [ "--out-dir" ] ->
+      prerr_endline "--out-dir requires a directory argument";
+      exit 1
+  | a :: rest -> a :: extract_out_dir rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = extract_out_dir (List.tl (Array.to_list Sys.argv)) in
   (* "par" measures real multicore execution; it is dispatched explicitly
      (with an optional --smoke flag) and not part of the default model-based
      section sweep. *)
@@ -89,6 +102,7 @@ let () =
     List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) sections;
     prerr_endline "  par [--smoke]   (measured multicore execution)";
     prerr_endline "  exec [--smoke]  (measured interp vs compiled executor)";
+    prerr_endline "  --out-dir DIR   (where BENCH_*.json land; default repo root)";
     exit 1
   end;
   Printf.printf

@@ -77,7 +77,7 @@ let distribute_pass ~ranks ~strategy =
 (* Execute the module end-to-end on an MPI substrate (--run-par/--run-sim):
    serial reference, distribute + lower, run, gather, compare. *)
 let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
-    ~exec m =
+    ~exec ~overlap m =
   let executor =
     match Exec_compile.of_name exec with
     | Some e -> e
@@ -92,10 +92,12 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
   let r =
     Driver.Harness.run_distributed ~substrate
       ~strategy: (strategy_of_string strategy)
-      ~stall_timeout_s: stall_timeout ~trace ~executor ~ranks m
+      ~stall_timeout_s: stall_timeout ~trace ~executor ~overlap ~ranks m
   in
   Format.printf "substrate:  %s@." r.Driver.Harness.substrate_name;
   Format.printf "executor:   %s@." r.Driver.Harness.executor_name;
+  Format.printf "overlap:    %s@."
+    (if r.Driver.Harness.overlap then "on" else "off");
   Format.printf "ranks:      %d (topology %s)@." r.Driver.Harness.ranks
     (String.concat "x" (List.map string_of_int r.Driver.Harness.grid));
   Format.printf "domain:     %s@."
@@ -122,7 +124,7 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
 
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     print_after verify stats profile pass_stats trace_out run_par run_sim
-    stall_timeout exec =
+    stall_timeout exec overlap =
   try
     (match Ir.Rewriter.driver_of_string rewrite_driver with
     | Some d -> Ir.Rewriter.set_default_driver d
@@ -144,10 +146,10 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     match (run_par, run_sim) with
     | Some ranks, _ ->
         execute_distributed ~substrate: Driver.Harness.Par ~ranks ~strategy
-          ~stall_timeout ~trace_out ~exec m
+          ~stall_timeout ~trace_out ~exec ~overlap m
     | None, Some ranks ->
         execute_distributed ~substrate: Driver.Harness.Sim ~ranks ~strategy
-          ~stall_timeout ~trace_out ~exec m
+          ~stall_timeout ~trace_out ~exec ~overlap m
     | None, None ->
     let selected =
       match (pipeline, passes) with
@@ -317,6 +319,16 @@ let exec_arg =
            interp (the tree-walking reference interpreter).  The serial \
            reference is always interpreted.")
 
+let overlap_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "overlap" ] ~docv: "BOOL"
+        ~doc:
+          "Communication/computation overlap for --run-par/--run-sim \
+           (default true): split-phase halo exchanges with interior \
+           compute while messages are in flight.  Pass --overlap=false \
+           for the fused swap pipeline.")
+
 let cmd =
   let doc = "shared stencil compilation stack driver" in
   Cmd.v
@@ -326,6 +338,6 @@ let cmd =
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
       $ trace_out_arg $ run_par_arg $ run_sim_arg $ stall_timeout_arg
-      $ exec_arg)
+      $ exec_arg $ overlap_arg)
 
 let () = exit (Cmd.eval' cmd)

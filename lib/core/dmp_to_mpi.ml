@@ -1,20 +1,29 @@
 (* Lowering dmp.swap to the mpi dialect (paper §4.2/§4.3, fig. 4).
 
    Each swap becomes, per exchange declaration:
-   - temporary contiguous send/receive buffers (allocations are hoisted out
-     of time loops by the shared LICM pass, mirroring the paper's hoisting
-     of loop-invariant calls);
+   - temporary contiguous send/receive buffers (argument-less allocations,
+     which the shared LICM pass hoists out of time loops, mirroring the
+     paper's hoisting of loop-invariant calls — exchange buffers are
+     allocated once, not per timestep);
    - the neighbor-rank computation from the cartesian topology, with an
      existence check for ranks on the domain boundary;
-   - packing of the send subregion into the send buffer, then non-blocking
-     mpi.isend / mpi.irecv under an scf.if (skipped exchanges yield null
-     requests, as the paper notes);
+   - bulk packing of the send subregion into the send buffer with a single
+     memref.copy_strided (all geometry static — executors turn it into
+     Array.blit runs, not per-element loops), then non-blocking mpi.isend /
+     mpi.irecv under an scf.if (skipped exchanges yield null requests, as
+     the paper notes);
    - one mpi.waitall over all requests of the swap;
-   - unpacking of each received buffer into its halo subregion.
+   - bulk unpacking of each received buffer into its halo subregion.
 
-   Tags encode the direction of travel of the message so that matching
-   sends and receives pair up: a message traveling toward +d uses tag 2d+1,
-   toward -d tag 2d. *)
+   Pack and unpack phases are bracketed by mpi.pcontrol markers (the MPI
+   profiling-control API), so substrate timelines can attribute time to
+   packing/unpacking in traces.
+
+   Tags encode the full direction vector of the message in base 3 so that
+   matching sends and receives pair up and no two exchanges between the
+   same rank pair can collide — including the edge/corner exchanges of
+   [Decomposition.Diagonals], where several directions may share their
+   first nonzero component. *)
 
 open Ir
 open Dialects
@@ -35,53 +44,36 @@ let direction_of (e : Typesys.exchange) =
   in
   find 0 e.ex_neighbor
 
-let send_tag e =
-  let d, s = direction_of e in
-  (2 * d) + if s > 0 then 1 else 0
+(* Base-3 encoding of a direction vector with components in {-1, 0, 1}:
+   injective over directions, so distinct exchanges between the same rank
+   pair always carry distinct tags.  Tags are non-negative (the zero vector
+   is rejected), keeping clear of the reserved collective (-1) and
+   any-source (-2) values. *)
+let encode_direction (v : int list) : int =
+  ignore
+    (match List.find_opt (fun c -> c <> 0) v with
+    | Some _ -> ()
+    | None -> Op.ill_formed "dmp.exchange: neighbor direction is zero");
+  List.fold_left
+    (fun acc c ->
+      if c < -1 || c > 1 then
+        Op.ill_formed "dmp.exchange: neighbor component %d out of {-1,0,1}" c
+      else (3 * acc) + (c + 1))
+    0 v
 
-let recv_tag e =
-  let d, s = direction_of e in
-  (2 * d) + if s > 0 then 0 else 1
+let send_tag (e : Typesys.exchange) = encode_direction e.Typesys.ex_neighbor
 
-(* Emit a loop nest over the box [sizes], with [body] receiving the local
-   (zero-based) coordinates plus the row-major linear index. *)
-let emit_box_loops b sizes body =
-  let n = List.length sizes in
-  let rec nest b d coords =
-    if d = n then begin
-      (* linear = ((c0 * s1 + c1) * s2 + c2) ... with si = sizes.(i). *)
-      let coords = List.rev coords in
-      let rec lin acc i =
-        if i = n then acc
-        else begin
-          let c = List.nth coords i in
-          let acc =
-            match acc with
-            | None -> Some c
-            | Some acc ->
-                let s = Arith.const_index b (List.nth sizes i) in
-                let scaled = Arith.mul_i b acc s in
-                Some (Arith.add_i b scaled c)
-          in
-          lin acc (i + 1)
-        end
-      in
-      let linear =
-        match lin None 0 with Some l -> l | None -> Arith.const_index b 0
-      in
-      body b coords linear
-    end
-    else begin
-      let lo = Arith.const_index b 0 in
-      let hi = Arith.const_index b (List.nth sizes d) in
-      let step = Arith.const_index b 1 in
-      ignore
-        (Scf.for_op b ~lo ~hi ~step (fun b' iv _ ->
-             nest b' (d + 1) (iv :: coords);
-             Scf.yield_op b' []))
-    end
-  in
-  nest b 0 []
+let recv_tag (e : Typesys.exchange) =
+  encode_direction (List.map (fun c -> -c) e.Typesys.ex_neighbor)
+
+(* Row-major strides of a box/shape. *)
+let shape_strides (shape : int list) : int list =
+  let n = List.length shape in
+  List.init n (fun d -> product (List.filteri (fun i _ -> i > d) shape))
+
+(* Linear row-major index of static coordinates in [shape]. *)
+let linear_offset (shape : int list) (coords : int list) : int =
+  List.fold_left2 (fun acc s c -> acc + (s * c)) 0 (shape_strides shape) coords
 
 (* Shared prologue: my rank and cartesian coordinates. *)
 let emit_rank_coords bld grid strides =
@@ -111,11 +103,12 @@ let emit_swap_begin bld (op : Op.t) : posted list =
   let grid = Dmp.grid_of op in
   let exchanges = Dmp.exchanges_of op in
   let origin = Op.dense_attr_exn op "origin" in
-  let elt =
+  let shape, elt =
     match Value.ty buf with
-    | Typesys.Memref (_, t) -> t
+    | Typesys.Memref (s, t) -> (s, t)
     | t -> Op.ill_formed "dmp swap on %s" (Typesys.ty_to_string t)
   in
+  let buf_strides = shape_strides shape in
   let strides = grid_strides grid in
   let coords = emit_rank_coords bld grid strides in
   List.map
@@ -168,21 +161,23 @@ let emit_swap_begin bld (op : Op.t) : posted list =
         Scf.if_op bld exists
           ~res_tys: [ Typesys.Request; Typesys.Request ]
           ~then_: (fun b ->
-            emit_box_loops b e.Typesys.ex_size (fun b coords linear ->
-                let indices =
-                  List.mapi
-                    (fun d c ->
-                      let base =
-                        List.nth origin d
-                        + List.nth e.Typesys.ex_offset d
-                        + List.nth e.Typesys.ex_source_offset d
-                      in
-                      let bv = Arith.const_index b base in
-                      Arith.add_i b c bv)
-                    coords
-                in
-                let v = Memref.load_op b buf indices in
-                Memref.store_op b v sbuf [ linear ]);
+            (* Bulk pack: one strided copy of the send box out of the
+               field into the contiguous send buffer. *)
+            let src_coords =
+              List.mapi
+                (fun d o ->
+                  o
+                  + List.nth e.Typesys.ex_offset d
+                  + List.nth e.Typesys.ex_source_offset d)
+                origin
+            in
+            Mpi.pcontrol_op b Mpi.pack_level;
+            Memref.copy_strided_op b ~src: buf ~dst: sbuf
+              ~sizes: e.Typesys.ex_size
+              ~src_offset: (linear_offset shape src_coords)
+              ~src_strides: buf_strides ~dst_offset: 0
+              ~dst_strides: (shape_strides e.Typesys.ex_size);
+            Mpi.pcontrol_op b (-Mpi.pack_level);
             let nr32 = Arith.index_cast_op b neighbor_rank Typesys.i32 in
             let stag = Arith.const_int b ~ty: Typesys.i32 (send_tag e) in
             let rtag = Arith.const_int b ~ty: Typesys.i32 (recv_tag e) in
@@ -201,6 +196,12 @@ let emit_swap_begin bld (op : Op.t) : posted list =
 let emit_swap_complete bld (op : Op.t) (posted : posted list) : unit =
   let buf = Dmp.buffer_of op in
   let origin = Op.dense_attr_exn op "origin" in
+  let shape =
+    match Value.ty buf with
+    | Typesys.Memref (s, _) -> s
+    | t -> Op.ill_formed "dmp swap on %s" (Typesys.ty_to_string t)
+  in
+  let buf_strides = shape_strides shape in
   let all_reqs = List.concat_map (fun p -> p.p_reqs) posted in
   if all_reqs <> [] then Mpi.waitall_op bld all_reqs;
   List.iter
@@ -209,19 +210,20 @@ let emit_swap_complete bld (op : Op.t) (posted : posted list) : unit =
       ignore
         (Scf.if_op bld p.p_exists ~res_tys: []
            ~then_: (fun b ->
-             emit_box_loops b e.Typesys.ex_size (fun b coords linear ->
-                 let v = Memref.load_op b p.p_rbuf [ linear ] in
-                 let indices =
-                   List.mapi
-                     (fun d c ->
-                       let base =
-                         List.nth origin d + List.nth e.Typesys.ex_offset d
-                       in
-                       let bv = Arith.const_index b base in
-                       Arith.add_i b c bv)
-                     coords
-                 in
-                 Memref.store_op b v buf indices);
+             (* Bulk unpack: one strided copy of the received contiguous
+                buffer into the halo box of the field. *)
+             let dst_coords =
+               List.mapi
+                 (fun d o -> o + List.nth e.Typesys.ex_offset d)
+                 origin
+             in
+             Mpi.pcontrol_op b Mpi.unpack_level;
+             Memref.copy_strided_op b ~src: p.p_rbuf ~dst: buf
+               ~sizes: e.Typesys.ex_size ~src_offset: 0
+               ~src_strides: (shape_strides e.Typesys.ex_size)
+               ~dst_offset: (linear_offset shape dst_coords)
+               ~dst_strides: buf_strides;
+             Mpi.pcontrol_op b (-Mpi.unpack_level);
              Scf.yield_op b [])
            ~else_: (fun b -> Scf.yield_op b [])))
     posted
@@ -268,7 +270,11 @@ let patterns () =
                 emit_swap_complete bld op posted;
                 Pattern.replace_with (Builder.ops bld) []
             | None -> None (* the matching begin has not been lowered yet *))
-        | _ -> Op.ill_formed "dmp.swap_wait: missing request operands")
+        | [ _buf ] ->
+            (* A swap with no exchanges (e.g. every dimension undecomposed
+               on this grid): nothing was posted, nothing to wait for. *)
+            Pattern.replace_with [] []
+        | [] -> Op.ill_formed "dmp.swap_wait: missing buffer operand")
   in
   [ swap; swap_begin; swap_wait ]
 

@@ -15,19 +15,26 @@ val grid_strides : int list -> int list
 val direction_of : Ir.Typesys.exchange -> int * int
 (** First decomposed dimension and sign of an exchange's neighbor vector. *)
 
+val encode_direction : int list -> int
+(** Injective base-3 encoding of a neighbor direction vector (components
+    in \{-1,0,1\}, not all zero): distinct directions — including
+    diagonals — get distinct non-negative tags, clear of the reserved
+    collective and wildcard values. *)
+
 val send_tag : Typesys.exchange -> int
-(** Message tags encode the direction of travel (toward +d: 2d+1, toward
-    -d: 2d) so matching sends and receives pair up. *)
+(** Message tags encode the direction of travel, so matching sends and
+    receives pair up: a send toward direction [v] carries
+    [encode_direction v] and the receiver posts for
+    [encode_direction (-v)] on its own outgoing direction. *)
 
 val recv_tag : Typesys.exchange -> int
 
-val emit_box_loops :
-  Builder.t ->
-  int list ->
-  (Builder.t -> Value.t list -> Value.t -> unit) ->
-  unit
-(** Loop nest over a box; the body receives zero-based coordinates and the
-    row-major linear index (used for pack/unpack). *)
+val shape_strides : int list -> int list
+(** Row-major strides of a buffer shape. *)
+
+val linear_offset : int list -> int list -> int
+(** [linear_offset shape coords]: row-major linear index of [coords] in a
+    buffer of [shape]. *)
 
 val lower_swap : Builder.t -> Op.t -> unit
 (** Lower one dmp.swap into the builder. *)

@@ -34,6 +34,20 @@ let gather = "mpi.gather"
 let barrier = "mpi.barrier"
 let null_request = "mpi.null_request"
 let unwrap_memref = "mpi.unwrap_memref"
+let pcontrol = "mpi.pcontrol"
+
+(* Phase markers carried through MPI_Pcontrol (the profiling-control API):
+   a positive level opens a phase, its negation closes it.  Used by the
+   dmp lowering to bracket halo pack/unpack so substrate timelines can
+   attribute the time. *)
+let pack_level = 1
+let unpack_level = 2
+
+let phase_name_of_level level =
+  match abs level with
+  | 1 -> "pack"
+  | 2 -> "unpack"
+  | n -> Printf.sprintf "phase%d" n
 
 (* Reduction kinds carried as a string attribute. *)
 type reduce_op = Sum | Max | Min
@@ -70,6 +84,10 @@ let wait_op b req = Builder.emit0 b wait ~operands: [ req ]
 let waitall_op b reqs = Builder.emit0 b waitall ~operands: reqs
 let barrier_op b = Builder.emit0 b barrier
 let null_request_op b = Builder.emit1 b null_request Typesys.Request
+
+let pcontrol_op b level =
+  Builder.emit0 b pcontrol
+    ~attrs: [ ("level", Typesys.Int_attr (level, Typesys.i32)) ]
 
 let reduce_op_ b ~sendbuf ~recvbuf ~root op =
   Builder.emit0 b reduce ~operands: [ sendbuf; recvbuf; root ]

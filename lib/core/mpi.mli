@@ -31,6 +31,22 @@ val gather : string
 val barrier : string
 val null_request : string
 val unwrap_memref : string
+val pcontrol : string
+
+(** {1 Phase markers}
+
+    [mpi.pcontrol] carries a signed [level] attribute, MPI_Pcontrol
+    style: a positive level opens the corresponding profiling span on the
+    executing rank's timeline, the negated level closes it.  The halo
+    lowering brackets bulk pack/unpack copies with these markers. *)
+
+val pack_level : int
+val unpack_level : int
+
+val phase_name_of_level : int -> string
+(** Span name for a (possibly negative) pcontrol level. *)
+
+val pcontrol_op : Builder.t -> int -> unit
 
 (** {1 Reductions} *)
 

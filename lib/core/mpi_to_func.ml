@@ -47,6 +47,7 @@ let externals =
       ( [ Typesys.Ptr; Typesys.i32; Typesys.i32; Typesys.i32; Typesys.i32;
           Typesys.i32 ],
         [ Typesys.i32 ] ) );
+    ("MPI_Pcontrol", ([ Typesys.i32 ], [ Typesys.i32 ]));
     ("MPI_Wait", ([ Typesys.i32 ], [ Typesys.i32 ]));
     ("MPI_Test", ([ Typesys.i32 ], [ Typesys.i32 ]));
     ("MPI_Waitall", ([ Typesys.i32; Typesys.Ptr ], [ Typesys.i32 ]));
@@ -133,6 +134,12 @@ let run (m : Op.t) : Op.t =
           call1 bld callee [ ptr; count; dtype; peer; tag; comm bld ]
         in
         if op.Op.results <> [] then bind1 r;
+        true
+    | "mpi.pcontrol" ->
+        let level =
+          Arith.const_int bld ~ty: Typesys.i32 (Op.int_attr_exn op "level")
+        in
+        ignore (call1 bld "MPI_Pcontrol" [ level ]);
         true
     | "mpi.null_request" ->
         bind1 (Arith.const_int bld ~ty: Typesys.i32 Mpi.Mpich.request_null);

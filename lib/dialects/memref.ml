@@ -7,6 +7,7 @@ let dealloc = "memref.dealloc"
 let load = "memref.load"
 let store = "memref.store"
 let copy = "memref.copy"
+let copy_strided = "memref.copy_strided"
 let extract_ptr = "memref.extract_ptr"
 
 let alloc_op b shape elt =
@@ -28,6 +29,41 @@ let store_op b value m indices =
   Builder.emit0 b store ~operands: ((value :: m :: indices))
 
 let copy_op b ~src ~dst = Builder.emit0 b copy ~operands: [ src; dst ]
+
+(* Bulk strided copy of a rectangular box between two memrefs.  All geometry
+   is static (attributes): [sizes] is the box shape, the offsets are linear
+   indices into each memref's row-major storage and the strides are each
+   memref's row-major strides over the box dimensions.  This is the bulk
+   halo pack/unpack primitive: one op replaces a scalar load/store loop
+   nest, and both executors implement it as Array.blit runs. *)
+let copy_strided_op b ~src ~dst ~(sizes : int list) ~(src_offset : int)
+    ~(src_strides : int list) ~(dst_offset : int) ~(dst_strides : int list) =
+  Builder.emit0 b copy_strided ~operands: [ src; dst ]
+    ~attrs:
+      [
+        ("sizes", Typesys.Dense_attr sizes);
+        ("src_offset", Typesys.Int_attr (src_offset, Typesys.Index));
+        ("src_strides", Typesys.Dense_attr src_strides);
+        ("dst_offset", Typesys.Int_attr (dst_offset, Typesys.Index));
+        ("dst_strides", Typesys.Dense_attr dst_strides);
+      ]
+
+type strided_spec = {
+  cs_sizes : int list;
+  cs_src_offset : int;
+  cs_src_strides : int list;
+  cs_dst_offset : int;
+  cs_dst_strides : int list;
+}
+
+let strided_spec_of (op : Op.t) : strided_spec =
+  {
+    cs_sizes = Op.dense_attr_exn op "sizes";
+    cs_src_offset = Op.int_attr_exn op "src_offset";
+    cs_src_strides = Op.dense_attr_exn op "src_strides";
+    cs_dst_offset = Op.int_attr_exn op "dst_offset";
+    cs_dst_strides = Op.dense_attr_exn op "dst_strides";
+  }
 
 (* Extract an opaque pointer to the buffer, used by the mpi-to-func lowering
    (the analogue of unwrapping a memref into an !llvm.ptr). *)
@@ -81,4 +117,39 @@ let checks : Verifier.check list =
             | Typesys.Memref _ -> Ok ()
             | _ -> Error "alloc result must be a memref")
         | _ -> Error "alloc has exactly one result");
+    Verifier.for_op copy_strided (fun op ->
+        match op.Op.operands with
+        | [ src; dst ] -> (
+            match (Value.ty src, Value.ty dst) with
+            | Typesys.Memref (sshape, selt), Typesys.Memref (dshape, delt) ->
+                let spec = strided_spec_of op in
+                let rank = List.length spec.cs_sizes in
+                let numel shape = List.fold_left ( * ) 1 shape in
+                (* Largest linear index the box touches on one side. *)
+                let reach off strides =
+                  List.fold_left2
+                    (fun acc size stride -> acc + ((size - 1) * stride))
+                    off spec.cs_sizes strides
+                in
+                if not (Typesys.equal_ty selt delt) then
+                  Error "copy_strided element types must match"
+                else if
+                  List.length spec.cs_src_strides <> rank
+                  || List.length spec.cs_dst_strides <> rank
+                then Error "copy_strided sizes/strides ranks must match"
+                else if spec.cs_src_offset < 0 || spec.cs_dst_offset < 0 then
+                  Error "copy_strided offsets must be non-negative"
+                else if op.Op.results <> [] then
+                  Error "copy_strided has no results"
+                else if List.exists (fun s -> s <= 0) spec.cs_sizes then
+                  Ok () (* empty box: nothing to check *)
+                else if
+                  reach spec.cs_src_offset spec.cs_src_strides >= numel sshape
+                then Error "copy_strided reads out of bounds of its source"
+                else if
+                  reach spec.cs_dst_offset spec.cs_dst_strides >= numel dshape
+                then Error "copy_strided writes out of bounds of its destination"
+                else Ok ()
+            | _ -> Error "copy_strided operands must be memrefs")
+        | _ -> Error "copy_strided takes (src, dst) memref operands");
   ]

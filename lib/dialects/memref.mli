@@ -7,6 +7,7 @@ val dealloc : string
 val load : string
 val store : string
 val copy : string
+val copy_strided : string
 val extract_ptr : string
 
 val alloc_op : Builder.t -> int list -> Typesys.ty -> Value.t
@@ -14,6 +15,34 @@ val dealloc_op : Builder.t -> Value.t -> unit
 val load_op : Builder.t -> Value.t -> Value.t list -> Value.t
 val store_op : Builder.t -> Value.t -> Value.t -> Value.t list -> unit
 val copy_op : Builder.t -> src:Value.t -> dst:Value.t -> unit
+
+val copy_strided_op :
+  Builder.t ->
+  src:Value.t ->
+  dst:Value.t ->
+  sizes:int list ->
+  src_offset:int ->
+  src_strides:int list ->
+  dst_offset:int ->
+  dst_strides:int list ->
+  unit
+(** Bulk strided copy of a rectangular box between two memrefs, with all
+    geometry static: [sizes] is the box shape, the offsets are linear
+    indices into each memref's row-major storage, and the strides are each
+    memref's row-major strides along the box dimensions.  The bulk halo
+    pack/unpack primitive — executors implement it as [Array.blit] runs
+    over the contiguous innermost dimension. *)
+
+type strided_spec = {
+  cs_sizes : int list;
+  cs_src_offset : int;
+  cs_src_strides : int list;
+  cs_dst_offset : int;
+  cs_dst_strides : int list;
+}
+
+val strided_spec_of : Op.t -> strided_spec
+(** Decode a [copy_strided] op's geometry attributes. *)
 
 val extract_ptr_op : Builder.t -> Value.t -> Value.t
 (** Extract an opaque pointer to the buffer (the memref unwrapping of the

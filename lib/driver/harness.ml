@@ -14,6 +14,7 @@ type result = {
   grid : int list;
   substrate_name : string;
   executor_name : string;
+  overlap : bool;
   serial_wall_s : float;
   wall_s : float;
   max_diff_vs_serial : float;
@@ -108,8 +109,8 @@ module Par_runner = Runner (Mpi_par)
 
 let run_distributed ?(substrate = Sim)
     ?(strategy = Core.Decomposition.Slice2d) ?stall_timeout_s
-    ?queue_capacity ?(trace = false) ?executor ?(seed = 0) ?func ~ranks
-    (m : Op.t) : result =
+    ?queue_capacity ?(trace = false) ?executor ?(seed = 0) ?func
+    ?(overlap = true) ~ranks (m : Op.t) : result =
   let func = match func with Some f -> f | None -> default_func m in
   let args = field_args m func in
   if args = [] then
@@ -146,12 +147,17 @@ let run_distributed ?(substrate = Sim)
     | bs :: _ -> bs
     | [] -> Interp.Rtval.error "harness: no localized field bounds"
   in
+  (* Overlap (split-phase swaps + interior/boundary compute) is on by
+     default: this is the executed distributed pipeline the benches and
+     stencilc measure. *)
+  let swapped = Core.Swap_elim.run dm in
+  let swapped = if overlap then Core.Overlap.run swapped else swapped in
   let lowered =
     Transforms.Licm.run
       (Core.Mpi_to_func.run
          (Core.Dmp_to_mpi.run
             (Core.Stencil_to_loops.run ~style: Core.Stencil_to_loops.Sequential
-               (Core.Swap_elim.run dm))))
+               swapped)))
   in
   let interior = List.map2 (fun n parts -> n / parts) domain grid in
   let origin =
@@ -213,6 +219,7 @@ let run_distributed ?(substrate = Sim)
     grid;
     substrate_name;
     executor_name;
+    overlap;
     serial_wall_s;
     wall_s;
     max_diff_vs_serial;

@@ -13,6 +13,7 @@ type result = {
   grid : int list;  (** rank topology chosen by the distribution pass *)
   substrate_name : string;  (** "sim" or "par" *)
   executor_name : string;  (** backend of the distributed run, e.g. "compiled" *)
+  overlap : bool;  (** split-phase swaps with interior/boundary overlap *)
   serial_wall_s : float;  (** wall-clock of the serial interpreter run *)
   wall_s : float;  (** wall-clock of the distributed run (incl. scatter/gather) *)
   max_diff_vs_serial : float;
@@ -33,6 +34,7 @@ val run_distributed :
   ?executor:Interp.Executor.t ->
   ?seed:int ->
   ?func:string ->
+  ?overlap:bool ->
   ranks:int ->
   Op.t ->
   result
@@ -42,7 +44,10 @@ val run_distributed :
     defaults to {!Sim}.  [stall_timeout_s]/[queue_capacity] configure the
     {!Par} transport.  [executor] selects the backend for the
     distributed run (default: reference interpreter); the serial
-    reference always runs interpreted, as the oracle.  Every result
+    reference always runs interpreted, as the oracle.  [overlap]
+    (default true) applies the split-phase communication/computation
+    overlap transformation before lowering — the executed distributed
+    pipeline.  Every result
     buffer is gathered and compared against its serial counterpart over
     the global interior. *)
 

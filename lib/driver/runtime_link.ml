@@ -74,6 +74,14 @@ module Make (M : Mpi_intf.MPI_CORE) = struct
     let buf_arg i = as_buffer (List.nth args i) in
     match callee with
     | "MPI_Init" | "MPI_Finalize" -> Some [ Ri 0 ]
+    | "MPI_Pcontrol" ->
+        (* Positive level opens a named phase span, its negation closes
+           it (pack/unpack markers emitted by convert-dmp-to-mpi). *)
+        let level = int_arg 0 in
+        let name = Core.Mpi.phase_name_of_level level in
+        if level > 0 then M.span_begin st.ctx name
+        else if level < 0 then M.span_end st.ctx name;
+        Some [ Ri 0 ]
     | "MPI_Comm_rank" -> Some [ Ri (M.rank st.ctx) ]
     | "MPI_Comm_size" -> Some [ Ri (M.size st.ctx) ]
     | "MPI_Send" | "MPI_Isend" ->
@@ -165,6 +173,12 @@ module Make (M : Mpi_intf.MPI_CORE) = struct
     let buf_arg i = as_buffer (List.nth args i) in
     match op.Op.name with
     | "mpi.init" | "mpi.finalize" -> Some []
+    | "mpi.pcontrol" ->
+        let level = Op.int_attr_exn op "level" in
+        let name = Core.Mpi.phase_name_of_level level in
+        if level > 0 then M.span_begin st.ctx name
+        else if level < 0 then M.span_end st.ctx name;
+        Some []
     | "mpi.comm_rank" -> Some [ Ri (M.rank st.ctx) ]
     | "mpi.comm_size" -> Some [ Ri (M.size st.ctx) ]
     | "mpi.send" ->
@@ -308,18 +322,21 @@ module Make (M : Mpi_intf.MPI_CORE) = struct
         match neighbor_of e with
         | None -> (e, None)
         | Some peer ->
+            M.span_begin st.ctx "pack";
+            let payload = pack_exchange buf origin e in
+            M.span_end st.ctx "pack";
             ignore
               (M.isend st.ctx ~dest: peer
                  ~tag: (Core.Dmp_to_mpi.send_tag e)
                  ~bytes: (box_size e * elt_bytes_of buf)
-                 (pack_exchange buf origin e));
+                 payload);
             ( e,
               Some
                 (M.irecv st.ctx ~source: peer
                    ~tag: (Core.Dmp_to_mpi.recv_tag e)) ))
       exchanges
 
-  let complete_swap buf origin pending =
+  let complete_swap st buf origin pending =
     M.waitall (List.filter_map snd pending);
     List.iter
       (fun (e, req) ->
@@ -327,7 +344,10 @@ module Make (M : Mpi_intf.MPI_CORE) = struct
         | None -> ()
         | Some req -> (
             match M.wait req with
-            | Some p -> unpack_exchange buf origin e p
+            | Some p ->
+                M.span_begin st.ctx "unpack";
+                unpack_exchange buf origin e p;
+                M.span_end st.ctx "unpack"
             | None -> Interp.Rtval.error "dmp swap: missing payload"))
       pending
 
@@ -337,7 +357,7 @@ module Make (M : Mpi_intf.MPI_CORE) = struct
     match op.Op.name with
     | "dmp.swap" ->
         let buf, exchanges, origin, neighbor_of = swap_geometry st op args in
-        complete_swap buf origin
+        complete_swap st buf origin
           (post_swap st buf exchanges origin neighbor_of);
         Some []
     | "dmp.swap_begin" ->
@@ -372,7 +392,10 @@ module Make (M : Mpi_intf.MPI_CORE) = struct
             match lookup_request st (as_int h) with
             | Some (req, _) -> (
                 match M.wait req with
-                | Some p -> unpack_exchange buf origin e p
+                | Some p ->
+                    M.span_begin st.ctx "unpack";
+                    unpack_exchange buf origin e p;
+                    M.span_end st.ctx "unpack"
                 | None -> Interp.Rtval.error "dmp.swap_wait: missing payload")
             | None -> ())
           exchanges recv_handles;

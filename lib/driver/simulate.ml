@@ -55,7 +55,9 @@ let events_to_obs (events : Mpi_intf.timeline_event list) : unit =
             "waitall"
       | Mpi_intf.Waitall_end -> Obs.Trace.end_span ~ts ~pid "waitall"
       | Mpi_intf.Collective name ->
-          Obs.Trace.instant ~ts ~cat ~pid ("collective:" ^ name))
+          Obs.Trace.instant ~ts ~cat ~pid ("collective:" ^ name)
+      | Mpi_intf.Span_begin name -> Obs.Trace.begin_span ~ts ~cat ~pid name
+      | Mpi_intf.Span_end name -> Obs.Trace.end_span ~ts ~pid name)
     events
 
 let timeline_to_obs (comm : Mpi_sim.comm) : unit =

@@ -381,6 +381,20 @@ let rec compile_op (f : fctx) (op : Op.t) : (frame -> unit) option =
   | "memref.copy" | "gpu.memcpy" ->
       let gsrc = get_buf f (operand 0) and gdst = get_buf f (operand 1) in
       Some (fun fr -> R.blit ~src: (gsrc fr) ~dst: (gdst fr))
+  | "memref.copy_strided" ->
+      (* All geometry is static: bake the box/stride arrays into the
+         closure once, so each execution is just Array.blit runs. *)
+      let gsrc = get_buf f (operand 0) and gdst = get_buf f (operand 1) in
+      let spec = Dialects.Memref.strided_spec_of op in
+      let sizes = Array.of_list spec.Dialects.Memref.cs_sizes in
+      let src_off = spec.Dialects.Memref.cs_src_offset in
+      let src_strides = Array.of_list spec.Dialects.Memref.cs_src_strides in
+      let dst_off = spec.Dialects.Memref.cs_dst_offset in
+      let dst_strides = Array.of_list spec.Dialects.Memref.cs_dst_strides in
+      Some
+        (fun fr ->
+          R.blit_strided ~src: (gsrc fr) ~dst: (gdst fr) ~sizes ~src_off
+            ~src_strides ~dst_off ~dst_strides)
   | "memref.extract_ptr" ->
       let a = read f (operand 0) in
       let _, d = def f (Op.result_exn op) in

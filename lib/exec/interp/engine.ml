@@ -168,6 +168,16 @@ and exec_op fr (op : Op.t) : unit =
       let src = Rtval.as_buffer (operand 0) in
       let dst = Rtval.as_buffer (operand 1) in
       Rtval.blit ~src ~dst
+  | "memref.copy_strided" ->
+      let src = Rtval.as_buffer (operand 0) in
+      let dst = Rtval.as_buffer (operand 1) in
+      let spec = Dialects.Memref.strided_spec_of op in
+      Rtval.blit_strided ~src ~dst
+        ~sizes: (Array.of_list spec.Dialects.Memref.cs_sizes)
+        ~src_off: spec.Dialects.Memref.cs_src_offset
+        ~src_strides: (Array.of_list spec.Dialects.Memref.cs_src_strides)
+        ~dst_off: spec.Dialects.Memref.cs_dst_offset
+        ~dst_strides: (Array.of_list spec.Dialects.Memref.cs_dst_strides)
   | "memref.extract_ptr" ->
       (* A pointer is an alias of the underlying buffer. *)
       bind_results fr op [ operand 0 ]

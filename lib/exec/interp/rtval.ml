@@ -111,6 +111,49 @@ let blit ~src ~dst =
   | I a, I b' -> Array.blit a 0 b' 0 (min (Array.length a) (Array.length b'))
   | _ -> error "memref.copy between different element kinds"
 
+(* Bulk strided copy of an [sizes]-shaped box between the flat storages of
+   two buffers (memref.copy_strided).  When both innermost strides are 1 —
+   always the case for halo pack/unpack, where boxes are full-rank slices —
+   each innermost run is a single Array.blit; otherwise it degrades to an
+   element-by-element loop over the run. *)
+let blit_strided ~src ~dst ~(sizes : int array) ~(src_off : int)
+    ~(src_strides : int array) ~(dst_off : int) ~(dst_strides : int array) =
+  let rank = Array.length sizes in
+  if
+    rank <> Array.length src_strides || rank <> Array.length dst_strides
+  then error "copy_strided: rank mismatch between sizes and strides";
+  let empty = ref (rank = 0) in
+  Array.iter (fun s -> if s <= 0 then empty := true) sizes;
+  if not !empty then begin
+    let run = sizes.(rank - 1) in
+    let sstep = src_strides.(rank - 1) and dstep = dst_strides.(rank - 1) in
+    let copy_run =
+      match (src.data, dst.data) with
+      | F a, F b ->
+          if sstep = 1 && dstep = 1 then fun si di -> Array.blit a si b di run
+          else fun si di ->
+            for k = 0 to run - 1 do
+              b.(di + (k * dstep)) <- a.(si + (k * sstep))
+            done
+      | I a, I b ->
+          if sstep = 1 && dstep = 1 then fun si di -> Array.blit a si b di run
+          else fun si di ->
+            for k = 0 to run - 1 do
+              b.(di + (k * dstep)) <- a.(si + (k * sstep))
+            done
+      | _ -> error "copy_strided between different element kinds"
+    in
+    (* Walk the outer dims with an odometer; the innermost dim is the run. *)
+    let rec nest d si di =
+      if d = rank - 1 then copy_run si di
+      else
+        for k = 0 to sizes.(d) - 1 do
+          nest (d + 1) (si + (k * src_strides.(d))) (di + (k * dst_strides.(d)))
+        done
+    in
+    nest 0 src_off dst_off
+  end
+
 let default_of (ty : Ir.Typesys.ty) : t =
   match ty with
   | Ir.Typesys.Float _ -> Rf 0.

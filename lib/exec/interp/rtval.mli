@@ -50,4 +50,18 @@ val float_contents : buffer -> float array
 
 val blit : src:buffer -> dst:buffer -> unit
 
+val blit_strided :
+  src:buffer ->
+  dst:buffer ->
+  sizes:int array ->
+  src_off:int ->
+  src_strides:int array ->
+  dst_off:int ->
+  dst_strides:int array ->
+  unit
+(** Bulk strided box copy between two buffers: linear offsets and
+    row-major strides per box dimension on each side.  When the innermost
+    dimension is contiguous on both sides each run is one [Array.blit] —
+    the executor implementation of [memref.copy_strided]. *)
+
 val default_of : Ir.Typesys.ty -> t

@@ -36,6 +36,9 @@ type event_kind =
   | Waitall_begin of int
   | Waitall_end
   | Collective of string
+  (* Named phase spans (halo pack/unpack, via MPI_Pcontrol markers). *)
+  | Span_begin of string
+  | Span_end of string
 
 type timeline_event = { seq : int; ts : float; ev_rank : int; kind : event_kind }
 
@@ -61,6 +64,8 @@ let pp_event fmt (ev : timeline_event) =
   | Waitall_begin n -> k fmt "waitall-begin (%d request(s))" n
   | Waitall_end -> k fmt "waitall-end"
   | Collective name -> k fmt "collective %s" name
+  | Span_begin name -> k fmt "span-begin %s" name
+  | Span_end name -> k fmt "span-end %s" name
 
 let edge_bytes_of tl =
   List.fold_left
@@ -87,6 +92,12 @@ module type MPI_CORE = sig
   val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
   val recv : rank_ctx -> source:int -> tag:int -> payload
   val null_request : rank_ctx -> request
+
+  (* Open/close a named phase span on this rank's timeline (no-ops when
+     tracing is off).  Driven by MPI_Pcontrol markers in lowered modules,
+     so pack/unpack time shows up in exported traces. *)
+  val span_begin : rank_ctx -> string -> unit
+  val span_end : rank_ctx -> string -> unit
   val bcast : rank_ctx -> root:int -> payload -> payload
 
   val reduce :

@@ -52,6 +52,9 @@ type event_kind =
   | Waitall_begin of int
   | Waitall_end
   | Collective of string
+  | Span_begin of string
+      (** Open a named phase span (halo pack/unpack, via MPI_Pcontrol). *)
+  | Span_end of string
 
 type timeline_event = {
   seq : int;  (** global emission order *)
@@ -105,6 +108,13 @@ module type MPI_CORE = sig
   val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
   val recv : rank_ctx -> source:int -> tag:int -> payload
   val null_request : rank_ctx -> request
+
+  val span_begin : rank_ctx -> string -> unit
+  (** Open a named phase span on this rank's timeline (no-op when tracing
+      is off).  Driven by the MPI_Pcontrol markers that bracket halo
+      pack/unpack in lowered modules. *)
+
+  val span_end : rank_ctx -> string -> unit
 
   val bcast : rank_ctx -> root:int -> payload -> payload
 

@@ -86,6 +86,9 @@ let record ctx kind =
     Mutex.unlock comm.trace_mutex
   end
 
+let span_begin ctx name = record ctx (Mpi_intf.Span_begin name)
+let span_end ctx name = record ctx (Mpi_intf.Span_end name)
+
 let check_poison comm = if Atomic.get comm.poisoned then raise Poisoned
 
 let mailbox_for comm key =

@@ -47,6 +47,8 @@ type event_kind = Mpi_intf.event_kind =
   | Waitall_begin of int
   | Waitall_end
   | Collective of string
+  | Span_begin of string
+  | Span_end of string
 
 type timeline_event = Mpi_intf.timeline_event = {
   seq : int;
@@ -122,6 +124,8 @@ let mailbox comm key =
 
 let rank ctx = ctx.rank
 let size ctx = ctx.comm.size
+let span_begin ctx name = record ctx (Span_begin name)
+let span_end ctx name = record ctx (Span_end name)
 
 let check_peer ctx peer what =
   if peer < 0 || peer >= ctx.comm.size then

@@ -73,6 +73,13 @@ val send : rank_ctx -> dest:int -> tag:int -> ?bytes:int -> payload -> unit
 val recv : rank_ctx -> source:int -> tag:int -> payload
 val null_request : rank_ctx -> request
 
+val span_begin : rank_ctx -> string -> unit
+(** Open a named phase span on this rank's timeline (no-op when tracing
+    is off).  Driven by the MPI_Pcontrol markers bracketing halo
+    pack/unpack in lowered modules. *)
+
+val span_end : rank_ctx -> string -> unit
+
 val bcast : rank_ctx -> root:int -> payload -> payload
 val reduce : rank_ctx -> root:int -> [ `Sum | `Max | `Min ] -> payload -> payload option
 val allreduce : rank_ctx -> [ `Sum | `Max | `Min ] -> payload -> payload
@@ -105,6 +112,8 @@ type event_kind = Mpi_intf.event_kind =
   | Waitall_begin of int  (** number of requests awaited *)
   | Waitall_end
   | Collective of string  (** bcast / reduce / gather / barrier *)
+  | Span_begin of string  (** named phase opens (halo pack/unpack) *)
+  | Span_end of string
 
 type timeline_event = Mpi_intf.timeline_event = {
   seq : int;

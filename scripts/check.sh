@@ -5,20 +5,39 @@
 # Run from anywhere; operates on the repo root.
 set -eu
 cd "$(dirname "$0")/.."
+root="$(pwd)"
 dune build @fmt
 dune build
 dune runtest
 # Parallel runtime smoke: distribute + execute the heat2d demo on real
 # domains and check the gathered result against the serial reference
-# (stencilc exits non-zero on any divergence).
+# (stencilc exits non-zero on any divergence).  Overlap (split-phase
+# swaps) is on by default — this exercises the executed overlap path;
+# the --overlap=false runs cover the fused-swap ablation.
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 > /dev/null
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
+dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --overlap=false > /dev/null
 # Compiled-executor smoke: the closure-compiled backend must agree with
 # the serial interpreter bitwise (stencilc exits non-zero otherwise).
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --exec=compiled > /dev/null
 dune exec bin/stencilc.exe -- --demo heat2d --run-sim 2 --exec=interp > /dev/null
+dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --exec=compiled --overlap=false > /dev/null
 # Bench par section, smoke sizes: sim vs par cross-check, BENCH_par.json.
 dune exec bench/main.exe -- par --smoke > /dev/null
 # Bench exec section, smoke sizes: interp vs compiled, BENCH_exec.json.
 dune exec bench/main.exe -- exec --smoke > /dev/null
+# Bench artifacts must land at the repo root regardless of the cwd the
+# binary runs from (the writers resolve paths against the root).
+tmpdir="$(mktemp -d)"
+rm -f "$root/BENCH_exec.json"
+(cd "$tmpdir" && "$root/_build/default/bench/main.exe" exec --smoke > /dev/null)
+test -f "$root/BENCH_exec.json" || {
+  echo "check.sh: BENCH_exec.json did not land at the repo root" >&2
+  exit 1
+}
+if ls "$tmpdir"/BENCH_*.json > /dev/null 2>&1; then
+  echo "check.sh: bench artifacts leaked into the run cwd" >&2
+  exit 1
+fi
+rmdir "$tmpdir"
 echo "check.sh: all checks passed"

@@ -98,6 +98,98 @@ let test_mpi_to_func_structure () =
   check bool_c "request array materialized" true
     (Transforms.Statistics.count lowered "memref.extract_ptr" >= 9)
 
+(* The halo data path is bulk: each exchange packs and unpacks with a
+   single memref.copy_strided (bracketed by mpi.pcontrol phase markers),
+   never with scalar element loops. *)
+let test_bulk_pack_structure () =
+  let m = swap_module ~grid: [ 2; 2 ] ~exchanges: exchanges_2d in
+  let lowered = Dmp_to_mpi.run m in
+  Verifier.verify ~checks: Registry.checks lowered;
+  check int_c "one pack + one unpack copy per exchange" 8
+    (Transforms.Statistics.count lowered "memref.copy_strided");
+  (* pcontrol brackets: open/close around each pack and each unpack. *)
+  check int_c "pcontrol markers" 16
+    (Transforms.Statistics.count lowered "mpi.pcontrol");
+  (* No scalar element traffic: the swap lowering emits no loads, stores
+     or loops of its own (the module has no compute). *)
+  check int_c "no scalar loads" 0
+    (Transforms.Statistics.count lowered "memref.load");
+  check int_c "no scalar stores" 0
+    (Transforms.Statistics.count lowered "memref.store");
+  check int_c "no pack loop nests" 0
+    (Transforms.Statistics.count lowered "scf.for")
+
+(* Regression guard for the distributed hot path: after the full executed
+   pipeline (overlap on, LICM last — exactly what Harness.run_distributed
+   compiles), the time loop must contain NO allocations (exchange buffers
+   are hoisted) and NO scalar pack/unpack element traffic (rank-1 float
+   buffer loads/stores), only bulk copies.  The i32 request-array stores
+   of the waitall lowering are allowed. *)
+let test_hot_loop_structural_regression () =
+  let m = Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 3 in
+  let dm =
+    Distribute.run
+      (Distribute.options ~ranks: 4 ~strategy: Decomposition.Slice2d ())
+      m
+  in
+  let swapped = Overlap.run (Swap_elim.run dm) in
+  let lowered =
+    Transforms.Licm.run
+      (Mpi_to_func.run
+         (Dmp_to_mpi.run
+            (Stencil_to_loops.run ~style: Stencil_to_loops.Sequential swapped)))
+  in
+  Verifier.verify ~checks: Registry.checks lowered;
+  (* The outermost scf.for of the function is the time loop. *)
+  let time_loop = ref None in
+  List.iter
+    (fun (top : Op.t) ->
+      if top.Op.name = Dialects.Func.func && top.Op.regions <> [] then
+        List.iter
+          (fun (inner : Op.t) ->
+            if inner.Op.name = "scf.for" && !time_loop = None then
+              time_loop := Some inner)
+          (Op.region_ops (List.hd top.Op.regions)))
+    (Op.module_ops lowered);
+  let time_loop =
+    match !time_loop with
+    | Some l -> l
+    | None -> Alcotest.fail "no time loop in lowered module"
+  in
+  let count name =
+    let n = ref 0 in
+    Op.walk (fun o -> if o.Op.name = name then incr n) time_loop;
+    !n
+  in
+  check int_c "zero allocations per timestep" 0 (count "memref.alloc");
+  check bool_c "bulk copies in the loop" true (count "memref.copy_strided" > 0);
+  (* No rank-1 float buffer element traffic: scalar pack loops loaded the
+     field into a flat send buffer / stored a flat recv buffer into the
+     field element by element.  Compute loads/stores hit rank-2 fields;
+     the request array is i32. *)
+  let rank1_float v =
+    match Value.ty v with
+    | Typesys.Memref ([ _ ], Typesys.Float _) -> true
+    | _ -> false
+  in
+  let scalar_pack = ref 0 in
+  Op.walk
+    (fun o ->
+      match o.Op.name with
+      | "memref.load" | "memref.store" ->
+          let buf_operand =
+            match (o.Op.name, o.Op.operands) with
+            | "memref.load", b :: _ -> Some b
+            | "memref.store", _ :: b :: _ -> Some b
+            | _ -> None
+          in
+          (match buf_operand with
+          | Some b when rank1_float b -> incr scalar_pack
+          | _ -> ())
+      | _ -> ())
+    time_loop;
+  check int_c "zero scalar pack/unpack element accesses" 0 !scalar_pack
+
 let test_tag_pairing () =
   (* Tags pair up: my send toward v matches the neighbor's receive of
      direction -v. *)
@@ -115,6 +207,59 @@ let test_tag_pairing () =
        ~interior: [ 6; 6; 6 ]
        ~halo: [| (-1, 1); (-1, 1); (-1, 1) |]
        ~grid: [ 2; 2; 2 ] ())
+
+(* Tag soundness under Decomposition.Diagonals: enumerate every rank's
+   posted sends and receives on random 2D/3D grids and require that each
+   (sender, receiver, tag) send triple is unique and matches exactly one
+   posted receive.  The base-3 direction encoding guarantees this even
+   when several exchange directions share their first nonzero component
+   (edges/corners). *)
+let tag_uniqueness_prop =
+  QCheck.Test.make ~count: 100
+    ~name: "diagonal exchange tags pair uniquely"
+    QCheck.(
+      make
+        Gen.(
+          let* rank = int_range 2 3 in
+          let* grid = list_size (return rank) (int_range 1 3) in
+          return grid))
+    (fun grid ->
+      let rank_dims = List.length grid in
+      let interior = List.map (fun _ -> 4) grid in
+      let halo = Array.make rank_dims (-1, 1) in
+      let exchanges =
+        Decomposition.exchanges ~mode: Decomposition.Diagonals ~interior
+          ~halo ~grid ()
+      in
+      let nranks = List.fold_left ( * ) 1 grid in
+      let strides = Dmp_to_mpi.grid_strides grid in
+      let coords_of r = List.map2 (fun g s -> r / s mod g) grid strides in
+      let neighbor_of r (e : Typesys.exchange) =
+        let nc = List.map2 ( + ) (coords_of r) e.Typesys.ex_neighbor in
+        if List.for_all2 (fun c g -> c >= 0 && c < g) nc grid then
+          Some (List.fold_left2 (fun acc c s -> acc + (c * s)) 0 nc strides)
+        else None
+      in
+      let sends = Hashtbl.create 64 and recvs = Hashtbl.create 64 in
+      let duplicate = ref false in
+      for r = 0 to nranks - 1 do
+        List.iter
+          (fun e ->
+            match neighbor_of r e with
+            | None -> ()
+            | Some nbr ->
+                let s_key = (r, nbr, Dmp_to_mpi.send_tag e) in
+                let r_key = (nbr, r, Dmp_to_mpi.recv_tag e) in
+                if Hashtbl.mem sends s_key then duplicate := true;
+                if Hashtbl.mem recvs r_key then duplicate := true;
+                Hashtbl.add sends s_key ();
+                Hashtbl.add recvs r_key ())
+          exchanges
+      done;
+      (* Unique posts, and a bijection between sends and receives. *)
+      (not !duplicate)
+      && Hashtbl.length sends = Hashtbl.length recvs
+      && Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem recvs k) sends true)
 
 let test_grid_strides () =
   check (Alcotest.list int_c) "3d strides" [ 16; 4; 1 ]
@@ -225,8 +370,13 @@ let suite =
       test_swap_lowering_structure;
     Alcotest.test_case "mpi->func structure + magic constants" `Quick
       test_mpi_to_func_structure;
+    Alcotest.test_case "bulk pack/unpack structure" `Quick
+      test_bulk_pack_structure;
+    Alcotest.test_case "hot loop: no allocs, no scalar packs" `Quick
+      test_hot_loop_structural_regression;
     Alcotest.test_case "tag pairing (incl. diagonals)" `Quick
       test_tag_pairing;
+    QCheck_alcotest.to_alcotest tag_uniqueness_prop;
     Alcotest.test_case "grid strides" `Quick test_grid_strides;
     Alcotest.test_case "licm hoists comm setup" `Quick
       test_licm_hoists_comm_setup;

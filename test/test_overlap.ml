@@ -183,6 +183,94 @@ let run_overlapped ~lowered_stage () =
 let test_overlap_matches_serial_stencil () = run_overlapped ~lowered_stage: false ()
 let test_overlap_matches_serial_lowered () = run_overlapped ~lowered_stage: true ()
 
+(* The executed pipeline end-to-end: Harness.run_distributed (which owns
+   the overlap-by-default lowering) must reproduce the serial oracle
+   bitwise on every substrate x executor x rank count, with overlap both
+   on and off. *)
+let test_harness_overlap_matrix () =
+  let workloads =
+    [
+      ("heat2d", Programs.heat2d_timeloop_module ~nx: 12 ~ny: 12 ~steps: 2);
+      ("jacobi1d", Programs.jacobi1d_timeloop_module ~n: 16 ~steps: 3);
+    ]
+  in
+  let executors =
+    [
+      ("interp", None);
+      ("compiled", Some Exec_compile.executor);
+    ]
+  in
+  List.iter
+    (fun (wname, m) ->
+      List.iter
+        (fun (sname, substrate) ->
+          List.iter
+            (fun (ename, executor) ->
+              List.iter
+                (fun ranks ->
+                  List.iter
+                    (fun overlap ->
+                      let r =
+                        Driver.Harness.run_distributed ~substrate ?executor
+                          ~overlap ~ranks m
+                      in
+                      check bool_c
+                        (Printf.sprintf "%s %s %s r%d ov=%b overlap recorded"
+                           wname sname ename ranks overlap)
+                        overlap r.Driver.Harness.overlap;
+                      check (Alcotest.float 0.)
+                        (Printf.sprintf "%s %s %s r%d ov=%b == serial" wname
+                           sname ename ranks overlap)
+                        0. r.Driver.Harness.max_diff_vs_serial)
+                    [ true; false ])
+                [ 1; 2; 4 ])
+            executors)
+        [ ("sim", Driver.Harness.Sim); ("par", Driver.Harness.Par) ])
+    workloads
+
+(* Halo pack/unpack phases appear as spans on substrate timelines: the
+   lowered module's MPI_Pcontrol markers flow through Runtime_link into
+   Span_begin/Span_end events, balanced per rank. *)
+let test_pack_unpack_spans_recorded () =
+  let nx = 12 and ny = 12 and steps = 2 and ranks = 4 in
+  let m = Programs.heat2d_timeloop_module ~nx ~ny ~steps in
+  let dm =
+    Overlap.run
+      (Swap_elim.run
+         (Distribute.run
+            (Distribute.options ~ranks ~strategy: Decomposition.Slice2d ())
+            m))
+  in
+  let lowered =
+    Mpi_to_func.run
+      (Dmp_to_mpi.run
+         (Stencil_to_loops.run ~style: Stencil_to_loops.Sequential dm))
+  in
+  let fop = Option.get (Op.lookup_symbol dm "run") in
+  let local_bounds = List.hd (Driver.Domain.field_arg_bounds fop) in
+  let shape = List.map Typesys.bound_size local_bounds in
+  let comm =
+    Driver.Simulate.run_spmd ~trace: true ~ranks ~func: "run"
+      ~make_args: (fun _ctx ->
+        List.init 2 (fun _ ->
+            Interp.Rtval.Rbuf
+              (Interp.Rtval.alloc_buffer shape Typesys.f32)))
+      lowered
+  in
+  let events = Mpi_sim.timeline comm in
+  let count kind =
+    List.length
+      (List.filter (fun (e : Mpi_intf.timeline_event) -> e.Mpi_intf.kind = kind) events)
+  in
+  let pack_open = count (Mpi_intf.Span_begin "pack") in
+  let pack_close = count (Mpi_intf.Span_end "pack") in
+  let unpack_open = count (Mpi_intf.Span_begin "unpack") in
+  let unpack_close = count (Mpi_intf.Span_end "unpack") in
+  check bool_c "pack spans recorded" true (pack_open > 0);
+  check bool_c "unpack spans recorded" true (unpack_open > 0);
+  check int_c "pack spans balanced" pack_open pack_close;
+  check int_c "unpack spans balanced" unpack_open unpack_close
+
 let suite =
   [
     Alcotest.test_case "interior box" `Quick test_interior_box;
@@ -196,4 +284,8 @@ let suite =
       test_overlap_matches_serial_stencil;
     Alcotest.test_case "overlapped == serial (func-calls)" `Quick
       test_overlap_matches_serial_lowered;
+    Alcotest.test_case "harness overlap matrix == serial" `Quick
+      test_harness_overlap_matrix;
+    Alcotest.test_case "pack/unpack spans recorded" `Quick
+      test_pack_unpack_spans_recorded;
   ]
