@@ -37,7 +37,24 @@ type row = {
   bytes : int;  (* mpi_par payload bytes *)
   cross_diff : float;  (* par vs sim gathered results *)
   par_diff : float;  (* par vs serial reference *)
+  overlap_efficiency : float option;
+      (* hidden-comm / in-flight time from the traced par run *)
+  critical_path_s : float;  (* longest happens-before chain, traced run *)
 }
+
+(* Effective host core count, overridable with BENCH_HOST_CORES (useful
+   in containers where [Domain.recommended_domain_count] sees a restricted
+   cpuset that does not match the machine). *)
+let host_cores () =
+  match Sys.getenv_opt "BENCH_HOST_CORES" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          prerr_endline
+            ("bench par: ignoring invalid BENCH_HOST_CORES=" ^ s);
+          Mpi_par.host_cores ())
+  | None -> Mpi_par.host_cores ()
 
 (* Best-of-[reps] distributed run: wall times of domain runs on a shared
    host are noisy, so keep the fastest wall clock (correctness fields
@@ -51,7 +68,8 @@ let best_distributed ~reps run =
   done;
   !best
 
-let run_workload (name, m) ~reps ~ranks ~overlap : row =
+let run_workload (name, m) ~reps ~ranks ~overlap : row * Analysis.msg_sample list
+    =
   let executor = Exec_compile.executor in
   let sim =
     best_distributed ~reps (fun () ->
@@ -63,9 +81,16 @@ let run_workload (name, m) ~reps ~ranks ~overlap : row =
         Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
           ~overlap ~executor m)
   in
-  let host_cores = Mpi_par.host_cores () in
+  (* One extra traced par run for the analytics columns: tracing perturbs
+     wall time, so it never contributes to the timing fields above. *)
+  let traced =
+    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
+      ~overlap ~executor ~trace: true m
+  in
+  let analysis = traced.Driver.Harness.analysis in
+  let host_cores = host_cores () in
   let oversubscribed = ranks > host_cores in
-  {
+  ( {
     workload = name;
     ranks;
     overlap;
@@ -80,18 +105,25 @@ let run_workload (name, m) ~reps ~ranks ~overlap : row =
       (if oversubscribed then None
        else
          Some (par.Driver.Harness.serial_wall_s /. par.Driver.Harness.wall_s));
-    messages = par.Driver.Harness.messages;
-    bytes = par.Driver.Harness.bytes;
-    cross_diff = Driver.Harness.max_result_diff par sim;
-    par_diff = par.Driver.Harness.max_diff_vs_serial;
-  }
+      messages = par.Driver.Harness.messages;
+      bytes = par.Driver.Harness.bytes;
+      cross_diff = Driver.Harness.max_result_diff par sim;
+      par_diff = par.Driver.Harness.max_diff_vs_serial;
+      overlap_efficiency =
+        Option.bind analysis (fun a -> a.Analysis.r_overlap.Analysis.ov_efficiency);
+      critical_path_s =
+        (match analysis with
+        | Some a -> a.Analysis.r_critical_path_s
+        | None -> 0.);
+    },
+    match analysis with Some a -> a.Analysis.r_samples | None -> [] )
 
 let write_json (rows : row list) =
   let path = Bench_paths.artifact "BENCH_par.json" in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"bench\": \"par\",\n  \"host_cores\": %d,\n  \"entries\": [\n"
-    (Mpi_par.host_cores ());
+    (host_cores ());
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -99,6 +131,7 @@ let write_json (rows : row list) =
          %S, \"executor\": %S, \"serial_s\": %.6f, \"sim_s\": %.6f, \
          \"par_s\": %.6f, \"host_cores\": %d, \"oversubscribed\": %b, \
          \"speedup\": %s, \"messages\": %d, \"bytes\": %d, \
+         \"overlap_efficiency\": %s, \"critical_path_s\": %.6f, \
          \"max_abs_diff_par_vs_sim\": %.17g, \"max_abs_diff_par_vs_serial\": \
          %.17g}%s\n"
         r.workload r.ranks r.overlap r.grid r.executor r.serial_s r.sim_s
@@ -106,17 +139,41 @@ let write_json (rows : row list) =
         (match r.speedup with
         | Some s -> Printf.sprintf "%.3f" s
         | None -> "null")
-        r.messages r.bytes r.cross_diff r.par_diff
+        r.messages r.bytes
+        (match r.overlap_efficiency with
+        | Some e -> Printf.sprintf "%.4f" e
+        | None -> "null")
+        r.critical_path_s r.cross_diff r.par_diff
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   path
 
+(* Pool every traced run's matched (bytes, latency) message samples and
+   fit the alpha-beta postal model — the calibrated network model ROADMAP
+   item 4's decomposition auto-tuner consumes. *)
+let write_netmodel ~workloads samples =
+  match Analysis.fit_netmodel samples with
+  | None -> None
+  | Some nm ->
+      let path = Bench_paths.artifact "BENCH_netmodel.json" in
+      let oc = open_out path in
+      output_string oc
+        (Analysis.netmodel_json
+           ~meta:
+             [
+               ("substrate", "par");
+               ("workloads", String.concat "," workloads);
+             ]
+           nm);
+      close_out oc;
+      Some (nm, path)
+
 let run ?(smoke = false) () =
   Printf.printf "== Measured parallel execution (mpi_par vs mpi_sim) ==\n";
-  Printf.printf "   host cores: %d%s\n" (Mpi_par.host_cores ())
-    (if Mpi_par.host_cores () = 1 then
+  Printf.printf "   host cores: %d%s\n" (host_cores ())
+    (if host_cores () = 1 then
        " (speedup > 1 not expected on a single-core host)"
      else "");
   let grid2 n = [ n; n ] in
@@ -138,7 +195,9 @@ let run ?(smoke = false) () =
       ]
   in
   let rank_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-  let reps = if smoke then 1 else 3 in
+  (* Smoke also takes 3 reps: its numbers feed the check.sh regression
+     gate, so best-of-1 noise would trip the tolerance band. *)
+  let reps = 3 in
   (* The overlap ablation runs at the largest rank count only; all other
      rows measure the default (overlap-on) executed pipeline. *)
   let ablation_ranks = List.fold_left max 1 rank_counts in
@@ -150,18 +209,21 @@ let run ?(smoke = false) () =
         else [ (ranks, true) ])
       rank_counts
   in
-  Printf.printf "   %-12s %5s %3s %6s %10s %10s %10s %8s %9s %9s %10s\n"
+  Printf.printf
+    "   %-12s %5s %3s %6s %10s %10s %10s %8s %9s %9s %7s %9s %10s\n"
     "workload" "ranks" "ov" "grid" "serial_s" "sim_s" "par_s" "speedup"
-    "msgs" "bytes" "par-sim";
+    "msgs" "bytes" "ov_eff" "critpath" "par-sim";
+  let all_samples = ref [] in
   let rows =
     List.concat_map
       (fun w ->
         List.map
           (fun (ranks, overlap) ->
-            let r = run_workload w ~reps ~ranks ~overlap in
+            let r, samples = run_workload w ~reps ~ranks ~overlap in
+            all_samples := samples :: !all_samples;
             Printf.printf
-              "   %-12s %5d %3s %6s %10.4f %10.4f %10.4f %8s %9d %9d \
-               %10.2e%s\n\
+              "   %-12s %5d %3s %6s %10.4f %10.4f %10.4f %8s %9d %9d %7s \
+               %9.4f %10.2e%s\n\
                %!"
               r.workload r.ranks
               (if r.overlap then "on" else "off")
@@ -169,7 +231,11 @@ let run ?(smoke = false) () =
               (match r.speedup with
               | Some s -> Printf.sprintf "%7.2fx" s
               | None -> "      -")
-              r.messages r.bytes r.cross_diff
+              r.messages r.bytes
+              (match r.overlap_efficiency with
+              | Some e -> Printf.sprintf "%5.1f%%" (100. *. e)
+              | None -> "    -")
+              r.critical_path_s r.cross_diff
               (if r.cross_diff <> 0. || r.par_diff <> 0. then "  MISMATCH"
                else "");
             r)
@@ -178,6 +244,18 @@ let run ?(smoke = false) () =
   in
   let path = write_json rows in
   Printf.printf "   (machine-readable copy: %s)\n" path;
+  (match
+     write_netmodel
+       ~workloads: (List.map fst workloads)
+       (List.concat (List.rev !all_samples))
+   with
+  | Some (nm, nm_path) ->
+      Printf.printf
+        "   network model: alpha=%.3e s, beta=%.3e s/byte, r2=%.3f over %d \
+         message(s) (%s)\n"
+        nm.Analysis.nm_alpha_s nm.Analysis.nm_beta_s_per_byte nm.Analysis.nm_r2
+        nm.Analysis.nm_samples nm_path
+  | None -> Printf.printf "   network model: no traced message samples\n");
   (if List.exists (fun r -> r.oversubscribed) rows then
      Printf.printf
        "   (speedup omitted on rows with ranks > host cores: domains \

@@ -9,7 +9,22 @@
    explicit --out-dir override. *)
 
 let out_dir_override : string option ref = ref None
-let set_out_dir dir = out_dir_override := Some dir
+
+(* Fail fast (and with a clear message) on an unusable --out-dir, rather
+   than measuring for minutes and dying in the artifact writer. *)
+let set_out_dir dir =
+  (if Sys.file_exists dir then begin
+     if not (Sys.is_directory dir) then begin
+       prerr_endline ("--out-dir " ^ dir ^ " exists and is not a directory");
+       exit 1
+     end
+   end
+   else
+     try Sys.mkdir dir 0o755
+     with Sys_error msg ->
+       prerr_endline ("--out-dir: cannot create " ^ dir ^ ": " ^ msg);
+       exit 1);
+  out_dir_override := Some dir
 
 let repo_root () =
   let exe =

@@ -1,0 +1,359 @@
+(* Performance-regression gate: compare freshly produced BENCH_par.json /
+   BENCH_exec.json against checked-in baselines and fail loudly on
+   slowdowns beyond a tolerance band.
+
+   Absolute wall times are machine speed; comparing them across hosts is
+   meaningless.  The gate therefore checks machine-speed-independent
+   quantities only:
+     - par rows: the distributed/serial wall-time ratios (par_s/serial_s
+       and sim_s/serial_s) may not grow by more than [tolerance] (default
+       25%), and the deterministic traffic fields (messages, bytes) and
+       correctness diffs must match the baseline exactly;
+     - exec rows: the compiled-vs-interpreter speedup may not drop by
+       more than [tolerance], and max_abs_diff must stay 0.
+   A baseline row missing from the current run fails the gate (a silently
+   dropped benchmark is a regression too); rows only present in the
+   current run are reported but pass. *)
+
+(* --- minimal JSON reader (objects, arrays, numbers, strings, bools,
+   null) --- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_lit lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some 'r' -> Buffer.add_char b '\r'
+          | Some 'u' ->
+              (* keep escaped code points verbatim; keys here are ASCII *)
+              Buffer.add_string b "\\u"
+          | Some c -> Buffer.add_char b c
+          | None -> fail "unterminated escape");
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Jarr (items [])
+        end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> parse_lit "true" (Jbool true)
+    | Some 'f' -> parse_lit "false" (Jbool false)
+    | Some 'n' -> parse_lit "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  v
+
+let member key = function
+  | Jobj kvs -> ( match List.assoc_opt key kvs with Some v -> v | None -> Jnull)
+  | _ -> Jnull
+
+let jnum = function Jnum f -> Some f | _ -> None
+let jstr = function Jstr s -> Some s | _ -> None
+let jbool = function Jbool b -> Some b | _ -> None
+let jarr = function Jarr vs -> vs | _ -> []
+
+let load_json path =
+  let content = In_channel.with_open_text path In_channel.input_all in
+  parse_json content
+
+(* --- the gate --- *)
+
+type outcome = { mutable failures : string list; mutable checked : int }
+
+let fail_row out fmt =
+  Printf.ksprintf (fun msg -> out.failures <- msg :: out.failures) fmt
+
+(* Keyed rows of one BENCH file's "entries" array. *)
+let entries_by_key ~key json =
+  List.filter_map
+    (fun e -> match key e with Some k -> Some (k, e) | None -> None)
+    (jarr (member "entries" json))
+
+let par_key e =
+  match (jstr (member "workload" e), jnum (member "ranks" e)) with
+  | Some w, Some r ->
+      let ov =
+        match jbool (member "overlap" e) with
+        | Some true -> "on"
+        | Some false -> "off"
+        | None -> "?"
+      in
+      Some (Printf.sprintf "%s/ranks=%d/overlap=%s" w (int_of_float r) ov)
+  | _ -> None
+
+let exec_key e =
+  match (jstr (member "workload" e), jstr (member "mode" e)) with
+  | Some w, Some m -> Some (w ^ "/" ^ m)
+  | _ -> None
+
+(* A wall-time this short is dominated by scheduler noise: timing ratios
+   from runs under it are reported, never gated. *)
+let timing_noise_floor_s = 0.02
+
+let check_ratio out ~key ~what ~tolerance ~base ~cur =
+  match (base, cur) with
+  | Some b, Some c when b > 0. ->
+      out.checked <- out.checked + 1;
+      if c > b *. (1. +. tolerance) then
+        fail_row out "%s: %s regressed %.3f -> %.3f (+%.0f%%, tolerance %.0f%%)"
+          key what b c
+          (100. *. ((c /. b) -. 1.))
+          (100. *. tolerance)
+  | _ -> ()
+
+let check_exact_num out ~key ~what ~base ~cur =
+  match (base, cur) with
+  | Some b, Some c ->
+      out.checked <- out.checked + 1;
+      if b <> c then
+        fail_row out "%s: %s changed %g -> %g (expected exact match)" key what
+          b c
+  | _ -> ()
+
+let check_zero out ~key ~what v =
+  match v with
+  | Some d ->
+      out.checked <- out.checked + 1;
+      if d <> 0. then fail_row out "%s: %s is %g (expected 0)" key what d
+  | None -> ()
+
+let ratio a b =
+  match (a, b) with
+  | Some x, Some y when y > 0. -> Some (x /. y)
+  | _ -> None
+
+let compare_par out ~tolerance ~baseline ~current =
+  let base_rows = entries_by_key ~key: par_key baseline in
+  let cur_rows = entries_by_key ~key: par_key current in
+  List.iter
+    (fun (key, b) ->
+      match List.assoc_opt key cur_rows with
+      | None -> fail_row out "%s: row missing from current BENCH_par" key
+      | Some c ->
+          let num fld e = jnum (member fld e) in
+          let above_floor =
+            match num "serial_s" b with
+            | Some s -> s >= timing_noise_floor_s
+            | None -> false
+          in
+          if above_floor then begin
+            check_ratio out ~key ~what: "par_s/serial_s" ~tolerance
+              ~base: (ratio (num "par_s" b) (num "serial_s" b))
+              ~cur: (ratio (num "par_s" c) (num "serial_s" c));
+            check_ratio out ~key ~what: "sim_s/serial_s" ~tolerance
+              ~base: (ratio (num "sim_s" b) (num "serial_s" b))
+              ~cur: (ratio (num "sim_s" c) (num "serial_s" c))
+          end
+          else
+            Printf.printf
+              "   note: %s: baseline serial %.4fs under the %.0fms noise \
+               floor, timing ratios not gated\n"
+              key
+              (Option.value (num "serial_s" b) ~default: 0.)
+              (timing_noise_floor_s *. 1e3);
+          check_exact_num out ~key ~what: "messages" ~base: (num "messages" b)
+            ~cur: (num "messages" c);
+          check_exact_num out ~key ~what: "bytes" ~base: (num "bytes" b)
+            ~cur: (num "bytes" c);
+          check_zero out ~key ~what: "max_abs_diff_par_vs_sim"
+            (num "max_abs_diff_par_vs_sim" c);
+          check_zero out ~key ~what: "max_abs_diff_par_vs_serial"
+            (num "max_abs_diff_par_vs_serial" c))
+    base_rows;
+  List.iter
+    (fun (key, _) ->
+      if List.assoc_opt key base_rows = None then
+        Printf.printf "   note: %s is new (no baseline)\n" key)
+    cur_rows
+
+let compare_exec out ~tolerance ~baseline ~current =
+  let base_rows = entries_by_key ~key: exec_key baseline in
+  let cur_rows = entries_by_key ~key: exec_key current in
+  List.iter
+    (fun (key, b) ->
+      match List.assoc_opt key cur_rows with
+      | None -> fail_row out "%s: row missing from current BENCH_exec" key
+      | Some c ->
+          let above_floor =
+            (* speedup = interp/compiled: when the compiled run is down at
+               the noise floor the ratio swings wildly, so don't gate it *)
+            match jnum (member "compiled_s" b) with
+            | Some s -> s >= timing_noise_floor_s /. 2.
+            | None -> false
+          in
+          (match (jnum (member "speedup" b), jnum (member "speedup" c)) with
+          | Some sb, Some sc when sb > 1. && above_floor ->
+              out.checked <- out.checked + 1;
+              if sc < sb /. (1. +. tolerance) then
+                fail_row out
+                  "%s: compiled speedup regressed %.2fx -> %.2fx (-%.0f%%, \
+                   tolerance %.0f%%)"
+                  key sb sc
+                  (100. *. (1. -. (sc /. sb)))
+                  (100. *. tolerance)
+          | _ -> ());
+          check_zero out ~key ~what: "max_abs_diff" (jnum (member "max_abs_diff" c)))
+    base_rows;
+  List.iter
+    (fun (key, _) ->
+      if List.assoc_opt key base_rows = None then
+        Printf.printf "   note: %s is new (no baseline)\n" key)
+    cur_rows
+
+let gate_file out ~tolerance ~compare ~name ~baseline_dir ~current_dir =
+  let bpath = Filename.concat baseline_dir name in
+  let cpath = Filename.concat current_dir name in
+  if not (Sys.file_exists bpath) then
+    fail_row out "%s: baseline %s does not exist" name bpath
+  else if not (Sys.file_exists cpath) then
+    fail_row out "%s: current %s does not exist (bench not run?)" name cpath
+  else
+    match (load_json bpath, load_json cpath) with
+    | baseline, current -> compare out ~tolerance ~baseline ~current
+    | exception Bad_json msg -> fail_row out "%s: unparseable (%s)" name msg
+
+let run ?(baseline_dir : string option) ?(current_dir : string option)
+    ?(tolerance = 0.25) () =
+  let baseline_dir =
+    match baseline_dir with
+    | Some d -> d
+    | None ->
+        Filename.concat (Bench_paths.repo_root ())
+          (Filename.concat "bench" "baselines")
+  in
+  let current_dir =
+    match current_dir with Some d -> d | None -> Bench_paths.out_dir ()
+  in
+  Printf.printf "== Benchmark regression gate ==\n";
+  Printf.printf "   baseline: %s\n   current:  %s\n   tolerance: %.0f%%\n"
+    baseline_dir current_dir (100. *. tolerance);
+  let out = { failures = []; checked = 0 } in
+  gate_file out ~tolerance ~compare: compare_par ~name: "BENCH_par.json"
+    ~baseline_dir ~current_dir;
+  gate_file out ~tolerance ~compare: compare_exec ~name: "BENCH_exec.json"
+    ~baseline_dir ~current_dir;
+  match out.failures with
+  | [] ->
+      Printf.printf "   PASS: %d check(s), no regression beyond %.0f%%\n\n"
+        out.checked (100. *. tolerance);
+      true
+  | fs ->
+      Printf.printf "   FAIL: %d regression(s) (%d check(s) run):\n"
+        (List.length fs) out.checked;
+      List.iter (fun f -> Printf.printf "     - %s\n" f) (List.rev fs);
+      print_newline ();
+      false

@@ -91,6 +91,30 @@ let () =
   | "exec" :: rest ->
       Bench_exec.run ~smoke: (List.mem "--smoke" rest) ();
       exit 0
+  | "regress" :: rest ->
+      (* regress [--baseline DIR] [--current DIR] [--tolerance F] *)
+      let rec opt name = function
+        | [] -> None
+        | flag :: v :: _ when flag = name -> Some v
+        | _ :: tl -> opt name tl
+      in
+      let tolerance =
+        match opt "--tolerance" rest with
+        | None -> None
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some f when f >= 0. -> Some f
+            | _ ->
+                prerr_endline ("regress: invalid --tolerance " ^ s);
+                exit 1)
+      in
+      let ok =
+        Bench_regress.run
+          ?baseline_dir: (opt "--baseline" rest)
+          ?current_dir: (opt "--current" rest)
+          ?tolerance ()
+      in
+      exit (if ok then 0 else 1)
   | _ -> ());
   let selected =
     if args = [] then sections
@@ -102,6 +126,10 @@ let () =
     List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) sections;
     prerr_endline "  par [--smoke]   (measured multicore execution)";
     prerr_endline "  exec [--smoke]  (measured interp vs compiled executor)";
+    prerr_endline
+      "  regress [--baseline DIR] [--current DIR] [--tolerance F]";
+    prerr_endline
+      "                  (gate fresh BENCH_par/BENCH_exec vs baselines)";
     prerr_endline "  --out-dir DIR   (where BENCH_*.json land; default repo root)";
     exit 1
   end;

@@ -77,7 +77,7 @@ let distribute_pass ~ranks ~strategy =
 (* Execute the module end-to-end on an MPI substrate (--run-par/--run-sim):
    serial reference, distribute + lower, run, gather, compare. *)
 let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
-    ~exec ~overlap m =
+    ~report ~exec ~overlap m =
   let executor =
     match Exec_compile.of_name exec with
     | Some e -> e
@@ -87,7 +87,12 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
           ^ String.concat " or " Exec_compile.names
           ^ ")")
   in
-  let trace = trace_out <> None in
+  (match report with
+  | None | Some "text" | Some "json" -> ()
+  | Some other ->
+      failwith ("unknown report format: " ^ other ^ " (expected text or json)"));
+  (* --report needs the event timeline, so it forces tracing on. *)
+  let trace = trace_out <> None || report <> None in
   if trace then Obs.enable ();
   let r =
     Driver.Harness.run_distributed ~substrate
@@ -109,6 +114,10 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
     r.Driver.Harness.messages r.Driver.Harness.bytes;
   Format.printf "max abs diff vs serial: %g@."
     r.Driver.Harness.max_diff_vs_serial;
+  (match (report, r.Driver.Harness.analysis) with
+  | None, _ | _, None -> ()
+  | Some "json", Some a -> print_string (Analysis.report_json a)
+  | Some _, Some a -> Format.printf "%a" Analysis.pp_report a);
   (match trace_out with
   | Some path ->
       Obs.Trace.write_chrome_json path;
@@ -123,8 +132,8 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
   end
 
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
-    print_after verify stats profile pass_stats trace_out run_par run_sim
-    stall_timeout exec overlap =
+    print_after verify stats profile pass_stats trace_out report run_par
+    run_sim stall_timeout exec overlap =
   try
     (match Ir.Rewriter.driver_of_string rewrite_driver with
     | Some d -> Ir.Rewriter.set_default_driver d
@@ -146,10 +155,10 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     match (run_par, run_sim) with
     | Some ranks, _ ->
         execute_distributed ~substrate: Driver.Harness.Par ~ranks ~strategy
-          ~stall_timeout ~trace_out ~exec ~overlap m
+          ~stall_timeout ~trace_out ~report ~exec ~overlap m
     | None, Some ranks ->
         execute_distributed ~substrate: Driver.Harness.Sim ~ranks ~strategy
-          ~stall_timeout ~trace_out ~exec ~overlap m
+          ~stall_timeout ~trace_out ~report ~exec ~overlap m
     | None, None ->
     let selected =
       match (pipeline, passes) with
@@ -278,6 +287,18 @@ let trace_out_arg =
           "Write a Chrome trace-event JSON of the compilation (one span \
            per pass) to $(docv); load it in Perfetto or chrome://tracing.")
 
+let report_arg =
+  Arg.(
+    value
+    & opt ~vopt: (Some "text") (some string) None
+    & info [ "report" ] ~docv: "FORMAT"
+        ~doc:
+          "After --run-par/--run-sim, analyze the run's event timeline and \
+           print per-rank compute/pack/wait/unpack breakdowns, the \
+           rank-by-rank comm matrix, the critical path, overlap efficiency \
+           and an alpha-beta network-model fit.  $(docv) is text (default) \
+           or json.  Implies tracing.")
+
 let run_par_arg =
   Arg.(
     value
@@ -337,7 +358,7 @@ let cmd =
       const run_cmd $ input_arg $ demo_arg $ pipeline_arg $ passes_arg
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
-      $ trace_out_arg $ run_par_arg $ run_sim_arg $ stall_timeout_arg
-      $ exec_arg $ overlap_arg)
+      $ trace_out_arg $ report_arg $ run_par_arg $ run_sim_arg
+      $ stall_timeout_arg $ exec_arg $ overlap_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,7 @@ type result = {
   domain : int list;
   gathered : Interp.Rtval.buffer list;
   serial : Interp.Rtval.buffer list;
+  analysis : Analysis.report option;
 }
 
 let default_func m =
@@ -101,7 +102,8 @@ module Runner (M : Mpi_intf.MPI_CORE) = struct
         ~collect: (fun ctx _args results -> collect (M.rank ctx) results)
         m
     in
-    (M.substrate, M.total_messages comm, M.total_bytes comm)
+    let tl = if trace then M.timeline comm else [] in
+    (M.substrate, M.total_messages comm, M.total_bytes comm, tl)
 end
 
 module Sim_runner = Runner (Mpi_sim)
@@ -198,7 +200,7 @@ let run_distributed ?(substrate = Sim)
     | None -> Interp.Executor.interpreter.Interp.Executor.exec_name
   in
   let t1 = Unix.gettimeofday () in
-  let substrate_name, messages, bytes =
+  let substrate_name, messages, bytes, tl =
     match substrate with
     | Sim ->
         Sim_runner.exec ~trace ?executor ~ranks ~func ~make_args ~collect
@@ -209,6 +211,7 @@ let run_distributed ?(substrate = Sim)
               lowered)
   in
   let wall_s = Unix.gettimeofday () -. t1 in
+  let analysis = if trace then Some (Analysis.analyze ~ranks tl) else None in
   let max_diff_vs_serial =
     List.fold_left2
       (fun acc s g -> Float.max acc (interior_diff ~domain s g))
@@ -228,4 +231,5 @@ let run_distributed ?(substrate = Sim)
     domain;
     gathered;
     serial;
+    analysis;
   }

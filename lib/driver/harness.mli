@@ -23,6 +23,9 @@ type result = {
   domain : int list;  (** global interior extents *)
   gathered : Interp.Rtval.buffer list;  (** gathered result buffers *)
   serial : Interp.Rtval.buffer list;  (** serial result buffers *)
+  analysis : Analysis.report option;
+      (** timeline analytics (breakdown, comm matrix, critical path,
+          overlap); [Some] iff the run was traced *)
 }
 
 val run_distributed :

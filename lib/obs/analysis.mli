@@ -1,0 +1,126 @@
+(** Timeline analytics: the decision-making layer over recorded MPI
+    substrate timelines.
+
+    [Obs] and the substrates record raw events (isend/irecv/wait spans,
+    pcontrol phases); this module turns one run's
+    {!Mpi_intf.timeline_event} list into answers: a per-rank
+    compute/pack/wait/unpack/collective breakdown, a rank{^ 2}
+    communication matrix whose byte totals reconcile with the timeline's
+    [Isend] edge bytes, the critical path through the happens-before
+    graph induced by send->recv edges, an overlap-efficiency figure
+    (hidden-communication time over total in-flight time), and the
+    matched (bytes, latency) message samples an alpha-beta network-model
+    fit is computed from.
+
+    Everything here is pure: no clocks, no global state.  Timestamps are
+    whatever the substrate stamped — wall-clock seconds on [mpi_par]
+    (where latencies and the fitted model are physical), the
+    deterministic logical clock on [mpi_sim] (where the same analyses
+    describe structure: event counts, orderings, message edges). *)
+
+(** Phase classification of one slice of a rank's time.  [Flight] only
+    appears on critical-path links (a message in the network between two
+    ranks); rank breakdowns use the other five. *)
+type phase = Compute | Pack | Exchange_wait | Unpack | Collective_phase | Flight
+
+val phase_name : phase -> string
+
+type rank_phases = {
+  bd_rank : int;
+  bd_span_s : float;  (** last event ts - first event ts on this rank *)
+  bd_compute_s : float;  (** residual: not in any tracked phase *)
+  bd_pack_s : float;  (** inside pcontrol "pack" spans *)
+  bd_wait_s : float;  (** blocked in wait/waitall on halo exchanges *)
+  bd_unpack_s : float;  (** inside pcontrol "unpack" spans *)
+  bd_collective_s : float;  (** blocked in collective-tag waits *)
+  bd_events : int;
+}
+(** The five phase durations sum to [bd_span_s] (up to float addition
+    error): every inter-event gap is attributed to exactly one phase. *)
+
+type comm_matrix = {
+  cm_ranks : int;
+  cm_messages : int array array;  (** [(src).(dst)] message count *)
+  cm_bytes : int array array;  (** [(src).(dst)] accounted payload bytes *)
+  cm_latency_s : float array array;
+      (** [(src).(dst)] summed in-flight time (send post to matched
+          receive completion) over matched messages on that edge *)
+}
+
+val matrix_total_messages : comm_matrix -> int
+val matrix_total_bytes : comm_matrix -> int
+
+type msg_sample = {
+  ms_src : int;
+  ms_dst : int;
+  ms_tag : int;
+  ms_bytes : int;
+  ms_send_ts : float;
+  ms_recv_ts : float;  (** >= [ms_send_ts]; clamped if clocks raced *)
+}
+(** One matched [Isend] -> [Recv_complete] pair (FIFO per (src, dst,
+    tag), mirroring both substrates' matching rule). *)
+
+type path_link = {
+  pl_rank : int;  (** receiving rank for [Flight] links *)
+  pl_phase : phase;
+  pl_dur_s : float;
+}
+
+type overlap_stats = {
+  ov_inflight_s : float;  (** total in-flight time of matched messages *)
+  ov_exposed_s : float;  (** total time ranks sat blocked in exchange waits *)
+  ov_hidden_s : float;  (** max 0 (inflight - exposed) *)
+  ov_efficiency : float option;
+      (** hidden / inflight; [None] when no messages were matched *)
+}
+
+type report = {
+  r_ranks : int;
+  r_breakdown : rank_phases array;  (** indexed by rank *)
+  r_matrix : comm_matrix;
+  r_critical_path : path_link list;
+      (** merged (rank, phase, duration) links, run start to run end *)
+  r_critical_path_s : float;
+      (** length of the longest happens-before chain; at least the
+          longest single-rank span *)
+  r_slack_s : float array;
+      (** per rank: critical path length minus that rank's span *)
+  r_overlap : overlap_stats;
+  r_samples : msg_sample list;  (** calibration input, matched order *)
+  r_unmatched_sends : int;  (** Isend events with no Recv_complete *)
+}
+
+val analyze : ranks:int -> Mpi_intf.timeline_event list -> report
+(** Analyze one run's timeline (as returned by a substrate's [timeline]
+    accessor, any event order — events are re-sorted by [seq]). *)
+
+(** {1 Network-model calibration} *)
+
+type netmodel = {
+  nm_alpha_s : float;  (** fixed per-message latency (seconds) *)
+  nm_beta_s_per_byte : float;  (** per-byte transfer cost (seconds) *)
+  nm_r2 : float;  (** coefficient of determination of the fit *)
+  nm_samples : int;
+}
+(** Least-squares alpha-beta model [duration = alpha + beta * bytes] over
+    observed message samples — the postal model the ROADMAP's simulated
+    scale-out replays need. *)
+
+val fit_netmodel : msg_sample list -> netmodel option
+(** [None] when there are no samples.  With a single sample or zero
+    byte-size variance the slope is 0 and alpha is the mean duration. *)
+
+(** {1 Rendering} *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable multi-section report (breakdown table, comm matrix,
+    critical path, overlap, fit). *)
+
+val report_json : report -> string
+(** The whole report as a JSON document (machine-readable [--report=json]
+    form). *)
+
+val netmodel_json : ?meta:(string * string) list -> netmodel -> string
+(** BENCH_netmodel.json payload; [meta] adds extra string fields (e.g.
+    substrate, workload list). *)

@@ -61,6 +61,7 @@ type sink = {
   t0 : float;
   mutable rev_events : event list;
   mutable n_events : int;
+  mutable dropped_events : int;
   mutable open_spans : int;
   mutable rev_pass_stats : pass_stat list;
   mutable rev_rewrite_stats : rewrite_stat list;
@@ -71,6 +72,15 @@ let current : sink option ref = ref None
 
 let enabled () = !current <> None
 
+(* Keep-first cap on the retained event list: long mpi_par runs would
+   otherwise grow it without bound.  The earliest [cap] events are kept
+   (they carry setup and the first iterations — the interesting part of a
+   runaway trace); later ones are counted as dropped. *)
+let default_event_cap = 1_000_000
+let event_cap_ref : int option ref = ref (Some default_event_cap)
+let set_event_cap c = event_cap_ref := c
+let event_cap () = !event_cap_ref
+
 let enable () =
   current :=
     Some
@@ -78,6 +88,7 @@ let enable () =
         t0 = now ();
         rev_events = [];
         n_events = 0;
+        dropped_events = 0;
         open_spans = 0;
         rev_pass_stats = [];
         rev_rewrite_stats = [];
@@ -92,8 +103,12 @@ module Trace = struct
   let enabled = enabled
 
   let push s ev =
-    s.rev_events <- ev :: s.rev_events;
-    s.n_events <- s.n_events + 1
+    match !event_cap_ref with
+    | Some cap when s.n_events >= cap ->
+        s.dropped_events <- s.dropped_events + 1
+    | _ ->
+        s.rev_events <- ev :: s.rev_events;
+        s.n_events <- s.n_events + 1
 
   let emit ?ts ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) ?(dur = 0.) ph
       name =
@@ -135,6 +150,9 @@ module Trace = struct
     match !current with None -> [] | Some s -> List.rev s.rev_events
 
   let event_count () = match !current with None -> 0 | Some s -> s.n_events
+
+  let dropped_events () =
+    match !current with None -> 0 | Some s -> s.dropped_events
 
   let open_spans () =
     match !current with None -> 0 | Some s -> s.open_spans
@@ -207,7 +225,12 @@ module Trace = struct
         if i > 0 then Buffer.add_string b ",\n";
         add_json_event b ev)
       (events ());
-    Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+    Buffer.add_string b "],\"displayTimeUnit\":\"ms\"";
+    let dropped = dropped_events () in
+    if dropped > 0 then
+      Buffer.add_string b
+        (Printf.sprintf ",\"metadata\":{\"droppedEvents\":%d}" dropped);
+    Buffer.add_string b "}\n";
     Buffer.contents b
 
   let write_chrome_json path =
@@ -259,7 +282,12 @@ module Trace = struct
     let rows =
       List.sort (fun (_, a, _) (_, b, _) -> compare (b : float) a) rows
     in
-    Format.fprintf fmt "// trace summary: %d event(s)@." (event_count ());
+    (match dropped_events () with
+    | 0 -> Format.fprintf fmt "// trace summary: %d event(s)@." (event_count ())
+    | d ->
+        Format.fprintf fmt
+          "// trace summary: %d event(s) (+%d dropped at buffer cap)@."
+          (event_count ()) d);
     List.iter
       (fun (name, t, n) ->
         Format.fprintf fmt "//   %-40s %4d span(s) %10.3f ms@." name n

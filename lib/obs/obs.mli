@@ -17,6 +17,15 @@ val set_clock : (unit -> float) -> unit
 val enable : unit -> unit
 (** Install a fresh sink, discarding any previous one. *)
 
+val set_event_cap : int option -> unit
+(** Bound the retained event buffer: keep-first semantics — once the cap
+    is reached later events are counted as dropped instead of stored
+    ([None] removes the bound).  Defaults to 1,000,000 events.  The
+    dropped count is surfaced by {!Trace.pp_summary} and in the Chrome
+    export metadata. *)
+
+val event_cap : unit -> int option
+
 val disable : unit -> unit
 
 val enabled : unit -> bool
@@ -109,6 +118,11 @@ module Trace : sig
   (** In emission order; empty when disabled. *)
 
   val event_count : unit -> int
+  (** Retained events (those past the cap are not counted here). *)
+
+  val dropped_events : unit -> int
+  (** Events discarded because the buffer cap was reached; 0 when
+      disabled or unbounded. *)
 
   val open_spans : unit -> int
   (** Outstanding [Begin] without matching [End]; 0 when balanced. *)

@@ -30,7 +30,10 @@ type mailbox = {
   mb_mutex : Mutex.t;
   mb_nonempty : Condition.t;
   mb_nonfull : Condition.t;
-  mb_q : payload Queue.t;
+  (* Payload plus its accounted byte count, so the receive side stamps
+     [Recv_complete] with exactly the bytes the matching [Isend] was
+     charged (consistent with mpi_sim). *)
+  mb_q : (payload * int) Queue.t;
 }
 
 type slot = {
@@ -173,7 +176,7 @@ let isend ctx ~dest ~tag ?bytes p =
     set_pending ctx None;
     raise Poisoned
   end;
-  Queue.push data mb.mb_q;
+  Queue.push (data, nbytes) mb.mb_q;
   Condition.signal mb.mb_nonempty;
   Mutex.unlock mb.mb_mutex;
   set_pending ctx None;
@@ -231,12 +234,10 @@ let try_complete = function
       | Some _ -> true
       | None -> (
           match try_match r.ctx ~source:r.source ~tag:r.tag with
-          | Some (src, p) ->
+          | Some (src, (p, bytes)) ->
               r.data <- Some p;
               Atomic.incr r.ctx.comm.progress;
-              record r.ctx
-                (Recv_complete
-                   { source = src; tag = r.tag; bytes = payload_bytes p });
+              record r.ctx (Recv_complete { source = src; tag = r.tag; bytes });
               true
           | None -> false))
 
@@ -275,7 +276,12 @@ let slot_wait ctx ~info pred =
 
 let wait req =
   match req with
-  | Null_req _ | Send_req _ -> None
+  | Null_req ctx | Send_req ctx ->
+      (* Eager protocol: already complete, but stamp the wait span so both
+         substrates' timelines carry the same events. *)
+      record ctx (Wait_begin (describe_request req));
+      record ctx Wait_end;
+      None
   | Recv_req r ->
       let ctx = r.ctx in
       record ctx (Wait_begin (describe_request req));
@@ -371,22 +377,32 @@ let make_comm ~trace ~ranks ~capacity =
     t0 = Unix.gettimeofday ();
   }
 
+(* How many trailing timeline events each blocked rank contributes to a
+   stall report. *)
+let stall_report_events = 5
+
 let stall_report ~timeout comm =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
        "mpi_par stall: no transport progress for %.2fs across %d domain(s)"
        timeout comm.world);
-  let last_event r =
-    if not comm.trace_on then None
+  let now = Unix.gettimeofday () -. comm.t0 in
+  (* Newest-first tail of a rank's timeline, so a deadlock is diagnosable
+     from the report alone: op, peer, tag, bytes and how long ago. *)
+  let recent_events r =
+    if not comm.trace_on then []
     else begin
       Mutex.lock comm.trace_mutex;
-      let ev =
-        List.find_opt (fun ev -> ev.ev_rank = r) comm.rev_trace
-        (* rev_trace is newest-first *)
+      let rec take n = function
+        | ev :: rest when n > 0 && ev.ev_rank = r ->
+            ev :: take (n - 1) rest
+        | _ :: rest when n > 0 -> take n rest
+        | _ -> []
       in
+      let evs = take stall_report_events comm.rev_trace in
       Mutex.unlock comm.trace_mutex;
-      ev
+      evs
     end
   in
   Array.iteri
@@ -398,11 +414,13 @@ let stall_report ~timeout comm =
         Buffer.add_string b
           (Printf.sprintf "\n  rank %d blocked in %s" r
              (Option.value pending ~default:"(unknown)"));
-        match last_event r with
-        | Some ev ->
+        List.iter
+          (fun ev ->
             Buffer.add_string b
-              (Format.asprintf " (last event: %a)" pp_event ev)
-        | None -> ()
+              (Format.asprintf "\n    %.3fs ago: %a"
+                 (Float.max 0. (now -. ev.ts))
+                 pp_event ev))
+          (recent_events r)
       end)
     comm.slots;
   Buffer.contents b

@@ -59,8 +59,11 @@ type timeline_event = Mpi_intf.timeline_event = {
 
 type comm = {
   size : int;
-  (* FIFO mailboxes keyed by (dst, src, tag). *)
-  mailboxes : (int * int * int, payload Queue.t) Hashtbl.t;
+  (* FIFO mailboxes keyed by (dst, src, tag); each entry carries the
+     payload together with its accounted byte count so the receive side
+     stamps [Recv_complete] with exactly the bytes the matching [Isend]
+     was charged. *)
+  mailboxes : (int * int * int, (payload * int) Queue.t) Hashtbl.t;
   per_rank : stats array;
   trace_on : bool;
   mutable next_seq : int;
@@ -146,9 +149,9 @@ let describe_request (r : request) =
    operation completes immediately. *)
 let post_send ctx ~dest ~tag ?(bytes = -1) payload =
   check_peer ctx dest "send to";
-  let q = mailbox ctx.comm (dest, ctx.rank, tag) in
-  Queue.push (copy_payload payload) q;
   let bytes = if bytes >= 0 then bytes else 8 * payload_elems payload in
+  let q = mailbox ctx.comm (dest, ctx.rank, tag) in
+  Queue.push (copy_payload payload, bytes) q;
   let s = ctx.comm.per_rank.(ctx.rank) in
   s.messages <- s.messages + 1;
   s.bytes <- s.bytes + bytes;
@@ -188,11 +191,10 @@ let request_complete (r : request) =
       | Some _ -> true
       | None -> (
           match try_match r.ctx ~source: rr.source ~tag: rr.tag with
-          | Some (src, p) ->
+          | Some (src, (p, bytes)) ->
               rr.data <- Some p;
               record r.ctx
-                (Recv_complete
-                   { source = src; tag = rr.tag; bytes = 8 * payload_elems p });
+                (Recv_complete { source = src; tag = rr.tag; bytes });
               true
           | None -> false))
 

@@ -1,11 +1,26 @@
 #!/bin/sh
-# Repo check: formatting, full build, full test suite, and a smoke run of
-# the parallel (OCaml-domains) execution path on both the CLI and the
-# bench harness.
+# Repo check: formatting, full build, full test suite, a smoke run of the
+# parallel (OCaml-domains) execution path on both the CLI and the bench
+# harness, and the benchmark regression gate (fresh smoke numbers vs the
+# checked-in baselines under bench/baselines/).
 # Run from anywhere; operates on the repo root.
+#
+# Usage: check.sh [--smoke]
+#   --smoke   skip the heavier 4-rank CLI smokes (CI mode); the build,
+#             tests, 2-rank smokes, benches and regression gate all still
+#             run.
 set -eu
 cd "$(dirname "$0")/.."
 root="$(pwd)"
+
+smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
+  esac
+done
+
 dune build @fmt
 dune build
 dune runtest
@@ -15,29 +30,56 @@ dune runtest
 # swaps) is on by default — this exercises the executed overlap path;
 # the --overlap=false runs cover the fused-swap ablation.
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 > /dev/null
-dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --overlap=false > /dev/null
 # Compiled-executor smoke: the closure-compiled backend must agree with
 # the serial interpreter bitwise (stencilc exits non-zero otherwise).
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --exec=compiled > /dev/null
 dune exec bin/stencilc.exe -- --demo heat2d --run-sim 2 --exec=interp > /dev/null
-dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --exec=compiled --overlap=false > /dev/null
-# Bench par section, smoke sizes: sim vs par cross-check, BENCH_par.json.
-dune exec bench/main.exe -- par --smoke > /dev/null
-# Bench exec section, smoke sizes: interp vs compiled, BENCH_exec.json.
-dune exec bench/main.exe -- exec --smoke > /dev/null
-# Bench artifacts must land at the repo root regardless of the cwd the
-# binary runs from (the writers resolve paths against the root).
+if [ "$smoke" -eq 0 ]; then
+  dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
+  dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --exec=compiled --overlap=false > /dev/null
+fi
+# Timeline-analytics smoke: --report must print the per-rank breakdown,
+# the comm matrix, a critical path and an overlap figure.
+report="$(dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --report)"
+for section in "phase breakdown" "comm matrix" "critical path" "overlap:" \
+  "network model"; do
+  case "$report" in
+    *"$section"*) ;;
+    *) echo "check.sh: --report output is missing '$section'" >&2; exit 1 ;;
+  esac
+done
+
+# Bench smokes write into a scratch dir (never clobbering the committed
+# full-size BENCH_*.json at the repo root), then the regression gate
+# compares them against the checked-in baselines.
 tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bench/main.exe -- par --smoke --out-dir "$tmpdir" > /dev/null
+dune exec bench/main.exe -- exec --smoke --out-dir "$tmpdir" > /dev/null
+test -f "$tmpdir/BENCH_netmodel.json" || {
+  echo "check.sh: bench par did not emit BENCH_netmodel.json" >&2
+  exit 1
+}
+dune exec bench/main.exe -- regress --current "$tmpdir"
+
+# Bench artifacts must land at the repo root regardless of the cwd the
+# binary runs from (the writers resolve paths against the root).  The
+# committed artifact is saved and restored: this check only probes path
+# resolution.
+saved="$tmpdir/BENCH_exec.json.saved"
+cp "$root/BENCH_exec.json" "$saved"
 rm -f "$root/BENCH_exec.json"
-(cd "$tmpdir" && "$root/_build/default/bench/main.exe" exec --smoke > /dev/null)
+rundir="$tmpdir/rundir"
+mkdir "$rundir"
+(cd "$rundir" && "$root/_build/default/bench/main.exe" exec --smoke > /dev/null)
 test -f "$root/BENCH_exec.json" || {
   echo "check.sh: BENCH_exec.json did not land at the repo root" >&2
   exit 1
 }
-if ls "$tmpdir"/BENCH_*.json > /dev/null 2>&1; then
+if ls "$rundir"/BENCH_*.json > /dev/null 2>&1; then
   echo "check.sh: bench artifacts leaked into the run cwd" >&2
   exit 1
 fi
-rmdir "$tmpdir"
+mv "$saved" "$root/BENCH_exec.json"
 echo "check.sh: all checks passed"

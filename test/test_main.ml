@@ -19,4 +19,5 @@ let () =
       ("extras", Test_extras.suite);
       ("shared_stack", Test_shared_stack.suite);
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
     ]

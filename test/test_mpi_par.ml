@@ -237,6 +237,27 @@ let test_stall_peer_exited () =
       contains report "rank 1";
       contains report "tag=9"
 
+let test_stall_report_recent_events () =
+  (* When the stalled run was traced, the watchdog report must replay each
+     blocked rank's most recent timeline events with their age, so the
+     deadlock can be diagnosed from the report alone. *)
+  match
+    Mpi_par.run_with ~stall_timeout_s: 0.3 ~trace: true ~ranks: 2 (fun ctx ->
+        let me = Mpi_par.rank ctx in
+        let peer = 1 - me in
+        (* One successful round first, so the report has history to show. *)
+        Mpi_par.send ctx ~dest: peer ~tag: 5 (Mpi_intf.Floats [| 1.; 2. |]);
+        ignore (Mpi_par.recv ctx ~source: peer ~tag: 5);
+        (* Then a mismatched-tag deadlock. *)
+        ignore (Mpi_par.recv ctx ~source: peer ~tag: me))
+  with
+  | _ -> Alcotest.fail "expected Stall"
+  | exception Mpi_par.Stall report ->
+      contains report "blocked in";
+      contains report "ago:";
+      contains report "recv-complete";
+      contains report "bytes=16"
+
 let test_body_exception_propagates () =
   (* A domain raising must poison the others (blocked in recv) and the
      original exception must surface, not a stall. *)
@@ -319,6 +340,8 @@ let suite =
         test_stall_watchdog;
       Alcotest.test_case "stall watchdog: peer exited" `Quick
         test_stall_peer_exited;
+      Alcotest.test_case "stall report replays recent traced events" `Quick
+        test_stall_report_recent_events;
       Alcotest.test_case "body exception propagates" `Quick
         test_body_exception_propagates;
       Alcotest.test_case "bad peer" `Quick test_bad_peer;
