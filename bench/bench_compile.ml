@@ -1,0 +1,193 @@
+(* Measured compile-service performance: the content-addressed artifact
+   cache (cold compile vs warm hit) and the sustained request rate of the
+   --serve protocol.
+
+   Three quantities per workload:
+   - cold_ms: artifact acquisition with an empty cache — the full
+     pipeline plus closure compilation (best of reps, each on a cleared
+     cache);
+   - warm_ms: the same request answered from the cache (best of many
+     reps — this is a digest + hash lookup, microseconds);
+   - serve_rps: sustained compile requests/second through an in-process
+     --serve loop (one server domain, requests over a pipe, all warm
+     after the first).
+
+   The machine-independent gate quantity is warm_speedup = cold/warm:
+   the artifact layer's reason to exist is answering repeated requests
+   without recompiling, and a warm hit that costs more than a fraction
+   of a cold compile is a regression no matter the host.  Counters are
+   checked to reconcile exactly (requests = hits + misses, one miss per
+   cold compile). *)
+
+type row = {
+  workload : string;
+  cold_ms : float;
+  warm_ms : float;
+  warm_speedup : float;  (* cold / warm *)
+  serve_rps : float;
+  serve_requests : int;
+  hits : int;  (* cache hits over this row's measurement *)
+  misses : int;  (* cache misses (one per cleared-cache compile) *)
+  counters_ok : bool;
+}
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let best ~reps f =
+  let b = ref infinity in
+  for _ = 1 to reps do
+    b := Float.min !b (time_run f)
+  done;
+  !b
+
+let target ~ranks =
+  Core.Pipeline.Distributed_cpu
+    {
+      ranks;
+      strategy = Core.Decomposition.Slice2d;
+      tiles = [];
+      overlap = true;
+    }
+
+(* Serve throughput: a server domain answering from the (warm) artifact
+   cache, requests written down a pipe one line at a time, responses read
+   back before the next request is issued — the single-client round-trip
+   rate, protocol cost included. *)
+let serve_requests_per_sec ~requests (m : Ir.Op.t) : float * int =
+  let ir_text = Ir.Printer.module_to_string m in
+  let payload = Printf.sprintf "compile ir=%d ranks=4\n%s" (String.length ir_text) ir_text in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Service.Serve.serve ic oc;
+        close_in_noerr ic;
+        close_out_noerr oc)
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let roundtrip () =
+    output_string oc payload;
+    flush oc;
+    match In_channel.input_line ic with
+    | Some line when String.length line >= 2 && String.sub line 0 2 = "ok" ->
+        ()
+    | Some line -> failwith ("serve error: " ^ line)
+    | None -> failwith "serve closed the response pipe"
+  in
+  (* First request warms the cache (and the server); not measured. *)
+  roundtrip ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to requests do
+    roundtrip ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  output_string oc "quit\n";
+  flush oc;
+  (match In_channel.input_line ic with _ -> () | exception _ -> ());
+  Domain.join server;
+  List.iter Unix.close [ req_w; resp_r ];
+  (float_of_int requests /. dt, requests)
+
+let run_workload ~reps ~requests (name, m) : row =
+  let target = target ~ranks: 4 in
+  let executor = Exec_compile.executor in
+  Service.Artifact.clear ();
+  let s0 = Service.Artifact.stats () in
+  (* Cold: every rep recompiles into an empty cache. *)
+  let cold_s =
+    best ~reps (fun () ->
+        Service.Artifact.clear ();
+        Service.Artifact.get ~executor ~target m)
+  in
+  (* Warm: the artifact is resident; reps are cheap, take many. *)
+  let warm_reps = 100 * reps in
+  ignore (Service.Artifact.get ~executor ~target m);
+  let warm_s =
+    best ~reps: warm_reps (fun () ->
+        Service.Artifact.get ~executor ~target m)
+  in
+  let s1 = Service.Artifact.stats () in
+  let misses = s1.Service.Cache.misses - s0.Service.Cache.misses in
+  let hits = s1.Service.Cache.hits - s0.Service.Cache.hits in
+  (* Every cleared-cache get is a miss, every other get a hit. *)
+  let counters_ok = misses = reps && hits = warm_reps + 1 in
+  let serve_rps, serve_requests = serve_requests_per_sec ~requests m in
+  {
+    workload = name;
+    cold_ms = cold_s *. 1000.;
+    warm_ms = warm_s *. 1000.;
+    warm_speedup = cold_s /. warm_s;
+    serve_rps;
+    serve_requests;
+    hits;
+    misses;
+    counters_ok;
+  }
+
+let write_json (rows : row list) =
+  let path = Bench_paths.artifact "BENCH_compile.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"compile\",\n  \"entries\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"cold_ms\": %.6f, \"warm_ms\": %.6f, \
+         \"warm_speedup\": %.3f, \"serve_rps\": %.1f, \"serve_requests\": \
+         %d, \"hits\": %d, \"misses\": %d, \"counters_ok\": %b}%s\n"
+        r.workload r.cold_ms r.warm_ms r.warm_speedup r.serve_rps
+        r.serve_requests r.hits r.misses r.counters_ok
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  path
+
+let run ?(smoke = false) () =
+  Printf.printf "== Measured compile service (artifact cache + --serve) ==\n";
+  let grid2 n = [ n; n ] in
+  let workloads =
+    if smoke then
+      [
+        ( "heat2d-so2",
+          (Workloads.heat ~grid: (grid2 64) ~timesteps: 8 ~dims: 2 ~so: 2 ())
+            .Workloads.module_ );
+      ]
+    else
+      [
+        ( "heat2d-so2",
+          (Workloads.heat ~grid: (grid2 96) ~timesteps: 8 ~dims: 2 ~so: 2 ())
+            .Workloads.module_ );
+        ( "wave2d-so4",
+          (Workloads.wave ~grid: (grid2 96) ~timesteps: 8 ~dims: 2 ~so: 4 ())
+            .Workloads.module_ );
+      ]
+  in
+  let reps = if smoke then 2 else 5 in
+  let requests = if smoke then 50 else 500 in
+  Printf.printf "   %-12s %10s %10s %10s %12s %14s\n" "workload" "cold_ms"
+    "warm_ms" "speedup" "serve_rps" "counters";
+  let rows =
+    List.map
+      (fun w ->
+        let r = run_workload ~reps ~requests w in
+        Printf.printf "   %-12s %10.3f %10.5f %9.0fx %12.0f %14s\n%!"
+          r.workload r.cold_ms r.warm_ms r.warm_speedup r.serve_rps
+          (if r.counters_ok then "reconcile" else "MISMATCH");
+        r)
+      workloads
+  in
+  let path = write_json rows in
+  Printf.printf "   (machine-readable copy: %s)\n" path;
+  let bad = List.filter (fun r -> not r.counters_ok) rows in
+  if bad <> [] then begin
+    Printf.printf "   FAIL: %d row(s) with unreconciled cache counters\n"
+      (List.length bad);
+    exit 1
+  end;
+  print_newline ()

@@ -22,6 +22,8 @@ type row = {
   interp_s : float;
   compiled_s : float;
   speedup : float;  (* interp / compiled wall *)
+  host_cores : int;
+  oversubscribed : bool;  (* ranks > host_cores: timing ratios are noise *)
   max_abs_diff : float;  (* compiled vs interpreted results *)
 }
 
@@ -82,6 +84,8 @@ let run_serial ~reps (name, m) : row =
     interp_s;
     compiled_s;
     speedup = interp_s /. compiled_s;
+    host_cores = Bench_par.host_cores ();
+    oversubscribed = false;
     max_abs_diff = max_diff_all interp_obs compiled_obs;
   }
 
@@ -108,6 +112,7 @@ let run_par ~reps ~ranks ~overlap (name, m) : row =
         Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
           ~overlap ~executor: Exec_compile.executor m)
   in
+  let host_cores = Bench_par.host_cores () in
   {
     workload = name;
     mode =
@@ -116,6 +121,8 @@ let run_par ~reps ~ranks ~overlap (name, m) : row =
     interp_s = interp.Driver.Harness.wall_s;
     compiled_s = compiled.Driver.Harness.wall_s;
     speedup = interp.Driver.Harness.wall_s /. compiled.Driver.Harness.wall_s;
+    host_cores;
+    oversubscribed = ranks > host_cores;
     max_abs_diff =
       Float.max
         (Driver.Harness.max_result_diff interp compiled)
@@ -131,13 +138,14 @@ let write_json (rows : row list) =
     (fun i r ->
       Printf.fprintf oc
         "    {\"workload\": %S, \"mode\": %S, \"overlap\": %s, \"interp_s\": \
-         %.6f, \"compiled_s\": %.6f, \"speedup\": %.3f, \"max_abs_diff\": \
-         %.17g}%s\n"
+         %.6f, \"compiled_s\": %.6f, \"speedup\": %.3f, \"host_cores\": %d, \
+         \"oversubscribed\": %b, \"max_abs_diff\": %.17g}%s\n"
         r.workload r.mode
         (match r.overlap with
         | Some b -> string_of_bool b
         | None -> "null")
-        r.interp_s r.compiled_s r.speedup r.max_abs_diff
+        r.interp_s r.compiled_s r.speedup r.host_cores r.oversubscribed
+        r.max_abs_diff
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

@@ -10,7 +10,12 @@
        25%), and the deterministic traffic fields (messages, bytes) and
        correctness diffs must match the baseline exactly;
      - exec rows: the compiled-vs-interpreter speedup may not drop by
-       more than [tolerance], and max_abs_diff must stay 0.
+       more than [tolerance] (skipped when either run was oversubscribed
+       — domains time-sliced on too few cores are scheduler noise), and
+       max_abs_diff must stay 0;
+     - compile rows: the artifact cache's warm_speedup (cold compile /
+       warm hit) may not drop by more than [tolerance] and must stay
+       above an absolute 10x floor; cache counters must reconcile.
    A baseline row missing from the current run fails the gate (a silently
    dropped benchmark is a regression too); rows only present in the
    current run are reported but pass. *)
@@ -295,8 +300,17 @@ let compare_exec out ~tolerance ~baseline ~current =
             | Some s -> s >= timing_noise_floor_s /. 2.
             | None -> false
           in
+          let oversub r = jbool (member "oversubscribed" r) = Some true in
+          (* Domains time-sliced on too few cores make both walls scheduler
+             noise (same policy as the par gate), in either run. *)
+          if oversub b || oversub c then
+            Printf.printf
+              "   note: %s: ranks exceed host cores, timing ratios not gated\n"
+              key;
           (match (jnum (member "speedup" b), jnum (member "speedup" c)) with
-          | Some sb, Some sc when sb > 1. && above_floor ->
+          | Some sb, Some sc
+            when sb > 1. && above_floor && (not (oversub b))
+                 && not (oversub c) ->
               out.checked <- out.checked + 1;
               if sc < sb /. (1. +. tolerance) then
                 fail_row out
@@ -307,6 +321,59 @@ let compare_exec out ~tolerance ~baseline ~current =
                   (100. *. tolerance)
           | _ -> ());
           check_zero out ~key ~what: "max_abs_diff" (jnum (member "max_abs_diff" c)))
+    base_rows;
+  List.iter
+    (fun (key, _) ->
+      if List.assoc_opt key base_rows = None then
+        Printf.printf "   note: %s is new (no baseline)\n" key)
+    cur_rows
+
+(* The artifact cache's whole value is warm hits costing a vanishing
+   fraction of a cold compile: gate the machine-independent warm_speedup
+   both against the baseline (tolerance band) and against an absolute
+   floor — a warm hit within 10x of a cold compile means the cache
+   stopped caching.  Counters must reconcile exactly. *)
+let warm_speedup_floor = 10.
+
+let compare_compile out ~tolerance ~baseline ~current =
+  let key e = jstr (member "workload" e) in
+  let base_rows = entries_by_key ~key baseline in
+  let cur_rows = entries_by_key ~key current in
+  List.iter
+    (fun (key, b) ->
+      match List.assoc_opt key cur_rows with
+      | None -> fail_row out "%s: row missing from current BENCH_compile" key
+      | Some c ->
+          let num fld e = jnum (member fld e) in
+          let above_floor =
+            (* warm_speedup = cold/warm: a cold compile down at the noise
+               floor makes the ratio meaningless, so don't gate it *)
+            match num "cold_ms" b with
+            | Some ms -> ms /. 1000. >= timing_noise_floor_s /. 2.
+            | None -> false
+          in
+          (match (num "warm_speedup" b, num "warm_speedup" c) with
+          | Some sb, Some sc when above_floor ->
+              out.checked <- out.checked + 1;
+              if sc < warm_speedup_floor then
+                fail_row out
+                  "%s: warm_speedup %.1fx is under the %.0fx floor (cache \
+                   not caching?)"
+                  key sc warm_speedup_floor
+              else if sb > 1. && sc < sb /. (1. +. tolerance) then
+                fail_row out
+                  "%s: warm_speedup regressed %.0fx -> %.0fx (-%.0f%%, \
+                   tolerance %.0f%%)"
+                  key sb sc
+                  (100. *. (1. -. (sc /. sb)))
+                  (100. *. tolerance)
+          | _ -> ());
+          (match jbool (member "counters_ok" c) with
+          | Some ok ->
+              out.checked <- out.checked + 1;
+              if not ok then
+                fail_row out "%s: cache counters do not reconcile" key
+          | None -> ()))
     base_rows;
   List.iter
     (fun (key, _) ->
@@ -346,6 +413,8 @@ let run ?(baseline_dir : string option) ?(current_dir : string option)
     ~baseline_dir ~current_dir;
   gate_file out ~tolerance ~compare: compare_exec ~name: "BENCH_exec.json"
     ~baseline_dir ~current_dir;
+  gate_file out ~tolerance ~compare: compare_compile
+    ~name: "BENCH_compile.json" ~baseline_dir ~current_dir;
   match out.failures with
   | [] ->
       Printf.printf "   PASS: %d check(s), no regression beyond %.0f%%\n\n"

@@ -91,6 +91,9 @@ let () =
   | "exec" :: rest ->
       Bench_exec.run ~smoke: (List.mem "--smoke" rest) ();
       exit 0
+  | "compile" :: rest ->
+      Bench_compile.run ~smoke: (List.mem "--smoke" rest) ();
+      exit 0
   | "regress" :: rest ->
       (* regress [--baseline DIR] [--current DIR] [--tolerance F] *)
       let rec opt name = function
@@ -127,9 +130,12 @@ let () =
     prerr_endline "  par [--smoke]   (measured multicore execution)";
     prerr_endline "  exec [--smoke]  (measured interp vs compiled executor)";
     prerr_endline
+      "  compile [--smoke] (artifact cache cold/warm + --serve throughput)";
+    prerr_endline
       "  regress [--baseline DIR] [--current DIR] [--tolerance F]";
     prerr_endline
-      "                  (gate fresh BENCH_par/BENCH_exec vs baselines)";
+      "                  (gate fresh BENCH_par/BENCH_exec/BENCH_compile vs \
+       baselines)";
     prerr_endline "  --out-dir DIR   (where BENCH_*.json land; default repo root)";
     exit 1
   end;

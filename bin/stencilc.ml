@@ -78,15 +78,8 @@ let distribute_pass ~ranks ~strategy =
    serial reference, distribute + lower, run, gather, compare. *)
 let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
     ~report ~exec ~overlap m =
-  let executor =
-    match Exec_compile.of_name exec with
-    | Some e -> e
-    | None ->
-        failwith
-          ("unknown executor: " ^ exec ^ " (expected "
-          ^ String.concat " or " Exec_compile.names
-          ^ ")")
-  in
+  (* [of_name] fails with the registered executor names spelled out. *)
+  let executor = Interp.Executor.of_name exec in
   (match report with
   | None | Some "text" | Some "json" -> ()
   | Some other ->
@@ -131,10 +124,63 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
     1
   end
 
+(* --serve: answer newline-delimited compile/run requests on
+   stdin/stdout from the process-wide artifact cache.  The run handler
+   executes through the same Harness path as --run-sim/--run-par, so a
+   served run and a CLI run are the same code. *)
+let serve_handlers : Service.Serve.handlers =
+  {
+    Service.Serve.resolve_demo = demo_module;
+    run =
+      Some
+        (fun m (art : Service.Artifact.t) ~ranks ~substrate ->
+          let strategy, overlap =
+            match art.Service.Artifact.target with
+            | Core.Pipeline.Distributed_cpu { strategy; overlap; _ } ->
+                (strategy, overlap)
+            | t ->
+                failwith
+                  ("run requires target=distributed-cpu, got "
+                  ^ Core.Pipeline.target_name t)
+          in
+          let substrate =
+            match substrate with
+            | "par" -> Driver.Harness.Par
+            | _ -> Driver.Harness.Sim
+          in
+          let executor =
+            Interp.Executor.of_name art.Service.Artifact.executor_name
+          in
+          let r =
+            Driver.Harness.run_distributed ~substrate ~strategy ~executor
+              ~overlap ~ranks m
+          in
+          [
+            ("substrate", r.Driver.Harness.substrate_name);
+            ( "grid",
+              String.concat "x"
+                (List.map string_of_int r.Driver.Harness.grid) );
+            ("wall_ms", Printf.sprintf "%.3f" (r.Driver.Harness.wall_s *. 1000.));
+            ( "serial_ms",
+              Printf.sprintf "%.3f" (r.Driver.Harness.serial_wall_s *. 1000.)
+            );
+            ("messages", string_of_int r.Driver.Harness.messages);
+            ("bytes", string_of_int r.Driver.Harness.bytes);
+            ( "max_diff",
+              Printf.sprintf "%g" r.Driver.Harness.max_diff_vs_serial );
+          ]);
+  }
+
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     print_after verify stats profile pass_stats trace_out report run_par
-    run_sim stall_timeout exec overlap =
+    run_sim stall_timeout exec overlap serve =
   try
+    if serve then begin
+      Service.Serve.serve ~handlers: serve_handlers In_channel.stdin
+        Out_channel.stdout;
+      0
+    end
+    else begin
     (match Ir.Rewriter.driver_of_string rewrite_driver with
     | Some d -> Ir.Rewriter.set_default_driver d
     | None ->
@@ -197,6 +243,7 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
         Format.eprintf "// trace written to %s (load in Perfetto: https://ui.perfetto.dev)@." path
     | None -> ());
     0
+    end
   with
   | Failure msg | Ir.Op.Ill_formed msg | Sys_error msg ->
       Format.eprintf "stencilc: %s@." msg;
@@ -350,6 +397,17 @@ let overlap_arg =
            compute while messages are in flight.  Pass --overlap=false \
            for the fused swap pipeline.")
 
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Run as a compile service: read newline-delimited compile/run \
+           requests from stdin and answer one line per request from the \
+           content-addressed artifact cache (repeated or concurrent \
+           requests for structurally identical programs compile once).  \
+           See DESIGN.md for the protocol.")
+
 let cmd =
   let doc = "shared stencil compilation stack driver" in
   Cmd.v
@@ -359,6 +417,6 @@ let cmd =
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
       $ trace_out_arg $ report_arg $ run_par_arg $ run_sim_arg
-      $ stall_timeout_arg $ exec_arg $ overlap_arg)
+      $ stall_timeout_arg $ exec_arg $ overlap_arg $ serve_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -198,6 +198,13 @@ let run (opts : options) (m : Op.t) : Op.t =
             );
             ("dmp.ranks", Typesys.Int_attr (opts.ranks, Typesys.i64));
             ("dmp.topology", Typesys.Grid_attr grid);
+            (* Localized argument field types, preserved as an attribute so
+               the per-rank bounds survive the Field->Memref conversion in
+               stencil-to-loops (Domain.local_field_bounds reads this off
+               the fully lowered module). *)
+            ( "dmp.local_fields",
+              Typesys.Type_attr (Typesys.Fn (List.map localize arg_tys, []))
+            );
             ( "dmp.strategy",
               Typesys.String_attr (Decomposition.strategy_name opts.strategy)
             );

@@ -24,6 +24,22 @@ let target_name = function
   | Gpu _ -> "gpu"
   | Fpga { optimized } -> if optimized then "fpga-optimized" else "fpga-initial"
 
+(* Every configuration knob that changes the pass pipeline must appear
+   here: the artifact cache keys on (module digest, target fingerprint). *)
+let target_fingerprint = function
+  | Cpu_sequential -> "cpu-sequential"
+  | Cpu_openmp { tiles } ->
+      Printf.sprintf "cpu-openmp[tiles=%s]"
+        (String.concat "," (List.map string_of_int tiles))
+  | Distributed_cpu { ranks; strategy; tiles; overlap } ->
+      Printf.sprintf "distributed-cpu[ranks=%d;strategy=%s;tiles=%s;overlap=%b]"
+        ranks
+        (Decomposition.strategy_name strategy)
+        (String.concat "," (List.map string_of_int tiles))
+        overlap
+  | Gpu { managed } -> Printf.sprintf "gpu[managed=%b]" managed
+  | Fpga { optimized } -> Printf.sprintf "fpga[optimized=%b]" optimized
+
 let cleanup_passes =
   [ Transforms.Canonicalize.pass; Transforms.Cse.pass; Transforms.Licm.pass;
     Transforms.Dce.pass ]
@@ -41,13 +57,21 @@ let pipeline_for (t : target) : Pass.pipeline =
          :: Stencil_to_loops.pass ~style: (Stencil_to_loops.Tiled_omp tiles) ()
          :: cleanup_passes)
   | Distributed_cpu { ranks; strategy; tiles; overlap } ->
+      (* [tiles = []] selects the plain sequential per-rank loop nest —
+         the executed flow Harness/stencilc/bench run through the
+         artifact layer; non-empty tiles keep the OMP-tiled lowering. *)
+      let style =
+        match tiles with
+        | [] -> Stencil_to_loops.Sequential
+        | ts -> Stencil_to_loops.Tiled_omp ts
+      in
       Pass.pipeline "distributed-cpu"
         ([ Shape_inference.pass;
            Distribute.pass (Distribute.options ~ranks ~strategy ());
            Swap_elim.pass ]
         @ (if overlap then [ Overlap.pass ] else [])
         @ [
-            Stencil_to_loops.pass ~style: (Stencil_to_loops.Tiled_omp tiles) ();
+            Stencil_to_loops.pass ~style ();
             Dmp_to_mpi.pass;
             Mpi_to_func.pass;
           ]

@@ -18,6 +18,12 @@ type target =
 
 val target_name : target -> string
 
+val target_fingerprint : target -> string
+(** Deterministic rendering of the full target configuration (not just its
+    name): two targets with equal fingerprints select identical pass
+    pipelines.  Combined with the canonical module digest to key the
+    artifact cache. *)
+
 val cleanup_passes : Pass.t list
 (** canonicalize, cse, licm, dce — the shared MLIR-community-style passes
     run after every lowering. *)

@@ -85,6 +85,17 @@ let field_arg_bounds (fop : Op.t) : Typesys.bound list list =
   let arg_tys, _ = Dialects.Func.signature_of fop in
   List.filter_map Typesys.bounds_of arg_tys
 
+(* After full lowering the signature's field types have been converted to
+   memrefs, so the localized bounds are no longer recoverable from the
+   types alone; the distribution pass preserves them in the
+   dmp.local_fields attribute.  Fall back to the signature for modules
+   that still carry field types (e.g. a distributed-but-unlowered module). *)
+let local_field_bounds (fop : Op.t) : Typesys.bound list list =
+  match Op.attr fop "dmp.local_fields" with
+  | Some (Typesys.Type_attr (Typesys.Fn (arg_tys, _))) ->
+      List.filter_map Typesys.bounds_of arg_tys
+  | _ -> field_arg_bounds fop
+
 let topology_of (fop : Op.t) : int list =
   match Op.attr fop "dmp.topology" with
   | Some (Typesys.Grid_attr g) -> g

@@ -34,5 +34,11 @@ val gather_interior :
 val field_arg_bounds : Op.t -> Typesys.bound list list
 (** Bounds of a function's stencil-typed arguments. *)
 
+val local_field_bounds : Op.t -> Typesys.bound list list
+(** Localized bounds of the function's field arguments, read from the
+    dmp.local_fields attribute left by the distribution pass (survives
+    the field-to-memref conversion); falls back to
+    {!field_arg_bounds} when the attribute is absent. *)
+
 val topology_of : Op.t -> int list
 (** The dmp.topology attribute left by the distribution pass. *)

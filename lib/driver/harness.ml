@@ -95,9 +95,9 @@ let max_result_diff (a : result) (b : result) : float =
 module Runner (M : Mpi_intf.MPI_CORE) = struct
   module S = Simulate.Spmd (M)
 
-  let exec ?(trace = false) ?executor ~ranks ~func ~make_args ~collect m =
+  let exec ?(trace = false) ~program ~ranks ~func ~make_args ~collect m =
     let comm =
-      S.run_spmd ~trace ?executor ~ranks ~func
+      S.run_spmd ~trace ~program ~ranks ~func
         ~make_args: (fun ctx -> make_args (M.rank ctx))
         ~collect: (fun ctx _args results -> collect (M.rank ctx) results)
         m
@@ -134,32 +134,28 @@ let run_distributed ?(substrate = Sim)
       (function Interp.Rtval.Rbuf b -> Some b | _ -> None)
       serial_results
   in
-  (* Distribute and lower to MPI_* function calls. *)
-  let dm =
-    Core.Distribute.run (Core.Distribute.options ~ranks ~strategy ()) m
+  (* Distribute and lower to MPI_* function calls — through the artifact
+     layer, so [Core.Pipeline.pipeline_for (Distributed_cpu ...)] is the
+     single definition of the executed flow and structurally identical
+     requests (every rank, every repetition, every --serve client) share
+     one compilation.  The localized grid/bounds are read off the fully
+     lowered module via the dmp.topology / dmp.local_fields attributes
+     the distribution pass leaves behind. *)
+  let target =
+    Core.Pipeline.Distributed_cpu { ranks; strategy; tiles = []; overlap }
   in
-  let fop_d =
-    match Op.lookup_symbol dm func with
+  let art = Service.Artifact.get ?executor ~target m in
+  let lowered = art.Service.Artifact.lowered in
+  let fop_l =
+    match Op.lookup_symbol lowered func with
     | Some f -> f
     | None -> Interp.Rtval.error "harness: %S lost in distribution" func
   in
-  let grid = Domain.topology_of fop_d in
+  let grid = Domain.topology_of fop_l in
   let local_bounds =
-    match Domain.field_arg_bounds fop_d with
+    match Domain.local_field_bounds fop_l with
     | bs :: _ -> bs
     | [] -> Interp.Rtval.error "harness: no localized field bounds"
-  in
-  (* Overlap (split-phase swaps + interior/boundary compute) is on by
-     default: this is the executed distributed pipeline the benches and
-     stencilc measure. *)
-  let swapped = Core.Swap_elim.run dm in
-  let swapped = if overlap then Core.Overlap.run swapped else swapped in
-  let lowered =
-    Transforms.Licm.run
-      (Core.Mpi_to_func.run
-         (Core.Dmp_to_mpi.run
-            (Core.Stencil_to_loops.run ~style: Core.Stencil_to_loops.Sequential
-               swapped)))
   in
   let interior = List.map2 (fun n parts -> n / parts) domain grid in
   let origin =
@@ -193,21 +189,19 @@ let run_distributed ?(substrate = Sim)
       results
   in
   (* The serial reference above always runs on the interpreter — it is the
-     oracle; [executor] selects the backend for the distributed run only. *)
-  let executor_name =
-    match executor with
-    | Some e -> e.Interp.Executor.exec_name
-    | None -> Interp.Executor.interpreter.Interp.Executor.exec_name
-  in
+     oracle; [executor] selects the backend for the distributed run only.
+     All ranks instantiate the one shared program from the artifact. *)
+  let executor_name = art.Service.Artifact.executor_name in
+  let program = art.Service.Artifact.program in
   let t1 = Unix.gettimeofday () in
   let substrate_name, messages, bytes, tl =
     match substrate with
     | Sim ->
-        Sim_runner.exec ~trace ?executor ~ranks ~func ~make_args ~collect
+        Sim_runner.exec ~trace ~program ~ranks ~func ~make_args ~collect
           lowered
     | Par ->
         Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
-            Par_runner.exec ~trace ?executor ~ranks ~func ~make_args ~collect
+            Par_runner.exec ~trace ~program ~ranks ~func ~make_args ~collect
               lowered)
   in
   let wall_s = Unix.gettimeofday () -. t1 in

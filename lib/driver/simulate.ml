@@ -75,6 +75,7 @@ module Spmd (M : Mpi_intf.MPI_CORE) = struct
 
   let run_spmd ?(trace = false)
       ?(executor = Interp.Executor.interpreter)
+      ?(program : Interp.Executor.shared option)
       ?(on_timeline : (M.comm -> unit) option) ~(ranks : int)
       ~(func : string) ~(make_args : M.rank_ctx -> Interp.Rtval.t list)
       ?(collect :
@@ -82,15 +83,23 @@ module Spmd (M : Mpi_intf.MPI_CORE) = struct
           option) (m : Op.t) : M.comm =
     let trace = trace || on_timeline <> None in
     let collect_mutex = Mutex.create () in
+    (* All per-program work (slot resolution, closure compilation) happens
+       ONCE, here, before any rank starts: the shared program is
+       rank-independent by construction.  Callers that already hold a
+       compiled artifact pass it as [program] and skip even that. *)
+    let shared =
+      match program with
+      | Some p -> p
+      | None -> executor.Interp.Executor.compile m
+    in
     let comm =
       M.run ~trace ~ranks (fun ctx ->
           let st = RL.create ctx in
-          (* Preparation (interpreter setup or closure compilation) happens
-             per rank, inside the rank body: compiled closures then capture
-             no state shared across domains, and externs bind to this
-             rank's context. *)
+          (* Per-rank work is only binding this rank's extern handler
+             (its MPI_* ABI) to the shared program. *)
           let runf =
-            executor.Interp.Executor.prepare ~externs: (RL.externs_for st) m
+            shared.Interp.Executor.instantiate
+              ~externs: (RL.externs_for st) ()
           in
           let args = make_args ctx in
           let results = runf func args in
@@ -118,11 +127,11 @@ let run_spmd = Sim_exec.run_spmd
 (* Parallel execution with transport configuration: each rank is a real
    domain; a stall watchdog (Mpi_par.Stall) replaces the simulator's
    exact deadlock detection. *)
-let run_spmd_par ?stall_timeout_s ?queue_capacity ?trace ?executor
+let run_spmd_par ?stall_timeout_s ?queue_capacity ?trace ?executor ?program
     ?on_timeline ~ranks ~func ~make_args ?collect m =
   Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
-      Par_exec.run_spmd ?trace ?executor ?on_timeline ~ranks ~func ~make_args
-        ?collect m)
+      Par_exec.run_spmd ?trace ?executor ?program ?on_timeline ~ranks ~func
+        ~make_args ?collect m)
 
 (* Serial execution (no MPI): run [func] with the given arguments on the
    chosen executor (the reference interpreter by default). *)

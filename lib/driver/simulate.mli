@@ -20,6 +20,7 @@ module Spmd (M : Mpi_intf.MPI_CORE) : sig
   val run_spmd :
     ?trace:bool ->
     ?executor:Interp.Executor.t ->
+    ?program:Interp.Executor.shared ->
     ?on_timeline:(M.comm -> unit) ->
     ranks:int ->
     func:string ->
@@ -35,9 +36,12 @@ module Spmd (M : Mpi_intf.MPI_CORE) : sig
       Returns the communicator for traffic inspection.
 
       [executor] selects the execution backend (the reference
-      interpreter by default); preparation — interpreter setup or
-      closure compilation — happens per rank inside the rank body, so
-      compiled programs share no mutable state across domains.
+      interpreter by default).  Per-program preparation — slot
+      resolution, closure compilation — happens exactly once, before any
+      rank starts; rank bodies only bind their extern handler to the
+      shared program.  Callers that already hold a compiled program
+      (e.g. from the {!Service.Artifact} cache) pass it as [program] and
+      the module argument is not compiled at all.
 
       [trace] records the runtime's per-rank event timeline; the
       [on_timeline] hook (which implies [trace]) receives the
@@ -52,6 +56,7 @@ module Par_exec : module type of Spmd (Mpi_par)
 val run_spmd :
   ?trace:bool ->
   ?executor:Interp.Executor.t ->
+  ?program:Interp.Executor.shared ->
   ?on_timeline:(Mpi_sim.comm -> unit) ->
   ranks:int ->
   func:string ->
@@ -67,6 +72,7 @@ val run_spmd_par :
   ?queue_capacity:int ->
   ?trace:bool ->
   ?executor:Interp.Executor.t ->
+  ?program:Interp.Executor.shared ->
   ?on_timeline:(Mpi_par.comm -> unit) ->
   ranks:int ->
   func:string ->

@@ -26,7 +26,15 @@
    dispatch to the externs handler like any unknown op).  Ops that require
    interpretation at a higher level (stencil.*, gpu.launch, hls streams)
    raise [Unsupported] at compile time; the interpreter remains the
-   executor — and the differential-testing oracle — for those. *)
+   executor — and the differential-testing oracle — for those.
+
+   Compilation is rank-independent: the extern handler is NOT baked into
+   the closures — they read it from the executing frame — so one compiled
+   module ([cmodule], immutable once [compile] returns) is shared by
+   every rank, and [instantiate] only pairs it with a rank's externs.
+   That is the once-per-program / once-per-rank split the artifact cache
+   ([Service.Artifact]) builds on: N ranks perform exactly one closure
+   compilation between them instead of one each. *)
 
 open Ir
 module R = Interp.Rtval
@@ -38,10 +46,14 @@ let unsupported fmt =
 
 (* ---------- frames and slots ---------- *)
 
+(* [ext] is the per-rank extern handler: keeping it in the frame (rather
+   than capturing it in the compiled closures) is what makes compilation
+   rank-independent. *)
 type frame = {
   ints : int array;
   flts : float array;
   objs : R.t array;
+  ext : Interp.Executor.externs;
 }
 
 type kind = Kint | Kflt | Kobj
@@ -71,16 +83,25 @@ type cfunc = {
   cf_body : cblock;
 }
 
-type prog = {
+(* The rank-independent compiled module: immutable after [compile]
+   returns (every function with a body is compiled eagerly), so it is
+   safe to share across domains and to cache across runs. *)
+type cmodule = {
   funcs : (string, Op.t) Hashtbl.t;  (* source functions by sym_name *)
   compiled : (string, cfunc) Hashtbl.t;
-  externs : Interp.Executor.externs;
+}
+
+(* A per-rank instance: the shared compiled module plus this rank's
+   extern handler. *)
+type prog = {
+  cm : cmodule;
+  prog_externs : Interp.Executor.externs;
 }
 
 (* Per-function compilation state: the slot table maps SSA value ids to
    their frame slot; counters size the three frame arrays. *)
 type fctx = {
-  prog : prog;
+  cm : cmodule;
   slots : (int, slot) Hashtbl.t;
   mutable n_int : int;
   mutable n_flt : int;
@@ -206,11 +227,12 @@ let exec_block (cb : cblock) (fr : frame) : unit =
     (Array.unsafe_get stmts i) fr
   done
 
-let new_frame (cf : cfunc) : frame =
+let new_frame ~(ext : Interp.Executor.externs) (cf : cfunc) : frame =
   {
     ints = Array.make cf.cf_n_int 0;
     flts = Array.make cf.cf_n_flt 0.;
     objs = Array.make cf.cf_n_obj R.Runit;
+    ext;
   }
 
 (* Comparison on the already-computed [compare] result; the predicate
@@ -417,20 +439,20 @@ let rec compile_op (f : fctx) (op : Op.t) : (frame -> unit) option =
       unsupported "compiled executor: %s requires the interpreter" name
   | _ ->
       (* Unknown op (mpi./dmp. dialects): pre-bind the extern dispatch —
-         the op record itself is the compile-time binding. *)
+         the op record itself is the compile-time binding; the handler
+         comes from the executing rank's frame. *)
       let arg_readers =
         Array.of_list (List.map (read f) op.Op.operands)
       in
       let writers =
         Array.of_list (List.map (fun r -> write_slot (def f r)) op.Op.results)
       in
-      let externs = f.prog.externs in
       Some
         (fun fr ->
           let args =
             Array.to_list (Array.map (fun r -> r fr) arg_readers)
           in
-          match externs op args with
+          match fr.ext op args with
           | Some results -> write_results op writers fr results
           | None -> R.error "compiled executor: unhandled op %s" name)
 
@@ -582,33 +604,35 @@ and compile_call (f : fctx) (op : Op.t) : frame -> unit =
   let res_writers =
     Array.of_list (List.map (fun r -> write_slot (def f r)) op.Op.results)
   in
-  match Hashtbl.find_opt f.prog.funcs callee with
+  match Hashtbl.find_opt f.cm.funcs callee with
   | Some fop when fop.Op.regions <> [] ->
       (* Internal call: resolved through the memo table on first use, so
-         (mutually) recursive functions compile without ordering issues. *)
-      let prog = f.prog in
+         (mutually) recursive functions compile without ordering issues.
+         (All functions are compiled eagerly before anything runs, so the
+         first-use resolution is a read of the already-populated memo —
+         nothing mutates the shared module under concurrent ranks.) *)
+      let cm = f.cm in
       let cell = ref None in
       fun fr ->
         let cf =
           match !cell with
           | Some cf -> cf
           | None ->
-              let cf = compile_func prog callee in
+              let cf = compile_func cm callee in
               cell := Some cf;
               cf
         in
         let args = Array.map (fun r -> r fr) arg_readers in
         write_results op res_writers fr
-          (call_cfunc cf (Array.to_list args))
+          (call_cfunc ~ext: fr.ext cf (Array.to_list args))
   | _ ->
       (* External function: the dispatch op is pre-built once, here. *)
       let stub =
         Op.make "func.call" ~attrs: [ ("callee", Typesys.Symbol_attr callee) ]
       in
-      let externs = f.prog.externs in
       fun fr ->
         let args = Array.to_list (Array.map (fun r -> r fr) arg_readers) in
-        (match externs stub args with
+        (match fr.ext stub args with
         | Some results -> write_results op res_writers fr results
         | None -> R.error "call to undefined function %s" callee)
 
@@ -626,14 +650,14 @@ and compile_block (f : fctx) (blk : Op.block) : cblock =
   let stmts, ret = go [] blk.Op.ops in
   { stmts = Array.of_list stmts; ret }
 
-and compile_func (prog : prog) (name : string) : cfunc =
-  match Hashtbl.find_opt prog.compiled name with
+and compile_func (cm : cmodule) (name : string) : cfunc =
+  match Hashtbl.find_opt cm.compiled name with
   | Some cf -> cf
   | None -> (
-      match Hashtbl.find_opt prog.funcs name with
+      match Hashtbl.find_opt cm.funcs name with
       | Some fop when fop.Op.regions <> [] ->
           let f =
-            { prog; slots = Hashtbl.create 64; n_int = 0; n_flt = 0;
+            { cm; slots = Hashtbl.create 64; n_int = 0; n_flt = 0;
               n_obj = 0 }
           in
           let blk = Op.single_block (List.hd fop.Op.regions) in
@@ -651,66 +675,83 @@ and compile_func (prog : prog) (name : string) : cfunc =
               cf_body = body;
             }
           in
-          Hashtbl.replace prog.compiled name cf;
+          Hashtbl.replace cm.compiled name cf;
           cf
       | _ -> R.error "call to undefined function %s" name)
 
-and call_cfunc (cf : cfunc) (args : R.t list) : R.t list =
+and call_cfunc ~(ext : Interp.Executor.externs) (cf : cfunc)
+    (args : R.t list) : R.t list =
   let n = Array.length cf.cf_params in
   if List.length args <> n then
     R.error "%s: expected %d arguments, got %d" cf.cf_name n
       (List.length args);
-  let fr = new_frame cf in
+  let fr = new_frame ~ext cf in
   List.iteri (fun i v -> write_slot cf.cf_params.(i) fr v) args;
   exec_block cf.cf_body fr;
   Array.to_list (Array.map (fun r -> r fr) cf.cf_body.ret)
 
 (* ---------- the EXECUTOR instance ---------- *)
 
+(* How many closure compilations this process performed: the artifact
+   layer's once-per-program discipline is asserted against this counter
+   (an N-rank run must bump it exactly once). *)
+let compilations = Atomic.make 0
+let compile_count () = Atomic.get compilations
+
+let no_externs : Interp.Executor.externs = fun _ _ -> None
+
 module Compiled : Interp.Executor.EXECUTOR = struct
   let name = "compiled"
 
+  type shared_prog = cmodule
   type nonrec prog = prog
 
   (* Ahead of time: every function with a body compiles before anything
-     runs, so unsupported ops surface as [Unsupported] here, not mid-run. *)
-  let prepare ?(externs = fun _ _ -> None) (m : Op.t) : prog =
-    let funcs = Hashtbl.create 16 in
-    List.iter
-      (fun (op : Op.t) ->
-        if op.Op.name = "func.func" then
-          match Op.attr op "sym_name" with
-          | Some (Typesys.String_attr name) -> Hashtbl.replace funcs name op
-          | _ -> ())
-      (Op.module_ops m);
-    let prog = { funcs; compiled = Hashtbl.create 16; externs } in
-    Hashtbl.iter
-      (fun name (fop : Op.t) ->
-        if fop.Op.regions <> [] then ignore (compile_func prog name))
-      funcs;
-    prog
+     runs, so unsupported ops surface as [Unsupported] here, not mid-run,
+     and the returned module is immutable — ranks and cached runs share
+     it without synchronization. *)
+  let compile (m : Op.t) : cmodule =
+    Obs.Trace.with_span ~cat: "exec" "closure-compile" (fun () ->
+        Atomic.incr compilations;
+        let funcs = Hashtbl.create 16 in
+        List.iter
+          (fun (op : Op.t) ->
+            if op.Op.name = "func.func" then
+              match Op.attr op "sym_name" with
+              | Some (Typesys.String_attr name) -> Hashtbl.replace funcs name op
+              | _ -> ())
+          (Op.module_ops m);
+        let cm = { funcs; compiled = Hashtbl.create 16 } in
+        Hashtbl.iter
+          (fun name (fop : Op.t) ->
+            if fop.Op.regions <> [] then ignore (compile_func cm name))
+          funcs;
+        cm)
+
+  let instantiate ?(externs = no_externs) (cm : cmodule) : prog =
+    { cm; prog_externs = externs }
 
   let run (prog : prog) (callee : string) (args : R.t list) : R.t list =
-    match Hashtbl.find_opt prog.compiled callee with
-    | Some cf -> call_cfunc cf args
+    match Hashtbl.find_opt prog.cm.compiled callee with
+    | Some cf -> call_cfunc ~ext: prog.prog_externs cf args
     | None -> (
         (* External function: same stub dispatch as the interpreter. *)
         let stub =
           Op.make "func.call"
             ~attrs: [ ("callee", Typesys.Symbol_attr callee) ]
         in
-        match prog.externs stub args with
+        match prog.prog_externs stub args with
         | Some results -> results
         | None -> R.error "call to undefined function %s" callee)
 end
 
 let executor : Interp.Executor.t = Interp.Executor.pack (module Compiled)
 
-(* Runtime executor selection, shared by stencilc --exec and the bench
-   harness. *)
-let of_name = function
-  | "interp" | "interpreter" -> Some Interp.Executor.interpreter
-  | "compiled" | "compile" -> Some executor
-  | _ -> None
+(* Register with the executor registry so [Interp.Executor.of_name]
+   resolves "compiled" wherever this library is linked. *)
+let () = Interp.Executor.register ~alias: [ "compile" ] executor
 
+(* Runtime executor selection, shared by stencilc --exec and the bench
+   harness; kept as thin wrappers over the registry. *)
+let of_name name = Interp.Executor.of_name_opt name
 let names = [ "compiled"; "interp" ]

@@ -6,7 +6,19 @@
    signature, and everything downstream — [Driver.Simulate.Spmd],
    [Driver.Harness], stencilc's --run-par/--run-sim, the bench harness —
    is written against the packed first-class form [t], so the execution
-   backend is a runtime choice while the MPI substrates stay orthogonal. *)
+   backend is a runtime choice while the MPI substrates stay orthogonal.
+
+   Preparation is split in two since the artifact layer landed:
+
+   - [compile] does all per-PROGRAM work (slot resolution, closure
+     compilation) and returns a rank-independent [shared] program;
+   - [shared.instantiate] does the cheap per-RANK work only — binding the
+     extern handler (the MPI_* ABI of this rank's context) to the shared
+     program.
+
+   N ranks therefore share one compilation instead of each redoing it,
+   and [Service.Artifact] caches the [shared] form across runs.  The
+   historical one-shot [prepare] remains as compile-then-instantiate. *)
 
 (* External-call handler, shared by every executor: the [Runtime_link]
    binding implements the MPI_* ABI against either substrate through this
@@ -16,19 +28,32 @@ type externs = Engine.externs
 module type EXECUTOR = sig
   val name : string
 
-  (* A prepared module: interpreter state or compiled closures. *)
+  (* A compiled program, independent of any rank: safe to share across
+     domains (no mutable state reachable from concurrent runs). *)
+  type shared_prog
+
+  (* A prepared per-rank instance: shared program + bound externs. *)
   type prog
 
-  val prepare : ?externs:externs -> Ir.Op.t -> prog
+  val compile : Ir.Op.t -> shared_prog
+  val instantiate : ?externs:externs -> shared_prog -> prog
   val run : prog -> string -> Rtval.t list -> Rtval.t list
 end
 
+(* A packed rank-independent compiled program: [instantiate] binds one
+   rank's extern handler and returns that rank's run function. *)
+type shared = {
+  shared_exec : string;  (** executor name, e.g. "compiled" *)
+  instantiate : ?externs:externs -> unit -> string -> Rtval.t list -> Rtval.t list;
+}
+
 (* Packed executor for runtime selection (e.g. stencilc --exec).
-   [prepare] does all per-module work (slot resolution, closure
-   compilation); the returned function only executes. *)
+   [compile] does all per-module work once; [prepare] is the historical
+   compile-then-instantiate shorthand. *)
 type t = {
   exec_name : string;
   prepare : ?externs:externs -> Ir.Op.t -> string -> Rtval.t list -> Rtval.t list;
+  compile : Ir.Op.t -> shared;
 }
 
 let pack (module E : EXECUTOR) : t =
@@ -36,18 +61,69 @@ let pack (module E : EXECUTOR) : t =
     exec_name = E.name;
     prepare =
       (fun ?externs m ->
-        let prog = E.prepare ?externs m in
+        let prog = E.instantiate ?externs (E.compile m) in
         E.run prog);
+    compile =
+      (fun m ->
+        let sp = E.compile m in
+        {
+          shared_exec = E.name;
+          instantiate = (fun ?externs () -> E.run (E.instantiate ?externs sp));
+        });
   }
 
-(* The reference interpreter as an executor. *)
+(* The reference interpreter as an executor.  Compilation is the identity
+   — the tree walker needs no ahead-of-time work — so instantiation does
+   what [Engine.create] always did, per rank. *)
 module Interpreter : EXECUTOR = struct
   let name = "interp"
 
+  type shared_prog = Ir.Op.t
   type prog = Engine.t
 
-  let prepare ?externs m = Engine.create ?externs m
+  let compile m = m
+  let instantiate ?externs m = Engine.create ?externs m
   let run = Engine.run
 end
 
 let interpreter = pack (module Interpreter)
+
+(* ---------- the executor registry ---------- *)
+
+(* Backends register themselves at module-initialization time; the
+   interpreter is built in.  Aliases ("interpreter", "compile") resolve to
+   the same packed executor as their primary name. *)
+
+let registry : (string * t) list ref = ref [ ("interp", interpreter) ]
+let aliases : (string * string) list ref = ref [ ("interpreter", "interp") ]
+
+let register ?(alias = []) (e : t) : unit =
+  if not (List.mem_assoc e.exec_name !registry) then
+    registry := !registry @ [ (e.exec_name, e) ];
+  List.iter
+    (fun a ->
+      if not (List.mem_assoc a !aliases) then
+        aliases := !aliases @ [ (a, e.exec_name) ])
+    alias
+
+let names () = List.map fst !registry
+
+let find_name name =
+  match List.assoc_opt name !registry with
+  | Some e -> Some e
+  | None -> (
+      match List.assoc_opt name !aliases with
+      | Some primary -> List.assoc_opt primary !registry
+      | None -> None)
+
+let of_name_opt = find_name
+
+(* Unknown names fail with the available names spelled out, so a typo'd
+   --exec tells the user what would have worked. *)
+let of_name name =
+  match find_name name with
+  | Some e -> e
+  | None ->
+      failwith
+        (Printf.sprintf "unknown executor %S (available: %s)" name
+           (String.concat ", " (List.sort String.compare (names ()))))

@@ -66,3 +66,91 @@ let print_module fmt m =
   Format.fprintf fmt "%a@." (pp_op ~indent: 0) m
 
 let module_to_string m = Format.asprintf "%a" print_module m
+
+(* ---------- canonical form (content hashing) ---------- *)
+
+(* A deterministic rendering of a module meant for content-addressing, not
+   for round-tripping: SSA values are renumbered locally (definition
+   order, starting at %0) so two structurally identical modules built at
+   different times — or re-parsed, which allocates fresh ids — print
+   identically, and attribute dictionaries are sorted by key so the hash
+   is insensitive to attribute insertion order (the same normalization the
+   CSE op-key uses since the PR 2 attr-order fix). *)
+
+let canonical_module_string (m : Op.t) : string =
+  let buf = Buffer.create 4096 in
+  let ids : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let vid (v : Value.t) : int =
+    match Hashtbl.find_opt ids (Value.id v) with
+    | Some n -> n
+    | None ->
+        let n = !next in
+        incr next;
+        Hashtbl.add ids (Value.id v) n;
+        n
+  in
+  let add_ty t = Buffer.add_string buf (Format.asprintf "%a" Typesys.pp_ty t) in
+  let add_value v =
+    Buffer.add_char buf '%';
+    Buffer.add_string buf (string_of_int (vid v))
+  in
+  let add_typed_value v =
+    add_value v;
+    Buffer.add_char buf ':';
+    add_ty (Value.ty v)
+  in
+  let rec add_op (op : Op.t) =
+    List.iter
+      (fun r ->
+        add_value r;
+        Buffer.add_char buf ' ')
+      op.Op.results;
+    Buffer.add_char buf '=';
+    Buffer.add_string buf op.Op.name;
+    Buffer.add_char buf '(';
+    List.iter
+      (fun v ->
+        add_typed_value v;
+        Buffer.add_char buf ',')
+      op.Op.operands;
+    Buffer.add_char buf ')';
+    (match
+       List.sort (fun (a, _) (b, _) -> String.compare a b) op.Op.attrs
+     with
+    | [] -> ()
+    | attrs ->
+        Buffer.add_char buf '{';
+        List.iter
+          (fun (k, a) ->
+            Buffer.add_string buf k;
+            Buffer.add_char buf '=';
+            Buffer.add_string buf (Format.asprintf "%a" Typesys.pp_attr a);
+            Buffer.add_char buf ',')
+          attrs;
+        Buffer.add_char buf '}');
+    List.iter
+      (fun (r : Op.region) ->
+        Buffer.add_char buf '(';
+        List.iter
+          (fun (b : Op.block) ->
+            Buffer.add_char buf '^';
+            List.iter
+              (fun a ->
+                add_typed_value a;
+                Buffer.add_char buf ',')
+              b.Op.args;
+            Buffer.add_char buf ':';
+            List.iter add_op b.Op.ops)
+          r.Op.blocks;
+        Buffer.add_char buf ')')
+      op.Op.regions;
+    List.iter
+      (fun r ->
+        Buffer.add_char buf ':';
+        add_ty (Value.ty r))
+      op.Op.results;
+    Buffer.add_char buf '\n'
+  in
+  add_op m;
+  Buffer.contents buf

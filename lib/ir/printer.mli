@@ -5,3 +5,11 @@ val pp_op : ?indent:int -> Format.formatter -> Op.t -> unit
 val op_to_string : Op.t -> string
 val print_module : Format.formatter -> Op.t -> unit
 val module_to_string : Op.t -> string
+
+val canonical_module_string : Op.t -> string
+(** Deterministic rendering for content-addressing (not for parsing): SSA
+    values renumbered in definition order and attribute dictionaries
+    sorted by key, so the result is identical for structurally identical
+    modules regardless of value-id allocation history or attribute
+    insertion order.  [Digest.string] of this string is the canonical
+    module digest used by the artifact cache. *)

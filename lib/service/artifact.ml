@@ -1,0 +1,67 @@
+(* The artifact layer: compilation as a pure function of
+   (canonical module, target fingerprint, executor), memoized process-wide.
+
+   Referencing [Exec_compile.executor] below also forces the closure
+   compiler's registration into any binary that links the service
+   library, so [Interp.Executor.of_name "compiled"] resolves wherever
+   artifacts are in use. *)
+
+type t = {
+  digest : string;
+  target : Core.Pipeline.target;
+  executor_name : string;
+  lowered : Ir.Op.t;
+  program : Interp.Executor.shared;
+  compile_s : float;
+}
+
+let _force_compiled_registration = Exec_compile.executor
+
+let digest_of ?(executor = Interp.Executor.interpreter)
+    ~(target : Core.Pipeline.target) (m : Ir.Op.t) : string =
+  let canonical = Ir.Printer.canonical_module_string m in
+  let key =
+    String.concat "\n"
+      [
+        Core.Pipeline.target_fingerprint target;
+        executor.Interp.Executor.exec_name;
+        canonical;
+      ]
+  in
+  Digest.to_hex (Digest.string key)
+
+let compile ?(executor = Interp.Executor.interpreter)
+    ~(target : Core.Pipeline.target) (m : Ir.Op.t) : t =
+  let t0 = Unix.gettimeofday () in
+  let lowered =
+    Obs.Trace.with_span ~cat: "service"
+      ("pipeline:" ^ Core.Pipeline.target_name target)
+      (fun () -> Core.Pipeline.compile target m)
+  in
+  let program = executor.Interp.Executor.compile lowered in
+  {
+    digest = digest_of ~executor ~target m;
+    target;
+    executor_name = executor.Interp.Executor.exec_name;
+    lowered;
+    program;
+    compile_s = Unix.gettimeofday () -. t0;
+  }
+
+(* The process-wide artifact cache.  Capacity bounds memory when --serve
+   handles many distinct programs; 128 artifacts is far beyond any bench
+   or test working set. *)
+let cache : t Cache.t = Cache.create ~capacity: 128 "artifact-cache"
+
+let get_cached ?executor ~target m =
+  let digest = digest_of ?executor ~target m in
+  let art, flag =
+    Cache.find_or_compute cache ~key: digest (fun () ->
+        compile ?executor ~target m)
+  in
+  ((if flag = `Hit then { art with compile_s = 0. } else art), flag)
+
+let get ?executor ~target m = fst (get_cached ?executor ~target m)
+let stats () = Cache.stats cache
+let clear () = Cache.clear cache
+let cache_length () = Cache.length cache

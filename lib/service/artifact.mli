@@ -1,0 +1,52 @@
+(** Compilation as a pure, cacheable function.
+
+    An artifact is everything that comes out of compiling one module for
+    one target with one executor: the fully lowered module and the
+    rank-independent compiled program ({!Interp.Executor.shared}).  The
+    key is a content hash — the canonical rendering of the input module
+    ({!Ir.Printer.canonical_module_string}) combined with the target
+    fingerprint and executor name — so structurally identical requests
+    share one compilation regardless of value-id history or attribute
+    order, across ranks, runs and --serve clients. *)
+
+type t = {
+  digest : string;  (** hex content hash keying the cache *)
+  target : Core.Pipeline.target;
+  executor_name : string;
+  lowered : Ir.Op.t;  (** the module after the target's full pipeline *)
+  program : Interp.Executor.shared;
+      (** rank-independent compiled form; [program.instantiate] binds one
+          rank's externs *)
+  compile_s : float;  (** seconds spent lowering + compiling (0 on a hit) *)
+}
+
+val digest_of :
+  ?executor:Interp.Executor.t -> target:Core.Pipeline.target -> Ir.Op.t -> string
+(** The content hash (hex) an artifact for this request would carry. *)
+
+val compile :
+  ?executor:Interp.Executor.t -> target:Core.Pipeline.target -> Ir.Op.t -> t
+(** Compile unconditionally (no cache): run the target's pass pipeline,
+    verify, and compile the result with [executor] (default: the
+    reference interpreter, whose compile step is the identity). *)
+
+val get :
+  ?executor:Interp.Executor.t -> target:Core.Pipeline.target -> Ir.Op.t -> t
+(** {!compile} through the process-wide cache: the first request for a
+    digest compiles, every later (or concurrent) request reuses the same
+    artifact. *)
+
+val get_cached :
+  ?executor:Interp.Executor.t ->
+  target:Core.Pipeline.target ->
+  Ir.Op.t ->
+  t * [ `Hit | `Miss ]
+(** {!get}, also reporting whether the artifact was already resident. *)
+
+val stats : unit -> Cache.stats
+(** Hit/miss/compile-time counters of the process-wide cache. *)
+
+val clear : unit -> unit
+(** Drop the process-wide cache (tests and benchmarks). *)
+
+val cache_length : unit -> int

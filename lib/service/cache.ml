@@ -1,0 +1,139 @@
+(* Promise-per-key memo cache, safe across OCaml 5 domains.
+
+   One mutex guards the table; a requester that misses installs a Pending
+   entry, releases the lock, runs the computation, then publishes the
+   result and broadcasts.  Requesters that find a Pending entry wait on
+   the condition variable — so N concurrent requests for one key cost
+   exactly one computation.  Failed computations are published as [Failed]
+   (compilation is deterministic: retrying would fail identically) and the
+   exception is re-raised to every requester. *)
+
+type 'a entry = Pending | Ready of 'a | Failed of exn
+
+type 'a t = {
+  cache_name : string;
+  capacity : int option;
+  lock : Mutex.t;
+  changed : Condition.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable order : string list;  (* completed keys, oldest first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable failures : int;
+  mutable compute_s : float;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  failures : int;
+  compute_s : float;
+}
+
+let create ?capacity cache_name =
+  {
+    cache_name;
+    capacity;
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    table = Hashtbl.create 64;
+    order = [];
+    hits = 0;
+    misses = 0;
+    failures = 0;
+    compute_s = 0.;
+  }
+
+let name c = c.cache_name
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally: (fun () -> Mutex.unlock c.lock) f
+
+(* Must hold the lock.  Evict oldest completed entries over capacity;
+   Pending entries are not in [order] and are never evicted. *)
+let evict_over_capacity c =
+  match c.capacity with
+  | None -> ()
+  | Some cap ->
+      while List.length c.order > cap do
+        match c.order with
+        | oldest :: rest ->
+            Hashtbl.remove c.table oldest;
+            c.order <- rest
+        | [] -> ()
+      done
+
+let emit_counters c =
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.counter (c.cache_name ^ ".hits") (float_of_int c.hits);
+    Obs.Trace.counter (c.cache_name ^ ".misses") (float_of_int c.misses)
+  end
+
+let find_or_compute c ~key compute =
+  let action =
+    locked c (fun () ->
+        let rec decide () =
+          match Hashtbl.find_opt c.table key with
+          | Some (Ready v) ->
+              c.hits <- c.hits + 1;
+              `Use (Ready v, `Hit)
+          | Some (Failed e) ->
+              c.hits <- c.hits + 1;
+              `Use (Failed e, `Hit)
+          | Some Pending ->
+              (* Join the in-flight computation: wait until its owner
+                 publishes, then re-decide — we land on Ready/Failed and
+                 count as a hit (no new computation was needed). *)
+              Condition.wait c.changed c.lock;
+              decide ()
+          | None ->
+              c.misses <- c.misses + 1;
+              Hashtbl.replace c.table key Pending;
+              `Compute
+        in
+        let a = decide () in
+        emit_counters c;
+        a)
+  in
+  match action with
+  | `Use (Ready v, flag) -> (v, flag)
+  | `Use (Failed e, _) -> raise e
+  | `Use (Pending, _) -> assert false
+  | `Compute ->
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match compute () with v -> Ready v | exception e -> Failed e
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      locked c (fun () ->
+          c.compute_s <- c.compute_s +. dt;
+          (match outcome with
+          | Failed _ -> c.failures <- c.failures + 1
+          | _ -> ());
+          Hashtbl.replace c.table key outcome;
+          c.order <- c.order @ [ key ];
+          evict_over_capacity c;
+          Condition.broadcast c.changed);
+      (match outcome with
+      | Ready v -> (v, `Miss)
+      | Failed e -> raise e
+      | Pending -> assert false)
+
+let stats c =
+  locked c (fun () ->
+      {
+        hits = c.hits;
+        misses = c.misses;
+        failures = c.failures;
+        compute_s = c.compute_s;
+      })
+
+let length c = locked c (fun () -> List.length c.order)
+
+let clear c =
+  locked c (fun () ->
+      (* Drop completed entries only: a Pending entry's owner will publish
+         into the table when it finishes, and must find its slot intact. *)
+      List.iter (Hashtbl.remove c.table) c.order;
+      c.order <- [])

@@ -1,0 +1,35 @@
+(** Domains-safe memo cache with promise-per-key semantics: concurrent
+    requests for the same key block until the single in-flight computation
+    finishes, so a value is computed exactly once no matter how many
+    domains ask for it at the same time.  Failures are cached too (the
+    computation is deterministic) and re-raised to every requester. *)
+
+type 'a t
+
+type stats = {
+  hits : int;  (** requests answered from a {!Ready} entry *)
+  misses : int;  (** requests that started (or joined) a computation *)
+  failures : int;  (** computations that raised *)
+  compute_s : float;  (** total seconds spent inside computations *)
+}
+
+val create : ?capacity:int -> string -> 'a t
+(** A named cache (the name prefixes its Obs counters).  [capacity] bounds
+    the number of retained entries; the oldest completed entries are
+    evicted first (in-flight entries are never evicted).  Unbounded by
+    default. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * [ `Hit | `Miss ]
+(** The cached value for [key], computing it with the thunk on first
+    request.  The thunk runs outside the cache lock; other requesters of
+    the same key wait on a condition variable instead of recomputing.
+    [`Hit] means the value (or cached failure) was already resident. *)
+
+val stats : 'a t -> stats
+val length : 'a t -> int
+val clear : 'a t -> unit
+(** Drop all completed entries.  Counters keep accumulating (measure with
+    {!stats} deltas); in-flight computations are left to finish and
+    publish into their intact slots. *)
+
+val name : 'a t -> string

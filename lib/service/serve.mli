@@ -1,0 +1,52 @@
+(** The compile service behind [stencilc --serve]: a newline-delimited
+    request/response protocol over arbitrary channels (a pipe, a socket,
+    stdin/stdout), answering compile and run requests from the
+    process-wide {!Artifact} cache.
+
+    Requests are single lines [cmd key=value ...]:
+
+    - [ping] → [ok pong]
+    - [stats] → [ok hits=... misses=... entries=... compile_s=...]
+    - [compile <module> <target>] → [ok digest=<hex> cached=hit|miss
+      compile_ms=<ms> exec=<name>]
+    - [run <module> <target> substrate=sim|par] → compile (cached) then
+      execute via the installed run handler; its key/value results are
+      appended to the [ok] line
+    - [quit] → [ok bye], and the server loop returns
+
+    Module spec (exactly one): [demo=<name>] (resolved by the injected
+    demo resolver), [file=<path>] (textual IR on disk), or [ir=<nbytes>]
+    (that many bytes of textual IR follow the request line verbatim).
+    Target spec: [target=<cpu-sequential|cpu-openmp|distributed-cpu>]
+    (default distributed-cpu) with [ranks=<n>] (default 4),
+    [strategy=<slice1d|slice2d|slice3d>] (default slice2d),
+    [overlap=<bool>] (default true) and [exec=<executor>] (default
+    compiled).  Failures answer [error <message>] and the loop
+    continues. *)
+
+type run_handler =
+  Ir.Op.t -> Artifact.t -> ranks:int -> substrate:string -> (string * string) list
+(** Executes a compiled artifact and returns response key/values (e.g.
+    [max_diff], [wall_ms]).  Receives the source module as well — the
+    CLI's handler runs it serially as the correctness oracle.  Injected
+    by the CLI so the service library stays below the driver in the
+    dependency order. *)
+
+type handlers = {
+  resolve_demo : string -> Ir.Op.t option;
+      (** named built-in programs ([demo=heat2d], ...) *)
+  run : run_handler option;  (** [None] rejects [run] requests *)
+}
+
+val default_handlers : handlers
+(** No demos, no run handler: a pure compile server. *)
+
+val handle_request :
+  handlers -> in_channel -> string -> (string * string) list
+(** Process one request line (reading any [ir=<nbytes>] payload from the
+    channel) and return response key/values; raises on malformed or
+    failing requests.  Exposed for tests. *)
+
+val serve : ?handlers:handlers -> in_channel -> out_channel -> unit
+(** Serve requests from the input channel until [quit] or EOF, writing
+    one response line per request. *)

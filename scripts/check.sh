@@ -39,6 +39,23 @@ if [ "$smoke" -eq 0 ]; then
   dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
   dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --exec=compiled --overlap=false > /dev/null
 fi
+# Compile-service smoke: --serve must answer a compile request twice with
+# the same digest — a miss then a hit — and execute a cached run exactly.
+serve_out="$(printf 'compile demo=heat2d ranks=2\ncompile demo=heat2d ranks=2\nrun demo=heat2d ranks=2 substrate=sim\nquit\n' \
+  | dune exec bin/stencilc.exe -- --serve)"
+case "$serve_out" in
+  *"cached=miss"*) ;;
+  *) echo "check.sh: --serve first compile was not a cache miss" >&2; exit 1 ;;
+esac
+case "$serve_out" in
+  *"cached=hit"*) ;;
+  *) echo "check.sh: --serve repeat compile was not a cache hit" >&2; exit 1 ;;
+esac
+case "$serve_out" in
+  *"max_diff=0"*) ;;
+  *) echo "check.sh: --serve run diverged from serial" >&2; exit 1 ;;
+esac
+
 # Timeline-analytics smoke: --report must print the per-rank breakdown,
 # the comm matrix, a critical path and an overlap figure.
 report="$(dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --report)"
@@ -57,6 +74,7 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 dune exec bench/main.exe -- par --smoke --out-dir "$tmpdir" > /dev/null
 dune exec bench/main.exe -- exec --smoke --out-dir "$tmpdir" > /dev/null
+dune exec bench/main.exe -- compile --smoke --out-dir "$tmpdir" > /dev/null
 test -f "$tmpdir/BENCH_netmodel.json" || {
   echo "check.sh: bench par did not emit BENCH_netmodel.json" >&2
   exit 1

@@ -290,7 +290,20 @@ let test_of_name () =
     (match Exec_compile.of_name "interp" with
     | Some e -> e.Interp.Executor.exec_name = "interp"
     | None -> false);
-  check bool_c "unknown rejected" true (Exec_compile.of_name "jit" = None)
+  check bool_c "unknown rejected" true (Exec_compile.of_name "jit" = None);
+  (* The raising registry lookup must spell out what would have worked. *)
+  check bool_c "unknown name error lists available executors" true
+    (match Interp.Executor.of_name "jit" with
+    | _ -> false
+    | exception Failure msg ->
+        let mentions needle =
+          let nh = String.length msg and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        mentions "available" && mentions "compiled" && mentions "interp")
 
 (* --- full harness equivalence: compiled-par == compiled-sim ==
    interpreted-serial, exactly --- *)

@@ -5,6 +5,7 @@ let () =
       ("rewriter", Test_rewriter.suite);
       ("interp", Test_interp.suite);
       ("exec_compile", Test_exec_compile.suite);
+      ("service", Test_service.suite);
       ("lowering", Test_lowering.suite);
       ("mpi_sim", Test_mpi_sim.suite);
       ("mpi_par", Test_mpi_par.suite);

@@ -120,26 +120,25 @@ let test_bulk_pack_structure () =
     (Transforms.Statistics.count lowered "scf.for")
 
 (* Regression guard for the distributed hot path: after the full executed
-   pipeline (overlap on, LICM last — exactly what Harness.run_distributed
-   compiles), the time loop must contain NO allocations (exchange buffers
-   are hoisted) and NO scalar pack/unpack element traffic (rank-1 float
-   buffer loads/stores), only bulk copies.  The i32 request-array stores
-   of the waitall lowering are allowed. *)
+   pipeline — Pipeline.compile (Distributed_cpu {tiles = []; overlap =
+   true; ...}), the single definition of the flow Harness.run_distributed
+   compiles through the artifact layer — the time loop must contain NO
+   allocations (exchange buffers are hoisted) and NO scalar pack/unpack
+   element traffic (rank-1 float buffer loads/stores), only bulk copies.
+   The i32 request-array stores of the waitall lowering are allowed. *)
 let test_hot_loop_structural_regression () =
   let m = Programs.heat2d_timeloop_module ~nx: 8 ~ny: 8 ~steps: 3 in
-  let dm =
-    Distribute.run
-      (Distribute.options ~ranks: 4 ~strategy: Decomposition.Slice2d ())
+  let lowered =
+    Pipeline.compile ~verify: true
+      (Pipeline.Distributed_cpu
+         {
+           ranks = 4;
+           strategy = Decomposition.Slice2d;
+           tiles = [];
+           overlap = true;
+         })
       m
   in
-  let swapped = Overlap.run (Swap_elim.run dm) in
-  let lowered =
-    Transforms.Licm.run
-      (Mpi_to_func.run
-         (Dmp_to_mpi.run
-            (Stencil_to_loops.run ~style: Stencil_to_loops.Sequential swapped)))
-  in
-  Verifier.verify ~checks: Registry.checks lowered;
   (* The outermost scf.for of the function is the time loop. *)
   let time_loop = ref None in
   List.iter

@@ -1,0 +1,301 @@
+(* Tests for the compile-service layer: canonical digests (stable across
+   print/parse round-trips and SSA renumbering, insensitive to attribute
+   order), the Domains-safe promise-per-key cache, single-compilation
+   through the artifact layer, and the --serve line protocol. *)
+
+open Ir
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* The heat2d demo as stencilc builds it; constructing it twice allocates
+   fresh SSA value ids throughout, which the canonical print must hide. *)
+let heat_module ?(n = 16) ?(timesteps = 3) () : Op.t =
+  let g = Devito.Symbolic.grid ~dt: 0.1 [ n; n ] in
+  let u = Devito.Symbolic.function_ ~space_order: 2 "u" g in
+  let eqn =
+    Devito.Symbolic.eq (Devito.Symbolic.Dt u)
+      Devito.Symbolic.(f 0.5 *: laplace u)
+  in
+  snd (Devito.Operator.operator ~name: "heat2d" ~timesteps eqn)
+
+let dist_target ~ranks : Core.Pipeline.target =
+  Core.Pipeline.Distributed_cpu
+    {
+      ranks;
+      strategy = Core.Decomposition.Slice2d;
+      tiles = [];
+      overlap = true;
+    }
+
+(* --- canonical digests --- *)
+
+(* Random well-typed programs (reusing the exec_compile generators):
+   printing and re-parsing allocates fresh value ids, and the generic
+   printer's output order is deterministic, so the canonical string must
+   be identical on both sides. *)
+let roundtrip_digest_prop =
+  QCheck.Test.make ~count: 100
+    ~name: "canonical digest stable under print -> parse round-trip"
+    (QCheck.make
+       QCheck.Gen.(
+         triple Test_exec_compile.gen_ie Test_exec_compile.gen_fe (1 -- 5))
+       ~print: (fun (_, _, steps) ->
+         Printf.sprintf "<random program, %d steps>" steps))
+    (fun prog ->
+      let m = Test_exec_compile.program_module prog in
+      let reparsed = Parser.parse_string (Printer.module_to_string m) in
+      Printer.canonical_module_string m
+      = Printer.canonical_module_string reparsed)
+
+let test_digest_ssa_insensitive () =
+  (* Two builds of the same source program differ in every value id. *)
+  let a = heat_module () and b = heat_module () in
+  check bool_c "same canonical string" true
+    (Printer.canonical_module_string a = Printer.canonical_module_string b);
+  check bool_c "same artifact digest" true
+    (Service.Artifact.digest_of ~target: (dist_target ~ranks: 4) a
+    = Service.Artifact.digest_of ~target: (dist_target ~ranks: 4) b);
+  (* ... and the digest keys on the program and the target. *)
+  check bool_c "different program, different digest" false
+    (Service.Artifact.digest_of ~target: (dist_target ~ranks: 4) a
+    = Service.Artifact.digest_of ~target: (dist_target ~ranks: 4)
+        (heat_module ~timesteps: 4 ()));
+  check bool_c "different target, different digest" false
+    (Service.Artifact.digest_of ~target: (dist_target ~ranks: 4) a
+    = Service.Artifact.digest_of ~target: (dist_target ~ranks: 8) a)
+
+let test_digest_attr_order_insensitive () =
+  let m = heat_module () in
+  let permuted =
+    Op.with_module_ops m
+      (List.map
+         (fun (op : Op.t) -> { op with Op.attrs = List.rev op.Op.attrs })
+         (Op.module_ops m))
+  in
+  (* The plain generic print renders attrs in insertion order, so the
+     permutation is visible there... *)
+  check bool_c "plain print differs" false
+    (Printer.module_to_string m = Printer.module_to_string permuted);
+  (* ... but the canonical rendering sorts attribute dictionaries. *)
+  check bool_c "canonical print identical" true
+    (Printer.canonical_module_string m
+    = Printer.canonical_module_string permuted)
+
+(* --- the Domains-safe cache --- *)
+
+let test_cache_concurrent_same_key () =
+  let c : int Service.Cache.t = Service.Cache.create "test-cache" in
+  let computed = Atomic.make 0 in
+  let workers = 8 in
+  let domains =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            Service.Cache.find_or_compute c ~key: "k" (fun () ->
+                Atomic.incr computed;
+                (* Widen the race window so joiners really do find the
+                   Pending entry and wait on the condition variable. *)
+                Unix.sleepf 0.02;
+                41 + 1)))
+  in
+  let results = List.map Domain.join domains in
+  check bool_c "every requester got the value" true
+    (List.for_all (fun (v, _) -> v = 42) results);
+  check int_c "computed exactly once" 1 (Atomic.get computed);
+  check int_c "exactly one miss flag" 1
+    (List.length (List.filter (fun (_, f) -> f = `Miss) results));
+  let s = Service.Cache.stats c in
+  check int_c "counters reconcile with requests" workers
+    (s.Service.Cache.hits + s.Service.Cache.misses);
+  check int_c "one miss counted" 1 s.Service.Cache.misses
+
+let test_cache_concurrent_distinct_keys () =
+  let c : string Service.Cache.t = Service.Cache.create "test-cache-2" in
+  let computed = Atomic.make 0 in
+  let keys = [ "a"; "b"; "c"; "d" ] in
+  let domains =
+    List.concat_map
+      (fun key ->
+        List.init 3 (fun _ ->
+            Domain.spawn (fun () ->
+                fst
+                  (Service.Cache.find_or_compute c ~key (fun () ->
+                       Atomic.incr computed;
+                       Unix.sleepf 0.01;
+                       String.uppercase_ascii key)))))
+      keys
+  in
+  let results = List.map Domain.join domains in
+  check bool_c "all results correct" true
+    (List.for_all (fun v -> String.length v = 1) results);
+  check int_c "one computation per distinct key" (List.length keys)
+    (Atomic.get computed);
+  let s = Service.Cache.stats c in
+  check int_c "counters reconcile" 12
+    (s.Service.Cache.hits + s.Service.Cache.misses);
+  check int_c "entries resident" (List.length keys) (Service.Cache.length c)
+
+let test_cache_failure_cached () =
+  let c : int Service.Cache.t = Service.Cache.create "test-cache-3" in
+  let computed = Atomic.make 0 in
+  let attempt () =
+    Service.Cache.find_or_compute c ~key: "boom" (fun () ->
+        Atomic.incr computed;
+        failwith "deterministic failure")
+  in
+  (match attempt () with
+  | _ -> Alcotest.fail "expected the computation's exception"
+  | exception Failure msg ->
+      check bool_c "original message" true (msg = "deterministic failure"));
+  (* The failure is cached: no recompute, same exception. *)
+  (match attempt () with
+  | _ -> Alcotest.fail "expected the cached exception"
+  | exception Failure _ -> ());
+  check int_c "computed once despite two requests" 1 (Atomic.get computed);
+  check int_c "failure counted" 1 (Service.Cache.stats c).Service.Cache.failures
+
+(* --- single compilation through the artifact layer --- *)
+
+let test_single_compilation_4_ranks () =
+  Service.Artifact.clear ();
+  let m = heat_module () in
+  let c0 = Exec_compile.compile_count () in
+  let r =
+    Driver.Harness.run_distributed ~executor: Exec_compile.executor ~ranks: 4
+      m
+  in
+  check bool_c "distributed == serial" true
+    (r.Driver.Harness.max_diff_vs_serial = 0.);
+  check int_c "4 ranks, exactly one closure compilation" 1
+    (Exec_compile.compile_count () - c0);
+  (* A second run of the structurally identical program is a pure cache
+     hit: zero further compilations. *)
+  let r2 =
+    Driver.Harness.run_distributed ~executor: Exec_compile.executor ~ranks: 4
+      (heat_module ())
+  in
+  check bool_c "second run still exact" true
+    (r2.Driver.Harness.max_diff_vs_serial = 0.);
+  check int_c "second run compiles nothing" 1
+    (Exec_compile.compile_count () - c0)
+
+let test_artifact_counters () =
+  Service.Artifact.clear ();
+  let m = heat_module () in
+  let s0 = Service.Artifact.stats () in
+  let target = dist_target ~ranks: 2 in
+  let executor = Exec_compile.executor in
+  let a1, f1 = Service.Artifact.get_cached ~executor ~target m in
+  let a2, f2 = Service.Artifact.get_cached ~executor ~target m in
+  let s1 = Service.Artifact.stats () in
+  check bool_c "first is a miss" true (f1 = `Miss);
+  check bool_c "second is a hit" true (f2 = `Hit);
+  check bool_c "same digest" true (a1.Service.Artifact.digest = a2.Service.Artifact.digest);
+  check bool_c "hit artifacts report zero compile time" true
+    (a2.Service.Artifact.compile_s = 0.);
+  check int_c "one miss" 1
+    (s1.Service.Cache.misses - s0.Service.Cache.misses);
+  check int_c "one hit" 1 (s1.Service.Cache.hits - s0.Service.Cache.hits)
+
+(* --- the --serve protocol --- *)
+
+let test_serve_protocol () =
+  Service.Artifact.clear ();
+  let m = heat_module () in
+  let handlers =
+    {
+      Service.Serve.resolve_demo =
+        (fun name -> if name = "heat-demo" then Some (heat_module ()) else None);
+      run = None;
+    }
+  in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Service.Serve.serve ~handlers ic oc;
+        close_in_noerr ic;
+        close_out_noerr oc)
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let ask line =
+    output_string oc (line ^ "\n");
+    flush oc;
+    match In_channel.input_line ic with
+    | Some resp -> resp
+    | None -> Alcotest.fail "server closed the pipe"
+  in
+  (* key=value field of a response line. *)
+  let field resp key =
+    List.find_map
+      (fun w ->
+        let prefix = key ^ "=" in
+        let np = String.length prefix in
+        if String.length w > np && String.sub w 0 np = prefix then
+          Some (String.sub w np (String.length w - np))
+        else None)
+      (String.split_on_char ' ' resp)
+  in
+  check bool_c "ping" true (ask "ping" = "ok pong");
+  let c1 = ask "compile demo=heat-demo ranks=2" in
+  check bool_c "first compile misses" true (contains c1 "cached=miss");
+  let c2 = ask "compile demo=heat-demo ranks=2" in
+  check bool_c "repeat compile hits" true (contains c2 "cached=hit");
+  check bool_c "same digest both times" true
+    (field c1 "digest" = field c2 "digest" && field c1 "digest" <> None);
+  (* Inline IR payload: digest must equal the demo's (same canonical
+     form, reparsed). *)
+  let ir_text = Printer.module_to_string m in
+  let ir_req =
+    Printf.sprintf "compile ir=%d ranks=2\n%s" (String.length ir_text) ir_text
+  in
+  output_string oc ir_req;
+  flush oc;
+  let c3 =
+    match In_channel.input_line ic with
+    | Some r -> r
+    | None -> Alcotest.fail "server closed the pipe"
+  in
+  check bool_c "inline IR hits the demo's cache entry" true
+    (contains c3 "cached=hit");
+  check bool_c "inline IR digest equals the demo's" true
+    (field c3 "digest" = field c1 "digest");
+  let stats = ask "stats" in
+  check bool_c "stats reports hits" true (contains stats "hits=");
+  check bool_c "unknown demo is an error" true
+    (contains (ask "compile demo=nope ranks=2") "error");
+  check bool_c "run without handler is an error" true
+    (contains (ask "run demo=heat-demo ranks=2") "error");
+  check bool_c "unknown command is an error" true
+    (contains (ask "frobnicate") "error");
+  check bool_c "quit" true (ask "quit" = "ok bye");
+  Domain.join server;
+  List.iter Unix.close [ req_w; resp_r ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest roundtrip_digest_prop;
+    Alcotest.test_case "digest ignores SSA numbering" `Quick
+      test_digest_ssa_insensitive;
+    Alcotest.test_case "digest ignores attribute order" `Quick
+      test_digest_attr_order_insensitive;
+    Alcotest.test_case "cache: concurrent same key compiles once" `Quick
+      test_cache_concurrent_same_key;
+    Alcotest.test_case "cache: distinct keys compile independently" `Quick
+      test_cache_concurrent_distinct_keys;
+    Alcotest.test_case "cache: failures cached and re-raised" `Quick
+      test_cache_failure_cached;
+    Alcotest.test_case "harness 4 ranks: exactly one closure compile" `Quick
+      test_single_compilation_4_ranks;
+    Alcotest.test_case "artifact cache counters" `Quick test_artifact_counters;
+    Alcotest.test_case "--serve line protocol" `Quick test_serve_protocol;
+  ]
