@@ -186,6 +186,7 @@ let rewrite_driver () =
           {
             ranks = 4;
             strategy = Core.Decomposition.Slice2d;
+            mode = Core.Decomposition.Faces;
             tiles = [ 16; 16; 16 ];
             overlap = false;
           },
@@ -195,6 +196,7 @@ let rewrite_driver () =
           {
             ranks = 4;
             strategy = Core.Decomposition.Slice2d;
+            mode = Core.Decomposition.Faces;
             tiles = [ 16; 16; 8 ];
             overlap = true;
           },

@@ -48,6 +48,7 @@ let target ~ranks =
     {
       ranks;
       strategy = Core.Decomposition.Slice2d;
+      mode = Core.Decomposition.Faces;
       tiles = [];
       overlap = true;
     }

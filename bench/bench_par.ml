@@ -26,6 +26,10 @@ type row = {
   ranks : int;
   overlap : bool;
   grid : string;
+  strategy : string;  (* decomposition strategy name, e.g. "2d-slice" *)
+  mode : string;  (* exchange neighbor set, "faces" or "diagonals" *)
+  tuned : bool;  (* decomposition chosen by the replay auto-tuner *)
+  pred_s : float option;  (* tuner's replayed wall-clock prediction *)
   executor : string;
   serial_s : float;
   sim_s : float;
@@ -68,24 +72,61 @@ let best_distributed ~reps run =
   done;
   !best
 
-let run_workload (name, m) ~reps ~ranks ~overlap : row * Analysis.msg_sample list
-    =
+(* Decomposition for one (workload, ranks, overlap) row: an explicit
+   --grid override wins, otherwise the replay auto-tuner picks the
+   strategy/mode (scored under the frozen reference network model so
+   bench rows are reproducible across hosts), and when the tuner has
+   nothing to say we fall back to the pipeline default. *)
+let choose_decomposition m ~ranks ~overlap ~grid_override =
+  let default =
+    (Core.Decomposition.Slice2d, Core.Decomposition.Faces, false, None)
+  in
+  match grid_override with
+  | Some dims when Core.Dmp_to_mpi.product dims = ranks ->
+      ( Core.Decomposition.Custom ("cli-grid", fun _ _ -> dims),
+        Core.Decomposition.Faces,
+        false,
+        None )
+  | Some _ ->
+      (* override does not factor this rank count; fall back loudly *)
+      Printf.printf
+        "   note: --grid override ignored at ranks=%d (product mismatch)\n"
+        ranks;
+      default
+  | None -> (
+      match
+        Scale.Tune.tune ~model: Scale.Netmodel.reference
+          ~overlaps: [ overlap ] ~ranks m
+      with
+      | Some choice ->
+          let b = choice.Scale.Tune.best in
+          ( b.Scale.Tune.c_strategy,
+            b.Scale.Tune.c_mode,
+            true,
+            Some b.Scale.Tune.c_wall_s )
+      | None -> default)
+
+let run_workload (name, m) ~reps ~ranks ~overlap ~grid_override :
+    row * Analysis.msg_sample list =
   let executor = Exec_compile.executor in
+  let strategy, mode, tuned, pred_s =
+    choose_decomposition m ~ranks ~overlap ~grid_override
+  in
   let sim =
     best_distributed ~reps (fun () ->
-        Driver.Harness.run_distributed ~substrate: Driver.Harness.Sim ~ranks
-          ~overlap ~executor m)
+        Driver.Harness.run_distributed ~substrate: Driver.Harness.Sim
+          ~strategy ~mode ~ranks ~overlap ~executor m)
   in
   let par =
     best_distributed ~reps (fun () ->
-        Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
-          ~overlap ~executor m)
+        Driver.Harness.run_distributed ~substrate: Driver.Harness.Par
+          ~strategy ~mode ~ranks ~overlap ~executor m)
   in
   (* One extra traced par run for the analytics columns: tracing perturbs
      wall time, so it never contributes to the timing fields above. *)
   let traced =
-    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~ranks
-      ~overlap ~executor ~trace: true m
+    Driver.Harness.run_distributed ~substrate: Driver.Harness.Par ~strategy
+      ~mode ~ranks ~overlap ~executor ~trace: true m
   in
   let analysis = traced.Driver.Harness.analysis in
   let host_cores = host_cores () in
@@ -95,6 +136,13 @@ let run_workload (name, m) ~reps ~ranks ~overlap : row * Analysis.msg_sample lis
     ranks;
     overlap;
     grid = String.concat "x" (List.map string_of_int par.Driver.Harness.grid);
+    strategy = Core.Decomposition.strategy_name strategy;
+    mode =
+      (match mode with
+      | Core.Decomposition.Faces -> "faces"
+      | Core.Decomposition.Diagonals -> "diagonals");
+    tuned;
+    pred_s;
     executor = par.Driver.Harness.executor_name;
     serial_s = par.Driver.Harness.serial_wall_s;
     sim_s = sim.Driver.Harness.wall_s;
@@ -128,14 +176,18 @@ let write_json (rows : row list) =
     (fun i r ->
       Printf.fprintf oc
         "    {\"workload\": %S, \"ranks\": %d, \"overlap\": %b, \"grid\": \
-         %S, \"executor\": %S, \"serial_s\": %.6f, \"sim_s\": %.6f, \
+         %S, \"strategy\": %S, \"mode\": %S, \"tuned\": %b, \"pred_s\": %s, \
+         \"executor\": %S, \"serial_s\": %.6f, \"sim_s\": %.6f, \
          \"par_s\": %.6f, \"host_cores\": %d, \"oversubscribed\": %b, \
          \"speedup\": %s, \"messages\": %d, \"bytes\": %d, \
          \"overlap_efficiency\": %s, \"critical_path_s\": %.6f, \
          \"max_abs_diff_par_vs_sim\": %.17g, \"max_abs_diff_par_vs_serial\": \
          %.17g}%s\n"
-        r.workload r.ranks r.overlap r.grid r.executor r.serial_s r.sim_s
-        r.par_s r.host_cores r.oversubscribed
+        r.workload r.ranks r.overlap r.grid r.strategy r.mode r.tuned
+        (match r.pred_s with
+        | Some p -> Printf.sprintf "%.6e" p
+        | None -> "null")
+        r.executor r.serial_s r.sim_s r.par_s r.host_cores r.oversubscribed
         (match r.speedup with
         | Some s -> Printf.sprintf "%.3f" s
         | None -> "null")
@@ -151,27 +203,32 @@ let write_json (rows : row list) =
   path
 
 (* Pool every traced run's matched (bytes, latency) message samples and
-   fit the alpha-beta postal model — the calibrated network model ROADMAP
-   item 4's decomposition auto-tuner consumes. *)
+   fit the alpha-beta postal model the scale-out replay engine consumes
+   (bucketed, outlier-robust, constrained nonnegative — see
+   Scale.Netmodel).  The JSON is written even when the fit degenerates:
+   null coefficients plus a fit_error beat fabricated ones. *)
 let write_netmodel ~workloads samples =
-  match Analysis.fit_netmodel samples with
-  | None -> None
-  | Some nm ->
-      let path = Bench_paths.artifact "BENCH_netmodel.json" in
-      let oc = open_out path in
-      output_string oc
-        (Analysis.netmodel_json
-           ~meta:
-             [
-               ("substrate", "par");
-               ("workloads", String.concat "," workloads);
-             ]
-           nm);
-      close_out oc;
-      Some (nm, path)
+  let fit = Scale.Netmodel.fit_alpha_beta samples in
+  let path = Bench_paths.artifact "BENCH_netmodel.json" in
+  let oc = open_out path in
+  output_string oc
+    (Scale.Netmodel.fit_json
+       ~meta:
+         [
+           ("substrate", "par");
+           ("workloads", String.concat "," workloads);
+         ]
+       fit);
+  close_out oc;
+  (fit, path)
 
-let run ?(smoke = false) () =
+let run ?(smoke = false) ?grid_override () =
   Printf.printf "== Measured parallel execution (mpi_par vs mpi_sim) ==\n";
+  (match grid_override with
+  | Some dims ->
+      Printf.printf "   --grid override: %s (tuner bypassed where it fits)\n"
+        (String.concat "x" (List.map string_of_int dims))
+  | None -> ());
   Printf.printf "   host cores: %d%s\n" (host_cores ())
     (if host_cores () = 1 then
        " (speedup > 1 not expected on a single-core host)"
@@ -210,24 +267,28 @@ let run ?(smoke = false) () =
       rank_counts
   in
   Printf.printf
-    "   %-12s %5s %3s %6s %10s %10s %10s %8s %9s %9s %7s %9s %10s\n"
-    "workload" "ranks" "ov" "grid" "serial_s" "sim_s" "par_s" "speedup"
-    "msgs" "bytes" "ov_eff" "critpath" "par-sim";
+    "   %-12s %5s %3s %6s %9s %10s %10s %10s %8s %9s %9s %7s %9s %10s\n"
+    "workload" "ranks" "ov" "grid" "strategy" "serial_s" "sim_s" "par_s"
+    "speedup" "msgs" "bytes" "ov_eff" "critpath" "par-sim";
   let all_samples = ref [] in
   let rows =
     List.concat_map
       (fun w ->
         List.map
           (fun (ranks, overlap) ->
-            let r, samples = run_workload w ~reps ~ranks ~overlap in
+            let r, samples =
+              run_workload w ~reps ~ranks ~overlap ~grid_override
+            in
             all_samples := samples :: !all_samples;
             Printf.printf
-              "   %-12s %5d %3s %6s %10.4f %10.4f %10.4f %8s %9d %9d %7s \
+              "   %-12s %5d %3s %6s %9s %10.4f %10.4f %10.4f %8s %9d %9d %7s \
                %9.4f %10.2e%s\n\
                %!"
               r.workload r.ranks
               (if r.overlap then "on" else "off")
-              r.grid r.serial_s r.sim_s r.par_s
+              r.grid
+              (r.strategy ^ if r.tuned then "*" else "")
+              r.serial_s r.sim_s r.par_s
               (match r.speedup with
               | Some s -> Printf.sprintf "%7.2fx" s
               | None -> "      -")
@@ -244,18 +305,29 @@ let run ?(smoke = false) () =
   in
   let path = write_json rows in
   Printf.printf "   (machine-readable copy: %s)\n" path;
-  (match
+  (let fit, nm_path =
      write_netmodel
        ~workloads: (List.map fst workloads)
        (List.concat (List.rev !all_samples))
-   with
-  | Some (nm, nm_path) ->
-      Printf.printf
-        "   network model: alpha=%.3e s, beta=%.3e s/byte, r2=%.3f over %d \
-         message(s) (%s)\n"
-        nm.Analysis.nm_alpha_s nm.Analysis.nm_beta_s_per_byte nm.Analysis.nm_r2
-        nm.Analysis.nm_samples nm_path
-  | None -> Printf.printf "   network model: no traced message samples\n");
+   in
+   match fit with
+   | Ok f ->
+       Printf.printf
+         "   network model: alpha=%.3e s, beta=%.3e s/byte, r2=%.3f over %d \
+          kept sample(s) in %d bucket(s), %d outlier(s) dropped (%s)\n"
+         f.Scale.Netmodel.f_alpha_s f.Scale.Netmodel.f_beta_s_per_byte
+         f.Scale.Netmodel.f_r2 f.Scale.Netmodel.f_samples
+         (List.length f.Scale.Netmodel.f_buckets)
+         f.Scale.Netmodel.f_dropped nm_path
+   | Error reason ->
+       Printf.printf
+         "   network model: fit not identified (%s) — null coefficients \
+          written (%s)\n"
+         reason nm_path);
+  (if List.exists (fun r -> r.tuned) rows then
+     Printf.printf
+       "   (* = decomposition picked by the replay auto-tuner under the \
+        frozen reference model)\n");
   (if List.exists (fun r -> r.oversubscribed) rows then
      Printf.printf
        "   (speedup omitted on rows with ranks > host cores: domains \

@@ -16,6 +16,14 @@
      - compile rows: the artifact cache's warm_speedup (cold compile /
        warm hit) may not drop by more than [tolerance] and must stay
        above an absolute 10x floor; cache counters must reconcile.
+     - scaling rows: only the machine-independent slice is gated — the
+       reference-model curve points (frozen Netmodel.reference constants,
+       deterministic replay) must keep their strong-scaling efficiency
+       within the tolerance band and their per-step traffic exactly, the
+       tuner must never lose to the default decomposition
+       (tuned_vs_default <= 1), and every current validation row must be
+       within its prediction-error bound; calibrated-model rows are
+       host-specific and skipped.
    A baseline row missing from the current run fails the gate (a silently
    dropped benchmark is a regression too); rows only present in the
    current run are reported but pass. *)
@@ -381,6 +389,86 @@ let compare_compile out ~tolerance ~baseline ~current =
         Printf.printf "   note: %s is new (no baseline)\n" key)
     cur_rows
 
+(* BENCH_scaling.json: curves + validation rather than a flat entries
+   array.  Gate only what is machine-independent (see header comment). *)
+let compare_scale out ~tolerance ~baseline ~current =
+  let curve_key e =
+    match
+      ( jstr (member "workload" e),
+        jstr (member "model" e),
+        jnum (member "ranks" e) )
+    with
+    | Some w, Some m, Some r ->
+        Some (Printf.sprintf "%s/%s/ranks=%d" w m (int_of_float r))
+    | _ -> None
+  in
+  let curves json =
+    List.filter_map
+      (fun e -> match curve_key e with Some k -> Some (k, e) | None -> None)
+      (jarr (member "curves" json))
+  in
+  let reference (k, e) =
+    jstr (member "model" e) = Some "reference" && String.length k > 0
+  in
+  let base_rows = List.filter reference (curves baseline) in
+  let cur_rows = curves current in
+  List.iter
+    (fun (key, b) ->
+      match List.assoc_opt key cur_rows with
+      | None -> fail_row out "%s: row missing from current BENCH_scaling" key
+      | Some c ->
+          let num fld e = jnum (member fld e) in
+          (* frozen-model efficiency: same replay, same constants — a
+             drop is a real change in the predicted schedule *)
+          (match (num "efficiency" b, num "efficiency" c) with
+          | Some eb, Some ec when eb > 0. ->
+              out.checked <- out.checked + 1;
+              if ec < eb /. (1. +. tolerance) then
+                fail_row out
+                  "%s: reference-model efficiency regressed %.3f -> %.3f \
+                   (tolerance %.0f%%)"
+                  key eb ec (100. *. tolerance)
+          | _ -> ());
+          check_exact_num out ~key ~what: "messages_per_step"
+            ~base: (num "messages_per_step" b)
+            ~cur: (num "messages_per_step" c);
+          check_exact_num out ~key ~what: "bytes_per_step"
+            ~base: (num "bytes_per_step" b)
+            ~cur: (num "bytes_per_step" c))
+    base_rows;
+  (* current-run self-checks: machine-independent invariants that must
+     hold wherever the bench ran *)
+  List.iter
+    (fun (key, c) ->
+      match jnum (member "tuned_vs_default" c) with
+      | Some t ->
+          out.checked <- out.checked + 1;
+          if t > 1. +. 1e-9 then
+            fail_row out
+              "%s: tuner lost to the default decomposition \
+               (tuned_vs_default=%.4f)"
+              key t
+      | None -> ())
+    cur_rows;
+  List.iter
+    (fun v ->
+      match
+        ( jstr (member "workload" v),
+          jnum (member "ranks" v),
+          jbool (member "within_bound" v) )
+      with
+      | Some w, Some r, Some ok ->
+          out.checked <- out.checked + 1;
+          if not ok then
+            fail_row out
+              "%s/ranks=%d: replay prediction outside its error bound \
+               (rel_error=%.3f > %.2f)"
+              w (int_of_float r)
+              (Option.value (jnum (member "rel_error" v)) ~default: nan)
+              (Option.value (jnum (member "bound" v)) ~default: nan)
+      | _ -> ())
+    (jarr (member "validation" current))
+
 let gate_file out ~tolerance ~compare ~name ~baseline_dir ~current_dir =
   let bpath = Filename.concat baseline_dir name in
   let cpath = Filename.concat current_dir name in
@@ -415,6 +503,8 @@ let run ?(baseline_dir : string option) ?(current_dir : string option)
     ~baseline_dir ~current_dir;
   gate_file out ~tolerance ~compare: compare_compile
     ~name: "BENCH_compile.json" ~baseline_dir ~current_dir;
+  gate_file out ~tolerance ~compare: compare_scale ~name: "BENCH_scaling.json"
+    ~baseline_dir ~current_dir;
   match out.failures with
   | [] ->
       Printf.printf "   PASS: %d check(s), no regression beyond %.0f%%\n\n"

@@ -37,6 +37,7 @@ let pass_table_jobs (section : string) :
       {
         ranks = 4;
         strategy = Core.Decomposition.Slice2d;
+        mode = Core.Decomposition.Faces;
         tiles = [ 32; 32 ];
         overlap;
       }
@@ -86,7 +87,38 @@ let () =
      section sweep. *)
   (match args with
   | "par" :: rest ->
-      Bench_par.run ~smoke: (List.mem "--smoke" rest) ();
+      (* par [--smoke] [--grid WxH]: the override pins the rank topology
+         for A/B runs against whatever the auto-tuner would pick. *)
+      let grid_override =
+        let rec find = function
+          | "--grid" :: v :: _ -> Some v
+          | _ :: tl -> find tl
+          | [] -> None
+        in
+        match find rest with
+        | None -> None
+        | Some s -> (
+            let dims =
+              String.split_on_char 'x' s
+              |> List.map (fun d -> int_of_string_opt (String.trim d))
+            in
+            match
+              List.fold_right
+                (fun d acc ->
+                  match (d, acc) with
+                  | Some d, Some acc when d >= 1 -> Some (d :: acc)
+                  | _ -> None)
+                dims (Some [])
+            with
+            | Some dims when dims <> [] -> Some dims
+            | _ ->
+                prerr_endline ("par: invalid --grid " ^ s ^ " (want e.g. 4x2)");
+                exit 1)
+      in
+      Bench_par.run ~smoke: (List.mem "--smoke" rest) ?grid_override ();
+      exit 0
+  | "scale" :: rest ->
+      Bench_scale.run ~smoke: (List.mem "--smoke" rest) ();
       exit 0
   | "exec" :: rest ->
       Bench_exec.run ~smoke: (List.mem "--smoke" rest) ();
@@ -127,7 +159,11 @@ let () =
   if selected = [] then begin
     prerr_endline "unknown section; available:";
     List.iter (fun (n, _) -> prerr_endline ("  " ^ n)) sections;
-    prerr_endline "  par [--smoke]   (measured multicore execution)";
+    prerr_endline
+      "  par [--smoke] [--grid WxH]  (measured multicore execution)";
+    prerr_endline
+      "  scale [--smoke] (calibrated replay: strong-scaling curves to 1024 \
+       ranks)";
     prerr_endline "  exec [--smoke]  (measured interp vs compiled executor)";
     prerr_endline
       "  compile [--smoke] (artifact cache cold/warm + --serve throughput)";

@@ -124,6 +124,50 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
     1
   end
 
+(* --autotune: enumerate decomposition candidates for the module at a
+   rank count, price each through the scale-out replay engine, print the
+   scored table and the winner.  Purely symbolic — nothing executes. *)
+let autotune ~ranks ~netmodel m =
+  let model =
+    match netmodel with
+    | Some spec -> Scale.Netmodel.of_spec spec
+    | None -> Scale.Netmodel.default
+  in
+  match Scale.Tune.tune ~model ~ranks m with
+  | None ->
+      Format.eprintf
+        "stencilc: no valid decomposition for %d ranks (extents not \
+         divisible?)@."
+        ranks;
+      1
+  | Some ch ->
+      Format.printf "auto-tune: %d ranks, model %s@." ranks
+        (Scale.Netmodel.describe model);
+      Format.printf "  %-34s %10s %10s %12s@." "candidate" "pred (s)"
+        "msgs/step" "bytes/step";
+      List.iter
+        (fun (c : Scale.Tune.candidate) ->
+          Format.printf "  %-34s %10.6f %10d %12d%s@."
+            (Scale.Tune.candidate_name c)
+            c.Scale.Tune.c_wall_s c.Scale.Tune.c_messages_per_step
+            c.Scale.Tune.c_bytes_per_step
+            (if c == ch.Scale.Tune.best then "  <- best" else ""))
+        ch.Scale.Tune.considered;
+      if ch.Scale.Tune.skipped > 0 then
+        Format.printf "  (%d invalid candidate(s) skipped)@."
+          ch.Scale.Tune.skipped;
+      let b = ch.Scale.Tune.best in
+      Format.printf
+        "chosen: strategy=%s mode=%s overlap=%b grid=%s predicted=%.6f s@."
+        (Core.Decomposition.strategy_name b.Scale.Tune.c_strategy)
+        (match b.Scale.Tune.c_mode with
+        | Core.Decomposition.Faces -> "faces"
+        | Core.Decomposition.Diagonals -> "diagonals")
+        b.Scale.Tune.c_overlap
+        (String.concat "x" (List.map string_of_int b.Scale.Tune.c_grid))
+        b.Scale.Tune.c_wall_s;
+      0
+
 (* --serve: answer newline-delimited compile/run requests on
    stdin/stdout from the process-wide artifact cache.  The run handler
    executes through the same Harness path as --run-sim/--run-par, so a
@@ -173,7 +217,7 @@ let serve_handlers : Service.Serve.handlers =
 
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     print_after verify stats profile pass_stats trace_out report run_par
-    run_sim stall_timeout exec overlap serve =
+    run_sim stall_timeout exec overlap serve autotune_ranks netmodel =
   try
     if serve then begin
       Service.Serve.serve ~handlers: serve_handlers In_channel.stdin
@@ -198,14 +242,15 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
           | None -> failwith ("unknown demo: " ^ name))
       | None -> Ir.Parser.parse_string (read_input input)
     in
-    match (run_par, run_sim) with
-    | Some ranks, _ ->
+    match (autotune_ranks, run_par, run_sim) with
+    | Some ranks, _, _ -> autotune ~ranks ~netmodel m
+    | None, Some ranks, _ ->
         execute_distributed ~substrate: Driver.Harness.Par ~ranks ~strategy
           ~stall_timeout ~trace_out ~report ~exec ~overlap m
-    | None, Some ranks ->
+    | None, None, Some ranks ->
         execute_distributed ~substrate: Driver.Harness.Sim ~ranks ~strategy
           ~stall_timeout ~trace_out ~report ~exec ~overlap m
-    | None, None ->
+    | None, None, None ->
     let selected =
       match (pipeline, passes) with
       | Some p, _ -> (
@@ -408,6 +453,29 @@ let serve_arg =
            requests for structurally identical programs compile once).  \
            See DESIGN.md for the protocol.")
 
+let autotune_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "autotune" ] ~docv: "N"
+        ~doc:
+          "Auto-tune the decomposition for $(docv) ranks: enumerate \
+           strategy x exchange-mode x overlap candidates, predict each \
+           one's wall-clock with the scale-out replay engine (no \
+           execution), and print the scored table and the chosen \
+           decomposition.  Combine with --netmodel for a calibrated cost \
+           model.")
+
+let netmodel_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "netmodel" ] ~docv: "SPEC"
+        ~doc:
+          "Cost model for --autotune as comma-separated key=value pairs \
+           (keys: alpha, beta, compute, pack, unpack; e.g. \
+           'alpha=2e-6,beta=1e-9').  Unset keys use built-in defaults.")
+
 let cmd =
   let doc = "shared stencil compilation stack driver" in
   Cmd.v
@@ -417,6 +485,7 @@ let cmd =
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
       $ trace_out_arg $ report_arg $ run_par_arg $ run_sim_arg
-      $ stall_timeout_arg $ exec_arg $ overlap_arg $ serve_arg)
+      $ stall_timeout_arg $ exec_arg $ overlap_arg $ serve_arg
+      $ autotune_arg $ netmodel_arg)
 
 let () = exit (Cmd.eval' cmd)

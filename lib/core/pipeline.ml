@@ -11,6 +11,7 @@ type target =
   | Distributed_cpu of {
       ranks : int;
       strategy : Decomposition.strategy;
+      mode : Decomposition.exchange_mode;
       tiles : int list;
       overlap : bool;
     }
@@ -31,10 +32,14 @@ let target_fingerprint = function
   | Cpu_openmp { tiles } ->
       Printf.sprintf "cpu-openmp[tiles=%s]"
         (String.concat "," (List.map string_of_int tiles))
-  | Distributed_cpu { ranks; strategy; tiles; overlap } ->
-      Printf.sprintf "distributed-cpu[ranks=%d;strategy=%s;tiles=%s;overlap=%b]"
+  | Distributed_cpu { ranks; strategy; mode; tiles; overlap } ->
+      Printf.sprintf
+        "distributed-cpu[ranks=%d;strategy=%s;mode=%s;tiles=%s;overlap=%b]"
         ranks
         (Decomposition.strategy_name strategy)
+        (match mode with
+        | Decomposition.Faces -> "faces"
+        | Decomposition.Diagonals -> "diagonals")
         (String.concat "," (List.map string_of_int tiles))
         overlap
   | Gpu { managed } -> Printf.sprintf "gpu[managed=%b]" managed
@@ -56,7 +61,7 @@ let pipeline_for (t : target) : Pass.pipeline =
         (Shape_inference.pass
          :: Stencil_to_loops.pass ~style: (Stencil_to_loops.Tiled_omp tiles) ()
          :: cleanup_passes)
-  | Distributed_cpu { ranks; strategy; tiles; overlap } ->
+  | Distributed_cpu { ranks; strategy; mode; tiles; overlap } ->
       (* [tiles = []] selects the plain sequential per-rank loop nest —
          the executed flow Harness/stencilc/bench run through the
          artifact layer; non-empty tiles keep the OMP-tiled lowering. *)
@@ -67,7 +72,7 @@ let pipeline_for (t : target) : Pass.pipeline =
       in
       Pass.pipeline "distributed-cpu"
         ([ Shape_inference.pass;
-           Distribute.pass (Distribute.options ~ranks ~strategy ());
+           Distribute.pass (Distribute.options ~mode ~ranks ~strategy ());
            Swap_elim.pass ]
         @ (if overlap then [ Overlap.pass ] else [])
         @ [
@@ -106,6 +111,7 @@ let named_pipelines : (string * Pass.pipeline) list =
            {
              ranks = 4;
              strategy = Decomposition.Slice2d;
+             mode = Decomposition.Faces;
              tiles = [ 32; 32 ];
              overlap = false;
            }) );
@@ -115,6 +121,7 @@ let named_pipelines : (string * Pass.pipeline) list =
            {
              ranks = 4;
              strategy = Decomposition.Slice2d;
+             mode = Decomposition.Faces;
              tiles = [ 32; 32 ];
              overlap = true;
            }) );

@@ -10,6 +10,7 @@ type target =
   | Distributed_cpu of {
       ranks : int;
       strategy : Decomposition.strategy;
+      mode : Decomposition.exchange_mode;  (** neighbor set to exchange with *)
       tiles : int list;
       overlap : bool;  (** use the split-phase swap_begin/swap_wait flow *)
     }

@@ -110,7 +110,8 @@ module Sim_runner = Runner (Mpi_sim)
 module Par_runner = Runner (Mpi_par)
 
 let run_distributed ?(substrate = Sim)
-    ?(strategy = Core.Decomposition.Slice2d) ?stall_timeout_s
+    ?(strategy = Core.Decomposition.Slice2d)
+    ?(mode = Core.Decomposition.Faces) ?stall_timeout_s
     ?queue_capacity ?(trace = false) ?executor ?(seed = 0) ?func
     ?(overlap = true) ~ranks (m : Op.t) : result =
   let func = match func with Some f -> f | None -> default_func m in
@@ -142,7 +143,7 @@ let run_distributed ?(substrate = Sim)
      lowered module via the dmp.topology / dmp.local_fields attributes
      the distribution pass leaves behind. *)
   let target =
-    Core.Pipeline.Distributed_cpu { ranks; strategy; tiles = []; overlap }
+    Core.Pipeline.Distributed_cpu { ranks; strategy; mode; tiles = []; overlap }
   in
   let art = Service.Artifact.get ?executor ~target m in
   let lowered = art.Service.Artifact.lowered in

@@ -31,6 +31,7 @@ type result = {
 val run_distributed :
   ?substrate:substrate ->
   ?strategy:Core.Decomposition.strategy ->
+  ?mode:Core.Decomposition.exchange_mode ->
   ?stall_timeout_s:float ->
   ?queue_capacity:int ->
   ?trace:bool ->
@@ -44,7 +45,8 @@ val run_distributed :
 (** Run a stencil-dialect module distributed over [ranks].  [func]
     defaults to the first function with a [sym_name]; inputs are
     deterministically initialized from [seed] (default 0); [substrate]
-    defaults to {!Sim}.  [stall_timeout_s]/[queue_capacity] configure the
+    defaults to {!Sim}.  [mode] (default [Faces]) selects the neighbor
+    set halo exchanges cover.  [stall_timeout_s]/[queue_capacity] configure the
     {!Par} transport.  [executor] selects the backend for the
     distributed run (default: reference interpreter); the serial
     reference always runs interpreted, as the oracle.  [overlap]

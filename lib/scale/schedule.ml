@@ -1,0 +1,242 @@
+(* Extract the communication schedule of a distributed stencil program
+   symbolically.  We run exactly the pass prefix the executed
+   distributed-cpu pipeline runs (shape inference, distribute, redundant
+   swap elimination, overlap) and then read the per-timestep structure
+   off the dmp ops still in the IR, before any loop or MPI lowering.
+   The result is size-independent in rank count: one pass run describes
+   every rank of an SPMD program, so pricing 1024 ranks costs the same
+   as pricing 4. *)
+
+open Ir
+
+type item = Compute of int | Swap of int | Swap_begin of int | Swap_wait of int
+
+type t = {
+  ranks : int;
+  grid : int list;
+  steps : int;
+  body : item list;
+  swaps : Typesys.exchange list array;
+  elt_bytes : int;
+  strategy : Core.Decomposition.strategy;
+  mode : Core.Decomposition.exchange_mode;
+  overlap : bool;
+}
+
+(* Integer constants of the module, for resolving scf.for bounds. *)
+let constant_table (m : Op.t) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Op.walk
+    (fun op ->
+      match Dialects.Arith.const_int_value op with
+      | Some n ->
+          List.iter (fun r -> Hashtbl.replace tbl (Value.id r) n) op.Op.results
+      | None -> ())
+    m;
+  tbl
+
+let trip_count tbl (for_op : Op.t) =
+  let lo, hi, step, _ = Dialects.Scf.for_bounds for_op in
+  let find v = Hashtbl.find_opt tbl (Value.id v) in
+  match (find lo, find hi, find step) with
+  | Some lo, Some hi, Some step when step > 0 && hi > lo ->
+      Some ((hi - lo + step - 1) / step)
+  | _ -> None
+
+let is_dmp op =
+  let n = op.Op.name in
+  n = Core.Dmp.swap || n = Core.Dmp.swap_begin || n = Core.Dmp.swap_wait
+
+(* Program-order visit of a block's ops, descending into regions. *)
+let rec in_order f (ops : Op.t list) =
+  List.iter
+    (fun (op : Op.t) ->
+      f op;
+      List.iter (fun r -> List.iter (in_order f) (List.map (fun (b : Op.block) -> b.Op.ops) r.Op.blocks)) op.Op.regions)
+    ops
+
+let apply_cells (op : Op.t) =
+  match op.Op.results with
+  | r :: _ -> (
+      match Typesys.bounds_of (Value.ty r) with
+      | Some bs ->
+          List.fold_left (fun acc b -> acc * Typesys.bound_size b) 1 bs
+      | None -> 0)
+  | [] -> 0
+
+let apply_elt_bytes (op : Op.t) =
+  match op.Op.results with
+  | r :: _ -> (
+      match Typesys.element_of (Value.ty r) with
+      | Some e -> ( try Typesys.byte_width e with _ -> 4)
+      | None -> 4)
+  | [] -> 4
+
+let of_module ?(strategy = Core.Decomposition.Slice2d)
+    ?(mode = Core.Decomposition.Faces) ?(overlap = true) ~ranks (m : Op.t) : t
+    =
+  let dm =
+    m
+    |> Core.Shape_inference.run
+    |> Core.Distribute.run (Core.Distribute.options ~mode ~ranks ~strategy ())
+    |> Core.Swap_elim.run
+    |> fun dm -> if overlap then Core.Overlap.run dm else dm
+  in
+  let fop =
+    match
+      List.find_opt
+        (fun (op : Op.t) -> Op.attr op "dmp.topology" <> None)
+        (Op.module_ops dm)
+    with
+    | Some f -> f
+    | None -> Op.ill_formed "schedule: no distributed function in module"
+  in
+  let grid =
+    match Op.attr fop "dmp.topology" with
+    | Some (Typesys.Grid_attr g) -> g
+    | _ -> Op.ill_formed "schedule: dmp.topology is not a grid"
+  in
+  let tbl = constant_table dm in
+  (* The time loop: the first scf.for whose body contains a dmp op (or,
+     failing that, a stencil.apply — a swapless single-rank program).
+     Without one, the whole function body is a single step. *)
+  let time_loop = ref None in
+  Op.walk
+    (fun op ->
+      if !time_loop = None && op.Op.name = Dialects.Scf.for_ then
+        let has_work = ref false in
+        Op.walk_regions
+          (fun o ->
+            if is_dmp o || o.Op.name = Core.Stencil.apply then has_work := true)
+          op;
+        if !has_work then time_loop := Some op)
+    fop;
+  let steps, body_ops =
+    match !time_loop with
+    | Some lp ->
+        let steps = match trip_count tbl lp with Some n -> n | None -> 1 in
+        let ops =
+          match lp.Op.regions with
+          | r :: _ -> (Op.single_block r).Op.ops
+          | [] -> []
+        in
+        (steps, ops)
+    | None -> (
+        ( 1,
+          match fop.Op.regions with
+          | r :: _ -> (Op.single_block r).Op.ops
+          | [] -> [] ))
+  in
+  let swaps = ref [] and n_swaps = ref 0 in
+  let register exs =
+    let id = !n_swaps in
+    incr n_swaps;
+    swaps := exs :: !swaps;
+    id
+  in
+  let body = ref [] in
+  (* Split-phase pairs match FIFO: waits complete begins in post order,
+     mirroring the request lists threaded through the lowering. *)
+  let begun = Queue.create () in
+  let elt_bytes = ref 0 in
+  in_order
+    (fun op ->
+      if op.Op.name = Core.Stencil.apply then begin
+        if !elt_bytes = 0 then elt_bytes := apply_elt_bytes op;
+        body := Compute (apply_cells op) :: !body
+      end
+      else if op.Op.name = Core.Dmp.swap then
+        body := Swap (register (Core.Dmp.exchanges_of op)) :: !body
+      else if op.Op.name = Core.Dmp.swap_begin then begin
+        let id = register (Core.Dmp.exchanges_of op) in
+        Queue.push id begun;
+        body := Swap_begin id :: !body
+      end
+      else if op.Op.name = Core.Dmp.swap_wait then begin
+        let id = try Queue.pop begun with Queue.Empty -> 0 in
+        body := Swap_wait id :: !body
+      end)
+    body_ops;
+  {
+    ranks;
+    grid;
+    steps;
+    body = List.rev !body;
+    swaps = Array.of_list (List.rev !swaps);
+    elt_bytes = (if !elt_bytes = 0 then 4 else !elt_bytes);
+    strategy;
+    mode;
+    overlap;
+  }
+
+(* --- per-rank message derivation (mirrors Dmp_to_mpi exactly) --- *)
+
+let rank_coords ~grid rank =
+  let strides = Core.Dmp_to_mpi.grid_strides grid in
+  List.map2 (fun g s -> rank / s mod g) grid strides
+
+let rank_of_coords ~grid coords =
+  let strides = Core.Dmp_to_mpi.grid_strides grid in
+  List.fold_left2 (fun acc c s -> acc + (c * s)) 0 coords strides
+
+let neighbor_rank ~grid coords (v : int list) =
+  let n = List.map2 ( + ) coords v in
+  if List.for_all2 (fun c g -> c >= 0 && c < g) n grid then
+    Some (rank_of_coords ~grid n)
+  else None
+
+let exchange_bytes (s : t) (e : Typesys.exchange) =
+  Core.Dmp_to_mpi.product e.Typesys.ex_size * s.elt_bytes
+
+let rank_sends (s : t) ~swap ~rank =
+  let coords = rank_coords ~grid: s.grid rank in
+  List.filter_map
+    (fun (e : Typesys.exchange) ->
+      match neighbor_rank ~grid: s.grid coords e.Typesys.ex_neighbor with
+      | Some dest -> Some (dest, Core.Dmp_to_mpi.send_tag e, exchange_bytes s e)
+      | None -> None)
+    s.swaps.(swap)
+
+let rank_recvs (s : t) ~swap ~rank =
+  let coords = rank_coords ~grid: s.grid rank in
+  List.filter_map
+    (fun (e : Typesys.exchange) ->
+      match neighbor_rank ~grid: s.grid coords e.Typesys.ex_neighbor with
+      | Some src -> Some (src, Core.Dmp_to_mpi.recv_tag e, exchange_bytes s e)
+      | None -> None)
+    s.swaps.(swap)
+
+let messages_per_step (s : t) =
+  let n = ref 0 in
+  for rank = 0 to s.ranks - 1 do
+    for swap = 0 to Array.length s.swaps - 1 do
+      n := !n + List.length (rank_sends s ~swap ~rank)
+    done
+  done;
+  !n
+
+let bytes_per_step (s : t) =
+  let n = ref 0 in
+  for rank = 0 to s.ranks - 1 do
+    for swap = 0 to Array.length s.swaps - 1 do
+      List.iter (fun (_, _, b) -> n := !n + b) (rank_sends s ~swap ~rank)
+    done
+  done;
+  !n
+
+let total_messages (s : t) = s.steps * messages_per_step s
+let total_bytes (s : t) = s.steps * bytes_per_step s
+
+let cells_per_step (s : t) =
+  List.fold_left
+    (fun acc -> function Compute c -> acc + c | _ -> acc)
+    0 s.body
+
+let pp fmt (s : t) =
+  Format.fprintf fmt
+    "@[<v>schedule: %d ranks on grid %s, %d steps, %d swap(s), %d msgs/step \
+     (%d B), %d cells/step/rank@]"
+    s.ranks
+    (String.concat "x" (List.map string_of_int s.grid))
+    s.steps (Array.length s.swaps) (messages_per_step s) (bytes_per_step s)
+    (cells_per_step s)

@@ -1,0 +1,71 @@
+(** The symbolic per-rank communication schedule of a distributed
+    stencil program: what every rank sends, receives and computes each
+    timestep, derived from the same passes the executed pipeline runs
+    (distribute, swap elimination, optional overlap) WITHOUT executing
+    anything — no domains, no interpreter, no payloads.  This is what
+    lets the replay engine price a 1024-rank run in milliseconds.
+
+    Message structure mirrors [Dmp_to_mpi] exactly: per exchange
+    declaration each rank posts one send toward the neighbor in the
+    exchange's direction (tag = base-3 direction encoding) and one
+    receive from it, both skipped when the neighbor falls off the
+    cartesian grid; a fused swap waits immediately, a split swap
+    (overlap) posts at [Swap_begin] and waits at the matching
+    [Swap_wait]. *)
+
+open Ir
+
+(** One action in a timestep's body, in program order.  [Compute] covers
+    a stencil.apply's output cells; swap items reference the swap table
+    by index. *)
+type item =
+  | Compute of int  (** output cells *)
+  | Swap of int  (** fused exchange: post and complete in place *)
+  | Swap_begin of int
+  | Swap_wait of int
+
+type t = {
+  ranks : int;
+  grid : int list;  (** cartesian rank topology *)
+  steps : int;  (** time-loop trip count *)
+  body : item list;  (** one timestep, program order *)
+  swaps : Typesys.exchange list array;  (** per swap id *)
+  elt_bytes : int;  (** payload element width (4 for f32) *)
+  strategy : Core.Decomposition.strategy;
+  mode : Core.Decomposition.exchange_mode;
+  overlap : bool;
+}
+
+val of_module :
+  ?strategy:Core.Decomposition.strategy ->
+  ?mode:Core.Decomposition.exchange_mode ->
+  ?overlap:bool ->
+  ranks:int ->
+  Op.t ->
+  t
+(** Distribute + swap-eliminate (+ overlap, default true) a
+    stencil-dialect module symbolically and read the schedule off the
+    result.  Raises [Ill_formed] when the decomposition is invalid for
+    this module (e.g. an extent not divisible by the rank grid). *)
+
+val rank_coords : grid:int list -> int -> int list
+(** Cartesian coordinates of a rank in the row-major grid. *)
+
+val rank_sends : t -> swap:int -> rank:int -> (int * int * int) list
+(** [(dest, tag, bytes)] of the messages [rank] posts for one swap —
+    exchanges whose neighbor exists on the grid. *)
+
+val rank_recvs : t -> swap:int -> rank:int -> (int * int * int) list
+(** [(source, tag, bytes)] of the matching receives. *)
+
+val messages_per_step : t -> int
+(** Point-to-point messages all ranks post in one timestep. *)
+
+val bytes_per_step : t -> int
+val total_messages : t -> int
+val total_bytes : t -> int
+
+val cells_per_step : t -> int
+(** Output cells one rank computes per timestep (all applies). *)
+
+val pp : Format.formatter -> t -> unit

@@ -57,6 +57,14 @@ let strategy_param params =
         (Printf.sprintf
            "unknown strategy %S (available: slice1d, slice2d, slice3d)" s)
 
+let mode_param params =
+  match Option.value (lookup params "mode") ~default: "faces" with
+  | "faces" -> Core.Decomposition.Faces
+  | "diagonals" -> Core.Decomposition.Diagonals
+  | s ->
+      failwith
+        (Printf.sprintf "unknown mode %S (available: faces, diagonals)" s)
+
 let target_of_params params : Core.Pipeline.target =
   match Option.value (lookup params "target") ~default: "distributed-cpu" with
   | "cpu-sequential" -> Core.Pipeline.Cpu_sequential
@@ -66,6 +74,7 @@ let target_of_params params : Core.Pipeline.target =
         {
           ranks = int_param params "ranks" 4;
           strategy = strategy_param params;
+          mode = mode_param params;
           tiles = [];
           overlap = bool_param params "overlap" true;
         }

@@ -67,6 +67,14 @@ for section in "phase breakdown" "comm matrix" "critical path" "overlap:" \
   esac
 done
 
+# Auto-tuner smoke: --autotune must enumerate decomposition candidates
+# at a rank count far beyond this host and commit to one.
+tune_out="$(dune exec bin/stencilc.exe -- --demo heat2d --autotune 64)"
+case "$tune_out" in
+  *"chosen:"*) ;;
+  *) echo "check.sh: --autotune did not choose a decomposition" >&2; exit 1 ;;
+esac
+
 # Bench smokes write into a scratch dir (never clobbering the committed
 # full-size BENCH_*.json at the repo root), then the regression gate
 # compares them against the checked-in baselines.
@@ -75,8 +83,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 dune exec bench/main.exe -- par --smoke --out-dir "$tmpdir" > /dev/null
 dune exec bench/main.exe -- exec --smoke --out-dir "$tmpdir" > /dev/null
 dune exec bench/main.exe -- compile --smoke --out-dir "$tmpdir" > /dev/null
+dune exec bench/main.exe -- scale --smoke --out-dir "$tmpdir" > /dev/null
 test -f "$tmpdir/BENCH_netmodel.json" || {
   echo "check.sh: bench par did not emit BENCH_netmodel.json" >&2
+  exit 1
+}
+test -f "$tmpdir/BENCH_scaling.json" || {
+  echo "check.sh: bench scale did not emit BENCH_scaling.json" >&2
   exit 1
 }
 dune exec bench/main.exe -- regress --current "$tmpdir"

@@ -21,4 +21,5 @@ let () =
       ("shared_stack", Test_shared_stack.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("scale", Test_scale.suite);
     ]

@@ -134,6 +134,7 @@ let test_hot_loop_structural_regression () =
          {
            ranks = 4;
            strategy = Decomposition.Slice2d;
+           mode = Decomposition.Faces;
            tiles = [];
            overlap = true;
          })

@@ -30,6 +30,7 @@ let dist_target ~ranks : Core.Pipeline.target =
     {
       ranks;
       strategy = Core.Decomposition.Slice2d;
+      mode = Core.Decomposition.Faces;
       tiles = [];
       overlap = true;
     }
