@@ -2,7 +2,7 @@
    cache (cold compile vs warm hit) and the sustained request rate of the
    --serve protocol.
 
-   Three quantities per workload:
+   Five quantities per workload:
    - cold_ms: artifact acquisition with an empty cache — the full
      pipeline plus closure compilation (best of reps, each on a cleared
      cache);
@@ -10,14 +10,22 @@
      reps — this is a digest + hash lookup, microseconds);
    - serve_rps: sustained compile requests/second through an in-process
      --serve loop (one server domain, requests over a pipe, all warm
-     after the first).
+     after the first);
+   - concurrent_rps: the socket daemon under contention — 4 client
+     domains hammering one Unix-socket daemon with requests over 2
+     distinct digests; the invariant measured alongside the rate is
+     that each digest compiled exactly once and nothing failed;
+   - restart_warm_ms: a "restarted daemon" answering from the on-disk
+     artifact store — in-memory cache dropped, artifact restored from
+     disk (pass pipeline skipped, only the executor's compile re-run).
 
-   The machine-independent gate quantity is warm_speedup = cold/warm:
-   the artifact layer's reason to exist is answering repeated requests
-   without recompiling, and a warm hit that costs more than a fraction
-   of a cold compile is a regression no matter the host.  Counters are
-   checked to reconcile exactly (requests = hits + misses, one miss per
-   cold compile). *)
+   The machine-independent gate quantities are warm_speedup = cold/warm
+   and restart_speedup = cold/restart_warm: the artifact layer's reason
+   to exist is answering repeated requests without recompiling, and the
+   store's is surviving a restart — either ratio collapsing toward 1x
+   is a regression no matter the host.  Counters are checked to
+   reconcile exactly (requests = hits + misses, one miss per cold
+   compile, failed-entry hits counted apart from healthy ones). *)
 
 type row = {
   workload : string;
@@ -26,8 +34,13 @@ type row = {
   warm_speedup : float;  (* cold / warm *)
   serve_rps : float;
   serve_requests : int;
+  concurrent_rps : float;
+  concurrent_ok : bool;  (* 2 digests -> 2 misses, no failures, all ok *)
+  restart_warm_ms : float;  (* store restore, pipeline skipped *)
+  restart_speedup : float;  (* cold / restart_warm *)
   hits : int;  (* cache hits over this row's measurement *)
   misses : int;  (* cache misses (one per cleared-cache compile) *)
+  failed_hits : int;  (* lookups answered by a cached failure *)
   counters_ok : bool;
 }
 
@@ -95,6 +108,123 @@ let serve_requests_per_sec ~requests (m : Ir.Op.t) : float * int =
   List.iter Unix.close [ req_w; resp_r ];
   (float_of_int requests /. dt, requests)
 
+(* The socket daemon under contention: [clients] domains connect to one
+   Unix-domain daemon and issue [requests] compile requests each,
+   alternating between two rank counts — two distinct digests total.
+   The promise-per-key cache must collapse all that contention to
+   exactly two cold compiles; the rate is the aggregate round-trips per
+   second across all clients. *)
+let concurrent_socket ~clients ~requests (name, m) : float * bool =
+  Service.Artifact.clear ();
+  let s0 = Service.Artifact.stats () in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stencilc-bench-%d.sock" (Unix.getpid ()))
+  in
+  let handlers =
+    {
+      Service.Serve.resolve_demo =
+        (fun n -> if n = name then Some m else None);
+      run = None;
+      scheduler = None;
+    }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Service.Socket_server.run ~handlers
+          ~on_ready: (fun () -> Atomic.set ready true)
+          (Service.Socket_server.Unix_path sock))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  let connect () =
+    let rec retry n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> fd
+      | exception Unix.Unix_error _ when n > 0 ->
+          Unix.close fd;
+          Unix.sleepf 0.01;
+          retry (n - 1)
+    in
+    retry 100
+  in
+  let client _ =
+    Domain.spawn (fun () ->
+        let fd = connect () in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let ok = ref 0 in
+        for r = 1 to requests do
+          let ranks = if r mod 2 = 0 then 2 else 4 in
+          output_string oc
+            (Printf.sprintf "compile demo=%s ranks=%d\n" name ranks);
+          flush oc;
+          match In_channel.input_line ic with
+          | Some line when String.length line >= 2 && String.sub line 0 2 = "ok"
+            ->
+              incr ok
+          | Some _ | None -> ()
+        done;
+        output_string oc "quit\n";
+        flush oc;
+        (match In_channel.input_line ic with _ -> () | exception _ -> ());
+        Unix.close fd;
+        !ok)
+  in
+  let t0 = Unix.gettimeofday () in
+  let oks = List.map Domain.join (List.init clients client) in
+  let dt = Unix.gettimeofday () -. t0 in
+  let fd = connect () in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc "shutdown\n";
+  flush oc;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  ignore (Domain.join server : Service.Socket_server.stats);
+  let s1 = Service.Artifact.stats () in
+  let ok =
+    List.for_all (fun n -> n = requests) oks
+    && s1.Service.Cache.misses - s0.Service.Cache.misses = 2
+    && s1.Service.Cache.failures - s0.Service.Cache.failures = 0
+    && s1.Service.Cache.failed_hits - s0.Service.Cache.failed_hits = 0
+  in
+  (float_of_int (clients * requests) /. dt, ok)
+
+(* The restarted daemon: artifact persisted to a throwaway on-disk
+   store, then each rep drops the in-memory cache (what a process
+   restart does) and re-acquires — the store path skips the pass
+   pipeline and re-runs only the executor's compile. *)
+let restart_warm_s ~reps ~executor ~target m : float =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stencilc-bench-store-%d" (Unix.getpid ()))
+  in
+  let store = Service.Store.create dir in
+  Service.Artifact.set_store (Some store);
+  Fun.protect
+    ~finally: (fun () ->
+      Service.Artifact.set_store None;
+      List.iter
+        (fun d -> Service.Store.remove store ~digest: d)
+        (Service.Store.list store);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      Service.Artifact.clear ();
+      (* Persist once; the flag must confirm a real cold compile. *)
+      (match Service.Artifact.get_cached ~executor ~target m with
+      | _, `Miss -> ()
+      | _, (`Hit | `Store) -> failwith "restart bench: expected a cold miss");
+      best ~reps (fun () ->
+          Service.Artifact.clear ();
+          match Service.Artifact.get_cached ~executor ~target m with
+          | _, `Store -> ()
+          | _, (`Hit | `Miss) ->
+              failwith "restart bench: expected a store restore"))
+
 let run_workload ~reps ~requests (name, m) : row =
   let target = target ~ranks: 4 in
   let executor = Exec_compile.executor in
@@ -116,9 +246,17 @@ let run_workload ~reps ~requests (name, m) : row =
   let s1 = Service.Artifact.stats () in
   let misses = s1.Service.Cache.misses - s0.Service.Cache.misses in
   let hits = s1.Service.Cache.hits - s0.Service.Cache.hits in
-  (* Every cleared-cache get is a miss, every other get a hit. *)
-  let counters_ok = misses = reps && hits = warm_reps + 1 in
+  let failed_hits =
+    s1.Service.Cache.failed_hits - s0.Service.Cache.failed_hits
+  in
+  (* Every cleared-cache get is a miss, every other get a hit, and
+     nothing in this bench compiles a failing program. *)
+  let counters_ok = misses = reps && hits = warm_reps + 1 && failed_hits = 0 in
   let serve_rps, serve_requests = serve_requests_per_sec ~requests m in
+  let concurrent_rps, concurrent_ok =
+    concurrent_socket ~clients: 4 ~requests: (max 5 (requests / 10)) (name, m)
+  in
+  let restart_s = restart_warm_s ~reps ~executor ~target m in
   {
     workload = name;
     cold_ms = cold_s *. 1000.;
@@ -126,8 +264,13 @@ let run_workload ~reps ~requests (name, m) : row =
     warm_speedup = cold_s /. warm_s;
     serve_rps;
     serve_requests;
+    concurrent_rps;
+    concurrent_ok;
+    restart_warm_ms = restart_s *. 1000.;
+    restart_speedup = cold_s /. restart_s;
     hits;
     misses;
+    failed_hits;
     counters_ok;
   }
 
@@ -140,9 +283,12 @@ let write_json (rows : row list) =
       Printf.fprintf oc
         "    {\"workload\": %S, \"cold_ms\": %.6f, \"warm_ms\": %.6f, \
          \"warm_speedup\": %.3f, \"serve_rps\": %.1f, \"serve_requests\": \
-         %d, \"hits\": %d, \"misses\": %d, \"counters_ok\": %b}%s\n"
+         %d, \"concurrent_rps\": %.1f, \"concurrent_ok\": %b, \
+         \"restart_warm_ms\": %.6f, \"restart_speedup\": %.3f, \"hits\": \
+         %d, \"misses\": %d, \"failed_hits\": %d, \"counters_ok\": %b}%s\n"
         r.workload r.cold_ms r.warm_ms r.warm_speedup r.serve_rps
-        r.serve_requests r.hits r.misses r.counters_ok
+        r.serve_requests r.concurrent_rps r.concurrent_ok r.restart_warm_ms
+        r.restart_speedup r.hits r.misses r.failed_hits r.counters_ok
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -171,21 +317,27 @@ let run ?(smoke = false) () =
   in
   let reps = if smoke then 2 else 5 in
   let requests = if smoke then 50 else 500 in
-  Printf.printf "   %-12s %10s %10s %10s %12s %14s\n" "workload" "cold_ms"
-    "warm_ms" "speedup" "serve_rps" "counters";
+  Printf.printf "   %-12s %9s %9s %8s %9s %9s %9s %8s %10s\n" "workload"
+    "cold_ms" "warm_ms" "speedup" "serve_rps" "conc_rps" "restart" "re_spd"
+    "counters";
   let rows =
     List.map
       (fun w ->
         let r = run_workload ~reps ~requests w in
-        Printf.printf "   %-12s %10.3f %10.5f %9.0fx %12.0f %14s\n%!"
+        Printf.printf
+          "   %-12s %9.3f %9.5f %7.0fx %9.0f %9.0f %9.3f %7.0fx %10s\n%!"
           r.workload r.cold_ms r.warm_ms r.warm_speedup r.serve_rps
-          (if r.counters_ok then "reconcile" else "MISMATCH");
+          r.concurrent_rps r.restart_warm_ms r.restart_speedup
+          (if r.counters_ok && r.concurrent_ok then "reconcile"
+           else "MISMATCH");
         r)
       workloads
   in
   let path = write_json rows in
   Printf.printf "   (machine-readable copy: %s)\n" path;
-  let bad = List.filter (fun r -> not r.counters_ok) rows in
+  let bad =
+    List.filter (fun r -> not (r.counters_ok && r.concurrent_ok)) rows
+  in
   if bad <> [] then begin
     Printf.printf "   FAIL: %d row(s) with unreconciled cache counters\n"
       (List.length bad);

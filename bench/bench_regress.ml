@@ -340,8 +340,14 @@ let compare_exec out ~tolerance ~baseline ~current =
    fraction of a cold compile: gate the machine-independent warm_speedup
    both against the baseline (tolerance band) and against an absolute
    floor — a warm hit within 10x of a cold compile means the cache
-   stopped caching.  Counters must reconcile exactly. *)
+   stopped caching.  The on-disk store's value is the same claim across
+   a restart: restart_speedup (cold / store-restore) gets the identical
+   treatment.  Counters must reconcile exactly, failed-entry hits must
+   be zero (this bench compiles nothing that fails — a nonzero count
+   means lookups are being misattributed), and the concurrent-client
+   invariant (N clients, 2 digests, exactly 2 compiles) must hold. *)
 let warm_speedup_floor = 10.
+let restart_speedup_floor = 10.
 
 let compare_compile out ~tolerance ~baseline ~current =
   let key e = jstr (member "workload" e) in
@@ -376,6 +382,22 @@ let compare_compile out ~tolerance ~baseline ~current =
                   (100. *. (1. -. (sc /. sb)))
                   (100. *. tolerance)
           | _ -> ());
+          (match (num "restart_speedup" b, num "restart_speedup" c) with
+          | Some sb, Some sc when above_floor ->
+              out.checked <- out.checked + 1;
+              if sc < restart_speedup_floor then
+                fail_row out
+                  "%s: restart_speedup %.1fx is under the %.0fx floor (store \
+                   restore not skipping the pipeline?)"
+                  key sc restart_speedup_floor
+              else if sb > 1. && sc < sb /. (1. +. tolerance) then
+                fail_row out
+                  "%s: restart_speedup regressed %.0fx -> %.0fx (-%.0f%%, \
+                   tolerance %.0f%%)"
+                  key sb sc
+                  (100. *. (1. -. (sc /. sb)))
+                  (100. *. tolerance)
+          | _ -> ());
           (match jbool (member "counters_ok" c) with
           | Some ok ->
               out.checked <- out.checked + 1;
@@ -383,6 +405,21 @@ let compare_compile out ~tolerance ~baseline ~current =
                 fail_row out "%s: cache counters do not reconcile" key
           | None -> ()))
     base_rows;
+  (* current-run self-checks: machine-independent invariants that must
+     hold wherever the bench ran, baseline or not *)
+  List.iter
+    (fun (key, c) ->
+      check_zero out ~key ~what: "failed_hits" (jnum (member "failed_hits" c));
+      match jbool (member "concurrent_ok" c) with
+      | Some ok ->
+          out.checked <- out.checked + 1;
+          if not ok then
+            fail_row out
+              "%s: concurrent-client invariant violated (expected 2 digests \
+               -> exactly 2 compiles, no failures)"
+              key
+      | None -> ())
+    cur_rows;
   List.iter
     (fun (key, _) ->
       if List.assoc_opt key base_rows = None then

@@ -168,13 +168,16 @@ let autotune ~ranks ~netmodel m =
         b.Scale.Tune.c_wall_s;
       0
 
-(* --serve: answer newline-delimited compile/run requests on
-   stdin/stdout from the process-wide artifact cache.  The run handler
-   executes through the same Harness path as --run-sim/--run-par, so a
-   served run and a CLI run are the same code. *)
+(* --serve: answer newline-delimited compile/run requests from the
+   process-wide artifact cache — on stdin/stdout by default, or as a
+   multi-client daemon behind --socket PATH / --tcp PORT.  The run
+   handler executes through the same Harness path as
+   --run-sim/--run-par, so a served run and a CLI run are the same
+   code. *)
 let serve_handlers : Service.Serve.handlers =
   {
     Service.Serve.resolve_demo = demo_module;
+    scheduler = None;
     run =
       Some
         (fun m (art : Service.Artifact.t) ~ranks ~substrate ->
@@ -215,14 +218,103 @@ let serve_handlers : Service.Serve.handlers =
           ]);
   }
 
+(* Cache/store knobs shared by every serve mode (stdin, socket, tcp). *)
+let configure_service ~store_dir ~cache_capacity ~cache_eviction =
+  let eviction =
+    match Service.Cache.eviction_of_string cache_eviction with
+    | Some e -> e
+    | None ->
+        failwith
+          ("unknown eviction policy: " ^ cache_eviction
+         ^ " (expected fifo, lru or cost)")
+  in
+  Service.Artifact.set_policy ~capacity: cache_capacity ~eviction ();
+  match store_dir with
+  | None -> ()
+  | Some dir ->
+      Service.Artifact.set_store (Some (Service.Store.create dir));
+      (* Warm start: previously-seen digests answer without the pass
+         pipeline (persisted lowered module + executor compile only). *)
+      let n = Service.Artifact.warm_start () in
+      if n > 0 then
+        Format.eprintf "// warm start: %d artifact(s) preloaded from %s@." n
+          dir
+
+(* --connect ADDR: a minimal client for the socket daemon.  Forwards all
+   of stdin to the server (so ir=<nbytes> payloads pass through without
+   any parsing here), half-closes, then prints every response line —
+   exactly what the check.sh smokes and quick manual poking need. *)
+let connect_addr spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p ->
+          let host = if host = "" then "127.0.0.1" else host in
+          let inet =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          in
+          Unix.ADDR_INET (inet, p)
+      | None -> Unix.ADDR_UNIX spec)
+  | None -> Unix.ADDR_UNIX spec
+
+let client_pump spec =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = connect_addr spec in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  let oc = Unix.out_channel_of_descr fd in
+  let buf = Bytes.create 65536 in
+  let rec forward () =
+    let n = input Stdlib.stdin buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      output oc buf 0 n;
+      forward ()
+    end
+  in
+  forward ();
+  flush oc;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let ic = Unix.in_channel_of_descr fd in
+  (try
+     while true do
+       print_endline (input_line ic)
+     done
+   with End_of_file -> ());
+  Unix.close fd;
+  0
+
+let serve_daemon endpoint =
+  let s = Service.Socket_server.run ~handlers: serve_handlers endpoint in
+  Format.eprintf
+    "// %s: served %d connection(s); %d compile batch(es) over %d batched \
+     request(s)@."
+    (Service.Socket_server.endpoint_name endpoint)
+    s.Service.Socket_server.connections s.Service.Socket_server.batches
+    s.Service.Socket_server.batched_jobs;
+  0
+
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     print_after verify stats profile pass_stats trace_out report run_par
-    run_sim stall_timeout exec overlap serve autotune_ranks netmodel =
+    run_sim stall_timeout exec overlap serve socket tcp_port store_dir
+    cache_capacity cache_eviction connect_to autotune_ranks netmodel =
   try
-    if serve then begin
-      Service.Serve.serve ~handlers: serve_handlers In_channel.stdin
-        Out_channel.stdout;
-      0
+    match connect_to with
+    | Some spec -> client_pump spec
+    | None ->
+    if serve || socket <> None || tcp_port <> None then begin
+      configure_service ~store_dir ~cache_capacity ~cache_eviction;
+      match (socket, tcp_port) with
+      | Some _, Some _ -> failwith "--socket and --tcp are mutually exclusive"
+      | Some path, None ->
+          serve_daemon (Service.Socket_server.Unix_path path)
+      | None, Some port -> serve_daemon (Service.Socket_server.Tcp_port port)
+      | None, None ->
+          Service.Serve.serve ~handlers: serve_handlers In_channel.stdin
+            Out_channel.stdout;
+          0
     end
     else begin
     (match Ir.Rewriter.driver_of_string rewrite_driver with
@@ -292,6 +384,9 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
   with
   | Failure msg | Ir.Op.Ill_formed msg | Sys_error msg ->
       Format.eprintf "stencilc: %s@." msg;
+      1
+  | Unix.Unix_error (e, fn, arg) ->
+      Format.eprintf "stencilc: %s(%s): %s@." fn arg (Unix.error_message e);
       1
   | Mpi_par.Stall report ->
       Format.eprintf "stencilc: %s@." report;
@@ -453,6 +548,67 @@ let serve_arg =
            requests for structurally identical programs compile once).  \
            See DESIGN.md for the protocol.")
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv: "PATH"
+        ~doc:
+          "With --serve semantics: listen on a Unix-domain socket at \
+           $(docv) and accept multiple concurrent client connections \
+           (each served by its own domain; cold compiles are batched).  \
+           A client sending 'shutdown' stops the daemon; 'quit' or EOF \
+           closes only that connection.  Implies --serve.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv: "PORT"
+        ~doc:
+          "Like --socket, but listen on loopback TCP port $(docv).  \
+           Mutually exclusive with --socket.  Implies --serve.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv: "DIR"
+        ~doc:
+          "Persist compiled artifacts to a digest-keyed on-disk store \
+           under $(docv) (one atomic file per digest: canonical IR, \
+           lowered-module text, metadata).  A restarted server warm-starts \
+           from the store, skipping the pass pipeline for previously-seen \
+           programs.")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "cache-capacity" ] ~docv: "N"
+        ~doc:
+          "Maximum artifacts retained by the in-memory cache (0 or \
+           negative: unbounded).")
+
+let cache_eviction_arg =
+  Arg.(
+    value & opt string "lru"
+    & info [ "cache-eviction" ] ~docv: "POLICY"
+        ~doc:
+          "Eviction policy when the cache exceeds its capacity: lru \
+           (default), fifo, or cost (evict the cheapest-to-recompile \
+           entry, by recorded compile seconds, among the least recently \
+           used).")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv: "ADDR"
+        ~doc:
+          "Act as a client for a running --serve daemon: forward stdin \
+           to the server at $(docv) (a Unix socket path, or host:port / \
+           :port for TCP) and print its response lines.")
+
 let autotune_arg =
   Arg.(
     value
@@ -486,6 +642,7 @@ let cmd =
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
       $ trace_out_arg $ report_arg $ run_par_arg $ run_sim_arg
       $ stall_timeout_arg $ exec_arg $ overlap_arg $ serve_arg
-      $ autotune_arg $ netmodel_arg)
+      $ socket_arg $ tcp_arg $ store_arg $ cache_capacity_arg
+      $ cache_eviction_arg $ connect_arg $ autotune_arg $ netmodel_arg)
 
 let () = exit (Cmd.eval' cmd)

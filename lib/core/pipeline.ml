@@ -45,6 +45,78 @@ let target_fingerprint = function
   | Gpu { managed } -> Printf.sprintf "gpu[managed=%b]" managed
   | Fpga { optimized } -> Printf.sprintf "fpga[optimized=%b]" optimized
 
+(* Inverse of [target_fingerprint], for the on-disk artifact store: a
+   persisted artifact records only the fingerprint string, and a warm
+   start must rebuild the structured target from it.  Returns [None] on
+   anything the renderer above could not have produced (including custom
+   decomposition strategies, which carry a closure). *)
+let target_of_fingerprint (s : string) : target option =
+  let ( let* ) = Option.bind in
+  (* "name[k=v;...]" -> (name, Some body); "name" -> (name, None) *)
+  let name, body =
+    match String.index_opt s '[' with
+    | Some i when String.length s > 0 && s.[String.length s - 1] = ']' ->
+        ( String.sub s 0 i,
+          Some (String.sub s (i + 1) (String.length s - i - 2)) )
+    | _ -> (s, None)
+  in
+  let fields body =
+    String.split_on_char ';' body
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some
+                 ( String.sub kv 0 i,
+                   String.sub kv (i + 1) (String.length kv - i - 1) )
+           | None -> None)
+  in
+  let tiles_of v =
+    if v = "" then Some []
+    else
+      let parts = String.split_on_char ',' v in
+      let ints = List.filter_map int_of_string_opt parts in
+      if List.length ints = List.length parts then Some ints else None
+  in
+  match (name, body) with
+  | "cpu-sequential", None -> Some Cpu_sequential
+  | "cpu-openmp", Some body ->
+      let* tiles = Option.bind (List.assoc_opt "tiles" (fields body)) tiles_of in
+      Some (Cpu_openmp { tiles })
+  | "distributed-cpu", Some body ->
+      let fs = fields body in
+      let* ranks = Option.bind (List.assoc_opt "ranks" fs) int_of_string_opt in
+      let* strategy =
+        match List.assoc_opt "strategy" fs with
+        | Some "1d-slice" -> Some Decomposition.Slice1d
+        | Some "2d-slice" -> Some Decomposition.Slice2d
+        | Some "3d-slice" -> Some Decomposition.Slice3d
+        | _ -> None
+      in
+      let* mode =
+        match List.assoc_opt "mode" fs with
+        | Some "faces" -> Some Decomposition.Faces
+        | Some "diagonals" -> Some Decomposition.Diagonals
+        | _ -> None
+      in
+      let* tiles = Option.bind (List.assoc_opt "tiles" fs) tiles_of in
+      let* overlap =
+        Option.bind (List.assoc_opt "overlap" fs) bool_of_string_opt
+      in
+      Some (Distributed_cpu { ranks; strategy; mode; tiles; overlap })
+  | "gpu", Some body ->
+      let* managed =
+        Option.bind (List.assoc_opt "managed" (fields body)) bool_of_string_opt
+      in
+      Some (Gpu { managed })
+  | "fpga", Some body ->
+      let* optimized =
+        Option.bind
+          (List.assoc_opt "optimized" (fields body))
+          bool_of_string_opt
+      in
+      Some (Fpga { optimized })
+  | _ -> None
+
 let cleanup_passes =
   [ Transforms.Canonicalize.pass; Transforms.Cse.pass; Transforms.Licm.pass;
     Transforms.Dce.pass ]

@@ -25,6 +25,12 @@ val target_fingerprint : target -> string
     pipelines.  Combined with the canonical module digest to key the
     artifact cache. *)
 
+val target_of_fingerprint : string -> target option
+(** Inverse of {!target_fingerprint} (used by the on-disk artifact store
+    to rebuild a persisted artifact's target).  [None] on malformed input
+    and on custom decomposition strategies, which carry a closure the
+    rendering cannot capture. *)
+
 val cleanup_passes : Pass.t list
 (** canonicalize, cse, licm, dce — the shared MLIR-community-style passes
     run after every lowering. *)

@@ -6,41 +6,82 @@
    the condition variable — so N concurrent requests for one key cost
    exactly one computation.  Failed computations are published as [Failed]
    (compilation is deterministic: retrying would fail identically) and the
-   exception is re-raised to every requester. *)
+   exception is re-raised to every requester.
+
+   Completed entries live on a recency ring (a sentinel-linked circular
+   doubly-linked list, least recently used first) with a mirror table
+   from key to ring node, so insert, touch and evict are all O(1) and the
+   entry count is a plain integer — the earlier list-based order was
+   O(n) per insert and O(n²) per eviction sweep, all under the lock. *)
 
 type 'a entry = Pending | Ready of 'a | Failed of exn
 
+type eviction = Fifo | Lru | Cost_weighted
+
+let eviction_name = function
+  | Fifo -> "fifo"
+  | Lru -> "lru"
+  | Cost_weighted -> "cost"
+
+let eviction_of_string = function
+  | "fifo" -> Some Fifo
+  | "lru" -> Some Lru
+  | "cost" | "cost-weighted" -> Some Cost_weighted
+  | _ -> None
+
+(* Ring node for one completed key.  [cost_s] is the measured compute
+   time, the recompute price the cost-weighted policy protects. *)
+type node = {
+  nkey : string;
+  mutable cost_s : float;
+  mutable prev : node;
+  mutable next : node;
+}
+
 type 'a t = {
   cache_name : string;
-  capacity : int option;
+  mutable capacity : int option;
+  mutable eviction : eviction;
   lock : Mutex.t;
   changed : Condition.t;
   table : (string, 'a entry) Hashtbl.t;
-  mutable order : string list;  (* completed keys, oldest first *)
+  nodes : (string, node) Hashtbl.t;  (* completed keys -> ring node *)
+  ring : node;  (* sentinel: [ring.next] is the LRU end, [ring.prev] the MRU *)
+  mutable count : int;  (* completed entries (= ring length), O(1) *)
   mutable hits : int;
   mutable misses : int;
+  mutable failed_hits : int;
   mutable failures : int;
+  mutable evictions : int;
   mutable compute_s : float;
 }
 
 type stats = {
   hits : int;
   misses : int;
+  failed_hits : int;
   failures : int;
+  evictions : int;
   compute_s : float;
 }
 
-let create ?capacity cache_name =
+let create ?capacity ?(eviction = Lru) cache_name =
+  let rec ring = { nkey = ""; cost_s = 0.; prev = ring; next = ring } in
   {
     cache_name;
     capacity;
+    eviction;
     lock = Mutex.create ();
     changed = Condition.create ();
     table = Hashtbl.create 64;
-    order = [];
+    nodes = Hashtbl.create 64;
+    ring;
+    count = 0;
     hits = 0;
     misses = 0;
+    failed_hits = 0;
     failures = 0;
+    evictions = 0;
     compute_s = 0.;
   }
 
@@ -50,19 +91,89 @@ let locked c f =
   Mutex.lock c.lock;
   Fun.protect ~finally: (fun () -> Mutex.unlock c.lock) f
 
-(* Must hold the lock.  Evict oldest completed entries over capacity;
-   Pending entries are not in [order] and are never evicted. *)
+(* ---------- recency ring (all under the lock) ---------- *)
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
+
+let push_mru c n =
+  n.prev <- c.ring.prev;
+  n.next <- c.ring;
+  c.ring.prev.next <- n;
+  c.ring.prev <- n
+
+(* A completed key finished (re)computing: put it at the MRU end. *)
+let record_completed c key cost_s =
+  match Hashtbl.find_opt c.nodes key with
+  | Some n ->
+      n.cost_s <- cost_s;
+      unlink n;
+      push_mru c n
+  | None ->
+      let rec n = { nkey = key; cost_s; prev = n; next = n } in
+      Hashtbl.replace c.nodes key n;
+      push_mru c n;
+      c.count <- c.count + 1
+
+(* A hit under Lru/Cost_weighted refreshes recency; Fifo ignores use. *)
+let touch c key =
+  match c.eviction with
+  | Fifo -> ()
+  | Lru | Cost_weighted -> (
+      match Hashtbl.find_opt c.nodes key with
+      | Some n ->
+          unlink n;
+          push_mru c n
+      | None -> ())
+
+(* Cost_weighted samples this many nodes from the LRU end and evicts the
+   cheapest to recompute among them: recency bounds the scan (O(1)), the
+   recorded compute price picks the victim inside the window. *)
+let cost_sample = 8
+
+let victim c =
+  match c.eviction with
+  | Fifo | Lru -> c.ring.next
+  | Cost_weighted ->
+      (* Never pick the MRU node: it is the entry whose insertion (or
+         refresh) triggered this eviction, and sacrificing the newcomer
+         for being cheap would bounce every new key straight out.  Over
+         capacity means count >= 2, so the LRU end is a valid start. *)
+      let newest = c.ring.prev in
+      let rec scan best n i =
+        if i = 0 || n == c.ring then best
+        else
+          scan
+            (if n != newest && n.cost_s < best.cost_s then n else best)
+            n.next (i - 1)
+      in
+      scan c.ring.next c.ring.next.next (cost_sample - 1)
+
+(* Must hold the lock.  Pending entries have no ring node and are never
+   evicted. *)
 let evict_over_capacity c =
   match c.capacity with
   | None -> ()
   | Some cap ->
-      while List.length c.order > cap do
-        match c.order with
-        | oldest :: rest ->
-            Hashtbl.remove c.table oldest;
-            c.order <- rest
-        | [] -> ()
+      while c.count > cap && c.ring.next != c.ring do
+        let v = victim c in
+        unlink v;
+        Hashtbl.remove c.nodes v.nkey;
+        Hashtbl.remove c.table v.nkey;
+        c.count <- c.count - 1;
+        c.evictions <- c.evictions + 1
       done
+
+let set_policy ?capacity ?eviction c =
+  locked c (fun () ->
+      (match capacity with
+      | Some cap -> c.capacity <- if cap <= 0 then None else Some cap
+      | None -> ());
+      (match eviction with Some e -> c.eviction <- e | None -> ());
+      evict_over_capacity c)
 
 let emit_counters c =
   if Obs.Trace.enabled () then begin
@@ -77,14 +188,19 @@ let find_or_compute c ~key compute =
           match Hashtbl.find_opt c.table key with
           | Some (Ready v) ->
               c.hits <- c.hits + 1;
+              touch c key;
               `Use (Ready v, `Hit)
           | Some (Failed e) ->
-              c.hits <- c.hits + 1;
+              (* A lookup that lands on a cached failure is NOT a healthy
+                 hit: count it apart so a server hammered with a broken
+                 module cannot report a clean hit rate. *)
+              c.failed_hits <- c.failed_hits + 1;
+              touch c key;
               `Use (Failed e, `Hit)
           | Some Pending ->
               (* Join the in-flight computation: wait until its owner
                  publishes, then re-decide — we land on Ready/Failed and
-                 count as a hit (no new computation was needed). *)
+                 count accordingly (no new computation was needed). *)
               Condition.wait c.changed c.lock;
               decide ()
           | None ->
@@ -112,7 +228,7 @@ let find_or_compute c ~key compute =
           | Failed _ -> c.failures <- c.failures + 1
           | _ -> ());
           Hashtbl.replace c.table key outcome;
-          c.order <- c.order @ [ key ];
+          record_completed c key dt;
           evict_over_capacity c;
           Condition.broadcast c.changed);
       (match outcome with
@@ -125,15 +241,20 @@ let stats c =
       {
         hits = c.hits;
         misses = c.misses;
+        failed_hits = c.failed_hits;
         failures = c.failures;
+        evictions = c.evictions;
         compute_s = c.compute_s;
       })
 
-let length c = locked c (fun () -> List.length c.order)
+let length c = locked c (fun () -> c.count)
 
 let clear c =
   locked c (fun () ->
       (* Drop completed entries only: a Pending entry's owner will publish
          into the table when it finishes, and must find its slot intact. *)
-      List.iter (Hashtbl.remove c.table) c.order;
-      c.order <- [])
+      Hashtbl.iter (fun key _ -> Hashtbl.remove c.table key) c.nodes;
+      Hashtbl.reset c.nodes;
+      c.ring.prev <- c.ring;
+      c.ring.next <- c.ring;
+      c.count <- 0)

@@ -2,22 +2,45 @@
     requests for the same key block until the single in-flight computation
     finishes, so a value is computed exactly once no matter how many
     domains ask for it at the same time.  Failures are cached too (the
-    computation is deterministic) and re-raised to every requester. *)
+    computation is deterministic) and re-raised to every requester.
+
+    Completed entries sit on an O(1) recency structure; over-capacity
+    caches evict by policy ({!eviction}) in O(1) per eviction. *)
 
 type 'a t
 
+type eviction =
+  | Fifo  (** insertion order; a hit does not refresh an entry *)
+  | Lru  (** least recently used first; hits refresh recency *)
+  | Cost_weighted
+      (** cheapest-to-recompute first among a small window at the LRU
+          end, using each entry's measured compute seconds: recency
+          bounds the scan, recompute price picks the victim *)
+
+val eviction_name : eviction -> string
+val eviction_of_string : string -> eviction option
+
 type stats = {
   hits : int;  (** requests answered from a {!Ready} entry *)
-  misses : int;  (** requests that started (or joined) a computation *)
+  misses : int;  (** requests that started a computation *)
+  failed_hits : int;
+      (** requests answered from a cached {e failure} — kept apart from
+          [hits] so repeated lookups of a broken key cannot masquerade as
+          a healthy hit rate *)
   failures : int;  (** computations that raised *)
+  evictions : int;  (** entries dropped by capacity pressure *)
   compute_s : float;  (** total seconds spent inside computations *)
 }
 
-val create : ?capacity:int -> string -> 'a t
+val create : ?capacity:int -> ?eviction:eviction -> string -> 'a t
 (** A named cache (the name prefixes its Obs counters).  [capacity] bounds
-    the number of retained entries; the oldest completed entries are
-    evicted first (in-flight entries are never evicted).  Unbounded by
-    default. *)
+    the number of retained entries (unbounded by default); over capacity,
+    completed entries are evicted by [eviction] (default {!Lru}; in-flight
+    entries are never evicted). *)
+
+val set_policy : ?capacity:int -> ?eviction:eviction -> 'a t -> unit
+(** Change capacity (<= 0 means unbounded) and/or eviction policy of a
+    live cache; evicts immediately if the new capacity is exceeded. *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * [ `Hit | `Miss ]
 (** The cached value for [key], computing it with the thunk on first
@@ -27,6 +50,8 @@ val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * [ `Hit | `Miss 
 
 val stats : 'a t -> stats
 val length : 'a t -> int
+(** Number of completed resident entries; O(1). *)
+
 val clear : 'a t -> unit
 (** Drop all completed entries.  Counters keep accumulating (measure with
     {!stats} deltas); in-flight computations are left to finish and

@@ -1,17 +1,26 @@
 (* Newline-delimited compile/run protocol over channels.  One request per
    line, one response line per request ("ok key=value ..." or
    "error <message>"); the artifact cache does the heavy lifting, so a
-   warm server answers compile requests without recompiling. *)
+   warm server answers compile requests without recompiling.
+
+   Framing rule: an [ir=<nbytes>] payload is consumed from the channel
+   BEFORE any validation of the rest of the request.  Draining first is
+   what keeps the stream in sync — if validation rejected the request
+   while the payload was still unread, the loop would parse those bytes
+   as the next request and desynchronize every later exchange. *)
 
 type run_handler =
   Ir.Op.t -> Artifact.t -> ranks:int -> substrate:string -> (string * string) list
 
+type compile_scheduler = (unit -> Artifact.t) -> Artifact.t * float
+
 type handlers = {
   resolve_demo : string -> Ir.Op.t option;
   run : run_handler option;
+  scheduler : compile_scheduler option;
 }
 
-let default_handlers = { resolve_demo = (fun _ -> None); run = None }
+let default_handlers = { resolve_demo = (fun _ -> None); run = None; scheduler = None }
 
 (* ---------- request parsing ---------- *)
 
@@ -84,9 +93,21 @@ let target_of_params params : Core.Pipeline.target =
            "unknown target %S (available: cpu-sequential, cpu-openmp, \
             distributed-cpu)" t)
 
-(* The module spec: demo=<name> | file=<path> | ir=<nbytes> (payload read
-   from the request channel). *)
-let module_of_params handlers ic params : Ir.Op.t =
+(* Drain a declared [ir=<nbytes>] payload unconditionally, before the
+   request is validated in any way (see the framing rule above).  A
+   non-numeric byte count is the one unrecoverable case: there is no
+   trustworthy length to drain, so the error answer is all we can do. *)
+let read_ir_payload ic params : string option =
+  match lookup params "ir" with
+  | None -> None
+  | Some nbytes -> (
+      match int_of_string_opt nbytes with
+      | Some n when n >= 0 -> Some (really_input_string ic n)
+      | _ -> failwith (Printf.sprintf "ir=%S is not a byte count" nbytes))
+
+(* The module spec: demo=<name> | file=<path> | ir=<nbytes> (payload
+   already drained from the request channel by [read_ir_payload]). *)
+let module_of_params handlers ~payload params : Ir.Op.t =
   match (lookup params "demo", lookup params "file", lookup params "ir") with
   | Some name, None, None -> (
       match handlers.resolve_demo name with
@@ -98,13 +119,12 @@ let module_of_params handlers ic params : Ir.Op.t =
       with e ->
         failwith
           (Printf.sprintf "parse error in %S: %s" path (Printexc.to_string e)))
-  | None, None, Some nbytes -> (
-      let n =
-        match int_of_string_opt nbytes with
-        | Some n when n >= 0 -> n
-        | _ -> failwith (Printf.sprintf "ir=%S is not a byte count" nbytes)
+  | None, None, Some _ -> (
+      let buf =
+        match payload with
+        | Some buf -> buf
+        | None -> failwith "internal error: ir payload was not drained"
       in
-      let buf = really_input_string ic n in
       try Ir.Parser.parse_string buf
       with e ->
         failwith (Printf.sprintf "parse error: %s" (Printexc.to_string e)))
@@ -114,26 +134,40 @@ let module_of_params handlers ic params : Ir.Op.t =
 
 (* ---------- request handling ---------- *)
 
-let compile_artifact handlers ic params =
-  let m = module_of_params handlers ic params in
+let compile_artifact handlers ~payload params =
+  let m = module_of_params handlers ~payload params in
   let target = target_of_params params in
   let executor =
     Interp.Executor.of_name
       (Option.value (lookup params "exec") ~default: "compiled")
   in
-  let art, flag = Artifact.get_cached ~executor ~target m in
-  (m, art, flag)
+  let queue_s = ref 0. in
+  let schedule =
+    Option.map
+      (fun sch thunk ->
+        let art, q = sch thunk in
+        queue_s := q;
+        art)
+      handlers.scheduler
+  in
+  let art, flag = Artifact.get_cached ~executor ~target ?schedule m in
+  (m, art, flag, !queue_s)
 
-let artifact_kvs (art : Artifact.t) flag =
+let artifact_kvs (art : Artifact.t) flag ~queue_s =
   [
     ("digest", art.Artifact.digest);
-    ("cached", (match flag with `Hit -> "hit" | `Miss -> "miss"));
+    ( "cached",
+      match flag with `Hit -> "hit" | `Miss -> "miss" | `Store -> "store" );
     ("compile_ms", Printf.sprintf "%.3f" (art.Artifact.compile_s *. 1000.));
+    ("queue_ms", Printf.sprintf "%.3f" (queue_s *. 1000.));
     ("exec", art.Artifact.executor_name);
   ]
 
 let handle_request handlers ic line : (string * string) list =
   let cmd, params = parse_request line in
+  (* Drain any declared payload before validating anything, even for
+     commands that do not use it — framing first, semantics second. *)
+  let payload = read_ir_payload ic params in
   match cmd with
   | "ping" -> [ ("pong", "") ]
   | "stats" ->
@@ -141,18 +175,22 @@ let handle_request handlers ic line : (string * string) list =
       [
         ("hits", string_of_int s.Cache.hits);
         ("misses", string_of_int s.Cache.misses);
+        ("failed_hits", string_of_int s.Cache.failed_hits);
         ("failures", string_of_int s.Cache.failures);
+        ("evictions", string_of_int s.Cache.evictions);
         ("entries", string_of_int (Artifact.cache_length ()));
         ("compile_s", Printf.sprintf "%.6f" s.Cache.compute_s);
       ]
   | "compile" ->
-      let _, art, flag = compile_artifact handlers ic params in
-      artifact_kvs art flag
+      let _, art, flag, queue_s = compile_artifact handlers ~payload params in
+      artifact_kvs art flag ~queue_s
   | "run" -> (
       match handlers.run with
       | None -> failwith "run requests not supported by this server"
       | Some run ->
-          let m, art, flag = compile_artifact handlers ic params in
+          let m, art, flag, queue_s =
+            compile_artifact handlers ~payload params
+          in
           let ranks =
             match art.Artifact.target with
             | Core.Pipeline.Distributed_cpu { ranks; _ } -> ranks
@@ -163,7 +201,7 @@ let handle_request handlers ic line : (string * string) list =
             | ("sim" | "par") as s -> s
             | s -> failwith (Printf.sprintf "unknown substrate %S" s)
           in
-          artifact_kvs art flag @ run m art ~ranks ~substrate)
+          artifact_kvs art flag ~queue_s @ run m art ~ranks ~substrate)
   | "" -> []
   | c -> failwith (Printf.sprintf "unknown command %S" c)
 
@@ -177,17 +215,24 @@ let respond oc kvs =
   output_string oc (String.concat " " ("ok" :: words) ^ "\n");
   flush oc
 
-let serve ?(handlers = default_handlers) (ic : in_channel)
-    (oc : out_channel) : unit =
+let serve_connection ?(handlers = default_handlers) (ic : in_channel)
+    (oc : out_channel) : [ `Eof | `Quit | `Shutdown ] =
   let rec loop () =
     match In_channel.input_line ic with
-    | None -> ()
+    | None -> `Eof
     | Some line ->
         let line = String.trim line in
         if line = "" || String.length line > 0 && line.[0] = '#' then loop ()
-        else if line = "quit" then begin
-          output_string oc "ok bye\n";
-          flush oc
+        else if line = "quit" || line = "shutdown" then begin
+          (* Best effort: a client that closes without reading the
+             farewell must not turn the disposition into an exception —
+             a shutdown request has to reach the accept loop even if
+             the requester is already gone. *)
+          (try
+             output_string oc "ok bye\n";
+             flush oc
+           with Sys_error _ -> ());
+          if line = "quit" then `Quit else `Shutdown
         end
         else begin
           (match handle_request handlers ic line with
@@ -202,3 +247,6 @@ let serve ?(handlers = default_handlers) (ic : in_channel)
         end
   in
   loop ()
+
+let serve ?handlers (ic : in_channel) (oc : out_channel) : unit =
+  ignore (serve_connection ?handlers ic oc)

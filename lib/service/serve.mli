@@ -6,17 +6,27 @@
     Requests are single lines [cmd key=value ...]:
 
     - [ping] → [ok pong]
-    - [stats] → [ok hits=... misses=... entries=... compile_s=...]
-    - [compile <module> <target>] → [ok digest=<hex> cached=hit|miss
-      compile_ms=<ms> exec=<name>]
+    - [stats] → [ok hits=... misses=... failed_hits=... failures=...
+      evictions=... entries=... compile_s=...]
+    - [compile <module> <target>] → [ok digest=<hex>
+      cached=hit|miss|store compile_ms=<ms> queue_ms=<ms> exec=<name>]
+      ([cached=store] means the artifact was restored from the on-disk
+      store, skipping the pass pipeline; [queue_ms] is time spent queued
+      behind the batching scheduler before the compile started, 0 when
+      answered directly)
     - [run <module> <target> substrate=sim|par] → compile (cached) then
       execute via the installed run handler; its key/value results are
       appended to the [ok] line
-    - [quit] → [ok bye], and the server loop returns
+    - [quit] → [ok bye], and this connection's loop returns
+    - [shutdown] → [ok bye]; additionally asks the enclosing socket
+      server (if any) to stop accepting connections
 
     Module spec (exactly one): [demo=<name>] (resolved by the injected
     demo resolver), [file=<path>] (textual IR on disk), or [ir=<nbytes>]
     (that many bytes of textual IR follow the request line verbatim).
+    A declared [ir=] payload is always drained from the channel before
+    the request is validated, so a malformed request cannot leave its
+    payload behind to be misparsed as the next request.
     Target spec: [target=<cpu-sequential|cpu-openmp|distributed-cpu>]
     (default distributed-cpu) with [ranks=<n>] (default 4),
     [strategy=<slice1d|slice2d|slice3d>] (default slice2d),
@@ -32,21 +42,36 @@ type run_handler =
     by the CLI so the service library stays below the driver in the
     dependency order. *)
 
+type compile_scheduler = (unit -> Artifact.t) -> Artifact.t * float
+(** Runs (or enqueues) one cold compile and returns the artifact plus the
+    seconds it spent queued before the compile started.  The socket
+    server installs its batching scheduler here; [None] compiles inline
+    with zero queue time. *)
+
 type handlers = {
   resolve_demo : string -> Ir.Op.t option;
       (** named built-in programs ([demo=heat2d], ...) *)
   run : run_handler option;  (** [None] rejects [run] requests *)
+  scheduler : compile_scheduler option;
+      (** cold-compile scheduler; [None] compiles inline *)
 }
 
 val default_handlers : handlers
-(** No demos, no run handler: a pure compile server. *)
+(** No demos, no run handler, inline compiles: a pure compile server. *)
 
 val handle_request :
   handlers -> in_channel -> string -> (string * string) list
-(** Process one request line (reading any [ir=<nbytes>] payload from the
-    channel) and return response key/values; raises on malformed or
-    failing requests.  Exposed for tests. *)
+(** Process one request line (draining any [ir=<nbytes>] payload from the
+    channel before validation) and return response key/values; raises on
+    malformed or failing requests.  Exposed for tests. *)
+
+val serve_connection :
+  ?handlers:handlers -> in_channel -> out_channel -> [ `Eof | `Quit | `Shutdown ]
+(** Serve requests from one connection until EOF, [quit] or [shutdown],
+    writing one response line per request, and report which of the three
+    ended the loop (the socket server turns [`Shutdown] into a full
+    daemon stop). *)
 
 val serve : ?handlers:handlers -> in_channel -> out_channel -> unit
-(** Serve requests from the input channel until [quit] or EOF, writing
-    one response line per request. *)
+(** {!serve_connection}, discarding the disposition — the stdin/stdout
+    single-client mode, where [quit] and [shutdown] are equivalent. *)

@@ -1,0 +1,238 @@
+(* The hardened daemon behind [stencilc --serve --socket/--tcp]: a
+   Unix-domain (or loopback TCP) listener accepting multiple concurrent
+   client connections, each served by its own domain running the same
+   line protocol as the stdin/stdout mode ([Serve.serve_connection])
+   against the process-wide artifact cache — which already guarantees
+   compile-exactly-once under contention (promise-per-key).
+
+   Cold compiles from all connections are coalesced by a batching
+   scheduler: connection domains enqueue the compile thunk and block;
+   one worker domain drains everything queued at that moment as a single
+   batch (one traced invocation), so simultaneous requests for distinct
+   digests share one pipeline activation instead of racing N pipelines,
+   and every response reports how long the request sat queued
+   ([queue_ms]) apart from how long it compiled ([compile_ms]). *)
+
+type endpoint = Unix_path of string | Tcp_port of int
+
+let endpoint_name = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp_port p -> Printf.sprintf "tcp:127.0.0.1:%d" p
+
+(* ---------- the compile batcher ---------- *)
+
+module Batch = struct
+  type job = {
+    work : unit -> Artifact.t;
+    enqueued : float;
+    mutable started : float;
+    mutable outcome : (Artifact.t, exn) result option;
+  }
+
+  type t = {
+    lock : Mutex.t;
+    nonempty : Condition.t;  (* queue went non-empty (or stop) *)
+    finished : Condition.t;  (* some job published its outcome *)
+    mutable queue : job list;  (* newest first *)
+    mutable stopped : bool;
+    mutable batches : int;
+    mutable jobs : int;
+    mutable worker : unit Domain.t option;
+  }
+
+  let rec worker_loop t =
+    Mutex.lock t.lock;
+    while t.queue = [] && not t.stopped do
+      Condition.wait t.nonempty t.lock
+    done;
+    let batch = List.rev t.queue in
+    t.queue <- [];
+    let stop_after = t.stopped && batch = [] in
+    if batch <> [] then begin
+      t.batches <- t.batches + 1;
+      t.jobs <- t.jobs + List.length batch
+    end;
+    Mutex.unlock t.lock;
+    if stop_after then ()
+    else begin
+      let run_batch () =
+        List.iter
+          (fun job ->
+            job.started <- Unix.gettimeofday ();
+            let outcome =
+              match job.work () with
+              | art -> Ok art
+              | exception e -> Error e
+            in
+            Mutex.lock t.lock;
+            job.outcome <- Some outcome;
+            Condition.broadcast t.finished;
+            Mutex.unlock t.lock)
+          batch
+      in
+      (match batch with
+      | [ _ ] -> run_batch ()
+      | _ ->
+          Obs.Trace.with_span ~cat: "service"
+            (Printf.sprintf "compile-batch[n=%d]" (List.length batch))
+            run_batch);
+      worker_loop t
+    end
+
+  let create () =
+    let t =
+      {
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        finished = Condition.create ();
+        queue = [];
+        stopped = false;
+        batches = 0;
+        jobs = 0;
+        worker = None;
+      }
+    in
+    t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
+    t
+
+  (* Enqueue one cold compile and block until the worker publishes its
+     outcome; returns the artifact and the seconds spent queued.  After
+     [stop], falls back to compiling inline so late requests still
+     succeed. *)
+  let schedule t (work : unit -> Artifact.t) : Artifact.t * float =
+    let job =
+      { work; enqueued = Unix.gettimeofday (); started = 0.; outcome = None }
+    in
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      (work (), 0.)
+    end
+    else begin
+      t.queue <- job :: t.queue;
+      Condition.signal t.nonempty;
+      while job.outcome = None do
+        Condition.wait t.finished t.lock
+      done;
+      Mutex.unlock t.lock;
+      let queue_s = Float.max 0. (job.started -. job.enqueued) in
+      match job.outcome with
+      | Some (Ok art) -> (art, queue_s)
+      | Some (Error e) -> raise e
+      | None -> assert false
+    end
+
+  let stop t =
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    match t.worker with
+    | Some d ->
+        t.worker <- None;
+        Domain.join d
+    | None -> ()
+
+  let counts t =
+    Mutex.lock t.lock;
+    let r = (t.batches, t.jobs) in
+    Mutex.unlock t.lock;
+    r
+end
+
+(* ---------- the listener ---------- *)
+
+let sockaddr_of = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp_port port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let listen_fd endpoint =
+  let addr = sockaddr_of endpoint in
+  let fd =
+    Unix.socket ~cloexec: true (Unix.domain_of_sockaddr addr)
+      Unix.SOCK_STREAM 0
+  in
+  (match endpoint with
+  | Unix_path path ->
+      (* A stale socket file from a dead daemon would make bind fail. *)
+      if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ())
+  | Tcp_port _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  let cleanup () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match endpoint with
+    | Unix_path path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp_port _ -> ()
+  in
+  (fd, addr, cleanup)
+
+type stats = { connections : int; batches : int; batched_jobs : int }
+
+let run ?(handlers = Serve.default_handlers) ?(max_clients = 8) ?on_ready
+    (endpoint : endpoint) : stats =
+  (* A client that disconnects mid-response must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd, addr, cleanup = listen_fd endpoint in
+  let batcher = Batch.create () in
+  let handlers =
+    { handlers with Serve.scheduler = Some (Batch.schedule batcher) }
+  in
+  let stop = Atomic.make false in
+  (* Unblock the blocking [accept] from a handler domain that just saw a
+     [shutdown] request: a throwaway self-connection. *)
+  let wake () =
+    match
+      let s =
+        Unix.socket ~cloexec: true (Unix.domain_of_sockaddr addr)
+          Unix.SOCK_STREAM 0
+      in
+      Unix.connect s addr;
+      s
+    with
+    | s -> ( try Unix.close s with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let workers = Queue.create () in
+  let connections = ref 0 in
+  Option.iter (fun f -> f ()) on_ready;
+  let rec accept_loop () =
+    if Atomic.get stop then ()
+    else
+      match Unix.accept ~cloexec: true fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+      | conn, _ ->
+          if Atomic.get stop then (
+            (try Unix.close conn with Unix.Unix_error _ -> ()))
+          else begin
+            incr connections;
+            (* Bound live domains: join the oldest before admitting more.
+               Joining the head can wait on one slow client, which is the
+               deliberate backpressure for a compile daemon. *)
+            if Queue.length workers >= max_clients then
+              Domain.join (Queue.pop workers);
+            let d =
+              Domain.spawn (fun () ->
+                  let ic = Unix.in_channel_of_descr conn in
+                  let oc = Unix.out_channel_of_descr conn in
+                  (match Serve.serve_connection ~handlers ic oc with
+                  | `Shutdown ->
+                      Atomic.set stop true;
+                      wake ()
+                  | `Quit | `Eof -> ()
+                  | exception _ -> ());
+                  (try flush oc with Sys_error _ -> ());
+                  try Unix.close conn with Unix.Unix_error _ -> ())
+            in
+            Queue.push d workers;
+            accept_loop ()
+          end
+  in
+  accept_loop ();
+  Queue.iter Domain.join workers;
+  Queue.clear workers;
+  Batch.stop batcher;
+  cleanup ();
+  let batches, batched_jobs = Batch.counts batcher in
+  { connections = !connections; batches; batched_jobs }

@@ -1,0 +1,39 @@
+(** Multi-client socket front end for the compile service: a Unix-domain
+    (or loopback TCP) listener where every accepted connection runs the
+    {!Serve} line protocol in its own domain against the process-wide
+    {!Artifact} cache.  The cache's promise-per-key semantics already
+    guarantee each distinct digest compiles exactly once no matter how
+    many clients race; on top of that, cold compiles from all connections
+    are coalesced by a batching scheduler (one worker domain drains
+    everything queued at that moment as one traced batch), and each
+    response reports its queue latency ([queue_ms]) separately from its
+    compile latency ([compile_ms]). *)
+
+type endpoint =
+  | Unix_path of string
+      (** Unix-domain socket at this path; a stale socket file from a
+          dead daemon is replaced, and the file is removed on exit *)
+  | Tcp_port of int  (** loopback (127.0.0.1) TCP on this port *)
+
+val endpoint_name : endpoint -> string
+
+type stats = {
+  connections : int;  (** connections accepted over the daemon's life *)
+  batches : int;  (** batched compile invocations the worker ran *)
+  batched_jobs : int;  (** cold compiles that went through the batcher *)
+}
+
+val run :
+  ?handlers:Serve.handlers ->
+  ?max_clients:int ->
+  ?on_ready:(unit -> unit) ->
+  endpoint ->
+  stats
+(** Serve until some client sends [shutdown].  Blocking: returns only
+    after the listener closed, every connection domain joined and the
+    batch worker stopped.  [handlers] supplies demo resolution and the
+    run handler exactly as for {!Serve.serve} (its [scheduler] field is
+    replaced by the batcher); [max_clients] bounds concurrently live
+    connection domains (default 8) — further clients queue in the
+    listen backlog; [on_ready] fires once the socket is listening
+    (tests use it to know when to connect). *)

@@ -1,0 +1,177 @@
+(* The on-disk artifact store: one file per digest holding everything a
+   restarted daemon needs to skip the pass pipeline — the canonical source
+   rendering (for integrity re-hashing), the fully lowered module text,
+   and the metadata that keyed the compilation.  Pure I/O: digests are
+   validated by the caller (Artifact), which owns the hash recipe.
+
+   File format (length-framed, so module text needs no quoting):
+
+     stencilc-artifact v2
+     digest <hex>
+     executor <name>
+     target <fingerprint>
+     compile_s <float>
+     abi <runtime tag>
+     canonical <nbytes>
+     <nbytes of canonical IR>
+     lowered <nbytes>
+     <nbytes of lowered-module text>
+     lowered_bin <nbytes>
+     <nbytes of marshaled lowered module, possibly 0>
+
+   The [lowered_bin] segment is a restore fast path: unmarshaling the
+   lowered module is several times cheaper than re-parsing its text, and
+   restore latency is the store's whole point.  Marshal bytes are only
+   meaningful to the runtime that wrote them, so the segment is keyed by
+   the [abi] header — a loader whose own tag differs drops the bytes
+   (returns [p_lowered_bin = None]) and the caller re-parses the text,
+   which is always present and always authoritative.
+
+   Writes are atomic (temp file + rename), so a crashed or concurrent
+   writer can never leave a half-written artifact behind; unreadable or
+   malformed files (including v1 files from before the fast path) load
+   as [None] and the caller falls back to a full compile. *)
+
+type persisted = {
+  p_digest : string;
+  p_executor : string;
+  p_target : string;  (* Core.Pipeline.target_fingerprint rendering *)
+  p_compile_s : float;  (* the original cold-compile seconds *)
+  p_canonical : string;
+  p_lowered : string;
+  p_lowered_bin : string option;  (* Marshal bytes, same-ABI loads only *)
+}
+
+(* Marshal bytes survive on disk across rebuilds, but only the writing
+   runtime can trust them: the tag pins the OCaml version and the store
+   schema generation (bump [schema] whenever the marshaled type's layout
+   changes). *)
+let schema = 1
+let abi_tag = Printf.sprintf "ocaml-%s/schema-%d" Sys.ocaml_version schema
+
+type t = { dir : string }
+
+let dir t = t.dir
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create dir =
+  mkdir_p dir;
+  { dir }
+
+let suffix = ".art"
+let path t digest = Filename.concat t.dir (digest ^ suffix)
+
+(* Digests are hex Digest.t strings; refuse anything else so a hostile
+   request can never be turned into a path escape. *)
+let valid_digest d =
+  String.length d = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       d
+
+let save t (p : persisted) =
+  if not (valid_digest p.p_digest) then
+    invalid_arg ("Store.save: not a digest: " ^ p.p_digest);
+  let final = path t p.p_digest in
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".%s.%d.tmp" p.p_digest (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally: (fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "stencilc-artifact v2\n";
+      Printf.fprintf oc "digest %s\n" p.p_digest;
+      Printf.fprintf oc "executor %s\n" p.p_executor;
+      Printf.fprintf oc "target %s\n" p.p_target;
+      Printf.fprintf oc "compile_s %.9e\n" p.p_compile_s;
+      Printf.fprintf oc "abi %s\n" abi_tag;
+      Printf.fprintf oc "canonical %d\n" (String.length p.p_canonical);
+      output_string oc p.p_canonical;
+      Printf.fprintf oc "lowered %d\n" (String.length p.p_lowered);
+      output_string oc p.p_lowered;
+      let bin = Option.value p.p_lowered_bin ~default: "" in
+      Printf.fprintf oc "lowered_bin %d\n" (String.length bin);
+      output_string oc bin);
+  Sys.rename tmp final
+
+(* One "<keyword> <value>" header line; [None] on any mismatch. *)
+let header_value ic keyword =
+  match In_channel.input_line ic with
+  | None -> None
+  | Some line ->
+      let prefix = keyword ^ " " in
+      let np = String.length prefix in
+      if String.length line > np && String.sub line 0 np = prefix then
+        Some (String.sub line np (String.length line - np))
+      else None
+
+let load t ~digest : persisted option =
+  if not (valid_digest digest) then None
+  else
+    let file = path t digest in
+    if not (Sys.file_exists file) then None
+    else
+      let parse ic =
+        let ( let* ) = Option.bind in
+        let* magic = In_channel.input_line ic in
+        if magic <> "stencilc-artifact v2" then None
+        else
+          let* p_digest = header_value ic "digest" in
+          let* p_executor = header_value ic "executor" in
+          let* p_target = header_value ic "target" in
+          let* compile_s = header_value ic "compile_s" in
+          let* p_compile_s = float_of_string_opt compile_s in
+          let* abi = header_value ic "abi" in
+          let segment keyword =
+            let* n = header_value ic keyword in
+            let* n = int_of_string_opt n in
+            if n < 0 then None
+            else
+              match really_input_string ic n with
+              | s -> Some s
+              | exception End_of_file -> None
+          in
+          let* p_canonical = segment "canonical" in
+          let* p_lowered = segment "lowered" in
+          let* bin = segment "lowered_bin" in
+          if p_digest <> digest then None
+          else
+            Some
+              {
+                p_digest;
+                p_executor;
+                p_target;
+                p_compile_s;
+                p_canonical;
+                p_lowered;
+                (* Foreign-runtime marshal bytes are dropped, not an
+                   error: the text is always there to re-parse. *)
+                p_lowered_bin =
+                  (if abi = abi_tag && bin <> "" then Some bin else None);
+              }
+      in
+      (try In_channel.with_open_bin file parse with Sys_error _ -> None)
+
+let list t : string list =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f suffix then
+               let d = Filename.chop_suffix f suffix in
+               if valid_digest d then Some d else None
+             else None)
+      |> List.sort String.compare
+
+let remove t ~digest =
+  if valid_digest digest then
+    try Sys.remove (path t digest) with Sys_error _ -> ()

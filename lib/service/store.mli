@@ -1,0 +1,41 @@
+(** Digest-keyed on-disk artifact store: persists the canonical source
+    rendering, the fully lowered module text and the compile metadata of
+    each artifact, so a restarted daemon can skip the pass pipeline and
+    re-run only the executor's [compile] step.  One atomic file per digest
+    ([<dir>/<digest>.art], temp-file + rename); corrupt or truncated files
+    load as [None].  Pure I/O — {!Artifact} owns the digest recipe and
+    validates integrity on load. *)
+
+type persisted = {
+  p_digest : string;  (** hex content hash, also the filename stem *)
+  p_executor : string;  (** executor name the artifact was compiled for *)
+  p_target : string;  (** [Core.Pipeline.target_fingerprint] rendering *)
+  p_compile_s : float;  (** the original cold-compile seconds *)
+  p_canonical : string;  (** canonical rendering of the source module *)
+  p_lowered : string;  (** textual rendering of the lowered module *)
+  p_lowered_bin : string option;
+      (** marshaled lowered module — a restore fast path that skips
+          re-parsing [p_lowered].  Only surfaced when the file was
+          written by the same runtime (ABI tag match); absent otherwise,
+          and the text is always authoritative. *)
+}
+
+type t
+
+val create : string -> t
+(** Open (creating directories as needed) the store rooted at a path. *)
+
+val dir : t -> string
+
+val save : t -> persisted -> unit
+(** Persist one artifact atomically; raises [Invalid_argument] on a
+    malformed digest and [Sys_error] on I/O failure. *)
+
+val load : t -> digest:string -> persisted option
+(** The persisted artifact for a digest, or [None] when absent, corrupt,
+    or mislabeled (stored digest must equal the requested one). *)
+
+val list : t -> string list
+(** All digests present, sorted. *)
+
+val remove : t -> digest:string -> unit

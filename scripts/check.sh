@@ -55,6 +55,71 @@ case "$serve_out" in
   *"max_diff=0"*) ;;
   *) echo "check.sh: --serve run diverged from serial" >&2; exit 1 ;;
 esac
+# Framing regression: a malformed request that declares an ir= payload
+# must drain exactly those bytes — the following ping must still answer
+# pong instead of the payload being parsed as commands.
+desync_out="$(printf 'compile ir=5 demo=heat2d ranks=2\nhelloping\nquit\n' \
+  | dune exec bin/stencilc.exe -- --serve)"
+case "$desync_out" in
+  *"ok pong"*) ;;
+  *) echo "check.sh: --serve desynced after a malformed ir= request" >&2; exit 1 ;;
+esac
+
+# Socket-daemon smoke: start a Unix-socket daemon with a throwaway
+# artifact store, hit it with two concurrent clients requesting the same
+# digest, and check one compiled cold while the other was answered from
+# the cache (miss+hit in some order across the two).  The daemon and the
+# clients run the built binary directly: dune exec holds the build lock
+# for the life of the program, so a dune-exec'd daemon would deadlock
+# every dune-exec'd client.
+stencilc="$root/_build/default/bin/stencilc.exe"
+sockdir="$(mktemp -d)"
+sock="$sockdir/stencilc.sock"
+"$stencilc" --serve --socket "$sock" --store "$sockdir/store" \
+  > "$sockdir/daemon.log" 2>&1 &
+daemon_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+test -S "$sock" || {
+  echo "check.sh: socket daemon never created $sock" >&2
+  cat "$sockdir/daemon.log" >&2
+  kill "$daemon_pid" 2> /dev/null || true
+  rm -rf "$sockdir"
+  exit 1
+}
+printf 'compile demo=heat2d ranks=2\n' \
+  | "$stencilc" --connect "$sock" > "$sockdir/c1.out" &
+c1=$!
+printf 'compile demo=heat2d ranks=2\n' \
+  | "$stencilc" --connect "$sock" > "$sockdir/c2.out" &
+c2=$!
+wait "$c1" "$c2"
+printf 'shutdown\n' | "$stencilc" --connect "$sock" > /dev/null
+wait "$daemon_pid" || {
+  echo "check.sh: socket daemon exited non-zero" >&2
+  cat "$sockdir/daemon.log" >&2
+  rm -rf "$sockdir"
+  exit 1
+}
+both="$(cat "$sockdir/c1.out" "$sockdir/c2.out")"
+case "$both" in
+  *"cached=miss"*) ;;
+  *) echo "check.sh: socket daemon: no client saw the cold compile" >&2
+     rm -rf "$sockdir"; exit 1 ;;
+esac
+case "$both" in
+  *"cached=hit"*) ;;
+  *) echo "check.sh: socket daemon: no client was answered from the cache" >&2
+     rm -rf "$sockdir"; exit 1 ;;
+esac
+ls "$sockdir/store"/*.art > /dev/null 2>&1 || {
+  echo "check.sh: socket daemon persisted nothing to the artifact store" >&2
+  rm -rf "$sockdir"
+  exit 1
+}
+rm -rf "$sockdir"
 
 # Timeline-analytics smoke: --report must print the per-rank breakdown,
 # the comm matrix, a critical path and an overlap figure.

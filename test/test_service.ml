@@ -1,7 +1,10 @@
 (* Tests for the compile-service layer: canonical digests (stable across
    print/parse round-trips and SSA renumbering, insensitive to attribute
-   order), the Domains-safe promise-per-key cache, single-compilation
-   through the artifact layer, and the --serve line protocol. *)
+   order), the Domains-safe promise-per-key cache (including eviction
+   policies and failed-hit accounting), single-compilation through the
+   artifact layer, the --serve line protocol (including the
+   payload-drain framing rule), the multi-client socket daemon, and the
+   on-disk artifact store's restart-persistence path. *)
 
 open Ir
 
@@ -159,7 +162,79 @@ let test_cache_failure_cached () =
   | _ -> Alcotest.fail "expected the cached exception"
   | exception Failure _ -> ());
   check int_c "computed once despite two requests" 1 (Atomic.get computed);
-  check int_c "failure counted" 1 (Service.Cache.stats c).Service.Cache.failures
+  let s = Service.Cache.stats c in
+  check int_c "failure counted" 1 s.Service.Cache.failures;
+  (* The repeat lookup landed on the cached failure: that is a
+     failed_hit, NOT a healthy hit — a server hammered with a broken
+     module must not report a clean hit rate. *)
+  check int_c "failed lookup is a failed_hit" 1 s.Service.Cache.failed_hits;
+  check int_c "no healthy hits" 0 s.Service.Cache.hits;
+  check int_c "one miss" 1 s.Service.Cache.misses
+
+(* --- eviction policies --- *)
+
+let fill c keys =
+  List.iter
+    (fun k ->
+      ignore (Service.Cache.find_or_compute c ~key: k (fun () -> k)))
+    keys
+
+(* Recompute = the thunk ran = the key had been evicted. *)
+let recomputes c key =
+  let ran = ref false in
+  ignore
+    (Service.Cache.find_or_compute c ~key (fun () ->
+         ran := true;
+         key));
+  !ran
+
+let test_eviction_fifo () =
+  let c =
+    Service.Cache.create ~capacity: 2 ~eviction: Service.Cache.Fifo "ev-fifo"
+  in
+  fill c [ "a"; "b" ];
+  (* Touch "a": FIFO ignores use, so "a" is still the oldest. *)
+  ignore (Service.Cache.find_or_compute c ~key: "a" (fun () -> "a"));
+  fill c [ "c" ];
+  check int_c "capacity held" 2 (Service.Cache.length c);
+  check int_c "evictions counted" 1 (Service.Cache.stats c).Service.Cache.evictions;
+  check bool_c "fifo evicts the oldest insertion (a)" true (recomputes c "a")
+
+let test_eviction_lru () =
+  let c =
+    Service.Cache.create ~capacity: 2 ~eviction: Service.Cache.Lru "ev-lru"
+  in
+  fill c [ "a"; "b" ];
+  (* Touch "a": LRU refreshes it, so "b" becomes the victim. *)
+  ignore (Service.Cache.find_or_compute c ~key: "a" (fun () -> "a"));
+  fill c [ "c" ];
+  check int_c "capacity held" 2 (Service.Cache.length c);
+  check bool_c "lru keeps the recently used (a)" false (recomputes c "a");
+  check bool_c "lru evicted the stale entry (b)" true (recomputes c "b")
+
+let test_eviction_cost_weighted () =
+  let c =
+    Service.Cache.create ~capacity: 2 ~eviction: Service.Cache.Cost_weighted
+      "ev-cost"
+  in
+  (* "slow" is expensive to recompute, "fast" is nearly free: over
+     capacity, the cost policy sacrifices "fast". *)
+  ignore
+    (Service.Cache.find_or_compute c ~key: "slow" (fun () ->
+         Unix.sleepf 0.05;
+         "slow"));
+  ignore (Service.Cache.find_or_compute c ~key: "fast" (fun () -> "fast"));
+  fill c [ "c" ];
+  check int_c "capacity held" 2 (Service.Cache.length c);
+  check bool_c "expensive entry survives" false (recomputes c "slow");
+  check bool_c "cheap entry evicted" true (recomputes c "fast")
+
+let test_set_policy_shrinks () =
+  let c = Service.Cache.create ~eviction: Service.Cache.Lru "ev-shrink" in
+  fill c [ "a"; "b"; "c"; "d" ];
+  check int_c "unbounded holds all" 4 (Service.Cache.length c);
+  Service.Cache.set_policy ~capacity: 2 c;
+  check int_c "set_policy evicts immediately" 2 (Service.Cache.length c)
 
 (* --- single compilation through the artifact layer --- *)
 
@@ -214,6 +289,7 @@ let test_serve_protocol () =
       Service.Serve.resolve_demo =
         (fun name -> if name = "heat-demo" then Some (heat_module ()) else None);
       run = None;
+      scheduler = None;
     }
   in
   let req_r, req_w = Unix.pipe () in
@@ -282,6 +358,277 @@ let test_serve_protocol () =
   Domain.join server;
   List.iter Unix.close [ req_w; resp_r ]
 
+(* --- framing: malformed requests must not desync the stream --- *)
+
+(* A validation failure in a request that declares an ir=<nbytes> payload
+   must still drain those bytes: otherwise the loop parses the payload as
+   the next request and every later exchange is desynchronized.  The
+   regression: send malformed ir= requests, then a ping — the ping must
+   still answer pong. *)
+let test_serve_desync_regression () =
+  Service.Artifact.clear ();
+  let handlers =
+    {
+      Service.Serve.resolve_demo =
+        (fun name -> if name = "heat-demo" then Some (heat_module ()) else None);
+      run = None;
+      scheduler = None;
+    }
+  in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Service.Serve.serve ~handlers ic oc;
+        close_in_noerr ic;
+        close_out_noerr oc)
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let send raw =
+    output_string oc raw;
+    flush oc
+  in
+  let recv () =
+    match In_channel.input_line ic with
+    | Some resp -> resp
+    | None -> Alcotest.fail "server closed the pipe"
+  in
+  (* 1. Ambiguous spec (demo AND ir): fails validation, but the declared
+     payload bytes must be consumed. *)
+  send "compile ir=5 demo=heat-demo ranks=2\nhello";
+  check bool_c "ambiguous spec is an error" true (contains (recv ()) "error");
+  send "ping\n";
+  check bool_c "stream still in sync after ambiguous spec" true
+    (recv () = "ok pong");
+  (* 2. Valid payload, bad target knob: the failure happens after the
+     payload, which must also leave the stream clean. *)
+  let ir_text = Printer.module_to_string (heat_module ()) in
+  send
+    (Printf.sprintf "compile ir=%d strategy=bogus\n%s" (String.length ir_text)
+       ir_text);
+  check bool_c "bad strategy is an error" true
+    (contains (recv ()) "unknown strategy");
+  send "ping\n";
+  check bool_c "stream still in sync after bad strategy" true
+    (recv () = "ok pong");
+  (* 3. Unknown command carrying a payload: drained all the same. *)
+  send "frobnicate ir=3 x=1\nabc";
+  check bool_c "unknown command is an error" true (contains (recv ()) "error");
+  send "ping\n";
+  check bool_c "stream still in sync after unknown command" true
+    (recv () = "ok pong");
+  send "quit\n";
+  check bool_c "quit" true (recv () = "ok bye");
+  Domain.join server;
+  List.iter Unix.close [ req_w; resp_r ]
+
+(* --- the multi-client socket daemon --- *)
+
+let test_socket_concurrent_clients () =
+  Service.Artifact.clear ();
+  let s0 = Service.Artifact.stats () in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stencilc-test-%d.sock" (Unix.getpid ()))
+  in
+  (* Two distinct programs: clients hammer both, each must compile
+     exactly once across the whole daemon. *)
+  let handlers =
+    {
+      Service.Serve.resolve_demo =
+        (fun name ->
+          match name with
+          | "h3" -> Some (heat_module ~timesteps: 3 ())
+          | "h4" -> Some (heat_module ~timesteps: 4 ())
+          | _ -> None);
+      run = None;
+      scheduler = None;
+    }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Service.Socket_server.run ~handlers
+          ~on_ready: (fun () -> Atomic.set ready true)
+          (Service.Socket_server.Unix_path sock))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let connect () =
+    let rec retry n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> fd
+      | exception Unix.Unix_error _ when n > 0 ->
+          Unix.close fd;
+          Unix.sleepf 0.01;
+          retry (n - 1)
+    in
+    retry 100
+  in
+  let requests_per_client = 10 in
+  let client _id =
+    Domain.spawn (fun () ->
+        let fd = connect () in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let ok = ref 0 in
+        for r = 1 to requests_per_client do
+          let demo = if r mod 2 = 0 then "h3" else "h4" in
+          output_string oc
+            (Printf.sprintf "compile demo=%s ranks=2\n" demo);
+          flush oc;
+          match In_channel.input_line ic with
+          | Some resp
+            when String.length resp >= 3
+                 && String.sub resp 0 3 = "ok "
+                 && contains resp "digest="
+                 && contains resp "compile_ms=" ->
+              incr ok
+          | Some _ | None -> ()
+        done;
+        output_string oc "quit\n";
+        flush oc;
+        (match In_channel.input_line ic with _ -> () | exception _ -> ());
+        Unix.close fd;
+        !ok)
+  in
+  let clients = List.init 4 client in
+  let oks = List.map Domain.join clients in
+  (* Stop the daemon. *)
+  let fd = connect () in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc "shutdown\n";
+  flush oc;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let server_stats = Domain.join server in
+  let s1 = Service.Artifact.stats () in
+  check bool_c "every response well-formed" true
+    (List.for_all (fun n -> n = requests_per_client) oks);
+  check int_c "each distinct digest compiled exactly once" 2
+    (s1.Service.Cache.misses - s0.Service.Cache.misses);
+  check int_c "no failures" 0
+    (s1.Service.Cache.failures - s0.Service.Cache.failures);
+  check int_c "no failed hits" 0
+    (s1.Service.Cache.failed_hits - s0.Service.Cache.failed_hits);
+  check bool_c "daemon saw all client connections" true
+    (server_stats.Service.Socket_server.connections >= 5);
+  check bool_c "socket file removed on shutdown" false (Sys.file_exists sock)
+
+(* --- the on-disk artifact store: restart persistence --- *)
+
+let with_temp_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stencilc-store-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  let store = Service.Store.create dir in
+  Fun.protect
+    ~finally: (fun () ->
+      Service.Artifact.set_store None;
+      List.iter
+        (fun d -> Service.Store.remove store ~digest: d)
+        (Service.Store.list store);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f store)
+
+let test_store_restart_persistence () =
+  with_temp_store (fun store ->
+      Service.Artifact.set_store (Some store);
+      Service.Artifact.clear ();
+      let m = heat_module () in
+      let target = dist_target ~ranks: 2 in
+      let executor = Exec_compile.executor in
+      let a1, f1 = Service.Artifact.get_cached ~executor ~target m in
+      check bool_c "cold compile is a miss" true (f1 = `Miss);
+      check bool_c "artifact persisted" true
+        (Service.Store.list store = [ a1.Service.Artifact.digest ]);
+      (* "Restart": drop the in-memory cache, keep the store.  The next
+         request must come back from disk (pipeline skipped), not from a
+         cold compile. *)
+      Service.Artifact.clear ();
+      let a2, f2 = Service.Artifact.get_cached ~executor ~target m in
+      check bool_c "restart answers from the store" true (f2 = `Store);
+      check bool_c "same digest" true
+        (a1.Service.Artifact.digest = a2.Service.Artifact.digest);
+      check bool_c "same lowered module" true
+        (Printer.canonical_module_string a1.Service.Artifact.lowered
+        = Printer.canonical_module_string a2.Service.Artifact.lowered);
+      (* ... and the restored program executes: instantiate both and the
+         restore is hit-equivalent thereafter. *)
+      let _, f3 = Service.Artifact.get_cached ~executor ~target m in
+      check bool_c "second request is a plain hit" true (f3 = `Hit);
+      (* warm_start preloads eagerly: clear again, preload, then the very
+         first request is already a hit. *)
+      Service.Artifact.clear ();
+      check int_c "warm_start preloads the persisted artifact" 1
+        (Service.Artifact.warm_start ());
+      let _, f4 = Service.Artifact.get_cached ~executor ~target m in
+      check bool_c "request after warm_start is a hit" true (f4 = `Hit))
+
+let test_store_corruption_falls_back () =
+  with_temp_store (fun store ->
+      Service.Artifact.set_store (Some store);
+      Service.Artifact.clear ();
+      let m = heat_module () in
+      let target = dist_target ~ranks: 2 in
+      let executor = Exec_compile.executor in
+      let a1, _ = Service.Artifact.get_cached ~executor ~target m in
+      let digest = a1.Service.Artifact.digest in
+      (* Truncate the persisted file: load must reject it and the next
+         miss must fall back to a full (correct) compile. *)
+      let path =
+        Filename.concat (Service.Store.dir store) (digest ^ ".art")
+      in
+      let oc = open_out_bin path in
+      output_string oc "stencilc-artifact v1\ndigest deadbeef\n";
+      close_out oc;
+      check bool_c "corrupt file loads as None" true
+        (Service.Store.load store ~digest = None);
+      Service.Artifact.clear ();
+      let a2, f2 = Service.Artifact.get_cached ~executor ~target m in
+      check bool_c "fallback is a full compile" true (f2 = `Miss);
+      check bool_c "fallback digest intact" true
+        (a2.Service.Artifact.digest = digest))
+
+(* --- target fingerprints round-trip (the store depends on it) --- *)
+
+let test_fingerprint_roundtrip () =
+  let targets =
+    [
+      Core.Pipeline.Cpu_sequential;
+      Core.Pipeline.Cpu_openmp { tiles = [ 32; 32; 32 ] };
+      Core.Pipeline.Cpu_openmp { tiles = [] };
+      dist_target ~ranks: 4;
+      Core.Pipeline.Distributed_cpu
+        {
+          ranks = 8;
+          strategy = Core.Decomposition.Slice3d;
+          mode = Core.Decomposition.Diagonals;
+          tiles = [ 16; 16 ];
+          overlap = false;
+        };
+      Core.Pipeline.Gpu { managed = true };
+      Core.Pipeline.Fpga { optimized = false };
+    ]
+  in
+  List.iter
+    (fun t ->
+      let fp = Core.Pipeline.target_fingerprint t in
+      match Core.Pipeline.target_of_fingerprint fp with
+      | Some t' ->
+          check bool_c (Printf.sprintf "roundtrip %s" fp) true (t = t')
+      | None -> Alcotest.fail (Printf.sprintf "unparseable fingerprint %s" fp))
+    targets;
+  check bool_c "garbage does not parse" true
+    (Core.Pipeline.target_of_fingerprint "quantum[qubits=8]" = None)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest roundtrip_digest_prop;
@@ -298,5 +645,21 @@ let suite =
     Alcotest.test_case "harness 4 ranks: exactly one closure compile" `Quick
       test_single_compilation_4_ranks;
     Alcotest.test_case "artifact cache counters" `Quick test_artifact_counters;
+    Alcotest.test_case "cache: fifo eviction" `Quick test_eviction_fifo;
+    Alcotest.test_case "cache: lru eviction" `Quick test_eviction_lru;
+    Alcotest.test_case "cache: cost-weighted eviction" `Quick
+      test_eviction_cost_weighted;
+    Alcotest.test_case "cache: set_policy shrinks immediately" `Quick
+      test_set_policy_shrinks;
     Alcotest.test_case "--serve line protocol" `Quick test_serve_protocol;
+    Alcotest.test_case "--serve: malformed ir= does not desync" `Quick
+      test_serve_desync_regression;
+    Alcotest.test_case "socket daemon: 4 concurrent clients, one compile per digest"
+      `Quick test_socket_concurrent_clients;
+    Alcotest.test_case "store: restart persistence" `Quick
+      test_store_restart_persistence;
+    Alcotest.test_case "store: corruption falls back to compile" `Quick
+      test_store_corruption_falls_back;
+    Alcotest.test_case "target fingerprint roundtrip" `Quick
+      test_fingerprint_roundtrip;
   ]
