@@ -46,6 +46,28 @@ type row = {
   critical_path_s : float;  (* longest happens-before chain, traced run *)
 }
 
+(* One cell of the tile x threads matrix: the first workload rerun on the
+   par substrate at a fixed rank count while cache tiling and the per-rank
+   domain-pool width vary.  Tiling must leave the halo traffic counters
+   exactly unchanged (it only reorders the interior loop nest), and with
+   enough host cores the threaded runs must not be slower than their
+   1-thread counterpart at the same tile. *)
+type matrix_row = {
+  mx_workload : string;
+  mx_ranks : int;
+  mx_threads : int;
+  mx_tile : string;  (* "off" or e.g. "8x8" *)
+  mx_par_s : float;
+  mx_oversubscribed : bool;  (* ranks * threads > host cores *)
+  mx_speedup_vs_1t : float option;
+      (* same-tile 1-thread par_s / this par_s; None on the 1-thread
+         baseline rows and when oversubscribed (time-shared cores make
+         the ratio meaningless) *)
+  mx_messages : int;
+  mx_bytes : int;
+  mx_par_diff : float;  (* gathered result vs serial reference *)
+}
+
 (* Effective host core count, overridable with BENCH_HOST_CORES (useful
    in containers where [Domain.recommended_domain_count] sees a restricted
    cpuset that does not match the machine). *)
@@ -166,7 +188,61 @@ let run_workload (name, m) ~reps ~ranks ~overlap ~grid_override :
     },
     match analysis with Some a -> a.Analysis.r_samples | None -> [] )
 
-let write_json (rows : row list) =
+let tile_label tiles =
+  if tiles = [] then "off"
+  else String.concat "x" (List.map string_of_int tiles)
+
+(* The matrix always uses the fixed default decomposition (no tuner):
+   the point is to isolate the tiling/threading axes, so the halo pattern
+   must be identical across every cell. *)
+let run_matrix (name, m) ~reps ~ranks ~tiles_list ~threads_list :
+    matrix_row list =
+  let executor = Exec_compile.executor in
+  let cores = host_cores () in
+  let raw =
+    List.concat_map
+      (fun tiles ->
+        List.map
+          (fun threads ->
+            let r =
+              best_distributed ~reps (fun () ->
+                  Driver.Harness.run_distributed
+                    ~substrate: Driver.Harness.Par ~ranks ~tiles
+                    ~threads_per_rank: threads ~executor m)
+            in
+            (tiles, threads, r))
+          threads_list)
+      tiles_list
+  in
+  List.map
+    (fun (tiles, threads, r) ->
+      let base =
+        List.find_opt (fun (t, th, _) -> t = tiles && th = 1) raw
+      in
+      let oversubscribed = ranks * threads > cores in
+      let speedup =
+        match base with
+        | Some (_, _, b)
+          when threads > 1 && (not oversubscribed)
+               && r.Driver.Harness.wall_s > 0. ->
+            Some (b.Driver.Harness.wall_s /. r.Driver.Harness.wall_s)
+        | _ -> None
+      in
+      {
+        mx_workload = name;
+        mx_ranks = ranks;
+        mx_threads = threads;
+        mx_tile = tile_label tiles;
+        mx_par_s = r.Driver.Harness.wall_s;
+        mx_oversubscribed = oversubscribed;
+        mx_speedup_vs_1t = speedup;
+        mx_messages = r.Driver.Harness.messages;
+        mx_bytes = r.Driver.Harness.bytes;
+        mx_par_diff = r.Driver.Harness.max_diff_vs_serial;
+      })
+    raw
+
+let write_json (rows : row list) (matrix : matrix_row list) =
   let path = Bench_paths.artifact "BENCH_par.json" in
   let oc = open_out path in
   Printf.fprintf oc
@@ -198,6 +274,22 @@ let write_json (rows : row list) =
         r.critical_path_s r.cross_diff r.par_diff
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  Printf.fprintf oc "  ],\n  \"matrix\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"ranks\": %d, \"threads\": %d, \"tile\": \
+         %S, \"par_s\": %.6f, \"oversubscribed\": %b, \
+         \"speedup_vs_1thread\": %s, \"messages\": %d, \"bytes\": %d, \
+         \"max_abs_diff_par_vs_serial\": %.17g}%s\n"
+        r.mx_workload r.mx_ranks r.mx_threads r.mx_tile r.mx_par_s
+        r.mx_oversubscribed
+        (match r.mx_speedup_vs_1t with
+        | Some s -> Printf.sprintf "%.3f" s
+        | None -> "null")
+        r.mx_messages r.mx_bytes r.mx_par_diff
+        (if i = List.length matrix - 1 then "" else ","))
+    matrix;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   path
@@ -303,7 +395,37 @@ let run ?(smoke = false) ?grid_override () =
           configs)
       workloads
   in
-  let path = write_json rows in
+  (* Tile x threads matrix: first workload, fixed rank count, default
+     decomposition.  Exercises the per-rank domain pool and cache tiling
+     the executed pipeline just gained. *)
+  let mx_ranks = if smoke then 2 else 4 in
+  let mx_tiles = if smoke then [ []; [ 8; 8 ] ]
+                 else [ []; [ 16; 16 ]; [ 32; 32 ] ] in
+  let mx_threads = [ 1; 2 ] in
+  let matrix =
+    run_matrix (List.hd workloads) ~reps ~ranks: mx_ranks
+      ~tiles_list: mx_tiles ~threads_list: mx_threads
+  in
+  Printf.printf
+    "   -- tile x threads matrix (%s, ranks=%d, par substrate) --\n"
+    (fst (List.hd workloads)) mx_ranks;
+  Printf.printf "   %-8s %7s %10s %10s %9s %9s\n" "tile" "threads" "par_s"
+    "vs-1thr" "msgs" "bytes";
+  List.iter
+    (fun r ->
+      Printf.printf "   %-8s %7d %10.4f %10s %9d %9d%s\n" r.mx_tile
+        r.mx_threads r.mx_par_s
+        (match r.mx_speedup_vs_1t with
+        | Some s -> Printf.sprintf "%7.2fx" s
+        | None -> "      -")
+        r.mx_messages r.mx_bytes
+        (if r.mx_par_diff <> 0. then "  MISMATCH" else ""))
+    matrix;
+  (if List.exists (fun r -> r.mx_oversubscribed) matrix then
+     Printf.printf
+       "   (vs-1thr omitted where ranks x threads > host cores: domains \
+        time-share cores there)\n");
+  let path = write_json rows matrix in
   Printf.printf "   (machine-readable copy: %s)\n" path;
   (let fit, nm_path =
      write_netmodel
@@ -335,9 +457,29 @@ let run ?(smoke = false) ?grid_override () =
   let bad =
     List.filter (fun r -> r.cross_diff <> 0. || r.par_diff <> 0.) rows
   in
-  if bad <> [] then begin
-    Printf.printf "   FAIL: %d row(s) diverged between substrates\n"
-      (List.length bad);
+  let bad_matrix = List.filter (fun r -> r.mx_par_diff <> 0.) matrix in
+  (* Tiling only reorders the interior loop nest; any change in the halo
+     traffic counters across tile variants is a decomposition bug. *)
+  let traffic_bug =
+    List.exists
+      (fun r ->
+        List.exists
+          (fun r' ->
+            r'.mx_threads = r.mx_threads
+            && (r'.mx_messages <> r.mx_messages || r'.mx_bytes <> r.mx_bytes))
+          matrix)
+      matrix
+  in
+  if bad <> [] || bad_matrix <> [] || traffic_bug then begin
+    if bad <> [] then
+      Printf.printf "   FAIL: %d row(s) diverged between substrates\n"
+        (List.length bad);
+    if bad_matrix <> [] then
+      Printf.printf "   FAIL: %d matrix cell(s) diverged from serial\n"
+        (List.length bad_matrix);
+    if traffic_bug then
+      Printf.printf
+        "   FAIL: tiling changed the halo traffic counters\n";
     exit 1
   end;
   print_newline ()

@@ -9,6 +9,13 @@
        and sim_s/serial_s) may not grow by more than [tolerance] (default
        25%), and the deterministic traffic fields (messages, bytes) and
        correctness diffs must match the baseline exactly;
+     - par matrix rows (the tile x threads sweep): traffic counters must
+       match the baseline exactly AND be exactly invariant across tile
+       variants at the same (workload, ranks, threads) — tiling only
+       reorders the interior loop nest; result diffs vs serial must be 0;
+       and the threaded speedup_vs_1thread may not fall under the 1.0x
+       floor (gated only when the 1-thread wall clears the noise floor —
+       oversubscribed cells carry a null speedup and are skipped);
      - exec rows: the compiled-vs-interpreter speedup may not drop by
        more than [tolerance] (skipped when either run was oversubscribed
        — domains time-sliced on too few cores are scheduler noise), and
@@ -208,6 +215,25 @@ let par_key e =
       Some (Printf.sprintf "%s/ranks=%d/overlap=%s" w (int_of_float r) ov)
   | _ -> None
 
+(* Keyed rows of BENCH_par's "matrix" array (the tile x threads sweep). *)
+let matrix_key e =
+  match
+    ( jstr (member "workload" e),
+      jnum (member "ranks" e),
+      jnum (member "threads" e),
+      jstr (member "tile" e) )
+  with
+  | Some w, Some r, Some t, Some tile ->
+      Some
+        (Printf.sprintf "%s/ranks=%d/threads=%d/tile=%s" w (int_of_float r)
+           (int_of_float t) tile)
+  | _ -> None
+
+let matrix_rows json =
+  List.filter_map
+    (fun e -> match matrix_key e with Some k -> Some (k, e) | None -> None)
+    (jarr (member "matrix" json))
+
 let exec_key e =
   match (jstr (member "workload" e), jstr (member "mode" e)) with
   | Some w, Some m -> Some (w ^ "/" ^ m)
@@ -291,7 +317,90 @@ let compare_par out ~tolerance ~baseline ~current =
     (fun (key, _) ->
       if List.assoc_opt key base_rows = None then
         Printf.printf "   note: %s is new (no baseline)\n" key)
-    cur_rows
+    cur_rows;
+  (* --- tile x threads matrix --- *)
+  let base_mx = matrix_rows baseline in
+  let cur_mx = matrix_rows current in
+  List.iter
+    (fun (key, b) ->
+      let num fld e = jnum (member fld e) in
+      match List.assoc_opt key cur_mx with
+      | None ->
+          fail_row out "%s: matrix row missing from current BENCH_par" key
+      | Some c ->
+          check_exact_num out ~key ~what: "messages"
+            ~base: (num "messages" b) ~cur: (num "messages" c);
+          check_exact_num out ~key ~what: "bytes" ~base: (num "bytes" b)
+            ~cur: (num "bytes" c))
+    base_mx;
+  (* current-run self-checks: correctness, tiling traffic invariance and
+     the threaded-speedup floor hold wherever the bench ran *)
+  List.iter
+    (fun (key, c) ->
+      if List.assoc_opt key base_mx = None then
+        Printf.printf "   note: %s is new (no baseline)\n" key;
+      check_zero out ~key ~what: "max_abs_diff_par_vs_serial"
+        (jnum (member "max_abs_diff_par_vs_serial" c)))
+    cur_mx;
+  List.iter
+    (fun (key, c) ->
+      List.iter
+        (fun (key', c') ->
+          if
+            key < key'
+            && jstr (member "workload" c) = jstr (member "workload" c')
+            && jnum (member "ranks" c) = jnum (member "ranks" c')
+            && jnum (member "threads" c) = jnum (member "threads" c')
+          then begin
+            out.checked <- out.checked + 1;
+            if
+              jnum (member "messages" c) <> jnum (member "messages" c')
+              || jnum (member "bytes" c) <> jnum (member "bytes" c')
+            then
+              fail_row out
+                "%s vs %s: tiling changed the traffic counters (must be \
+                 exactly invariant)"
+                key key'
+          end)
+        cur_mx)
+    cur_mx;
+  List.iter
+    (fun (key, c) ->
+      match jnum (member "speedup_vs_1thread" c) with
+      | None -> ()  (* 1-thread baseline cell, or oversubscribed: null *)
+      | Some s ->
+          let one_thread_wall =
+            List.find_map
+              (fun (_, c') ->
+                if
+                  jstr (member "workload" c') = jstr (member "workload" c)
+                  && jnum (member "ranks" c') = jnum (member "ranks" c)
+                  && jstr (member "tile" c') = jstr (member "tile" c)
+                  && jnum (member "threads" c') = Some 1.
+                then jnum (member "par_s" c')
+                else None)
+              cur_mx
+          in
+          let above_floor =
+            match one_thread_wall with
+            | Some p -> p >= timing_noise_floor_s
+            | None -> false
+          in
+          if above_floor then begin
+            out.checked <- out.checked + 1;
+            if s < 1. /. (1. +. tolerance) then
+              fail_row out
+                "%s: threaded speedup %.2fx is under the 1.0x floor \
+                 (tolerance %.0f%%)"
+                key s (100. *. tolerance)
+          end
+          else
+            Printf.printf
+              "   note: %s: 1-thread par wall under the %.0fms noise floor, \
+               threaded speedup not gated\n"
+              key
+              (timing_noise_floor_s *. 1e3))
+    cur_mx
 
 let compare_exec out ~tolerance ~baseline ~current =
   let base_rows = entries_by_key ~key: exec_key baseline in

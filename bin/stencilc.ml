@@ -74,12 +74,34 @@ let distribute_pass ~ranks ~strategy =
   Core.Distribute.pass
     (Core.Distribute.options ~ranks ~strategy: (strategy_of_string strategy) ())
 
+(* --tile 8,8 -> [8; 8]; "" (the default) -> untiled. *)
+let parse_tiles spec =
+  if String.trim spec = "" then []
+  else
+    List.map
+      (fun w ->
+        match int_of_string_opt (String.trim w) with
+        | Some n when n > 0 -> n
+        | _ ->
+            failwith
+              ("--tile expects comma-separated positive ints, got: " ^ spec))
+      (String.split_on_char ',' spec)
+
 (* Execute the module end-to-end on an MPI substrate (--run-par/--run-sim):
    serial reference, distribute + lower, run, gather, compare. *)
 let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
-    ~report ~exec ~overlap m =
+    ~report ~exec ~overlap ~tile ~threads m =
   (* [of_name] fails with the registered executor names spelled out. *)
   let executor = Interp.Executor.of_name exec in
+  if threads < 1 then failwith "--threads-per-rank must be positive";
+  (* Threads act on omp.parallel regions, which only the tiled lowering
+     emits — so asking for threads without --tile defaults the tiling
+     rather than silently running sequential regions. *)
+  let tiles =
+    match parse_tiles tile with
+    | [] when threads > 1 -> [ 32; 32 ]
+    | ts -> ts
+  in
   (match report with
   | None | Some "text" | Some "json" -> ()
   | Some other ->
@@ -90,12 +112,17 @@ let execute_distributed ~substrate ~ranks ~strategy ~stall_timeout ~trace_out
   let r =
     Driver.Harness.run_distributed ~substrate
       ~strategy: (strategy_of_string strategy)
-      ~stall_timeout_s: stall_timeout ~trace ~executor ~overlap ~ranks m
+      ~stall_timeout_s: stall_timeout ~trace ~executor ~overlap ~tiles
+      ~threads_per_rank: threads ~ranks m
   in
   Format.printf "substrate:  %s@." r.Driver.Harness.substrate_name;
   Format.printf "executor:   %s@." r.Driver.Harness.executor_name;
   Format.printf "overlap:    %s@."
     (if r.Driver.Harness.overlap then "on" else "off");
+  Format.printf "tile:       %s@."
+    (if tiles = [] then "off"
+     else String.concat "x" (List.map string_of_int tiles));
+  Format.printf "threads:    %d per rank@." threads;
   Format.printf "ranks:      %d (topology %s)@." r.Driver.Harness.ranks
     (String.concat "x" (List.map string_of_int r.Driver.Harness.grid));
   Format.printf "domain:     %s@."
@@ -180,11 +207,11 @@ let serve_handlers : Service.Serve.handlers =
     scheduler = None;
     run =
       Some
-        (fun m (art : Service.Artifact.t) ~ranks ~substrate ->
-          let strategy, overlap =
+        (fun m (art : Service.Artifact.t) ~ranks ~substrate ~threads ->
+          let strategy, overlap, tiles =
             match art.Service.Artifact.target with
-            | Core.Pipeline.Distributed_cpu { strategy; overlap; _ } ->
-                (strategy, overlap)
+            | Core.Pipeline.Distributed_cpu { strategy; overlap; tiles; _ } ->
+                (strategy, overlap, tiles)
             | t ->
                 failwith
                   ("run requires target=distributed-cpu, got "
@@ -200,7 +227,7 @@ let serve_handlers : Service.Serve.handlers =
           in
           let r =
             Driver.Harness.run_distributed ~substrate ~strategy ~executor
-              ~overlap ~ranks m
+              ~overlap ~tiles ~threads_per_rank: threads ~ranks m
           in
           [
             ("substrate", r.Driver.Harness.substrate_name);
@@ -219,7 +246,7 @@ let serve_handlers : Service.Serve.handlers =
   }
 
 (* Cache/store knobs shared by every serve mode (stdin, socket, tcp). *)
-let configure_service ~store_dir ~cache_capacity ~cache_eviction =
+let configure_service ~store_dir ~store_max_mb ~cache_capacity ~cache_eviction =
   let eviction =
     match Service.Cache.eviction_of_string cache_eviction with
     | Some e -> e
@@ -232,7 +259,13 @@ let configure_service ~store_dir ~cache_capacity ~cache_eviction =
   match store_dir with
   | None -> ()
   | Some dir ->
-      Service.Artifact.set_store (Some (Service.Store.create dir));
+      let max_bytes =
+        match store_max_mb with
+        | Some mb when mb <= 0 -> failwith "--store-max-mb must be positive"
+        | Some mb -> Some (mb * 1024 * 1024)
+        | None -> None
+      in
+      Service.Artifact.set_store (Some (Service.Store.create ?max_bytes dir));
       (* Warm start: previously-seen digests answer without the pass
          pipeline (persisted lowered module + executor compile only). *)
       let n = Service.Artifact.warm_start () in
@@ -298,14 +331,16 @@ let serve_daemon endpoint =
 
 let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     print_after verify stats profile pass_stats trace_out report run_par
-    run_sim stall_timeout exec overlap serve socket tcp_port store_dir
-    cache_capacity cache_eviction connect_to autotune_ranks netmodel =
+    run_sim stall_timeout exec overlap tile threads serve socket tcp_port
+    store_dir store_max_mb cache_capacity cache_eviction connect_to
+    autotune_ranks netmodel =
   try
     match connect_to with
     | Some spec -> client_pump spec
     | None ->
     if serve || socket <> None || tcp_port <> None then begin
-      configure_service ~store_dir ~cache_capacity ~cache_eviction;
+      configure_service ~store_dir ~store_max_mb ~cache_capacity
+        ~cache_eviction;
       match (socket, tcp_port) with
       | Some _, Some _ -> failwith "--socket and --tcp are mutually exclusive"
       | Some path, None ->
@@ -338,10 +373,10 @@ let run_cmd input demo pipeline passes ranks strategy rewrite_driver
     | Some ranks, _, _ -> autotune ~ranks ~netmodel m
     | None, Some ranks, _ ->
         execute_distributed ~substrate: Driver.Harness.Par ~ranks ~strategy
-          ~stall_timeout ~trace_out ~report ~exec ~overlap m
+          ~stall_timeout ~trace_out ~report ~exec ~overlap ~tile ~threads m
     | None, None, Some ranks ->
         execute_distributed ~substrate: Driver.Harness.Sim ~ranks ~strategy
-          ~stall_timeout ~trace_out ~report ~exec ~overlap m
+          ~stall_timeout ~trace_out ~report ~exec ~overlap ~tile ~threads m
     | None, None, None ->
     let selected =
       match (pipeline, passes) with
@@ -537,6 +572,30 @@ let overlap_arg =
            compute while messages are in flight.  Pass --overlap=false \
            for the fused swap pipeline.")
 
+let tile_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "tile" ] ~docv: "T1,T2,..."
+        ~doc:
+          "Cache-block sizes for --run-par/--run-sim: lower each stencil \
+           through the tiled omp pipeline with these per-dimension block \
+           sizes (e.g. --tile 32,32).  Dimensions beyond the list are \
+           untiled.  Tiling is part of the compile target, so tiled and \
+           untiled runs produce (and cache) distinct artifacts.")
+
+let threads_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "threads-per-rank" ] ~docv: "N"
+        ~doc:
+          "Worker domains per rank for --run-par/--run-sim with the \
+           compiled backend: each rank schedules its omp.parallel regions \
+           across a pool of $(docv) OCaml domains (default 1, \
+           sequential).  A pure runtime knob — it does not change the \
+           compiled artifact.  Implies --tile 32,32 when no --tile is \
+           given (threads act on omp regions, which only the tiled \
+           lowering emits).")
+
 let serve_arg =
   Arg.(
     value & flag
@@ -580,6 +639,17 @@ let store_arg =
            lowered-module text, metadata).  A restarted server warm-starts \
            from the store, skipping the pass pipeline for previously-seen \
            programs.")
+
+let store_max_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "store-max-mb" ] ~docv: "MB"
+        ~doc:
+          "Cap the on-disk artifact store (--store) at $(docv) megabytes: \
+           after every save, the oldest artifacts (by file mtime) are \
+           evicted until the store fits, each eviction logged to stderr.  \
+           Unset: the store grows without bound.")
 
 let cache_capacity_arg =
   Arg.(
@@ -641,8 +711,9 @@ let cmd =
       $ ranks_arg $ strategy_arg $ rewrite_driver_arg $ print_after_arg
       $ verify_arg $ stats_arg $ profile_arg $ pass_stats_arg
       $ trace_out_arg $ report_arg $ run_par_arg $ run_sim_arg
-      $ stall_timeout_arg $ exec_arg $ overlap_arg $ serve_arg
-      $ socket_arg $ tcp_arg $ store_arg $ cache_capacity_arg
-      $ cache_eviction_arg $ connect_arg $ autotune_arg $ netmodel_arg)
+      $ stall_timeout_arg $ exec_arg $ overlap_arg $ tile_arg $ threads_arg
+      $ serve_arg $ socket_arg $ tcp_arg $ store_arg $ store_max_mb_arg
+      $ cache_capacity_arg $ cache_eviction_arg $ connect_arg $ autotune_arg
+      $ netmodel_arg)
 
 let () = exit (Cmd.eval' cmd)

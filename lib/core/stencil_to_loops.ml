@@ -120,7 +120,11 @@ let emit_loop_nest bld style ~lbs ~ubs body =
         | Some t when t > 0 -> t
         | _ -> max 1 (List.nth ubs d - List.nth lbs d)
       in
-      Omp.parallel_op bld (fun b ->
+      (* The chosen per-dimension block sizes are stamped on the region
+         as a dense [tile] attribute: tiled and untiled modules differ
+         at the IR level (so they digest differently through the
+         artifact layer), and the rewriter can ablate the attribute. *)
+      Omp.parallel_op bld ~tile: (List.init n tile) (fun b ->
           let lbs_v = consts b lbs in
           let ubs_v = consts b ubs in
           let steps_v = consts b (List.init n tile) in

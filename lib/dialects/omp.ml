@@ -1,20 +1,44 @@
 (* A miniature omp dialect: a parallel region wrapping a loop nest.  The
-   interpreter runs the body sequentially; the machine model charges a
-   fork/join barrier per region — the effect behind the paper's tracer
-   advection findings (one omp.parallel per scf.parallel after conversion). *)
+   interpreter runs the body sequentially (it is the bitwise oracle); the
+   compiled executor schedules the wrapped scf.parallel onto a per-rank
+   worker pool of domains; the machine model charges a fork/join barrier
+   per region — the effect behind the paper's tracer advection findings
+   (one omp.parallel per scf.parallel after conversion). *)
 
 open Ir
 
 let parallel = "omp.parallel"
 
-let parallel_op b ?(num_threads = 0) body =
+(* [num_threads = 0] means "unset" (the runtime's threads-per-rank knob
+   decides); anything negative is a caller bug, rejected here rather than
+   silently dropped.  [tile] records the cache-block sizes the tiled
+   lowering chose, so tiled and untiled modules are distinguishable (and
+   ablatable) at the IR level. *)
+let parallel_op b ?(num_threads = 0) ?tile body =
+  if num_threads < 0 then
+    invalid_arg
+      (Printf.sprintf "Omp.parallel_op: num_threads must be positive (got %d)"
+         num_threads);
   let region = Builder.region_of body in
   let attrs =
-    if num_threads > 0 then
-      [ ("num_threads", Typesys.Int_attr (num_threads, Typesys.i64)) ]
-    else []
+    (if num_threads > 0 then
+       [ ("num_threads", Typesys.Int_attr (num_threads, Typesys.i64)) ]
+     else [])
+    @
+    match tile with
+    | Some ts when ts <> [] -> [ ("tile", Typesys.Dense_attr ts) ]
+    | _ -> []
   in
   Builder.emit0 b parallel ~attrs ~regions: [ region ]
+
+(* The region's requested thread count: 0 when unset (runtime decides). *)
+let num_threads_of (op : Op.t) : int =
+  match Op.attr op "num_threads" with
+  | Some (Typesys.Int_attr (n, _)) -> n
+  | _ -> 0
+
+let tile_of (op : Op.t) : int list =
+  match Op.attr op "tile" with Some (Typesys.Dense_attr ts) -> ts | _ -> []
 
 (* Count omp.parallel regions in a module: the machine model's input for
    fork/join overhead. *)
@@ -24,6 +48,35 @@ let count_regions m =
 let checks : Verifier.check list =
   [
     Verifier.for_op parallel (fun op ->
-        if List.length op.Op.regions = 1 then Ok ()
-        else Error "omp.parallel needs exactly one region");
+        if List.length op.Op.regions <> 1 then
+          Error "omp.parallel needs exactly one region"
+        else
+          match Op.attr op "num_threads" with
+          | Some (Typesys.Int_attr (n, _)) when n <= 0 ->
+              Error
+                (Printf.sprintf
+                   "omp.parallel: num_threads must be positive (got %d)" n)
+          | Some (Typesys.Int_attr _) | None -> (
+              match Op.attr op "tile" with
+              | Some (Typesys.Dense_attr ts)
+                when List.exists (fun t -> t <= 0) ts ->
+                  Error "omp.parallel: tile sizes must be positive"
+              | Some (Typesys.Dense_attr _) | None -> (
+                  (* The op has no results, so a region yielding values
+                     would have them silently dropped — a lowering bug
+                     the executors also refuse at runtime. *)
+                  match op.Op.regions with
+                  | [ r ] -> (
+                      match List.rev (Op.region_ops r) with
+                      | last :: _
+                        when last.Op.name = "scf.yield"
+                             && last.Op.operands <> [] ->
+                          Error
+                            "omp.parallel: region must not yield values \
+                             (the op has no results)"
+                      | _ -> Ok ())
+                  | _ -> Ok ())
+              | Some _ ->
+                  Error "omp.parallel: tile must be a dense int array")
+          | Some _ -> Error "omp.parallel: num_threads must be an integer");
   ]

@@ -5,7 +5,18 @@
 open Ir
 
 val parallel : string
-val parallel_op : Builder.t -> ?num_threads:int -> (Builder.t -> unit) -> unit
+
+val parallel_op :
+  Builder.t -> ?num_threads:int -> ?tile:int list -> (Builder.t -> unit) -> unit
+(** [num_threads <= 0] is rejected ([0] = unset, the runtime knob
+    decides); [tile] stamps the cache-block sizes the tiled lowering
+    chose as a dense attribute. *)
+
+val num_threads_of : Op.t -> int
+(** The region's requested thread count; [0] when unset. *)
+
+val tile_of : Op.t -> int list
+(** The region's cache-block sizes; [[]] when untiled. *)
 
 val count_regions : Op.t -> int
 (** omp.parallel regions in a module: the fork/join overhead input. *)

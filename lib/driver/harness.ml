@@ -95,9 +95,10 @@ let max_result_diff (a : result) (b : result) : float =
 module Runner (M : Mpi_intf.MPI_CORE) = struct
   module S = Simulate.Spmd (M)
 
-  let exec ?(trace = false) ~program ~ranks ~func ~make_args ~collect m =
+  let exec ?(trace = false) ?(threads = 1) ~program ~ranks ~func ~make_args
+      ~collect m =
     let comm =
-      S.run_spmd ~trace ~program ~ranks ~func
+      S.run_spmd ~trace ~program ~threads ~ranks ~func
         ~make_args: (fun ctx -> make_args (M.rank ctx))
         ~collect: (fun ctx _args results -> collect (M.rank ctx) results)
         m
@@ -113,7 +114,8 @@ let run_distributed ?(substrate = Sim)
     ?(strategy = Core.Decomposition.Slice2d)
     ?(mode = Core.Decomposition.Faces) ?stall_timeout_s
     ?queue_capacity ?(trace = false) ?executor ?(seed = 0) ?func
-    ?(overlap = true) ~ranks (m : Op.t) : result =
+    ?(overlap = true) ?(tiles = []) ?(threads_per_rank = 1) ~ranks (m : Op.t) :
+    result =
   let func = match func with Some f -> f | None -> default_func m in
   let args = field_args m func in
   if args = [] then
@@ -143,7 +145,7 @@ let run_distributed ?(substrate = Sim)
      lowered module via the dmp.topology / dmp.local_fields attributes
      the distribution pass leaves behind. *)
   let target =
-    Core.Pipeline.Distributed_cpu { ranks; strategy; mode; tiles = []; overlap }
+    Core.Pipeline.Distributed_cpu { ranks; strategy; mode; tiles; overlap }
   in
   let art = Service.Artifact.get ?executor ~target m in
   let lowered = art.Service.Artifact.lowered in
@@ -195,15 +197,16 @@ let run_distributed ?(substrate = Sim)
   let executor_name = art.Service.Artifact.executor_name in
   let program = art.Service.Artifact.program in
   let t1 = Unix.gettimeofday () in
+  let threads = threads_per_rank in
   let substrate_name, messages, bytes, tl =
     match substrate with
     | Sim ->
-        Sim_runner.exec ~trace ~program ~ranks ~func ~make_args ~collect
-          lowered
+        Sim_runner.exec ~trace ~threads ~program ~ranks ~func ~make_args
+          ~collect lowered
     | Par ->
         Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
-            Par_runner.exec ~trace ~program ~ranks ~func ~make_args ~collect
-              lowered)
+            Par_runner.exec ~trace ~threads ~program ~ranks ~func ~make_args
+              ~collect lowered)
   in
   let wall_s = Unix.gettimeofday () -. t1 in
   let analysis = if trace then Some (Analysis.analyze ~ranks tl) else None in

@@ -39,6 +39,8 @@ val run_distributed :
   ?seed:int ->
   ?func:string ->
   ?overlap:bool ->
+  ?tiles:int list ->
+  ?threads_per_rank:int ->
   ranks:int ->
   Op.t ->
   result
@@ -52,7 +54,11 @@ val run_distributed :
     reference always runs interpreted, as the oracle.  [overlap]
     (default true) applies the split-phase communication/computation
     overlap transformation before lowering — the executed distributed
-    pipeline.  Every result
+    pipeline.  [tiles] (default [[]], untiled) selects cache-block sizes
+    for the tiled omp lowering; [threads_per_rank] (default 1) sizes the
+    per-rank domain pool the compiled executor schedules [omp.parallel]
+    regions onto (the interpreter ignores it — it is the sequential
+    oracle).  Every result
     buffer is gathered and compared against its serial counterpart over
     the global interior. *)
 

@@ -75,7 +75,7 @@ module Spmd (M : Mpi_intf.MPI_CORE) = struct
 
   let run_spmd ?(trace = false)
       ?(executor = Interp.Executor.interpreter)
-      ?(program : Interp.Executor.shared option)
+      ?(program : Interp.Executor.shared option) ?(threads = 1)
       ?(on_timeline : (M.comm -> unit) option) ~(ranks : int)
       ~(func : string) ~(make_args : M.rank_ctx -> Interp.Rtval.t list)
       ?(collect :
@@ -95,21 +95,27 @@ module Spmd (M : Mpi_intf.MPI_CORE) = struct
     let comm =
       M.run ~trace ~ranks (fun ctx ->
           let st = RL.create ctx in
-          (* Per-rank work is only binding this rank's extern handler
-             (its MPI_* ABI) to the shared program. *)
-          let runf =
+          (* Per-rank work: bind this rank's extern handler (its MPI_*
+             ABI) to the shared program, and spin up its intra-rank
+             worker pool when [threads > 1].  The instance must be
+             released even on failure — worker domains are a capped
+             resource. *)
+          let inst =
             shared.Interp.Executor.instantiate
-              ~externs: (RL.externs_for st) ()
+              ~externs: (RL.externs_for st) ~threads ()
           in
-          let args = make_args ctx in
-          let results = runf func args in
-          match collect with
-          | Some f ->
-              Mutex.lock collect_mutex;
-              Fun.protect
-                ~finally: (fun () -> Mutex.unlock collect_mutex)
-                (fun () -> f ctx args results)
-          | None -> ())
+          Fun.protect
+            ~finally: (fun () -> inst.Interp.Executor.release ())
+            (fun () ->
+              let args = make_args ctx in
+              let results = inst.Interp.Executor.runf func args in
+              match collect with
+              | Some f ->
+                  Mutex.lock collect_mutex;
+                  Fun.protect
+                    ~finally: (fun () -> Mutex.unlock collect_mutex)
+                    (fun () -> f ctx args results)
+              | None -> ()))
     in
     if trace then begin
       (match on_timeline with Some f -> f comm | None -> ());
@@ -128,10 +134,10 @@ let run_spmd = Sim_exec.run_spmd
    domain; a stall watchdog (Mpi_par.Stall) replaces the simulator's
    exact deadlock detection. *)
 let run_spmd_par ?stall_timeout_s ?queue_capacity ?trace ?executor ?program
-    ?on_timeline ~ranks ~func ~make_args ?collect m =
+    ?threads ?on_timeline ~ranks ~func ~make_args ?collect m =
   Mpi_par.with_defaults ?stall_timeout_s ?queue_capacity (fun () ->
-      Par_exec.run_spmd ?trace ?executor ?program ?on_timeline ~ranks ~func
-        ~make_args ?collect m)
+      Par_exec.run_spmd ?trace ?executor ?program ?threads ?on_timeline
+        ~ranks ~func ~make_args ?collect m)
 
 (* Serial execution (no MPI): run [func] with the given arguments on the
    chosen executor (the reference interpreter by default). *)

@@ -21,6 +21,7 @@ module Spmd (M : Mpi_intf.MPI_CORE) : sig
     ?trace:bool ->
     ?executor:Interp.Executor.t ->
     ?program:Interp.Executor.shared ->
+    ?threads:int ->
     ?on_timeline:(M.comm -> unit) ->
     ranks:int ->
     func:string ->
@@ -57,6 +58,7 @@ val run_spmd :
   ?trace:bool ->
   ?executor:Interp.Executor.t ->
   ?program:Interp.Executor.shared ->
+  ?threads:int ->
   ?on_timeline:(Mpi_sim.comm -> unit) ->
   ranks:int ->
   func:string ->
@@ -73,6 +75,7 @@ val run_spmd_par :
   ?trace:bool ->
   ?executor:Interp.Executor.t ->
   ?program:Interp.Executor.shared ->
+  ?threads:int ->
   ?on_timeline:(Mpi_par.comm -> unit) ->
   ranks:int ->
   func:string ->

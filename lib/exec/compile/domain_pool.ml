@@ -1,0 +1,117 @@
+(* A persistent pool of worker domains for executing omp.parallel regions
+   in the compiled backend.
+
+   One pool per rank instance, created at [Executor.instantiate] time and
+   torn down by [Executor.release]: OCaml caps the number of live domains
+   (around 128), so workers must be joined deterministically rather than
+   leaked — a bench sweep or a qcheck suite would exhaust the cap in a few
+   iterations otherwise.
+
+   Shape: a pool of [n] participants holds [n - 1] worker domains; the
+   caller itself is participant 0, so a pool of size 1 spawns nothing and
+   [run] degenerates to a plain call.  Jobs are broadcast through a
+   mutex/condvar pair with an epoch counter (workers wait for the epoch to
+   advance, so a slow worker can never re-run a stale job), and [run]
+   returns only after every participant finished — the job closures
+   share buffers with the caller's frame, so returning earlier would
+   race.  The first exception any participant raises is re-raised from
+   [run] after the join barrier. *)
+
+type t = {
+  size : int;  (* participants, including the caller *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable epoch : int;
+  mutable job : (int -> unit) option;
+  mutable active : int;  (* workers still inside the current job *)
+  mutable shutdown : bool;
+  mutable failure : exn option;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = t.size
+
+let worker_loop t index () =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while t.epoch = !last && not t.shutdown do
+      Condition.wait t.cv t.m
+    done;
+    if t.shutdown then Mutex.unlock t.m
+    else begin
+      last := t.epoch;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      let outcome = try Ok (job index) with e -> Error e in
+      Mutex.lock t.m;
+      (match outcome with
+      | Ok () -> ()
+      | Error e -> if t.failure = None then t.failure <- Some e);
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.cv;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    {
+      size = n;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      epoch = 0;
+      job = None;
+      active = 0;
+      shutdown = false;
+      failure = None;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (n - 1) (fun i -> Domain.spawn (worker_loop t (i + 1)));
+  t
+
+let run t (f : int -> unit) : unit =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.m;
+    if t.shutdown then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    t.job <- Some f;
+    t.failure <- None;
+    t.active <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    (* The caller is participant 0.  Its exception must still wait for
+       the workers — they share frame buffers with the caller. *)
+    let mine = try Ok (f 0) with e -> Error e in
+    Mutex.lock t.m;
+    while t.active > 0 do
+      Condition.wait t.cv t.m
+    done;
+    t.job <- None;
+    let worker_failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.m;
+    match (mine, worker_failure) with
+    | Error e, _ -> raise e
+    | Ok (), Some e -> raise e
+    | Ok (), None -> ()
+  end
+
+(* Idempotent: the executor's [release] may run under Fun.protect on
+   paths that already shut the pool down explicitly. *)
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.shutdown in
+  t.shutdown <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  if not already then Array.iter Domain.join t.workers

@@ -39,6 +39,11 @@
 open Ir
 module R = Interp.Rtval
 
+(* Re-exported: the library's entry module shadows its siblings, and the
+   pool is part of the executor's public surface (tests drive it
+   directly). *)
+module Domain_pool = Domain_pool
+
 exception Unsupported of string
 
 let unsupported fmt =
@@ -48,12 +53,15 @@ let unsupported fmt =
 
 (* [ext] is the per-rank extern handler: keeping it in the frame (rather
    than capturing it in the compiled closures) is what makes compilation
-   rank-independent. *)
+   rank-independent.  [pool] is the rank's omp worker pool ([None] on
+   sequential instances and inside worker frames — workers never spawn
+   nested parallelism). *)
 type frame = {
   ints : int array;
   flts : float array;
   objs : R.t array;
   ext : Interp.Executor.externs;
+  pool : Domain_pool.t option;
 }
 
 type kind = Kint | Kflt | Kobj
@@ -92,20 +100,25 @@ type cmodule = {
 }
 
 (* A per-rank instance: the shared compiled module plus this rank's
-   extern handler. *)
+   extern handler and (optional) omp worker pool. *)
 type prog = {
   cm : cmodule;
   prog_externs : Interp.Executor.externs;
+  prog_pool : Domain_pool.t option;
 }
 
 (* Per-function compilation state: the slot table maps SSA value ids to
-   their frame slot; counters size the three frame arrays. *)
+   their frame slot; counters size the three frame arrays.  [omp_nt] is
+   [Some n] while compiling the body of an omp.parallel region carrying
+   num_threads=[n] (0 when the attribute is unset): scf.parallel ops seen
+   under it compile to pool-scheduled loops. *)
 type fctx = {
   cm : cmodule;
   slots : (int, slot) Hashtbl.t;
   mutable n_int : int;
   mutable n_flt : int;
   mutable n_obj : int;
+  mutable omp_nt : int option;
 }
 
 let def (f : fctx) (v : Value.t) : slot =
@@ -227,12 +240,40 @@ let exec_block (cb : cblock) (fr : frame) : unit =
     (Array.unsafe_get stmts i) fr
   done
 
-let new_frame ~(ext : Interp.Executor.externs) (cf : cfunc) : frame =
+let new_frame ~(ext : Interp.Executor.externs) ~pool (cf : cfunc) : frame =
   {
     ints = Array.make cf.cf_n_int 0;
     flts = Array.make cf.cf_n_flt 0.;
     objs = Array.make cf.cf_n_obj R.Runit;
     ext;
+    pool;
+  }
+
+(* The extern handler bound into worker frames: workers compute only.
+   Any extern call (the MPI_* ABI included) from a worker is a lowering
+   or scheduling bug and must fail loudly rather than race on the
+   mailbox substrate — the rank's main domain is the only one allowed
+   to communicate. *)
+let worker_externs : Interp.Executor.externs =
+ fun op _ ->
+  R.error
+    "omp worker: extern call %s from a worker domain (workers compute \
+     only; the rank's main domain owns the MPI substrate)"
+    op.Op.name
+
+(* A worker's private copy of the caller's frame: scalar slots are
+   copied (each participant has its own induction variables and
+   temporaries), buffer slots share the underlying storage by reference
+   — scf.parallel iterations write disjoint buffer regions, which is
+   exactly the shared-memory part of the model.  [pool = None] forbids
+   nested parallelism; the poisoned externs forbid communication. *)
+let worker_frame (fr : frame) : frame =
+  {
+    ints = Array.copy fr.ints;
+    flts = Array.copy fr.flts;
+    objs = Array.copy fr.objs;
+    ext = worker_externs;
+    pool = None;
   }
 
 (* Comparison on the already-computed [compare] result; the predicate
@@ -424,8 +465,26 @@ let rec compile_op (f : fctx) (op : Op.t) : (frame -> unit) option =
   | "scf.for" -> Some (compile_for f op)
   | "scf.if" -> Some (compile_if f op)
   | "scf.parallel" -> Some (compile_parallel f op)
-  | "omp.parallel" | "hls.dataflow" | "hls.stage" ->
+  | "omp.parallel" ->
+      (* The region compiles with the omp flag set, so scf.parallel ops
+         inside it become pool-scheduled (see [compile_parallel]); the
+         wrapper itself is just the body — fork/join happens at the
+         scf.parallel level, once per region. *)
+      let saved = f.omp_nt in
+      f.omp_nt <- Some (Dialects.Omp.num_threads_of op);
       let body = compile_block f (Op.single_block (List.hd op.Op.regions)) in
+      f.omp_nt <- saved;
+      if Array.length body.ret > 0 then
+        unsupported
+          "omp.parallel: region yields %d value(s) but the op has no results"
+          (Array.length body.ret);
+      Some (fun fr -> exec_block body fr)
+  | "hls.dataflow" | "hls.stage" ->
+      let body = compile_block f (Op.single_block (List.hd op.Op.regions)) in
+      if Array.length body.ret > 0 then
+        unsupported
+          "%s: region yields %d value(s) but the op has no results" name
+          (Array.length body.ret);
       Some (fun fr -> exec_block body fr)
   | "func.call" -> Some (compile_call f op)
   | "func.return" | "scf.yield" | "stencil.return" ->
@@ -565,6 +624,7 @@ and compile_if (f : fctx) (op : Op.t) : frame -> unit =
     done
 
 and compile_parallel (f : fctx) (op : Op.t) : frame -> unit =
+  let omp_nt = f.omp_nt in
   let lbs, ubs, steps = Dialects.Scf.parallel_bounds op in
   let blk = Op.single_block (List.hd op.Op.regions) in
   if List.length blk.Op.args <> List.length lbs then
@@ -596,7 +656,64 @@ and compile_parallel (f : fctx) (op : Op.t) : frame -> unit =
             i := !i + step
           done
   in
-  build dims
+  let seq = build dims in
+  match (omp_nt, dims) with
+  | None, _ | _, [] -> seq
+  | Some nt, (glo0, ghi0, gstep0, slot0) :: rest ->
+      (* Inside an omp.parallel region with a worker pool bound to the
+         executing frame: chunk the outermost dimension's iteration
+         range and let participants grab chunks dynamically through an
+         atomic counter.  More chunks than participants (the factor
+         below) absorbs imbalance from uneven tile tails; chunk order
+         does not affect results — iterations of an scf.parallel are
+         independent by construction, and each participant works on its
+         own frame copy, so results stay bitwise identical to the
+         sequential schedule. *)
+      let inner = build rest in
+      let chunk_factor = 4 in
+      fun fr ->
+        match fr.pool with
+        | None -> seq fr
+        | Some pool ->
+            let avail = Domain_pool.size pool in
+            let want = if nt > 0 then min nt avail else avail in
+            let lo = glo0 fr and hi = ghi0 fr and step = gstep0 fr in
+            if step <= 0 then R.error "scf.parallel: bad step";
+            let n = if hi > lo then ((hi - lo) + step - 1) / step else 0 in
+            if want <= 1 || n <= 1 then seq fr
+            else begin
+              let nchunks = min n (want * chunk_factor) in
+              let next = Atomic.make 0 in
+              Domain_pool.run pool (fun p ->
+                  if p < want then begin
+                    (* Participant 0 is the rank's main domain: it keeps
+                       its extern handler (it owns the MPI substrate) but
+                       loses the pool, so nested parallel loops inside
+                       the body run sequentially instead of re-entering a
+                       busy pool.  Workers get a scalar-copy frame with
+                       poisoned externs. *)
+                    let pfr =
+                      if p = 0 then { fr with pool = None }
+                      else worker_frame fr
+                    in
+                    let rec grab () =
+                      let c = Atomic.fetch_and_add next 1 in
+                      if c < nchunks then begin
+                        let k0 = c * n / nchunks
+                        and k1 = (c + 1) * n / nchunks in
+                        let i = ref (lo + (k0 * step)) in
+                        let stop = lo + (k1 * step) in
+                        while !i < stop do
+                          pfr.ints.(slot0) <- !i;
+                          inner pfr;
+                          i := !i + step
+                        done;
+                        grab ()
+                      end
+                    in
+                    grab ()
+                  end)
+            end
 
 and compile_call (f : fctx) (op : Op.t) : frame -> unit =
   let callee = Op.symbol_attr_exn op "callee" in
@@ -624,7 +741,7 @@ and compile_call (f : fctx) (op : Op.t) : frame -> unit =
         in
         let args = Array.map (fun r -> r fr) arg_readers in
         write_results op res_writers fr
-          (call_cfunc ~ext: fr.ext cf (Array.to_list args))
+          (call_cfunc ~ext: fr.ext ~pool: fr.pool cf (Array.to_list args))
   | _ ->
       (* External function: the dispatch op is pre-built once, here. *)
       let stub =
@@ -658,7 +775,7 @@ and compile_func (cm : cmodule) (name : string) : cfunc =
       | Some fop when fop.Op.regions <> [] ->
           let f =
             { cm; slots = Hashtbl.create 64; n_int = 0; n_flt = 0;
-              n_obj = 0 }
+              n_obj = 0; omp_nt = None }
           in
           let blk = Op.single_block (List.hd fop.Op.regions) in
           let params =
@@ -679,13 +796,13 @@ and compile_func (cm : cmodule) (name : string) : cfunc =
           cf
       | _ -> R.error "call to undefined function %s" name)
 
-and call_cfunc ~(ext : Interp.Executor.externs) (cf : cfunc)
+and call_cfunc ~(ext : Interp.Executor.externs) ?(pool = None) (cf : cfunc)
     (args : R.t list) : R.t list =
   let n = Array.length cf.cf_params in
   if List.length args <> n then
     R.error "%s: expected %d arguments, got %d" cf.cf_name n
       (List.length args);
-  let fr = new_frame ~ext cf in
+  let fr = new_frame ~ext ~pool cf in
   List.iteri (fun i v -> write_slot cf.cf_params.(i) fr v) args;
   exec_block cf.cf_body fr;
   Array.to_list (Array.map (fun r -> r fr) cf.cf_body.ret)
@@ -728,12 +845,22 @@ module Compiled : Interp.Executor.EXECUTOR = struct
           funcs;
         cm)
 
-  let instantiate ?(externs = no_externs) (cm : cmodule) : prog =
-    { cm; prog_externs = externs }
+  (* [threads > 1] spins up this instance's worker pool; the domains
+     are joined by [release], which every instance owner must call (the
+     SPMD rank bodies do, under Fun.protect). *)
+  let instantiate ?(externs = no_externs) ?(threads = 1) (cm : cmodule) :
+      prog =
+    let pool =
+      if threads > 1 then Some (Domain_pool.create threads) else None
+    in
+    { cm; prog_externs = externs; prog_pool = pool }
+
+  let release (prog : prog) = Option.iter Domain_pool.shutdown prog.prog_pool
 
   let run (prog : prog) (callee : string) (args : R.t list) : R.t list =
     match Hashtbl.find_opt prog.cm.compiled callee with
-    | Some cf -> call_cfunc ~ext: prog.prog_externs cf args
+    | Some cf ->
+        call_cfunc ~ext: prog.prog_externs ~pool: prog.prog_pool cf args
     | None -> (
         (* External function: same stub dispatch as the interpreter. *)
         let stub =

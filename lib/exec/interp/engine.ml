@@ -236,8 +236,16 @@ and exec_op fr (op : Op.t) : unit =
            (List.map2 (fun l u -> (l, u)) lbs ubs)
            steps)
         []
-  | "omp.parallel" | "hls.dataflow" | "hls.stage" ->
-      ignore (exec_region_block fr (List.hd op.Op.regions) [])
+  | "omp.parallel" | "hls.dataflow" | "hls.stage" -> (
+      (* These region wrappers have no results: a region that yields
+         values has nowhere to deliver them, so dropping them silently
+         would mask a lowering bug.  Fail loudly instead. *)
+      match exec_region_block fr (List.hd op.Op.regions) [] with
+      | [] -> ()
+      | vs ->
+          Rtval.error
+            "%s: region yielded %d value(s) but the op has no results"
+            op.Op.name (List.length vs))
   | "gpu.launch" ->
       let ubs = List.map (fun v -> Rtval.as_int (lookup fr v)) op.Op.operands in
       let region = List.hd op.Op.regions in

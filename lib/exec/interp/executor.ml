@@ -32,19 +32,35 @@ module type EXECUTOR = sig
      domains (no mutable state reachable from concurrent runs). *)
   type shared_prog
 
-  (* A prepared per-rank instance: shared program + bound externs. *)
+  (* A prepared per-rank instance: shared program + bound externs, plus
+     any per-rank execution resources ([threads > 1] asks a backend for
+     an intra-rank worker pool; backends without one ignore it). *)
   type prog
 
   val compile : Ir.Op.t -> shared_prog
-  val instantiate : ?externs:externs -> shared_prog -> prog
+  val instantiate : ?externs:externs -> ?threads:int -> shared_prog -> prog
+
+  (* Tear down per-rank resources (joins worker domains).  Must be called
+     when the instance is done — OCaml caps live domains, so a leaked
+     pool is a hard failure a few instantiations later, not a slow drip.
+     Idempotent; a no-op for pool-less backends. *)
+  val release : prog -> unit
   val run : prog -> string -> Rtval.t list -> Rtval.t list
 end
 
+(* A live per-rank instance of a packed program: the run function plus
+   the release hook that frees its execution resources. *)
+type instance = {
+  runf : string -> Rtval.t list -> Rtval.t list;
+  release : unit -> unit;
+}
+
 (* A packed rank-independent compiled program: [instantiate] binds one
-   rank's extern handler and returns that rank's run function. *)
+   rank's extern handler (and optional worker-pool width) and returns
+   that rank's live instance. *)
 type shared = {
   shared_exec : string;  (** executor name, e.g. "compiled" *)
-  instantiate : ?externs:externs -> unit -> string -> Rtval.t list -> Rtval.t list;
+  instantiate : ?externs:externs -> ?threads:int -> unit -> instance;
 }
 
 (* Packed executor for runtime selection (e.g. stencilc --exec).
@@ -60,6 +76,8 @@ let pack (module E : EXECUTOR) : t =
   {
     exec_name = E.name;
     prepare =
+      (* The one-shot path never asks for threads, so no pool exists and
+         nothing needs releasing. *)
       (fun ?externs m ->
         let prog = E.instantiate ?externs (E.compile m) in
         E.run prog);
@@ -68,13 +86,17 @@ let pack (module E : EXECUTOR) : t =
         let sp = E.compile m in
         {
           shared_exec = E.name;
-          instantiate = (fun ?externs () -> E.run (E.instantiate ?externs sp));
+          instantiate =
+            (fun ?externs ?threads () ->
+              let prog = E.instantiate ?externs ?threads sp in
+              { runf = E.run prog; release = (fun () -> E.release prog) });
         });
   }
 
 (* The reference interpreter as an executor.  Compilation is the identity
    — the tree walker needs no ahead-of-time work — so instantiation does
-   what [Engine.create] always did, per rank. *)
+   what [Engine.create] always did, per rank.  [threads] is ignored: the
+   interpreter is the sequential bitwise oracle, by design. *)
 module Interpreter : EXECUTOR = struct
   let name = "interp"
 
@@ -82,7 +104,8 @@ module Interpreter : EXECUTOR = struct
   type prog = Engine.t
 
   let compile m = m
-  let instantiate ?externs m = Engine.create ?externs m
+  let instantiate ?externs ?threads:_ m = Engine.create ?externs m
+  let release _ = ()
   let run = Engine.run
 end
 

@@ -61,7 +61,13 @@ type comm = {
   t0 : float;
 }
 
-type rank_ctx = { comm : comm; me : int }
+(* [owner] is the Domain.id of the rank's main domain, captured when the
+   rank body starts: mailbox mutation is only correct from that domain
+   (the slot/pending discipline assumes one blocked waiter per rank), so
+   every transport entry point asserts ownership.  A compute worker
+   (e.g. an omp pool domain) calling send/recv fails loudly with
+   [Mpi_error] instead of racing the substrate. *)
+type rank_ctx = { comm : comm; me : int; owner : int }
 
 type request =
   | Null_req of rank_ctx
@@ -147,6 +153,16 @@ let broadcast_all comm =
       Mutex.unlock sl.sl_mutex)
     comm.slots
 
+let check_owner ctx what =
+  let self = (Domain.self () :> int) in
+  if self <> ctx.owner then
+    raise
+      (Mpi_error
+         (Printf.sprintf
+            "%s: rank %d's mailbox substrate touched from a foreign domain \
+             (id %d, owner %d) — worker domains compute only"
+            what ctx.me self ctx.owner))
+
 let check_peer comm what peer =
   if peer < 0 || peer >= comm.world then
     raise
@@ -158,6 +174,7 @@ let check_peer comm what peer =
 
 let isend ctx ~dest ~tag ?bytes p =
   let comm = ctx.comm in
+  check_owner ctx "isend";
   check_peer comm "isend" dest;
   check_poison comm;
   let data = copy_payload p in
@@ -222,6 +239,7 @@ let try_match ctx ~source ~tag =
 
 let irecv ctx ~source ~tag =
   let comm = ctx.comm in
+  check_owner ctx "irecv";
   if source <> any_source then check_peer comm "irecv" source;
   check_poison comm;
   record ctx (Irecv { source; tag });
@@ -241,7 +259,11 @@ let try_complete = function
               true
           | None -> false))
 
-let test = try_complete
+let test req =
+  (match req with
+  | Null_req ctx | Send_req ctx -> check_owner ctx "test"
+  | Recv_req r -> check_owner r.ctx "test");
+  try_complete req
 
 let describe_request = function
   | Null_req _ -> "null"
@@ -277,6 +299,7 @@ let slot_wait ctx ~info pred =
 let wait req =
   match req with
   | Null_req ctx | Send_req ctx ->
+      check_owner ctx "wait";
       (* Eager protocol: already complete, but stamp the wait span so both
          substrates' timelines carry the same events. *)
       record ctx (Wait_begin (describe_request req));
@@ -284,6 +307,7 @@ let wait req =
       None
   | Recv_req r ->
       let ctx = r.ctx in
+      check_owner ctx "wait";
       record ctx (Wait_begin (describe_request req));
       slot_wait ctx
         ~info:(fun () -> "wait(" ^ describe_request req ^ ")")
@@ -300,6 +324,7 @@ let waitall reqs =
   | [] -> ()
   | first :: _ ->
       let ctx = ctx_of_request first in
+      check_owner ctx "waitall";
       record ctx (Waitall_begin (List.length reqs));
       slot_wait ctx
         ~info:(fun () ->
@@ -437,7 +462,9 @@ let run_with ?stall_timeout_s ?queue_capacity ?(trace = false) ~ranks body =
   let comm = make_comm ~trace ~ranks ~capacity in
   let failures = Array.make ranks None in
   let domain_body r () =
-    let ctx = { comm; me = r } in
+    (* Runs inside the spawned domain: this domain IS the rank's main
+       domain, so its id is the mailbox owner for the whole rank body. *)
+    let ctx = { comm; me = r; owner = (Domain.self () :> int) } in
     (try body ctx with
     | Poisoned -> ()
     | e ->

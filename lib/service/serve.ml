@@ -10,7 +10,12 @@
    as the next request and desynchronize every later exchange. *)
 
 type run_handler =
-  Ir.Op.t -> Artifact.t -> ranks:int -> substrate:string -> (string * string) list
+  Ir.Op.t ->
+  Artifact.t ->
+  ranks:int ->
+  substrate:string ->
+  threads:int ->
+  (string * string) list
 
 type compile_scheduler = (unit -> Artifact.t) -> Artifact.t * float
 
@@ -74,6 +79,24 @@ let mode_param params =
       failwith
         (Printf.sprintf "unknown mode %S (available: faces, diagonals)" s)
 
+(* tile=8,8 — cache-block sizes for the tiled omp lowering; absent or
+   empty means untiled.  Part of the compile target (and thus the
+   artifact digest), unlike [threads] which is a pure runtime knob. *)
+let tiles_param params =
+  match lookup params "tile" with
+  | None | Some "" -> []
+  | Some spec ->
+      List.map
+        (fun w ->
+          match int_of_string_opt (String.trim w) with
+          | Some n when n > 0 -> n
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "tile=%S is not a comma-separated list of positive ints"
+                   spec))
+        (String.split_on_char ',' spec)
+
 let target_of_params params : Core.Pipeline.target =
   match Option.value (lookup params "target") ~default: "distributed-cpu" with
   | "cpu-sequential" -> Core.Pipeline.Cpu_sequential
@@ -84,7 +107,7 @@ let target_of_params params : Core.Pipeline.target =
           ranks = int_param params "ranks" 4;
           strategy = strategy_param params;
           mode = mode_param params;
-          tiles = [];
+          tiles = tiles_param params;
           overlap = bool_param params "overlap" true;
         }
   | t ->
@@ -201,7 +224,11 @@ let handle_request handlers ic line : (string * string) list =
             | ("sim" | "par") as s -> s
             | s -> failwith (Printf.sprintf "unknown substrate %S" s)
           in
-          artifact_kvs art flag ~queue_s @ run m art ~ranks ~substrate)
+          let threads = int_param params "threads" 1 in
+          if threads < 1 then
+            failwith
+              (Printf.sprintf "threads=%d must be positive" threads);
+          artifact_kvs art flag ~queue_s @ run m art ~ranks ~substrate ~threads)
   | "" -> []
   | c -> failwith (Printf.sprintf "unknown command %S" c)
 

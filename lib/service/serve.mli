@@ -30,12 +30,21 @@
     Target spec: [target=<cpu-sequential|cpu-openmp|distributed-cpu>]
     (default distributed-cpu) with [ranks=<n>] (default 4),
     [strategy=<slice1d|slice2d|slice3d>] (default slice2d),
-    [overlap=<bool>] (default true) and [exec=<executor>] (default
-    compiled).  Failures answer [error <message>] and the loop
+    [overlap=<bool>] (default true), [tile=<t1,t2,...>] (cache-block
+    sizes for the tiled omp lowering; default untiled; part of the
+    artifact digest) and [exec=<executor>] (default compiled).  [run]
+    additionally takes [threads=<n>] (threads per rank for the compiled
+    executor's domain pool; default 1; a runtime knob, not part of the
+    digest).  Failures answer [error <message>] and the loop
     continues. *)
 
 type run_handler =
-  Ir.Op.t -> Artifact.t -> ranks:int -> substrate:string -> (string * string) list
+  Ir.Op.t ->
+  Artifact.t ->
+  ranks:int ->
+  substrate:string ->
+  threads:int ->
+  (string * string) list
 (** Executes a compiled artifact and returns response key/values (e.g.
     [max_diff], [wall_ms]).  Receives the source module as well — the
     CLI's handler runs it serially as the correctness oracle.  Injected

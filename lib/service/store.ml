@@ -49,7 +49,7 @@ type persisted = {
 let schema = 1
 let abi_tag = Printf.sprintf "ocaml-%s/schema-%d" Sys.ocaml_version schema
 
-type t = { dir : string }
+type t = { dir : string; max_bytes : int option }
 
 let dir t = t.dir
 
@@ -60,9 +60,13 @@ let rec mkdir_p path =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create dir =
+let create ?max_bytes dir =
+  (match max_bytes with
+  | Some b when b <= 0 ->
+      invalid_arg "Store.create: max_bytes must be positive"
+  | _ -> ());
   mkdir_p dir;
-  { dir }
+  { dir; max_bytes }
 
 let suffix = ".art"
 let path t digest = Filename.concat t.dir (digest ^ suffix)
@@ -74,6 +78,63 @@ let valid_digest d =
   && String.for_all
        (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
        d
+
+let list t : string list =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f suffix then
+               let d = Filename.chop_suffix f suffix in
+               if valid_digest d then Some d else None
+             else None)
+      |> List.sort String.compare
+
+let remove t ~digest =
+  if valid_digest digest then
+    try Sys.remove (path t digest) with Sys_error _ -> ()
+
+(* Size-cap enforcement: after every save, evict oldest-first (mtime)
+   until the store's .art files fit under [max_bytes] again.  The digest
+   just written is exempt — a cap smaller than one artifact must not
+   evict the artifact it was asked to keep.  Evictions are loud (one
+   stderr line each): a daemon silently shedding its warm cache is a
+   perf mystery; one that says so is a config knob. *)
+let enforce_cap t ~(keep : string) =
+  match t.max_bytes with
+  | None -> ()
+  | Some cap ->
+      let entries =
+        List.filter_map
+          (fun d ->
+            match Unix.stat (path t d) with
+            | st -> Some (d, st.Unix.st_size, st.Unix.st_mtime)
+            | exception Unix.Unix_error _ -> None)
+          (list t)
+      in
+      let total =
+        List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 entries
+      in
+      if total > cap then begin
+        let oldest_first =
+          List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) entries
+        in
+        ignore
+          (List.fold_left
+             (fun excess (d, sz, _) ->
+               if excess <= 0 || d = keep then excess
+               else begin
+                 remove t ~digest: d;
+                 Printf.eprintf
+                   "stencilc: store: evicted artifact %s (%d bytes, oldest) \
+                    to fit size cap %d bytes\n\
+                    %!"
+                   d sz cap;
+                 excess - sz
+               end)
+             (total - cap) oldest_first)
+      end
 
 let save t (p : persisted) =
   if not (valid_digest p.p_digest) then
@@ -100,7 +161,8 @@ let save t (p : persisted) =
       let bin = Option.value p.p_lowered_bin ~default: "" in
       Printf.fprintf oc "lowered_bin %d\n" (String.length bin);
       output_string oc bin);
-  Sys.rename tmp final
+  Sys.rename tmp final;
+  enforce_cap t ~keep: p.p_digest
 
 (* One "<keyword> <value>" header line; [None] on any mismatch. *)
 let header_value ic keyword =
@@ -160,18 +222,3 @@ let load t ~digest : persisted option =
       in
       (try In_channel.with_open_bin file parse with Sys_error _ -> None)
 
-let list t : string list =
-  match Sys.readdir t.dir with
-  | exception Sys_error _ -> []
-  | files ->
-      Array.to_list files
-      |> List.filter_map (fun f ->
-             if Filename.check_suffix f suffix then
-               let d = Filename.chop_suffix f suffix in
-               if valid_digest d then Some d else None
-             else None)
-      |> List.sort String.compare
-
-let remove t ~digest =
-  if valid_digest digest then
-    try Sys.remove (path t digest) with Sys_error _ -> ()

@@ -22,8 +22,13 @@ type persisted = {
 
 type t
 
-val create : string -> t
-(** Open (creating directories as needed) the store rooted at a path. *)
+val create : ?max_bytes:int -> string -> t
+(** Open (creating directories as needed) the store rooted at a path.
+    [max_bytes] caps the total size of the store's artifact files:
+    after every {!save}, artifacts are evicted oldest-first (by mtime,
+    never the one just saved) until the store fits, each eviction
+    logged loudly to stderr.  Unset = unbounded (the historical
+    behavior).  Raises [Invalid_argument] when non-positive. *)
 
 val dir : t -> string
 

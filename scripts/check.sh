@@ -35,6 +35,10 @@ dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --overlap=false > /dev/n
 # the serial interpreter bitwise (stencilc exits non-zero otherwise).
 dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --exec=compiled > /dev/null
 dune exec bin/stencilc.exe -- --demo heat2d --run-sim 2 --exec=interp > /dev/null
+# Threaded-executor smoke: each rank runs a 2-wide domain pool over the
+# cache-tiled omp.parallel lowering; the gathered result must still match
+# the serial interpreter bitwise.
+dune exec bin/stencilc.exe -- --demo heat2d --run-par 2 --threads-per-rank 2 --tile 8,8 > /dev/null
 if [ "$smoke" -eq 0 ]; then
   dune exec bin/stencilc.exe -- --demo heat2d --run-par 4 > /dev/null
   dune exec bin/stencilc.exe -- --demo heat2d --run-sim 4 --exec=compiled --overlap=false > /dev/null

@@ -170,6 +170,73 @@ let heat2d_timeloop_module ~nx ~ny ~steps : Op.t =
   in
   Op.module_op [ f ]
 
+(* 2D wave equation with a time loop: u_next = 2*u - u_prev + c*lap(u),
+   the classic 3-time-level scheme folded onto two buffers (u_next
+   overwrites u_prev, then the levels rotate through the loop carries).
+   A second differential-test workload beside heat2d: two stencil inputs
+   per apply, so the threaded executor's frame cloning is exercised with
+   more than one live buffer. *)
+let wave2d_timeloop_module ~nx ~ny ~steps : Op.t =
+  let bounds = [ b1 (-1) (nx + 1); b1 (-1) (ny + 1) ] in
+  let fty = Stencil.field_ty bounds Typesys.f32 in
+  let f =
+    Func.define "wave" ~arg_tys: [ fty; fty ] ~res_tys: [ fty; fty ]
+      (fun bld args ->
+        match args with
+        | [ prev; cur ] ->
+            let lo = Arith.const_index bld 0 in
+            let hi = Arith.const_index bld steps in
+            let stepv = Arith.const_index bld 1 in
+            let outs =
+              Scf.for_op bld ~lo ~hi ~step: stepv ~init: [ prev; cur ]
+                (fun body _iv iters ->
+                  match iters with
+                  | [ prev; cur ] ->
+                      let tc = Stencil.load_op body cur in
+                      let tp = Stencil.load_op body prev in
+                      let res =
+                        Stencil.apply_op body ~inputs: [ tc; tp ]
+                          ~out_bounds: [ b1 0 nx; b1 0 ny ]
+                          ~elt: Typesys.f32 ~n_results: 1 (fun bb ba ->
+                            match ba with
+                            | [ c; p ] ->
+                                let u = Stencil.access_op bb c [ 0; 0 ] in
+                                let n = Stencil.access_op bb c [ 0; -1 ] in
+                                let s = Stencil.access_op bb c [ 0; 1 ] in
+                                let w = Stencil.access_op bb c [ -1; 0 ] in
+                                let e = Stencil.access_op bb c [ 1; 0 ] in
+                                let up = Stencil.access_op bb p [ 0; 0 ] in
+                                let c2 =
+                                  Arith.const_float bb ~ty: Typesys.f32 0.25
+                                in
+                                let two =
+                                  Arith.const_float bb ~ty: Typesys.f32 2.
+                                in
+                                let four =
+                                  Arith.const_float bb ~ty: Typesys.f32 4.
+                                in
+                                let sum = Arith.add_f bb n s in
+                                let sum = Arith.add_f bb sum w in
+                                let sum = Arith.add_f bb sum e in
+                                let u4 = Arith.mul_f bb u four in
+                                let lap = Arith.sub_f bb sum u4 in
+                                let u2 = Arith.mul_f bb u two in
+                                let acc = Arith.sub_f bb u2 up in
+                                let dt = Arith.mul_f bb lap c2 in
+                                let out_v = Arith.add_f bb acc dt in
+                                Stencil.return_vals bb [ out_v ]
+                            | _ -> assert false)
+                      in
+                      Stencil.store_op body (List.hd res) prev ~lb: [ 0; 0 ]
+                        ~ub: [ nx; ny ];
+                      Scf.yield_op body [ cur; prev ]
+                  | _ -> assert false)
+            in
+            Func.return_op bld outs
+        | _ -> assert false)
+  in
+  Op.module_op [ f ]
+
 (* Field initialization helpers. *)
 
 let make_field_1d ~n f : Interp.Rtval.buffer =

@@ -11,6 +11,7 @@ let () =
       ("mpi_par", Test_mpi_par.suite);
       ("domain", Test_domain.suite);
       ("distributed", Test_distributed.suite);
+      ("threads", Test_threads.suite);
       ("hls", Test_hls.suite);
       ("frontends", Test_frontends.suite);
       ("machine", Test_machine.suite);

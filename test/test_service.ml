@@ -597,6 +597,75 @@ let test_store_corruption_falls_back () =
       check bool_c "fallback digest intact" true
         (a2.Service.Artifact.digest = digest))
 
+(* --- store size cap: oldest-first eviction --- *)
+
+let test_store_size_cap_evicts_oldest () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stencilc-cap-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  let digest i = Printf.sprintf "%031xa" i in
+  let blob = String.make 2048 'x' in
+  let persisted i =
+    {
+      Service.Store.p_digest = digest i;
+      p_executor = "compiled";
+      p_target = "t";
+      p_compile_s = 0.1;
+      p_canonical = blob;
+      p_lowered = blob;
+      p_lowered_bin = None;
+    }
+  in
+  Fun.protect
+    ~finally: (fun () ->
+      (match Sys.readdir dir with
+      | files ->
+          Array.iter (fun f -> Sys.remove (Filename.concat dir f)) files
+      | exception Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Service.Store.create ~max_bytes: 0 dir with
+      | _ -> Alcotest.fail "max_bytes = 0 must be rejected"
+      | exception Invalid_argument _ -> ());
+      (* Each file is ~4.2 KB; cap the store at three of them. *)
+      let store = Service.Store.create ~max_bytes: (3 * 4400) dir in
+      let path i =
+        Filename.concat (Service.Store.dir store) (digest i ^ ".art")
+      in
+      let base = Unix.time () -. 1000. in
+      List.iter
+        (fun i ->
+          Service.Store.save store (persisted i);
+          (* Pin distinct mtimes: file-system timestamp resolution must
+             not decide which artifact counts as oldest. *)
+          Unix.utimes (path i) base (base +. float_of_int i))
+        [ 1; 2; 3 ];
+      check (Alcotest.list Alcotest.string) "three artifacts fit"
+        [ digest 1; digest 2; digest 3 ]
+        (Service.Store.list store);
+      (* A fourth save exceeds the cap: the oldest (digest 1) goes. *)
+      Service.Store.save store (persisted 4);
+      check (Alcotest.list Alcotest.string) "oldest evicted on overflow"
+        [ digest 2; digest 3; digest 4 ]
+        (Service.Store.list store);
+      (* The artifact just saved is exempt, even under a cap smaller
+         than a single file: saving must never evict its own result. *)
+      let tiny = Service.Store.create ~max_bytes: 64 dir in
+      Service.Store.save tiny (persisted 5);
+      check bool_c "just-saved artifact survives a tiny cap" true
+        (List.mem (digest 5) (Service.Store.list tiny));
+      check bool_c "everything else was evicted" true
+        (Service.Store.list tiny = [ digest 5 ]);
+      (* Uncapped stores never evict (the historical behavior). *)
+      let unbounded = Service.Store.create dir in
+      List.iter
+        (fun i -> Service.Store.save unbounded (persisted i))
+        [ 6; 7; 8 ];
+      check int_c "unbounded store only grows" 4
+        (List.length (Service.Store.list unbounded)))
+
 (* --- target fingerprints round-trip (the store depends on it) --- *)
 
 let test_fingerprint_roundtrip () =
@@ -660,6 +729,8 @@ let suite =
       test_store_restart_persistence;
     Alcotest.test_case "store: corruption falls back to compile" `Quick
       test_store_corruption_falls_back;
+    Alcotest.test_case "store: size cap evicts oldest" `Quick
+      test_store_size_cap_evicts_oldest;
     Alcotest.test_case "target fingerprint roundtrip" `Quick
       test_fingerprint_roundtrip;
   ]
